@@ -1,0 +1,94 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.zoo import YOLO_ANOMALY_SIDE
+from repro.experiments.ablations import (
+    run_ablation_anomaly,
+    run_ablation_elbow,
+    run_ablation_radius,
+    run_ablation_replacement,
+    run_ablation_reuse,
+)
+
+
+def test_ablation_radius(benchmark, show):
+    result = benchmark.pedantic(
+        run_ablation_radius, kwargs={"trials": 100}, rounds=1, iterations=1
+    )
+    show(result)
+
+    hs = np.array(result.series["hoeffding_serfling"])
+    hoeffding = np.array(result.series["hoeffding"])
+    bernstein = np.array(result.series["empirical_bernstein"])
+    # Hoeffding-Serfling never looser than Hoeffding inside Algorithm 1.
+    assert np.all(hs <= hoeffding + 1e-9)
+    # The small-sample advantage over empirical Bernstein (§3.2.1): at the
+    # smallest fractions HS is tighter.
+    assert hs[0] < bernstein[0]
+    assert hs[1] < bernstein[1]
+
+
+def test_ablation_replacement(benchmark, show):
+    result = benchmark.pedantic(
+        run_ablation_replacement, kwargs={"trials": 100}, rounds=1, iterations=1
+    )
+    show(result)
+
+    without = np.array(result.series["without_replacement"])
+    with_repl = np.array(result.series["with_replacement"])
+    assert np.all(without <= with_repl + 1e-12)
+    # The finite-population shrinkage grows with the fraction.
+    gap = with_repl - without
+    assert gap[-1] > gap[0]
+
+
+def test_ablation_elbow(benchmark, show):
+    result = benchmark.pedantic(run_ablation_elbow, rounds=1, iterations=1)
+    show(result)
+
+    fractions = np.array(result.series["correction_fraction"])
+    # Tighter tolerances never shrink the correction set.
+    assert np.all(np.diff(fractions) >= -1e-12)
+
+
+def test_ablation_reuse(benchmark, show):
+    result = benchmark.pedantic(run_ablation_reuse, rounds=1, iterations=1)
+    show(result)
+
+    reuse, naive = result.series["invocations"]
+    # Reuse processes max(fractions)=4%; naive processes the 10% sum.
+    assert reuse < 0.5 * naive
+
+
+def test_ablation_anomaly(benchmark, show):
+    result = benchmark.pedantic(run_ablation_anomaly, rounds=1, iterations=1)
+    show(result)
+
+    knobs = list(result.knobs)
+    at = knobs.index(float(YOLO_ANOMALY_SIDE))
+    with_anomaly = result.series["with_anomaly"]
+    without = result.series["without_anomaly"]
+    # The spike exists only with the model artifact.
+    assert with_anomaly[at] > with_anomaly[at + 1]
+    assert without[at] <= without[at - 1]
+
+
+def test_ablation_stratified(benchmark, show):
+    from repro.experiments.ablations import run_ablation_stratified
+
+    result = benchmark.pedantic(
+        run_ablation_stratified, kwargs={"trials": 150}, rounds=1, iterations=1
+    )
+    show(result)
+
+    ratios = np.array(result.series["rmse_ratio"])
+    violations = np.array(result.series["stratified_violation_pct"])
+    # Stratification beats SRS at every budget on temporally correlated
+    # video, substantially at the larger ones.
+    assert np.all(ratios < 1.0)
+    assert ratios[-1] < 0.75
+    # The SRS-derived bound stays empirically valid under stratification.
+    assert violations.max() <= 5.0

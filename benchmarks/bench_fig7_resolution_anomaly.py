@@ -1,0 +1,28 @@
+"""Figure 7: the abnormal relative-error spike at 384x384."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.zoo import YOLO_ANOMALY_SIDE
+from repro.experiments.fig7_resolution_anomaly import run_fig7
+
+
+def test_fig7_resolution_anomaly(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"trials": 50}, rounds=1, iterations=1
+    )
+    show(result)
+
+    knobs = list(result.knobs)
+    errors = np.array(result.series["true_error"])
+    corrected = np.array(result.series["bound_with_correction"])
+
+    at = knobs.index(float(YOLO_ANOMALY_SIDE))
+    # The spike: the true error at 384 exceeds both neighbours, i.e. a
+    # *higher* resolution is *less* accurate than a lower one.
+    assert errors[at] > errors[at - 1]
+    assert errors[at] > errors[at + 1]
+    # The corrected bound tracks it, so a profile exposes the bad setting.
+    assert corrected[at] > corrected[at + 1]
+    assert np.all(corrected >= errors - 0.02)

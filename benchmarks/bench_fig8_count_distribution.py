@@ -1,0 +1,20 @@
+"""Figure 8: predicted car-count distributions at 608 / 384 / 320."""
+
+from __future__ import annotations
+
+from repro.detection.zoo import YOLO_ANOMALY_SIDE
+from repro.experiments.fig8_count_distribution import (
+    distribution_distance,
+    run_fig8,
+)
+
+
+def test_fig8_count_distribution(benchmark, show):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    show(result)
+
+    deviant = distribution_distance(result, YOLO_ANOMALY_SIDE, 608)
+    close = distribution_distance(result, 320, 608)
+    # The 384 distribution deviates substantially from the truth while the
+    # 320 one stays close — the paper's explanation of Figure 7.
+    assert deviant > 2.0 * close

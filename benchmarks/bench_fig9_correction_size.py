@@ -1,0 +1,32 @@
+"""Figure 9: corrected bound vs correction-set size, and the elbow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig9_correction_size import run_fig9
+from repro.query.aggregates import Aggregate
+
+
+@pytest.mark.parametrize("aggregate", [Aggregate.AVG, Aggregate.MAX], ids=["AVG", "MAX"])
+def test_fig9_correction_size(benchmark, show, aggregate):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={"aggregate": aggregate, "trials": 50},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    own = np.array(result.series["own_bound"])
+    set1 = np.array(result.series["set1_corrected_bound"])
+    set2 = np.array(result.series["set2_corrected_bound"])
+    # Larger correction sets buy smaller bounds overall (steep-then-flat).
+    assert own[-1] < own[0]
+    assert set1[-1] < set1[0]
+    assert set2[-1] < set2[0]
+    # The flattening: the last step improves far less than the first step.
+    first_drop = own[0] - own[1]
+    last_drop = abs(own[-2] - own[-1])
+    assert last_drop < first_drop

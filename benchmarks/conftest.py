@@ -1,0 +1,26 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+paper's full corpus sizes, prints the same rows/series the paper reports
+(via ``capsys.disabled()`` so they land in the terminal / tee output), and
+asserts the expected qualitative shape. ``benchmark.pedantic(fn, rounds=1,
+iterations=1)`` times a single full regeneration — these are experiment
+drivers, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an ExperimentResult to the real terminal despite capture."""
+
+    def _show(result) -> None:
+        with capsys.disabled():
+            print()
+            result.print()
+            print()
+
+    return _show

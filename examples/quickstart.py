@@ -1,0 +1,66 @@
+"""Quickstart: profile a query, pick a tradeoff, run it degraded.
+
+The minimal end-to-end Smokescreen flow on a synthetic UA-DETRAC-like
+corpus: build the system, size a correction set, price an intervention
+candidate grid, read the three initial profile slices, choose the most
+aggressive sampling setting within a 25% error budget, and estimate the
+query under it.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Aggregate,
+    PublicPreferences,
+    Smokescreen,
+    ua_detrac,
+    yolo_v4_like,
+)
+
+
+def main() -> None:
+    # A scaled-down corpus keeps the example snappy; drop frame_count for
+    # the paper's full 15,210 frames.
+    dataset = ua_detrac(frame_count=4000)
+    system = Smokescreen(dataset, yolo_v4_like(), trials=5)
+
+    # The query: average number of cars per frame (the paper's EXAMPLE 1).
+    query = system.query(Aggregate.AVG)
+
+    # Profile generation (paper §3.1): size the correction set with the
+    # elbow heuristic, then price a candidate grid.
+    correction = system.build_correction_set(query)
+    print(
+        f"correction set: {correction.size} frames "
+        f"({correction.fraction(dataset.frame_count):.1%} of the corpus), "
+        f"own bound {correction.error_bound:.3f}"
+    )
+
+    candidates = system.candidates(fraction_step=0.05, resolution_count=5)
+    cube = system.profile(query, candidates, correction=correction)
+
+    sampling, resolution, removal = cube.initial_slices()
+    print("\nsampling-axis profile (fraction -> bounded error):")
+    for knob, bound in zip(sampling.knob_values(), sampling.error_bounds()):
+        print(f"  f={knob:<5g} err_b={bound:.3f}")
+
+    # Choosing a tradeoff (paper §2.3): the most degraded admissible
+    # setting whose bounded error meets the public preference.
+    preferences = PublicPreferences(max_error=0.25)
+    choice = system.choose(sampling, preferences)
+    print(f"\nchosen setting: {choice.point.plan.label()}")
+
+    # Run the query under the chosen degradation.
+    estimate = system.estimate(query, choice.point.plan)
+    truth = system.processor.true_answer(query)
+    print(
+        f"estimate {estimate.value:.3f} (bound {estimate.error_bound:.3f}) "
+        f"vs truth {truth:.3f} "
+        f"-> true error {abs(estimate.value - truth) / truth:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

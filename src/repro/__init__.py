@@ -1,0 +1,159 @@
+"""Smokescreen: controlled intentional degradation for analytical video
+systems.
+
+A full reproduction of He & Cafarella, "Controlled Intentional Degradation
+in Analytical Video Systems" (SIGMOD 2022). The library produces
+*degradation-accuracy profiles*: for a video corpus, an aggregate query
+over a vision-model UDF, and destructive interventions (reduced frame
+sampling, reduced resolution, image removal), it estimates tight upper
+bounds on the analytical error — without access to the non-degraded video —
+so an administrator can pick the most aggressive degradation that still
+meets an accuracy target.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        Aggregate, InterventionPlan, PublicPreferences, Smokescreen,
+        ua_detrac, yolo_v4_like,
+    )
+
+    system = Smokescreen(ua_detrac(frame_count=4000), yolo_v4_like())
+    query = system.query(Aggregate.AVG)
+    correction = system.build_correction_set(query)
+    cube = system.profile(query, system.candidates(fraction_step=0.05),
+                          correction=correction)
+    sampling_curve, resolution_curve, removal_curve = cube.initial_slices()
+    choice = system.choose(sampling_curve, PublicPreferences(max_error=0.10))
+    estimate = system.estimate(query, choice.point.plan)
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` for
+the system inventory and paper-experiment index.
+"""
+
+from repro.core.candidates import CandidateGrid, default_candidates
+from repro.core.correction import CorrectionSet, determine_correction_set
+from repro.core.profile import DegradationHypercube, Profile, ProfilePoint
+from repro.core.profiler import DegradationProfiler
+from repro.core.serialization import (
+    load_hypercube,
+    load_profile,
+    save_hypercube,
+    save_profile,
+)
+from repro.core.similarity import profile_difference
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import (
+    PublicPreferences,
+    TradeoffChoice,
+    choose_tradeoff,
+    tradeoff_regret,
+)
+from repro.core.workload import QueryWorkload, WorkloadChoice
+from repro.detection import (
+    DetectorSuite,
+    SimulatedDetector,
+    default_suite,
+    mask_rcnn_like,
+    mtcnn_like,
+    yolo_v4_like,
+)
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    EstimationError,
+    InterventionError,
+    ProfileError,
+    ReproError,
+)
+from repro.estimators import (
+    Estimate,
+    ProfileRepair,
+    SmokescreenMeanEstimator,
+    SmokescreenQuantileEstimator,
+    estimate_query,
+)
+from repro.interventions import (
+    Compression,
+    FrameSampling,
+    ImageRemoval,
+    InterventionPlan,
+    NoiseAddition,
+    ResolutionReduction,
+)
+from repro.query import (
+    Aggregate,
+    AggregateQuery,
+    FramePredicate,
+    QueryProcessor,
+    contains_at_least,
+)
+from repro.video import (
+    ObjectClass,
+    Resolution,
+    VideoDataset,
+    build_dataset,
+    detrac_sequence_pair,
+    night_street,
+    ua_detrac,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "AggregateQuery",
+    "CandidateGrid",
+    "Compression",
+    "ConfigurationError",
+    "CorrectionSet",
+    "DatasetError",
+    "DegradationHypercube",
+    "DegradationProfiler",
+    "DetectorSuite",
+    "Estimate",
+    "EstimationError",
+    "FramePredicate",
+    "FrameSampling",
+    "ImageRemoval",
+    "InterventionError",
+    "InterventionPlan",
+    "NoiseAddition",
+    "ObjectClass",
+    "Profile",
+    "ProfileError",
+    "QueryWorkload",
+    "ProfilePoint",
+    "ProfileRepair",
+    "PublicPreferences",
+    "QueryProcessor",
+    "ReproError",
+    "Resolution",
+    "ResolutionReduction",
+    "SimulatedDetector",
+    "Smokescreen",
+    "SmokescreenMeanEstimator",
+    "SmokescreenQuantileEstimator",
+    "TradeoffChoice",
+    "VideoDataset",
+    "WorkloadChoice",
+    "build_dataset",
+    "choose_tradeoff",
+    "contains_at_least",
+    "default_candidates",
+    "default_suite",
+    "detrac_sequence_pair",
+    "determine_correction_set",
+    "estimate_query",
+    "load_hypercube",
+    "load_profile",
+    "mask_rcnn_like",
+    "mtcnn_like",
+    "night_street",
+    "profile_difference",
+    "save_hypercube",
+    "save_profile",
+    "tradeoff_regret",
+    "ua_detrac",
+    "yolo_v4_like",
+]

@@ -1,0 +1,318 @@
+"""Command-line interface: profile, choose, estimate, experiment.
+
+The administrator workflow without writing Python::
+
+    repro profile  --dataset ua-detrac --aggregate avg --output cube.json
+    repro choose   --cube cube.json --axis sampling --max-error 0.2
+    repro estimate --dataset ua-detrac --aggregate avg --fraction 0.1
+    repro experiment fig4 --dataset ua-detrac --aggregate avg --trials 50
+    repro info     --dataset night-street
+
+Every subcommand accepts ``--frames`` to run on a reduced corpus and
+``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.serialization import load_hypercube, save_hypercube
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import PublicPreferences, choose_tradeoff
+from repro.errors import ReproError
+from repro.estimators.dispatch import estimate_query
+from repro.experiments.workloads import (
+    DATASET_NAMES,
+    load_dataset,
+    model_for,
+    shared_suite,
+)
+from repro.interventions.plan import InterventionPlan
+from repro.query.aggregates import Aggregate
+from repro.query.processor import QueryProcessor
+from repro.query.query import AggregateQuery
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+def _parse_aggregate(name: str) -> Aggregate:
+    try:
+        return Aggregate[name.upper()]
+    except KeyError:
+        valid = ", ".join(member.name.lower() for member in Aggregate)
+        raise SystemExit(f"unknown aggregate {name!r}; valid: {valid}")
+
+
+def _parse_classes(text: str | None) -> tuple[ObjectClass, ...]:
+    if not text:
+        return ()
+    return tuple(ObjectClass.from_name(part.strip()) for part in text.split(","))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, required=True, help="corpus preset"
+    )
+    parser.add_argument(
+        "--aggregate", default="avg", help="avg | sum | count | max | min | var"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, help="reduced corpus size (default: full)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+
+
+def _build_query(args: argparse.Namespace) -> tuple[AggregateQuery, QueryProcessor]:
+    dataset = load_dataset(args.dataset, args.frames)
+    query = AggregateQuery(dataset, model_for(args.dataset), _parse_aggregate(args.aggregate))
+    return query, QueryProcessor(shared_suite())
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Generate a degradation hypercube and persist it."""
+    dataset = load_dataset(args.dataset, args.frames)
+    system = Smokescreen(
+        dataset,
+        model_for(args.dataset),
+        suite=shared_suite(),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    query = system.query(_parse_aggregate(args.aggregate))
+
+    correction = None
+    if not args.no_correction:
+        correction = system.build_correction_set(query)
+        print(
+            f"correction set: {correction.size} frames "
+            f"({correction.fraction(dataset.frame_count):.1%}), "
+            f"own bound {correction.error_bound:.3f}"
+        )
+    candidates = system.candidates(
+        fraction_step=args.fraction_step,
+        resolution_count=args.resolution_count,
+    )
+    cube = system.profile(query, candidates, correction=correction)
+    save_hypercube(cube, args.output)
+    print(f"hypercube written to {args.output} "
+          f"({len(candidates.fractions)}x{len(candidates.resolutions)}"
+          f"x{len(candidates.removals)} cells)")
+
+    sampling, resolution, removal = cube.initial_slices()
+    for profile in (sampling, resolution, removal):
+        print(f"\n{profile.axis} slice:")
+        for knob, bound in zip(profile.knob_values(), profile.error_bounds()):
+            print(f"  {knob!s:>16}  err_b={bound:.3f}")
+    return 0
+
+
+def cmd_choose(args: argparse.Namespace) -> int:
+    """Choose a tradeoff from a persisted hypercube."""
+    cube = load_hypercube(args.cube)
+    if args.axis == "sampling":
+        profile = cube.slice_sampling()
+    elif args.axis == "resolution":
+        profile = cube.slice_resolution()
+    else:
+        profile = cube.slice_removal()
+    preferences = PublicPreferences(
+        max_error=args.max_error,
+        max_resolution=Resolution(args.max_resolution) if args.max_resolution else None,
+        required_removed=_parse_classes(args.require_removed),
+        max_fraction=args.max_fraction,
+    )
+    choice = choose_tradeoff(profile, preferences)
+    print(f"chosen setting: {choice.point.plan.label()}")
+    print(f"bounded error:  {choice.point.error_bound:.3f}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    """Run one degraded query and print the estimate."""
+    query, processor = _build_query(args)
+    plan = InterventionPlan.from_knobs(
+        f=args.fraction,
+        p=args.resolution,
+        c=_parse_classes(args.remove),
+    )
+    rng = np.random.default_rng(args.seed)
+    execution = processor.execute(query, plan, rng)
+    estimate = estimate_query(query, execution, args.method)
+    print(f"query:     {query.label()}")
+    print(f"plan:      {plan.label()}")
+    print(f"estimate:  {estimate.value:.4f}")
+    print(f"bound:     {estimate.error_bound:.4f} (delta={query.delta})")
+    print(f"sample:    n={estimate.n} of universe {estimate.universe_size}")
+    if not plan.is_random_for(query.dataset):
+        print(
+            "warning: the plan contains non-random interventions; the basic "
+            "bound is not guaranteed — use a correction set (see 'profile')"
+        )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one paper experiment and print its table."""
+    from repro.experiments.registry import ExperimentRequest, run_experiment
+
+    request = ExperimentRequest(
+        dataset=args.dataset,
+        aggregate=_parse_aggregate(args.aggregate),
+        axis=args.axis,
+        frames=args.frames,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    result = run_experiment(args.name, request)
+    result.print(chart=args.chart)
+    return 0
+
+
+def _experiment_names() -> tuple[str, ...]:
+    from repro.experiments.registry import experiment_names
+
+    return experiment_names()
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run every experiment and write the markdown reproduction report."""
+    from repro.experiments.registry import ExperimentRequest
+    from repro.experiments.report import generate_report
+
+    names = tuple(args.only.split(",")) if args.only else None
+    request = ExperimentRequest(
+        frames=args.frames, trials=args.trials, seed=args.seed
+    )
+    entries = generate_report(args.output, request, names)
+    failed = [entry.name for entry in entries if not entry.succeeded]
+    print(
+        f"report written to {args.output}: {len(entries)} experiments, "
+        f"{len(entries) - len(failed)} succeeded"
+    )
+    if failed:
+        print(f"failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print a corpus calibration summary."""
+    dataset = load_dataset(args.dataset, args.frames)
+    model = model_for(args.dataset)
+    suite = shared_suite()
+    counts = model.run(dataset).counts
+    person = suite.presence(dataset, ObjectClass.PERSON).mean()
+    face = suite.presence(dataset, ObjectClass.FACE).mean()
+    print(f"dataset:          {dataset.name}")
+    print(f"frames:           {dataset.frame_count} @ {dataset.frame_rate:g} FPS")
+    print(f"native:           {dataset.native_resolution}")
+    print(f"query model:      {model.name} (threshold {model.threshold})")
+    print(f"mean cars/frame:  {counts.mean():.3f} (max {counts.max()})")
+    print(f"person frames:    {person:.2%}")
+    print(f"face frames:      {face:.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smokescreen: controlled intentional video degradation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    profile = subparsers.add_parser("profile", help="generate a hypercube")
+    _add_common(profile)
+    profile.add_argument("--output", default="hypercube.json", help="output path")
+    profile.add_argument("--trials", type=int, default=3)
+    profile.add_argument("--fraction-step", type=float, default=0.05)
+    profile.add_argument("--resolution-count", type=int, default=5)
+    profile.add_argument(
+        "--no-correction", action="store_true",
+        help="skip the correction set (non-random bounds become untrusted)",
+    )
+    profile.set_defaults(handler=cmd_profile)
+
+    choose = subparsers.add_parser("choose", help="pick a tradeoff from a hypercube")
+    choose.add_argument("--cube", required=True, help="hypercube JSON path")
+    choose.add_argument(
+        "--axis", choices=("sampling", "resolution", "removal"), default="sampling"
+    )
+    choose.add_argument("--max-error", type=float, required=True)
+    choose.add_argument("--max-resolution", type=int, default=None)
+    choose.add_argument("--max-fraction", type=float, default=None)
+    choose.add_argument(
+        "--require-removed", default=None, help="comma list, e.g. person,face"
+    )
+    choose.set_defaults(handler=cmd_choose)
+
+    estimate = subparsers.add_parser("estimate", help="run one degraded query")
+    _add_common(estimate)
+    estimate.add_argument("--fraction", type=float, default=None)
+    estimate.add_argument("--resolution", type=int, default=None)
+    estimate.add_argument("--remove", default=None, help="comma list, e.g. person")
+    estimate.add_argument("--method", default="smokescreen")
+    estimate.set_defaults(handler=cmd_estimate)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one paper experiment"
+    )
+    experiment.add_argument("name", choices=_experiment_names())
+    experiment.add_argument("--dataset", choices=DATASET_NAMES, default="ua-detrac")
+    experiment.add_argument("--aggregate", default="avg")
+    experiment.add_argument(
+        "--axis", choices=("sampling", "resolution", "removal"), default="resolution"
+    )
+    experiment.add_argument("--frames", type=int, default=None)
+    experiment.add_argument("--trials", type=int, default=20)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    experiment.set_defaults(handler=cmd_experiment)
+
+    info = subparsers.add_parser("info", help="corpus calibration summary")
+    _add_common(info)
+    info.set_defaults(handler=cmd_info)
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--output", default="REPRODUCTION.md")
+    report.add_argument("--frames", type=int, default=None)
+    report.add_argument("--trials", type=int, default=20)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", default=None,
+        help="comma list of experiment names (default: all)",
+    )
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: Argument list; defaults to ``sys.argv[1:]``.
+
+    Returns:
+        Process exit code.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: video degradation-accuracy profiling.
+
+This subpackage turns the estimators into the administrator-facing model of
+§2.3/§3.1:
+
+- :class:`~repro.core.profile.Profile` — a tradeoff curve: (degradation,
+  error-bound) pairs along one knob.
+- :class:`~repro.core.profile.DegradationHypercube` — error bounds over the
+  full ``(f, p, c)`` candidate grid, with the 2D slices administrators
+  browse.
+- :mod:`repro.core.candidates` — intervention candidate design (§3.3.2).
+- :mod:`repro.core.correction` — correction-set sizing (§3.3.1).
+- :class:`~repro.core.profiler.DegradationProfiler` — profile generation
+  with nested-sample reuse and early stopping.
+- :mod:`repro.core.tradeoff` — choosing a tradeoff under public preferences.
+- :mod:`repro.core.similarity` — profile comparison/transfer between
+  visually similar videos (§5.3.2).
+- :class:`~repro.core.smokescreen.Smokescreen` — the system facade.
+"""
+
+from repro.core.candidates import CandidateGrid, default_candidates
+from repro.core.correction import CorrectionSet, determine_correction_set
+from repro.core.profile import DegradationHypercube, Profile, ProfilePoint
+from repro.core.profiler import DegradationProfiler
+from repro.core.serialization import (
+    load_hypercube,
+    load_profile,
+    save_hypercube,
+    save_profile,
+)
+from repro.core.similarity import profile_difference
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import PublicPreferences, TradeoffChoice, choose_tradeoff
+from repro.core.workload import QueryWorkload, WorkloadChoice
+
+__all__ = [
+    "CandidateGrid",
+    "CorrectionSet",
+    "DegradationHypercube",
+    "DegradationProfiler",
+    "Profile",
+    "ProfilePoint",
+    "PublicPreferences",
+    "QueryWorkload",
+    "Smokescreen",
+    "TradeoffChoice",
+    "WorkloadChoice",
+    "choose_tradeoff",
+    "default_candidates",
+    "determine_correction_set",
+    "load_hypercube",
+    "load_profile",
+    "profile_difference",
+    "save_hypercube",
+    "save_profile",
+]

@@ -1,0 +1,253 @@
+"""Profiles and the degradation hypercube.
+
+A *profile* (paper §2.3) is the tradeoff curve for one unique combination
+of video corpus, query, and intervention: a set of (degradation,
+error-bound) pairs, with missing values interpolated by the administrator.
+The *degradation hypercube* (§3.1) holds error bounds over the full
+``(f, p, c)`` candidate grid; administrators are initially shown the three
+2D slices obtained by fixing the unseen dimensions at their loosest values
+and then drill in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.interventions.plan import InterventionPlan
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+#: The knob axes a profile can vary along.
+AXES = ("sampling", "resolution", "removal")
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One (degradation setting, error bound) pair of a profile.
+
+    Attributes:
+        plan: The full degradation setting at this point.
+        error_bound: The estimated upper bound ``err_b`` at the setting.
+        value: The approximate answer at the setting (informational).
+        n: Sample size used to compute the bound.
+        true_error: The oracle true relative error, when an experiment
+            filled it in; None in production use (computing it would need
+            the non-degraded video, which profiling avoids by design).
+    """
+
+    plan: InterventionPlan
+    error_bound: float
+    value: float
+    n: int
+    true_error: float | None = None
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A tradeoff curve along one degradation axis.
+
+    Attributes:
+        axis: Which knob varies: ``"sampling"``, ``"resolution"`` or
+            ``"removal"``.
+        points: The curve's points, ordered from loosest to most degraded.
+        query_label: The profiled query's description.
+    """
+
+    axis: str
+    points: tuple[ProfilePoint, ...]
+    query_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.axis not in AXES:
+            raise ProfileError(f"unknown profile axis {self.axis!r}; valid: {AXES}")
+        if not self.points:
+            raise ProfileError("a profile needs at least one point")
+
+    def knob_values(self) -> list[float | str]:
+        """The varying knob's value at each point.
+
+        Sampling profiles return fractions, resolution profiles return
+        resolution sides, removal profiles return class-combination labels.
+        """
+        values: list[float | str] = []
+        for point in self.points:
+            if self.axis == "sampling":
+                values.append(point.plan.fraction)
+            elif self.axis == "resolution":
+                resolution = point.plan.resolution
+                values.append(float(resolution.resolution.side) if resolution else math.nan)
+            else:
+                removal = point.plan.removal
+                values.append(removal.label if removal else "none")
+        return values
+
+    def error_bounds(self) -> np.ndarray:
+        """Error bounds at each point, in point order."""
+        return np.array([point.error_bound for point in self.points])
+
+    def true_errors(self) -> np.ndarray:
+        """Oracle true errors (NaN where not filled in)."""
+        return np.array(
+            [
+                point.true_error if point.true_error is not None else math.nan
+                for point in self.points
+            ]
+        )
+
+    def interpolate_bound(self, knob_value: float) -> float:
+        """Linear interpolation of the bound at an unprofiled knob value.
+
+        Only numeric axes (sampling, resolution) can be interpolated —
+        the administrator-side convention of §2.3 that "missing values
+        should simply be interpolated".
+
+        Args:
+            knob_value: The fraction or resolution side to evaluate at.
+
+        Returns:
+            The interpolated error bound.
+        """
+        if self.axis == "removal":
+            raise ProfileError("removal profiles are categorical; cannot interpolate")
+        knobs = np.array([float(v) for v in self.knob_values()])
+        bounds = self.error_bounds()
+        order = np.argsort(knobs)
+        knobs, bounds = knobs[order], bounds[order]
+        if not knobs[0] <= knob_value <= knobs[-1]:
+            raise ProfileError(
+                f"knob value {knob_value} outside profiled range "
+                f"[{knobs[0]}, {knobs[-1]}]"
+            )
+        return float(np.interp(knob_value, knobs, bounds))
+
+
+@dataclass(frozen=True)
+class DegradationHypercube:
+    """Error bounds over the full intervention-candidate grid (§3.1).
+
+    The bound array is indexed ``[fraction, resolution, removal]``; NaN
+    entries mark candidates skipped by early stopping.
+
+    Attributes:
+        fractions: Sampling-fraction grid, ascending.
+        resolutions: Resolution grid, ascending side order.
+        removals: Restricted-class combinations (``()`` = no removal).
+        bounds: Error-bound array, shape
+            ``(len(fractions), len(resolutions), len(removals))``.
+        values: Approximate answers at each cell (same shape).
+        query_label: The profiled query's description.
+    """
+
+    fractions: tuple[float, ...]
+    resolutions: tuple[Resolution, ...]
+    removals: tuple[tuple[ObjectClass, ...], ...]
+    bounds: np.ndarray
+    values: np.ndarray
+    query_label: str = ""
+
+    def __post_init__(self) -> None:
+        expected = (len(self.fractions), len(self.resolutions), len(self.removals))
+        if self.bounds.shape != expected:
+            raise ProfileError(
+                f"bounds shape {self.bounds.shape} != grid shape {expected}"
+            )
+        if self.values.shape != expected:
+            raise ProfileError(
+                f"values shape {self.values.shape} != grid shape {expected}"
+            )
+
+    def _loosest_indices(self) -> tuple[int, int, int]:
+        """Indices of the loosest value along each axis."""
+        return (
+            len(self.fractions) - 1,  # largest fraction
+            len(self.resolutions) - 1,  # largest resolution
+            self._no_removal_index(),
+        )
+
+    def _no_removal_index(self) -> int:
+        for index, combo in enumerate(self.removals):
+            if not combo:
+                return index
+        # All combos remove something; the first is as loose as any.
+        return 0
+
+    def _point(self, fi: int, ri: int, ci: int) -> ProfilePoint:
+        combo = self.removals[ci]
+        plan = InterventionPlan.from_knobs(
+            f=self.fractions[fi], p=self.resolutions[ri], c=combo
+        )
+        return ProfilePoint(
+            plan=plan,
+            error_bound=float(self.bounds[fi, ri, ci]),
+            value=float(self.values[fi, ri, ci]),
+            n=0,
+        )
+
+    def slice_sampling(
+        self, resolution_index: int | None = None, removal_index: int | None = None
+    ) -> Profile:
+        """The sampling-axis profile at fixed resolution/removal.
+
+        Args:
+            resolution_index: Fixed resolution index; defaults to loosest.
+            removal_index: Fixed removal index; defaults to no removal.
+
+        Returns:
+            The profile over fractions, most degraded (smallest) first.
+        """
+        _, loose_r, loose_c = self._loosest_indices()
+        ri = loose_r if resolution_index is None else resolution_index
+        ci = loose_c if removal_index is None else removal_index
+        points = [
+            self._point(fi, ri, ci)
+            for fi in range(len(self.fractions))
+            if not math.isnan(self.bounds[fi, ri, ci])
+        ]
+        if not points:
+            raise ProfileError("sampling slice has no profiled points")
+        return Profile(axis="sampling", points=tuple(points), query_label=self.query_label)
+
+    def slice_resolution(
+        self, fraction_index: int | None = None, removal_index: int | None = None
+    ) -> Profile:
+        """The resolution-axis profile at fixed fraction/removal."""
+        loose_f, _, loose_c = self._loosest_indices()
+        fi = loose_f if fraction_index is None else fraction_index
+        ci = loose_c if removal_index is None else removal_index
+        points = [
+            self._point(fi, ri, ci)
+            for ri in range(len(self.resolutions))
+            if not math.isnan(self.bounds[fi, ri, ci])
+        ]
+        if not points:
+            raise ProfileError("resolution slice has no profiled points")
+        return Profile(axis="resolution", points=tuple(points), query_label=self.query_label)
+
+    def slice_removal(
+        self, fraction_index: int | None = None, resolution_index: int | None = None
+    ) -> Profile:
+        """The removal-axis profile at fixed fraction/resolution."""
+        loose_f, loose_r, _ = self._loosest_indices()
+        fi = loose_f if fraction_index is None else fraction_index
+        ri = loose_r if resolution_index is None else resolution_index
+        points = [
+            self._point(fi, ri, ci)
+            for ci in range(len(self.removals))
+            if not math.isnan(self.bounds[fi, ri, ci])
+        ]
+        if not points:
+            raise ProfileError("removal slice has no profiled points")
+        return Profile(axis="removal", points=tuple(points), query_label=self.query_label)
+
+    def initial_slices(self) -> tuple[Profile, Profile, Profile]:
+        """The three 2D plots first shown to administrators (§3.1):
+        each axis varied with the other two fixed at their loosest values."""
+        return (
+            self.slice_sampling(),
+            self.slice_resolution(),
+            self.slice_removal(),
+        )

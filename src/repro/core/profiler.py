@@ -1,0 +1,481 @@
+"""Profile generation (paper §3.1, §3.3.2).
+
+The :class:`DegradationProfiler` prices intervention candidates: for every
+requested ``(f, p, c)`` setting it estimates the query answer and a tight
+error bound, producing :class:`~repro.core.profile.Profile` curves or a
+full :class:`~repro.core.profile.DegradationHypercube`.
+
+Efficiency follows the paper's reuse strategy: for each (resolution,
+removal) pair, sample fractions are evaluated in *ascending* order over a
+nested (prefix) sample, so model outputs computed for a low fraction are
+reused by every higher fraction, and the sweep can stop early once the
+bound improves too slowly. Newly processed frames are recorded in an
+optional :class:`~repro.system.costs.InvocationLedger` for cost accounting.
+
+Bound selection per setting:
+
+- plan with only random interventions: the basic Smokescreen bound; if a
+  correction set is supplied, the tighter of the basic and corrected
+  bounds (§5.2.2, first row of Figure 6).
+- plan with non-random interventions: the corrected bound when a
+  correction set is supplied; otherwise the (possibly invalid) uncorrected
+  bound — kept available because the experiments compare both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateGrid
+from repro.core.correction import CorrectionSet
+from repro.core.profile import DegradationHypercube, Profile, ProfilePoint
+from repro.errors import ConfigurationError
+from repro.estimators.base import Estimate
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.repair import ProfileRepair
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.variance import SmokescreenVarianceEstimator
+from repro.interventions.plan import DegradedSample, InterventionPlan
+from repro.query.processor import QueryProcessor
+from repro.query.query import AggregateQuery
+from repro.stats.sampling import ProgressiveSampler, SampleDesign
+from repro.system.costs import InvocationLedger
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """Internal result for one degradation setting."""
+
+    value: float
+    error_bound: float
+    n: int
+
+
+class DegradationProfiler:
+    """Generates degradation-accuracy profiles for aggregate queries."""
+
+    def __init__(
+        self,
+        processor: QueryProcessor,
+        trials: int = 1,
+        ledger: InvocationLedger | None = None,
+    ) -> None:
+        """Create a profiler.
+
+        Args:
+            processor: The query processor (owns model-output access).
+            trials: Independent sampling trials averaged per setting;
+                1 matches production use, larger values smooth the curves
+                as the paper's experiments do (100 trials).
+            ledger: Optional invocation ledger for cost accounting.
+        """
+        if trials <= 0:
+            raise ConfigurationError(f"trials must be positive, got {trials}")
+        self._processor = processor
+        self._trials = trials
+        self._ledger = ledger
+        self._mean_estimator = SmokescreenMeanEstimator()
+        self._quantile_estimator = SmokescreenQuantileEstimator()
+        self._variance_estimator = SmokescreenVarianceEstimator()
+        self._repair = ProfileRepair(self._mean_estimator, self._quantile_estimator)
+
+    def _record(self, resolution: Resolution, new_frames: int) -> None:
+        if self._ledger is not None and new_frames > 0:
+            self._ledger.record(resolution.side, new_frames)
+
+    @staticmethod
+    def _plan_is_random(query: AggregateQuery, plan: InterventionPlan) -> bool:
+        """Randomness classification, accounting for sequence models.
+
+        For models that process frame sequences (paper §7), reduced frame
+        sampling changes the model's inputs and is therefore *not* a random
+        intervention; the basic bounds must not be trusted for them.
+        """
+        if getattr(query.model, "requires_sequence", False):
+            return False
+        return plan.is_random_for(query.dataset)
+
+    def _estimate_sample(
+        self,
+        query: AggregateQuery,
+        sample: DegradedSample,
+        plan_is_random: bool,
+        correction: CorrectionSet | None,
+    ) -> Estimate:
+        """Bound for one drawn sample, applying the correction-set policy."""
+        values = self._processor.values_for_sample(query, sample)
+        population = query.dataset.frame_count
+        if query.aggregate.is_mean_family or query.aggregate.is_variance:
+            if query.aggregate.is_variance:
+                basic = self._variance_estimator.estimate(
+                    values, sample.universe_size, query.delta
+                )
+            else:
+                basic = self._mean_estimator.estimate(
+                    values,
+                    sample.universe_size,
+                    query.delta,
+                    value_range=query.known_value_range,
+                )
+            scale = (
+                population if query.aggregate.name in ("SUM", "COUNT") else 1.0
+            )
+            basic = basic.scaled(scale) if scale != 1.0 else basic
+            if correction is None:
+                return basic
+            corrected_bound = self._corrected_mean_bound(
+                query, basic, correction, scale
+            )
+            if plan_is_random:
+                bound = min(basic.error_bound, corrected_bound)
+            else:
+                bound = corrected_bound
+            return Estimate(
+                value=basic.value,
+                error_bound=bound,
+                method=basic.method,
+                n=basic.n,
+                universe_size=basic.universe_size,
+                extras=dict(basic.extras),
+            )
+
+        basic = self._quantile_estimator.estimate(
+            values,
+            sample.universe_size,
+            query.effective_quantile,
+            query.delta,
+            query.aggregate,
+        )
+        if correction is None:
+            return basic
+        corrected_bound = self._corrected_quantile_bound(query, basic, correction)
+        if plan_is_random:
+            bound = min(basic.error_bound, corrected_bound)
+        else:
+            bound = corrected_bound
+        return Estimate(
+            value=basic.value,
+            error_bound=bound,
+            method=basic.method,
+            n=basic.n,
+            universe_size=basic.universe_size,
+            extras=dict(basic.extras),
+        )
+
+    def _corrected_mean_bound(
+        self,
+        query: AggregateQuery,
+        basic: Estimate,
+        correction: CorrectionSet,
+        scale: float,
+    ) -> float:
+        estimator = (
+            self._variance_estimator
+            if query.aggregate.is_variance
+            else self._mean_estimator
+        )
+        correction_estimate = estimator.estimate(
+            correction.values,
+            query.dataset.frame_count,
+            query.delta,
+            value_range=query.known_value_range,
+        )
+        if scale != 1.0:
+            correction_estimate = correction_estimate.scaled(scale)
+        return ProfileRepair.corrected_mean_bound(basic.value, correction_estimate)
+
+    def _corrected_quantile_bound(
+        self, query: AggregateQuery, basic: Estimate, correction: CorrectionSet
+    ) -> float:
+        correction_estimate = self._quantile_estimator.estimate(
+            correction.values,
+            query.dataset.frame_count,
+            query.effective_quantile,
+            query.delta,
+            query.aggregate,
+        )
+        return ProfileRepair.corrected_quantile_bound(
+            basic.value,
+            correction_estimate.value,
+            correction.values,
+            query.effective_quantile,
+            correction_estimate,
+        )
+
+    def estimate_plan(
+        self,
+        query: AggregateQuery,
+        plan: InterventionPlan,
+        rng: np.random.Generator,
+        correction: CorrectionSet | None = None,
+    ) -> PointEstimate:
+        """Price a single degradation setting (averaged over trials).
+
+        Args:
+            query: The query to profile.
+            plan: The degradation setting.
+            rng: Randomness for the trial samples.
+            correction: Optional correction set for repair.
+
+        Returns:
+            The averaged value/bound at the setting.
+        """
+        values_sum = 0.0
+        bounds_sum = 0.0
+        n = 0
+        for _ in range(self._trials):
+            sample = plan.draw(query.dataset, rng, self._processor.suite)
+            self._record(sample.resolution, sample.size)
+            estimate = self._estimate_sample(
+                query, sample, self._plan_is_random(query, plan), correction
+            )
+            values_sum += estimate.value
+            bounds_sum += estimate.error_bound
+            n = estimate.n
+        return PointEstimate(
+            value=values_sum / self._trials,
+            error_bound=bounds_sum / self._trials,
+            n=n,
+        )
+
+    def _sweep_fractions(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        resolution: Resolution | None,
+        removal: tuple[ObjectClass, ...],
+        correction: CorrectionSet | None,
+        rng: np.random.Generator,
+        early_stop_tolerance: float | None,
+    ) -> list[tuple[float, PointEstimate]]:
+        """Evaluate ascending fractions with nested-sample reuse.
+
+        Returns one (fraction, estimate) pair per evaluated fraction;
+        fractions skipped by early stopping are absent.
+        """
+        if list(fractions) != sorted(fractions):
+            raise ConfigurationError("fractions must be ascending for reuse")
+        base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
+        eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
+        effective_resolution = base_plan.effective_resolution(query.dataset)
+        population = query.dataset.frame_count
+
+        samplers = [
+            ProgressiveSampler(eligible.size, rng) for _ in range(self._trials)
+        ]
+        processed = [0] * self._trials
+
+        results: list[tuple[float, PointEstimate]] = []
+        previous_bound: float | None = None
+        for fraction in fractions:
+            plan = InterventionPlan.from_knobs(f=fraction, p=resolution, c=removal)
+            size = SampleDesign(eligible.size, fraction).size
+            values_sum = 0.0
+            bounds_sum = 0.0
+            for t, sampler in enumerate(samplers):
+                indices = eligible[sampler.prefix(size)]
+                self._record(effective_resolution, max(0, size - processed[t]))
+                processed[t] = max(processed[t], size)
+                sample = DegradedSample(
+                    frame_indices=indices,
+                    universe_size=int(eligible.size),
+                    population_size=population,
+                    resolution=effective_resolution,
+                    quality=plan.quality,
+                )
+                estimate = self._estimate_sample(
+                    query, sample, self._plan_is_random(query, plan), correction
+                )
+                values_sum += estimate.value
+                bounds_sum += estimate.error_bound
+            point = PointEstimate(
+                value=values_sum / self._trials,
+                error_bound=bounds_sum / self._trials,
+                n=size,
+            )
+            results.append((fraction, point))
+            if (
+                early_stop_tolerance is not None
+                and previous_bound is not None
+                and abs(previous_bound - point.error_bound) < early_stop_tolerance
+            ):
+                break
+            previous_bound = point.error_bound
+        return results
+
+    def profile_sampling(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        rng: np.random.Generator,
+        resolution: Resolution | None = None,
+        removal: tuple[ObjectClass, ...] = (),
+        correction: CorrectionSet | None = None,
+        early_stop_tolerance: float | None = None,
+    ) -> Profile:
+        """Profile the reduced-frame-sampling axis.
+
+        Args:
+            query: The query.
+            fractions: Ascending fraction candidates.
+            rng: Trial randomness.
+            resolution: Fixed resolution knob (None = native).
+            removal: Fixed restricted classes (empty = none).
+            correction: Optional correction set.
+            early_stop_tolerance: Stop the ascending sweep when the bound
+                improves by less than this (§3.3.2); None disables.
+
+        Returns:
+            The sampling-axis profile.
+        """
+        swept = self._sweep_fractions(
+            query, tuple(fractions), resolution, removal, correction, rng,
+            early_stop_tolerance,
+        )
+        points = [
+            ProfilePoint(
+                plan=InterventionPlan.from_knobs(f=fraction, p=resolution, c=removal),
+                error_bound=point.error_bound,
+                value=point.value,
+                n=point.n,
+            )
+            for fraction, point in swept
+        ]
+        return Profile(axis="sampling", points=tuple(points), query_label=query.label())
+
+    def profile_resolution(
+        self,
+        query: AggregateQuery,
+        resolutions: tuple[Resolution, ...],
+        rng: np.random.Generator,
+        fraction: float = 0.5,
+        removal: tuple[ObjectClass, ...] = (),
+        correction: CorrectionSet | None = None,
+    ) -> Profile:
+        """Profile the reduced-resolution axis at a fixed fraction.
+
+        Args:
+            query: The query.
+            resolutions: Resolution candidates (ascending side order).
+            rng: Trial randomness.
+            fraction: Fixed sampling fraction (paper experiments use 0.5).
+            removal: Fixed restricted classes.
+            correction: Optional correction set.
+
+        Returns:
+            The resolution-axis profile.
+        """
+        points = []
+        for resolution in resolutions:
+            plan = InterventionPlan.from_knobs(f=fraction, p=resolution, c=removal)
+            point = self.estimate_plan(query, plan, rng, correction)
+            points.append(
+                ProfilePoint(
+                    plan=plan,
+                    error_bound=point.error_bound,
+                    value=point.value,
+                    n=point.n,
+                )
+            )
+        return Profile(
+            axis="resolution", points=tuple(points), query_label=query.label()
+        )
+
+    def profile_removal(
+        self,
+        query: AggregateQuery,
+        removals: tuple[tuple[ObjectClass, ...], ...],
+        rng: np.random.Generator,
+        fraction: float = 0.5,
+        resolution: Resolution | None = None,
+        correction: CorrectionSet | None = None,
+    ) -> Profile:
+        """Profile the image-removal axis at fixed fraction/resolution.
+
+        Args:
+            query: The query.
+            removals: Restricted-class combinations; ``()`` = no removal.
+            rng: Trial randomness.
+            fraction: Fixed sampling fraction.
+            resolution: Fixed resolution knob (None = native).
+            correction: Optional correction set.
+
+        Returns:
+            The removal-axis profile.
+        """
+        points = []
+        for combo in removals:
+            plan = InterventionPlan.from_knobs(f=fraction, p=resolution, c=combo)
+            point = self.estimate_plan(query, plan, rng, correction)
+            points.append(
+                ProfilePoint(
+                    plan=plan,
+                    error_bound=point.error_bound,
+                    value=point.value,
+                    n=point.n,
+                )
+            )
+        return Profile(axis="removal", points=tuple(points), query_label=query.label())
+
+    def generate_hypercube(
+        self,
+        query: AggregateQuery,
+        candidates: CandidateGrid,
+        rng: np.random.Generator,
+        correction: CorrectionSet | None = None,
+        early_stop_tolerance: float | None = None,
+    ) -> DegradationHypercube:
+        """Price the full candidate grid (§3.1's degradation hypercube).
+
+        For each (resolution, removal) pair the fraction axis is swept in
+        ascending order with nested-sample reuse; cells skipped by early
+        stopping are NaN.
+
+        Args:
+            query: The query.
+            candidates: The candidate grid.
+            rng: Trial randomness.
+            correction: Optional correction set.
+            early_stop_tolerance: Early-stop threshold for the fraction
+                sweeps; None disables.
+
+        Returns:
+            The degradation hypercube.
+        """
+        shape = (
+            len(candidates.fractions),
+            len(candidates.resolutions),
+            len(candidates.removals),
+        )
+        bounds = np.full(shape, math.nan)
+        values = np.full(shape, math.nan)
+        fraction_index = {f: i for i, f in enumerate(candidates.fractions)}
+
+        for ci, combo in enumerate(candidates.removals):
+            for ri, resolution in enumerate(candidates.resolutions):
+                swept = self._sweep_fractions(
+                    query,
+                    candidates.fractions,
+                    resolution,
+                    combo,
+                    correction,
+                    rng,
+                    early_stop_tolerance,
+                )
+                for fraction, point in swept:
+                    fi = fraction_index[fraction]
+                    bounds[fi, ri, ci] = point.error_bound
+                    values[fi, ri, ci] = point.value
+        return DegradationHypercube(
+            fractions=candidates.fractions,
+            resolutions=candidates.resolutions,
+            removals=candidates.removals,
+            bounds=bounds,
+            values=values,
+            query_label=query.label(),
+        )

@@ -1,0 +1,258 @@
+"""JSON persistence for plans, profiles, and hypercubes.
+
+Profile generation is the expensive stage (it drives the detectors), so
+administrators keep its outputs around: a profile priced today guides knob
+choices for weeks of upcoming video from the same camera. This module
+round-trips the administrator-facing objects through plain JSON — no
+pickle, so files are inspectable and safe to exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.profile import DegradationHypercube, Profile, ProfilePoint
+from repro.errors import ProfileError
+from repro.interventions.plan import InterventionPlan
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+#: Schema version written into every file; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def _encode_float(value: float) -> float | str:
+    """JSON has no inf/nan literals; encode them as strings."""
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value: float | str) -> float:
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def plan_to_dict(plan: InterventionPlan) -> dict[str, Any]:
+    """Encode an intervention plan (extension operators excluded — only
+    the paper's ``(f, p, c)`` triple is persisted).
+
+    Args:
+        plan: The plan to encode.
+
+    Returns:
+        A JSON-safe dict.
+    """
+    if plan.extras:
+        raise ProfileError(
+            "plans with extension interventions (noise/compression) are "
+            "not serialisable; persist the (f, p, c) triple only"
+        )
+    return {
+        "fraction": plan.sampling.fraction if plan.sampling else None,
+        "resolution": plan.resolution.resolution.side if plan.resolution else None,
+        "removed_classes": [
+            cls.name.lower() for cls in (plan.removal.classes if plan.removal else ())
+        ],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> InterventionPlan:
+    """Decode an intervention plan.
+
+    Args:
+        data: A dict produced by :func:`plan_to_dict`.
+
+    Returns:
+        The plan.
+    """
+    removed = tuple(
+        ObjectClass.from_name(name) for name in data.get("removed_classes", [])
+    )
+    return InterventionPlan.from_knobs(
+        f=data.get("fraction"),
+        p=data.get("resolution"),
+        c=removed,
+    )
+
+
+def profile_to_dict(profile: Profile) -> dict[str, Any]:
+    """Encode a profile.
+
+    Args:
+        profile: The profile to encode.
+
+    Returns:
+        A JSON-safe dict including the schema version.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "profile",
+        "axis": profile.axis,
+        "query_label": profile.query_label,
+        "points": [
+            {
+                "plan": plan_to_dict(point.plan),
+                "error_bound": _encode_float(point.error_bound),
+                "value": _encode_float(point.value),
+                "n": point.n,
+                "true_error": (
+                    _encode_float(point.true_error)
+                    if point.true_error is not None
+                    else None
+                ),
+            }
+            for point in profile.points
+        ],
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> Profile:
+    """Decode a profile.
+
+    Args:
+        data: A dict produced by :func:`profile_to_dict`.
+
+    Returns:
+        The profile.
+    """
+    _check_header(data, "profile")
+    points = tuple(
+        ProfilePoint(
+            plan=plan_from_dict(entry["plan"]),
+            error_bound=_decode_float(entry["error_bound"]),
+            value=_decode_float(entry["value"]),
+            n=int(entry["n"]),
+            true_error=(
+                _decode_float(entry["true_error"])
+                if entry.get("true_error") is not None
+                else None
+            ),
+        )
+        for entry in data["points"]
+    )
+    return Profile(
+        axis=data["axis"], points=points, query_label=data.get("query_label", "")
+    )
+
+
+def hypercube_to_dict(cube: DegradationHypercube) -> dict[str, Any]:
+    """Encode a degradation hypercube.
+
+    Args:
+        cube: The hypercube to encode.
+
+    Returns:
+        A JSON-safe dict (NaN cells become ``"nan"`` strings).
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "hypercube",
+        "query_label": cube.query_label,
+        "fractions": list(cube.fractions),
+        "resolutions": [resolution.side for resolution in cube.resolutions],
+        "removals": [
+            [cls.name.lower() for cls in combo] for combo in cube.removals
+        ],
+        "bounds": [
+            [[_encode_float(float(v)) for v in row] for row in plane]
+            for plane in cube.bounds
+        ],
+        "values": [
+            [[_encode_float(float(v)) for v in row] for row in plane]
+            for plane in cube.values
+        ],
+    }
+
+
+def hypercube_from_dict(data: dict[str, Any]) -> DegradationHypercube:
+    """Decode a degradation hypercube.
+
+    Args:
+        data: A dict produced by :func:`hypercube_to_dict`.
+
+    Returns:
+        The hypercube.
+    """
+    _check_header(data, "hypercube")
+
+    def decode_array(nested) -> np.ndarray:
+        return np.array(
+            [[[_decode_float(v) for v in row] for row in plane] for plane in nested]
+        )
+
+    return DegradationHypercube(
+        fractions=tuple(float(f) for f in data["fractions"]),
+        resolutions=tuple(Resolution(int(side)) for side in data["resolutions"]),
+        removals=tuple(
+            tuple(ObjectClass.from_name(name) for name in combo)
+            for combo in data["removals"]
+        ),
+        bounds=decode_array(data["bounds"]),
+        values=decode_array(data["values"]),
+        query_label=data.get("query_label", ""),
+    )
+
+
+def _check_header(data: dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ProfileError(
+            f"expected a {kind} document, got kind={data.get('kind')!r}"
+        )
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ProfileError(
+            f"unsupported schema version {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+
+
+def save_profile(profile: Profile, path: str | Path) -> None:
+    """Write a profile to a JSON file.
+
+    Args:
+        profile: The profile to persist.
+        path: Destination file path.
+    """
+    Path(path).write_text(json.dumps(profile_to_dict(profile), indent=2))
+
+
+def load_profile(path: str | Path) -> Profile:
+    """Read a profile from a JSON file.
+
+    Args:
+        path: Source file path.
+
+    Returns:
+        The profile.
+    """
+    return profile_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_hypercube(cube: DegradationHypercube, path: str | Path) -> None:
+    """Write a hypercube to a JSON file.
+
+    Args:
+        cube: The hypercube to persist.
+        path: Destination file path.
+    """
+    Path(path).write_text(json.dumps(hypercube_to_dict(cube), indent=2))
+
+
+def load_hypercube(path: str | Path) -> DegradationHypercube:
+    """Read a hypercube from a JSON file.
+
+    Args:
+        path: Source file path.
+
+    Returns:
+        The hypercube.
+    """
+    return hypercube_from_dict(json.loads(Path(path).read_text()))

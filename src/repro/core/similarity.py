@@ -1,0 +1,74 @@
+"""Profile similarity and transfer between videos (paper §3.3.1, §5.3.2).
+
+When even a small correction set is not permissible on a sensitive video,
+an alternative is to generate the profile on a *similar but less sensitive*
+video — same camera at a different time — and use it to guide the
+interventions on the sensitive one. This module quantifies how close two
+profiles are, supporting the §5.3.2 experiment (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import Profile
+from repro.errors import ProfileError
+
+
+@dataclass(frozen=True)
+class ProfileDifference:
+    """Point-wise comparison of two profiles along the same axis.
+
+    Attributes:
+        knob_values: The knob values where both profiles have points.
+        differences: ``|err_b_a - err_b_b|`` at each shared knob value.
+    """
+
+    knob_values: tuple[float, ...]
+    differences: np.ndarray
+
+    @property
+    def max_difference(self) -> float:
+        """Largest point-wise bound difference."""
+        return float(self.differences.max())
+
+    @property
+    def mean_difference(self) -> float:
+        """Mean point-wise bound difference."""
+        return float(self.differences.mean())
+
+
+def profile_difference(profile_a: Profile, profile_b: Profile) -> ProfileDifference:
+    """Absolute error-bound differences at shared knob values.
+
+    Args:
+        profile_a: First profile (e.g. the target video's).
+        profile_b: Second profile (e.g. the similar video's), along the
+            same axis.
+
+    Returns:
+        The point-wise difference at knob values present in both profiles.
+    """
+    if profile_a.axis != profile_b.axis:
+        raise ProfileError(
+            f"cannot compare profiles along different axes: "
+            f"{profile_a.axis} vs {profile_b.axis}"
+        )
+    if profile_a.axis == "removal":
+        raise ProfileError("removal profiles are categorical; compare by label")
+
+    bounds_a = {
+        float(knob): bound
+        for knob, bound in zip(profile_a.knob_values(), profile_a.error_bounds())
+    }
+    bounds_b = {
+        float(knob): bound
+        for knob, bound in zip(profile_b.knob_values(), profile_b.error_bounds())
+    }
+    shared = sorted(set(bounds_a) & set(bounds_b))
+    if not shared:
+        raise ProfileError("profiles share no knob values to compare at")
+    differences = np.array([abs(bounds_a[knob] - bounds_b[knob]) for knob in shared])
+    return ProfileDifference(knob_values=tuple(shared), differences=differences)

@@ -1,0 +1,150 @@
+"""Choosing a tradeoff from a profile under public preferences (§2.3).
+
+Administrators pick the most aggressive degradation whose *bounded* error
+still satisfies the accuracy requirement. The quality of that choice is
+what the paper's headline "88% more accurate tradeoffs" measures: a loose
+bound forces a conservative (barely degraded) choice, a tight bound lets
+the administrator degrade almost as far as the (unknowable) true error
+curve would allow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.profile import Profile, ProfilePoint
+from repro.errors import ProfileError
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class PublicPreferences:
+    """The administrator's policy constraints (paper §2.3).
+
+    Attributes:
+        max_error: Maximum allowable analytical (bounded) error.
+        max_resolution: Maximum allowable frame resolution, or None —
+            a privacy/legal ceiling, not a floor.
+        required_removed: Classes that must be removed regardless of
+            accuracy cost.
+        max_fraction: Maximum allowable sampling fraction, or None — a
+            bandwidth/energy ceiling.
+    """
+
+    max_error: float
+    max_resolution: Resolution | None = None
+    required_removed: tuple[ObjectClass, ...] = ()
+    max_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_error <= 0:
+            raise ProfileError(f"max error must be positive, got {self.max_error}")
+
+    def admits(self, point: ProfilePoint) -> bool:
+        """Whether a profile point satisfies the degradation constraints
+        (accuracy is checked separately against the bound)."""
+        plan = point.plan
+        if self.max_resolution is not None:
+            side = (
+                plan.resolution.resolution.side
+                if plan.resolution is not None
+                else math.inf
+            )
+            if side > self.max_resolution.side:
+                return False
+        if self.max_fraction is not None and plan.fraction > self.max_fraction:
+            return False
+        removed = set(plan.removal.classes) if plan.removal else set()
+        return set(self.required_removed).issubset(removed)
+
+
+@dataclass(frozen=True)
+class TradeoffChoice:
+    """The selected degradation setting.
+
+    Attributes:
+        point: The chosen profile point.
+        degradation_level: The knob value at the choice (fraction or
+            resolution side), for regret comparisons.
+    """
+
+    point: ProfilePoint
+    degradation_level: float
+
+
+def _degradation_key(profile: Profile, point: ProfilePoint) -> float:
+    """Orders points from most to least degraded along the profile axis."""
+    if profile.axis == "sampling":
+        return point.plan.fraction
+    if profile.axis == "resolution":
+        resolution = point.plan.resolution
+        return float(resolution.resolution.side) if resolution else math.inf
+    # Removal: more classes removed = more degraded; order by -count.
+    removal = point.plan.removal
+    return -float(len(removal.classes)) if removal else 0.0
+
+
+def choose_tradeoff(
+    profile: Profile,
+    preferences: PublicPreferences,
+    use_true_error: bool = False,
+) -> TradeoffChoice:
+    """Pick the most degraded admissible setting meeting the error target.
+
+    Args:
+        profile: The tradeoff curve to choose from.
+        preferences: The administrator's constraints.
+        use_true_error: Choose against the oracle true-error values instead
+            of the bounds — only possible when an experiment filled them
+            in; used to compute the optimal reference choice.
+
+    Returns:
+        The chosen tradeoff.
+    """
+    admissible = []
+    for point in profile.points:
+        error = point.true_error if use_true_error else point.error_bound
+        if error is None:
+            raise ProfileError(
+                "profile has no oracle true errors; cannot choose against them"
+            )
+        if error <= preferences.max_error and preferences.admits(point):
+            admissible.append(point)
+    if not admissible:
+        raise ProfileError(
+            f"no profiled setting meets max error {preferences.max_error} "
+            "under the given constraints"
+        )
+    best = min(admissible, key=lambda point: _degradation_key(profile, point))
+    return TradeoffChoice(
+        point=best, degradation_level=_degradation_key(profile, best)
+    )
+
+
+def tradeoff_regret(
+    profile: Profile, preferences: PublicPreferences
+) -> float:
+    """How much degradation a method's bound left on the table.
+
+    Both the bound-driven and the oracle (true-error-driven) choices are
+    made on the same profile; the regret is the relative gap between their
+    degradation levels, 0 when the bound-driven choice is optimal. Requires
+    oracle true errors on the profile.
+
+    Args:
+        profile: A profile with ``true_error`` filled in on every point.
+        preferences: The administrator's constraints.
+
+    Returns:
+        ``(chosen_level - optimal_level) / optimal_level`` for sampling /
+        resolution axes (both knobs shrink with degradation).
+    """
+    chosen = choose_tradeoff(profile, preferences, use_true_error=False)
+    optimal = choose_tradeoff(profile, preferences, use_true_error=True)
+    if optimal.degradation_level == 0:
+        raise ProfileError("optimal degradation level is zero; regret undefined")
+    return (
+        chosen.degradation_level - optimal.degradation_level
+    ) / abs(optimal.degradation_level)

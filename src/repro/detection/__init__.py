@@ -1,0 +1,42 @@
+"""Simulated object detectors.
+
+Stand-ins for the paper's YOLOv4 / Mask R-CNN / MTCNN UDFs (see DESIGN.md).
+A :class:`~repro.detection.simulated.SimulatedDetector` is a *deterministic*
+function of (dataset, resolution, quality): each synthetic object carries a
+fixed latent difficulty, and the detector's confidence in it is a logistic
+function of its apparent pixel size at the processed resolution. Determinism
+matches real inference (re-running a frame yields the same detections) and
+per-object monotonicity in resolution reproduces the recall-loss curves the
+paper's resolution intervention studies. Model-specific *anomaly terms*
+reproduce non-monotonic artifacts such as YOLOv4's 384x384 failure
+(paper Figures 7 and 8).
+"""
+
+from repro.detection.base import Detector, DetectorOutputs
+from repro.detection.response import (
+    AnomalyTerm,
+    FalsePositiveModel,
+    ResolutionResponse,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.detection.zoo import (
+    DetectorSuite,
+    default_suite,
+    mask_rcnn_like,
+    mtcnn_like,
+    yolo_v4_like,
+)
+
+__all__ = [
+    "AnomalyTerm",
+    "Detector",
+    "DetectorOutputs",
+    "DetectorSuite",
+    "FalsePositiveModel",
+    "ResolutionResponse",
+    "SimulatedDetector",
+    "default_suite",
+    "mask_rcnn_like",
+    "mtcnn_like",
+    "yolo_v4_like",
+]

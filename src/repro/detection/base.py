@@ -1,0 +1,82 @@
+"""Detector protocol and output container.
+
+The query processor and interventions only rely on this narrow interface, so
+a real detector wrapper (calling an actual network) could be dropped in
+without touching any estimation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class DetectorOutputs:
+    """Per-frame outputs of one detector run over a whole corpus.
+
+    Attributes:
+        counts: Detected-object count per frame.
+        resolution: Resolution the frames were processed at.
+    """
+
+    counts: np.ndarray
+    resolution: Resolution
+
+    @property
+    def presence(self) -> np.ndarray:
+        """Boolean per-frame flags: at least one detection."""
+        return self.counts > 0
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """A frame-level object detector for a single target class.
+
+    Implementations must be deterministic: repeated calls with the same
+    arguments return identical outputs (real network inference is
+    deterministic too; the paper relies on this when it defines the model
+    output as ground truth).
+    """
+
+    @property
+    def name(self) -> str:
+        """Model name, e.g. ``"yolo-v4-like"``; part of cache keys."""
+        ...
+
+    @property
+    def target_class(self) -> ObjectClass:
+        """The object class this detector reports."""
+        ...
+
+    @property
+    def threshold(self) -> float:
+        """Detection confidence threshold in ``(0, 1)``."""
+        ...
+
+    def run(
+        self,
+        dataset: VideoDataset,
+        resolution: Resolution | None = None,
+        quality: float = 1.0,
+    ) -> DetectorOutputs:
+        """Process every frame of a corpus at the given resolution.
+
+        Args:
+            dataset: The corpus to process.
+            resolution: Processing resolution; defaults to the dataset's
+                native resolution.
+            quality: Image-quality multiplier in ``(0, 1]`` applied to
+                apparent object sizes; extension interventions (noise,
+                compression) degrade it below 1.
+
+        Returns:
+            Per-frame outputs for the full corpus.
+        """
+        ...

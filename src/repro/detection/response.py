@@ -1,0 +1,199 @@
+"""Resolution-response curves: how detector confidence reacts to degradation.
+
+Empirically, detector recall versus object pixel size follows a sharp
+sigmoid: objects comfortably above a model-specific size are detected with
+high confidence, objects below it are missed (Koziarski & Cyganek 2018, the
+paper's [37]). Reducing the frame resolution shrinks every object's apparent
+size, sliding the population down the sigmoid — which is exactly the
+mechanism behind the paper's resolution tradeoff curves (Figure 3).
+
+Real networks also have *non-monotonic* artifacts: the paper's Figure 7
+shows YOLOv4 on night-street being much worse at 384x384 than at lower
+resolutions (the predicted count distribution shifts away from the truth,
+Figure 8). :class:`AnomalyTerm` reproduces this with deterministic duplicate
+detections active only at the anomaly resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResolutionResponse:
+    """Logistic confidence curve over apparent object size.
+
+    The confidence a detector assigns to an object of apparent size ``s``
+    (pixels at the processed resolution) is
+    ``sigmoid(slope * (s - midpoint_size))``, further scaled per object by
+    ``1 - confidence_spread * difficulty`` so that objects differ in how
+    easily they clear the detection threshold.
+
+    Attributes:
+        midpoint_size: Apparent size in pixels at which base confidence
+            is 0.5.
+        slope: Steepness of the sigmoid (per pixel).
+        confidence_spread: Fraction of confidence lost by the hardest
+            objects (difficulty close to 1); in ``[0, 1)``.
+    """
+
+    midpoint_size: float
+    slope: float
+    confidence_spread: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.midpoint_size <= 0:
+            raise ConfigurationError(
+                f"midpoint size must be positive, got {self.midpoint_size}"
+            )
+        if self.slope <= 0:
+            raise ConfigurationError(f"slope must be positive, got {self.slope}")
+        if not 0.0 <= self.confidence_spread < 1.0:
+            raise ConfigurationError(
+                f"confidence spread must lie in [0, 1), got {self.confidence_spread}"
+            )
+
+    def base_confidence(self, apparent_size: np.ndarray) -> np.ndarray:
+        """Confidence of a perfectly easy object at the given apparent sizes.
+
+        Args:
+            apparent_size: Object sizes in pixels at the processed resolution.
+
+        Returns:
+            Values in ``(0, 1)``, monotone in size.
+        """
+        sizes = np.asarray(apparent_size, dtype=float)
+        return 1.0 / (1.0 + np.exp(-self.slope * (sizes - self.midpoint_size)))
+
+    def confidence(
+        self, apparent_size: np.ndarray, difficulty: np.ndarray
+    ) -> np.ndarray:
+        """Per-object confidence given apparent sizes and latent difficulty.
+
+        Args:
+            apparent_size: Object sizes at the processed resolution.
+            difficulty: Latent difficulties in ``[0, 1)``.
+
+        Returns:
+            Per-object confidences; monotone in apparent size for any fixed
+            difficulty, which makes detection monotone in resolution.
+        """
+        return (1.0 - self.confidence_spread * np.asarray(difficulty)) * (
+            self.base_confidence(apparent_size)
+        )
+
+
+@dataclass(frozen=True)
+class AnomalyTerm:
+    """Deterministic duplicate detections at one specific resolution.
+
+    Models grid-aliasing artifacts such as YOLOv4's 384x384 failure: at
+    exactly :attr:`resolution_side`, each *detected* object whose native
+    size falls in ``[band_low, band_high)`` yields a second (duplicate)
+    detection when its fixed ``duplicate_latent`` is below
+    :attr:`duplicate_probability`.
+
+    Attributes:
+        resolution_side: Side length of the anomalous resolution.
+        duplicate_probability: Fraction of in-band detected objects that
+            get duplicated.
+        band_low: Lower native-size bound of the affected objects (pixels).
+        band_high: Upper native-size bound (exclusive).
+    """
+
+    resolution_side: int
+    duplicate_probability: float
+    band_low: float = 0.0
+    band_high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.resolution_side <= 0:
+            raise ConfigurationError(
+                f"anomaly resolution must be positive, got {self.resolution_side}"
+            )
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ConfigurationError(
+                "duplicate probability must lie in [0, 1], got "
+                f"{self.duplicate_probability}"
+            )
+        if self.band_low > self.band_high:
+            raise ConfigurationError(
+                f"band [{self.band_low}, {self.band_high}) is empty"
+            )
+
+    def duplicates(
+        self,
+        detected: np.ndarray,
+        native_size: np.ndarray,
+        duplicate_latent: np.ndarray,
+        resolution_side: int,
+    ) -> np.ndarray:
+        """Boolean mask of objects that produce a duplicate detection.
+
+        Args:
+            detected: Per-object detection mask at the current resolution.
+            native_size: Object sizes at the native resolution.
+            duplicate_latent: Fixed per-object latents in ``[0, 1)``.
+            resolution_side: Side of the resolution being processed.
+
+        Returns:
+            Mask, all-False unless processing at the anomaly resolution.
+        """
+        if resolution_side != self.resolution_side:
+            return np.zeros_like(detected, dtype=bool)
+        in_band = (native_size >= self.band_low) & (native_size < self.band_high)
+        return detected & in_band & (duplicate_latent < self.duplicate_probability)
+
+
+@dataclass(frozen=True)
+class FalsePositiveModel:
+    """Deterministic frame-level false positives.
+
+    Blur and block artifacts at degraded resolutions occasionally produce a
+    phantom detection. The per-frame rate grows linearly as the resolution
+    shrinks: ``rate(p) = base_rate * (1 + gain * (1 - p / native))``. A frame
+    fires a false positive when its fixed clutter latent is below the rate,
+    so outputs stay deterministic.
+
+    Attributes:
+        base_rate: False-positive probability per frame at native resolution.
+        gain: Linear growth of the rate as resolution shrinks to zero.
+    """
+
+    base_rate: float = 0.0
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_rate <= 1.0:
+            raise ConfigurationError(
+                f"base false-positive rate must lie in [0, 1], got {self.base_rate}"
+            )
+        if self.gain < 0.0:
+            raise ConfigurationError(f"gain must be non-negative, got {self.gain}")
+
+    def rate(self, resolution_side: int, native_side: int) -> float:
+        """Per-frame false-positive probability at a resolution."""
+        if native_side <= 0:
+            raise ConfigurationError("native side must be positive")
+        shrink = max(0.0, 1.0 - resolution_side / native_side)
+        return min(1.0, self.base_rate * (1.0 + self.gain * shrink))
+
+    def counts(
+        self, clutter: np.ndarray, resolution_side: int, native_side: int
+    ) -> np.ndarray:
+        """Per-frame false-positive counts (0 or 1).
+
+        Args:
+            clutter: Per-frame clutter latents in ``[0, 1)``.
+            resolution_side: Side of the resolution being processed.
+            native_side: Native resolution side.
+
+        Returns:
+            Integer array of the same length as ``clutter``.
+        """
+        rate = self.rate(resolution_side, native_side)
+        return (np.asarray(clutter) < rate).astype(np.int64)

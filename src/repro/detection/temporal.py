@@ -1,0 +1,187 @@
+"""Sequence-dependent models: where frame sampling stops being random.
+
+The paper's conclusion (§7) flags a limit of its taxonomy: for models that
+process *frame sequences* (action recognition, tracking), reducing the
+sampling rate changes the model's inputs, so treating frame sampling as a
+random intervention "seems inappropriate" — neither the random-intervention
+bounds nor profile repair directly apply.
+
+:class:`TemporalDifferenceDetector` makes that concrete with the simplest
+sequence model: a traffic *flow* UDF whose per-frame output is the number
+of newly appeared cars relative to the previous processed frame,
+``max(0, count_t - count_{t-1})``. On consecutive frames this approximates
+arrivals; on a sparse sample the "previous processed frame" is far away,
+the differences grow, and the output distribution shifts — frame sampling
+has become a non-random intervention.
+
+Detectors advertise this through :attr:`requires_sequence`; the profiler
+refuses to classify sampling as random for such models (see
+:meth:`repro.core.profiler.DegradationProfiler`), and the
+``extension_temporal`` experiment quantifies how badly the naive treatment
+fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.base import Detector, DetectorOutputs
+from repro.errors import ConfigurationError
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+class TemporalDifferenceDetector:
+    """A frame-sequence UDF: newly appeared objects per processed frame.
+
+    Wraps a frame-level detector and differences its counts along the
+    *processed* frame order. The critical property: the output for frame
+    ``t`` depends on which frame was processed before ``t``, so outputs are
+    a function of the whole sampling pattern, not of the frame alone.
+    """
+
+    #: Sequence models invalidate the random classification of sampling.
+    requires_sequence = True
+
+    def __init__(self, base: Detector, name: str | None = None) -> None:
+        """Wrap a frame-level detector.
+
+        Args:
+            base: The underlying per-frame detector.
+            name: Model name; defaults to ``"flow(<base>)"``.
+        """
+        self._base = base
+        self._name = name or f"flow({base.name})"
+
+    @property
+    def name(self) -> str:
+        """Model name."""
+        return self._name
+
+    @property
+    def target_class(self) -> ObjectClass:
+        """The wrapped detector's class."""
+        return self._base.target_class
+
+    @property
+    def threshold(self) -> float:
+        """The wrapped detector's threshold."""
+        return self._base.threshold
+
+    def run(
+        self,
+        dataset: VideoDataset,
+        resolution: Resolution | None = None,
+        quality: float = 1.0,
+    ) -> DetectorOutputs:
+        """Flow over *consecutive* frames (the full-sequence ground truth).
+
+        Args:
+            dataset: The corpus.
+            resolution: Processing resolution.
+            quality: Quality factor.
+
+        Returns:
+            Per-frame newly-appeared counts; frame 0 flows from nothing.
+        """
+        base = self._base.run(dataset, resolution, quality)
+        return DetectorOutputs(
+            counts=self.flow_for_order(
+                base.counts, np.arange(dataset.frame_count)
+            ),
+            resolution=base.resolution,
+        )
+
+    def run_on_sample(
+        self,
+        dataset: VideoDataset,
+        frame_indices: np.ndarray,
+        resolution: Resolution | None = None,
+        quality: float = 1.0,
+    ) -> np.ndarray:
+        """Flow along a *sampled* frame order — the degraded execution.
+
+        This is where the §7 problem lives: the same frame yields a
+        different output depending on its sampled predecessor.
+
+        Args:
+            dataset: The corpus.
+            frame_indices: The processed frames (any order; processed in
+                temporal order, as a streaming system would).
+            resolution: Processing resolution.
+            quality: Quality factor.
+
+        Returns:
+            One flow value per sampled frame, in temporal order.
+        """
+        if frame_indices.size == 0:
+            raise ConfigurationError("cannot run a sequence model on no frames")
+        ordered = np.sort(np.asarray(frame_indices))
+        base = self._base.run(dataset, resolution, quality)
+        return self.flow_for_order(base.counts, ordered)
+
+    @staticmethod
+    def flow_for_order(counts: np.ndarray, ordered_indices: np.ndarray) -> np.ndarray:
+        """Newly-appeared counts along an ordered frame sequence.
+
+        Args:
+            counts: Per-frame base counts for the whole corpus.
+            ordered_indices: Frames in processing (temporal) order.
+
+        Returns:
+            ``max(0, counts[i_k] - counts[i_{k-1}])`` per position, with
+            the first frame flowing from an empty scene.
+        """
+        sequence = counts[ordered_indices].astype(np.int64)
+        previous = np.concatenate(([0], sequence[:-1]))
+        return np.maximum(sequence - previous, 0)
+
+
+class MotionEventDetector(TemporalDifferenceDetector):
+    """A sequence UDF with *bounded* output: did the scene change?
+
+    Per processed frame, emits 1 when the base count moved by at least
+    :attr:`threshold_change` relative to the previously processed frame.
+    On consecutive frames of smooth traffic, changes are rare; across
+    sampling gaps, counts decorrelate and almost every pair "changes" — so
+    the output mean inflates dramatically while its range stays [0, 1],
+    making the naive random-intervention bound *tight and wrong* at once.
+    This is the sharpest instance of the paper's §7 caveat.
+    """
+
+    def __init__(
+        self, base: Detector, threshold_change: int = 2, name: str | None = None
+    ) -> None:
+        """Wrap a frame-level detector.
+
+        Args:
+            base: The underlying per-frame detector.
+            threshold_change: Minimum absolute count change that counts as
+                a motion event.
+            name: Model name; defaults to ``"motion(<base>)"``.
+        """
+        if threshold_change <= 0:
+            raise ConfigurationError(
+                f"threshold change must be positive, got {threshold_change}"
+            )
+        super().__init__(base, name or f"motion({base.name})")
+        self._threshold_change = threshold_change
+
+    def flow_for_order(  # type: ignore[override]
+        self, counts: np.ndarray, ordered_indices: np.ndarray
+    ) -> np.ndarray:
+        """Motion indicators along an ordered frame sequence.
+
+        Args:
+            counts: Per-frame base counts for the whole corpus.
+            ordered_indices: Frames in processing (temporal) order.
+
+        Returns:
+            0/1 per position; the first frame never counts as motion.
+        """
+        sequence = counts[ordered_indices].astype(np.int64)
+        previous = np.concatenate((sequence[:1], sequence[:-1]))
+        return (np.abs(sequence - previous) >= self._threshold_change).astype(
+            np.int64
+        )

@@ -1,0 +1,183 @@
+"""Built-in detector presets mirroring the paper's models (§4, §5.1).
+
+The paper uses YOLOv4 (Darknet) and Mask R-CNN (Keras/TensorFlow) as the
+built-in detection UDFs with threshold 0.7, plus MTCNN with threshold 0.8
+for faces. The presets here are simulated equivalents with response curves
+calibrated so that:
+
+- at native resolution essentially every annotated object is detected (the
+  paper's ground-truth definition),
+- recall falls along a sigmoid as resolution shrinks, with the YOLOv4-like
+  model degrading somewhat more gracefully than the Mask R-CNN-like one
+  (matching the different curve shapes in Figure 3), and
+- the YOLOv4-like model has the documented 384x384 duplicate-detection
+  anomaly (Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.base import Detector
+from repro.detection.response import (
+    AnomalyTerm,
+    FalsePositiveModel,
+    ResolutionResponse,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+
+YOLO_ANOMALY_SIDE = 384
+
+
+def yolo_v4_like(
+    target_class: ObjectClass = ObjectClass.CAR,
+    threshold: float = 0.7,
+    with_anomaly: bool = True,
+) -> SimulatedDetector:
+    """A YOLOv4-like detector (paper threshold 0.7).
+
+    Args:
+        target_class: Class to detect; the paper runs YOLOv4 for both cars
+            (the query UDF on UA-DETRAC) and persons (restricted-class
+            detection).
+        threshold: Detection confidence threshold.
+        with_anomaly: Include the 384x384 duplicate-detection artifact;
+            disable for ablations.
+
+    Returns:
+        The configured simulated detector.
+    """
+    anomalies = (
+        (
+            AnomalyTerm(
+                resolution_side=YOLO_ANOMALY_SIDE,
+                duplicate_probability=0.8,
+                band_low=20.0,
+                band_high=240.0,
+            ),
+        )
+        if with_anomaly
+        else ()
+    )
+    return SimulatedDetector(
+        name="yolo-v4-like" + ("" if with_anomaly else "-no-anomaly"),
+        target_class=target_class,
+        response=ResolutionResponse(
+            midpoint_size=13.0, slope=0.22, confidence_spread=0.25
+        ),
+        threshold=threshold,
+        anomalies=anomalies,
+        false_positives=FalsePositiveModel(base_rate=0.006, gain=2.0),
+    )
+
+
+def mask_rcnn_like(
+    target_class: ObjectClass = ObjectClass.CAR, threshold: float = 0.7
+) -> SimulatedDetector:
+    """A Mask R-CNN-like detector (paper threshold 0.7).
+
+    Two-stage detectors hold on to large objects longer but fall off more
+    sharply for small ones, so the response sigmoid is steeper with a larger
+    midpoint than the YOLOv4-like preset.
+
+    Args:
+        target_class: Class to detect.
+        threshold: Detection confidence threshold.
+
+    Returns:
+        The configured simulated detector.
+    """
+    return SimulatedDetector(
+        name="mask-rcnn-like",
+        target_class=target_class,
+        response=ResolutionResponse(
+            midpoint_size=16.0, slope=0.30, confidence_spread=0.20
+        ),
+        threshold=threshold,
+        false_positives=FalsePositiveModel(base_rate=0.004, gain=1.5),
+    )
+
+
+def mtcnn_like(threshold: float = 0.8) -> SimulatedDetector:
+    """An MTCNN-like face detector (paper threshold 0.8).
+
+    Faces are tiny, so the curve midpoint is small and steep: faces are
+    found reliably at native resolution but disappear almost immediately
+    under resolution reduction — the behaviour that makes face blurring via
+    downscaling effective.
+
+    Args:
+        threshold: Detection confidence threshold.
+
+    Returns:
+        The configured simulated detector.
+    """
+    return SimulatedDetector(
+        name="mtcnn-like",
+        target_class=ObjectClass.FACE,
+        response=ResolutionResponse(
+            midpoint_size=6.0, slope=0.60, confidence_spread=0.15
+        ),
+        threshold=threshold,
+    )
+
+
+@dataclass(frozen=True)
+class DetectorSuite:
+    """The detectors a deployment uses for restricted-class flags.
+
+    The paper stores per-frame "contains person"/"contains face" flags as
+    prior information, computed by YOLOv4 (persons) and MTCNN (faces) at
+    native resolution. The image-removal intervention consults this suite.
+
+    Attributes:
+        person_detector: Detector used for the ``person`` restricted class.
+        face_detector: Detector used for the ``face`` restricted class.
+    """
+
+    person_detector: Detector
+    face_detector: Detector
+
+    def detector_for(self, object_class: ObjectClass) -> Detector:
+        """The suite's detector for a restricted class.
+
+        Args:
+            object_class: PERSON or FACE.
+
+        Returns:
+            The matching detector.
+        """
+        if object_class == ObjectClass.PERSON:
+            return self.person_detector
+        if object_class == ObjectClass.FACE:
+            return self.face_detector
+        raise ConfigurationError(
+            f"no restricted-class detector for {object_class.name}; "
+            "only PERSON and FACE can be restricted"
+        )
+
+    def presence(self, dataset: VideoDataset, object_class: ObjectClass) -> np.ndarray:
+        """Per-frame presence flags for a restricted class at native resolution.
+
+        Args:
+            dataset: The corpus.
+            object_class: PERSON or FACE.
+
+        Returns:
+            Boolean array of length ``dataset.frame_count``.
+        """
+        detector = self.detector_for(object_class)
+        return detector.run(dataset).presence
+
+
+def default_suite() -> DetectorSuite:
+    """The paper's restricted-class setup: YOLOv4 persons + MTCNN faces."""
+    return DetectorSuite(
+        person_detector=yolo_v4_like(target_class=ObjectClass.PERSON),
+        face_detector=mtcnn_like(),
+    )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Smokescreen reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from runtime estimation
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter was supplied to a public constructor or function.
+
+    Raised eagerly, at construction time, so that misconfiguration surfaces
+    where it was written rather than deep inside an experiment sweep.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a valid estimate.
+
+    Typical causes: an empty sample (``n == 0``), a sample larger than the
+    population, or a correction set that is too small to repair a bound.
+    """
+
+
+class InterventionError(ReproError):
+    """A destructive intervention could not be applied to a dataset.
+
+    For example, requesting a frame resolution above the model's native
+    resolution, or removing a restricted class that leaves no eligible frames.
+    """
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset was queried in an inconsistent way.
+
+    For example, asking for model outputs on frame indices outside the
+    dataset, or building a dataset preset with a non-positive frame count.
+    """
+
+
+class ProfileError(ReproError):
+    """A degradation profile was constructed or queried incorrectly.
+
+    For example, reading a hypercube slice along an unknown axis, or asking
+    for a tradeoff from an empty profile.
+    """

@@ -1,0 +1,70 @@
+"""Query-answer and error-bound estimators (paper §3.2).
+
+Smokescreen's own algorithms:
+
+- :class:`~repro.estimators.smokescreen.SmokescreenMeanEstimator` —
+  Algorithm 1 for AVG/SUM/COUNT (Hoeffding–Serfling interval with the
+  relaxed, single-``n`` construction; Theorem 3.1).
+- :class:`~repro.estimators.quantile.SmokescreenQuantileEstimator` —
+  Algorithm 2 for MAX/MIN (extreme quantiles with the hypergeometric normal
+  approximation; Theorem 3.2).
+- :class:`~repro.estimators.repair.ProfileRepair` — Algorithm 3, correcting
+  bounds under non-random interventions with a correction set.
+
+Baselines evaluated in the paper's §5.2.1:
+
+- :class:`~repro.estimators.ebgs.EBGSEstimator` — empirical Bernstein
+  stopping [48] used as an estimator.
+- :class:`~repro.estimators.classic.HoeffdingEstimator`,
+  :class:`~repro.estimators.classic.HoeffdingSerflingEstimator`,
+  :class:`~repro.estimators.classic.CLTEstimator` — online-aggregation
+  style bounds divided by the result's lower bound.
+- :class:`~repro.estimators.stein.SteinEstimator` — sampling-based
+  epsilon-approximate quantiles [45].
+
+Use :func:`~repro.estimators.dispatch.estimate_query` to run any method on
+a degraded execution with the right scaling per aggregate type.
+"""
+
+from repro.estimators.base import Estimate, MeanEstimator, QuantileEstimator
+from repro.estimators.classic import (
+    CLTEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+)
+from repro.estimators.dispatch import (
+    estimate_query,
+    mean_estimator_registry,
+    quantile_estimator_registry,
+)
+from repro.estimators.ebgs import EBGSEstimator
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.repair import ProfileRepair, RepairedEstimate
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.streaming import StreamingMeanEstimator
+from repro.estimators.stein import SteinEstimator
+from repro.estimators.variance import (
+    CLTVarianceEstimator,
+    SmokescreenVarianceEstimator,
+)
+
+__all__ = [
+    "CLTEstimator",
+    "EBGSEstimator",
+    "Estimate",
+    "HoeffdingEstimator",
+    "HoeffdingSerflingEstimator",
+    "MeanEstimator",
+    "ProfileRepair",
+    "QuantileEstimator",
+    "RepairedEstimate",
+    "CLTVarianceEstimator",
+    "SmokescreenMeanEstimator",
+    "SmokescreenQuantileEstimator",
+    "SmokescreenVarianceEstimator",
+    "StreamingMeanEstimator",
+    "SteinEstimator",
+    "estimate_query",
+    "mean_estimator_registry",
+    "quantile_estimator_registry",
+]

@@ -1,0 +1,168 @@
+"""Estimator interfaces and the estimate container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.query.aggregates import Aggregate
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """An approximate query answer with its error bound.
+
+    Attributes:
+        value: The approximate answer ``Y_approx``.
+        error_bound: Upper bound ``err_b`` on the relative error (relative
+            value error for AVG/SUM/COUNT, relative *rank* error for
+            MAX/MIN), valid with probability at least ``1 - delta``.
+            May be ``inf`` when a baseline's construction degenerates.
+        method: Estimator name, e.g. ``"smokescreen"``.
+        n: Sample size the estimate was computed from.
+        universe_size: Eligible-universe size the sample was drawn from.
+        extras: Method-specific diagnostics (e.g. the interval's UB/LB).
+    """
+
+    value: float
+    error_bound: float
+    method: str
+    n: int
+    universe_size: int
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.error_bound < 0:
+            raise EstimationError(
+                f"error bound must be non-negative, got {self.error_bound}"
+            )
+
+    def scaled(self, factor: float) -> "Estimate":
+        """The same estimate with the value scaled (AVG -> SUM/COUNT).
+
+        Scaling the answer by a known constant leaves the *relative* error
+        bound unchanged (paper §3.2.2).
+
+        Args:
+            factor: Multiplier for the value.
+
+        Returns:
+            A new estimate with ``value * factor``.
+        """
+        return Estimate(
+            value=self.value * factor,
+            error_bound=self.error_bound,
+            method=self.method,
+            n=self.n,
+            universe_size=self.universe_size,
+            extras=self.extras,
+        )
+
+
+def validate_sample(values: np.ndarray, universe_size: int) -> np.ndarray:
+    """Common input validation for estimators.
+
+    Args:
+        values: Sample values.
+        universe_size: Size of the universe they were drawn from.
+
+    Returns:
+        The values as a float array.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise EstimationError("cannot estimate from an empty sample")
+    if array.size > universe_size:
+        raise EstimationError(
+            f"sample of size {array.size} exceeds universe size {universe_size}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise EstimationError("sample contains non-finite values")
+    return array
+
+
+class MeanEstimator(abc.ABC):
+    """Estimates a population mean with a relative error bound.
+
+    Serves AVG directly; SUM and COUNT scale the result by the known corpus
+    length (see :func:`repro.estimators.dispatch.estimate_query`).
+    """
+
+    name: str = "mean-estimator"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        values: np.ndarray,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> Estimate:
+        """Estimate the universe mean from a without-replacement sample.
+
+        Args:
+            values: Sampled values.
+            universe_size: Size of the universe they were drawn from.
+            delta: Bound failure probability.
+            value_range: The population range ``R`` when it is known a
+                priori (e.g. 1.0 for predicate indicators); None falls back
+                to the sample range. A known range closes the sample-range
+                approximation's blind spot: a sample of identical values
+                would otherwise claim a zero-width interval.
+
+        Returns:
+            The estimate, with ``error_bound`` holding with probability at
+            least ``1 - delta`` under random interventions.
+        """
+
+
+def effective_range(values: np.ndarray, value_range: float | None) -> float:
+    """The range an estimator should use: known if given, else sampled.
+
+    Args:
+        values: The sample.
+        value_range: A-priori known population range, or None.
+
+    Returns:
+        ``value_range`` when provided (validated non-negative), else the
+        sample range.
+    """
+    if value_range is not None:
+        if value_range < 0:
+            raise EstimationError(
+                f"known value range must be non-negative, got {value_range}"
+            )
+        return float(value_range)
+    return float(values.max() - values.min())
+
+
+class QuantileEstimator(abc.ABC):
+    """Estimates an extreme quantile with a relative rank-error bound."""
+
+    name: str = "quantile-estimator"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        values: np.ndarray,
+        universe_size: int,
+        r: float,
+        delta: float,
+        aggregate: Aggregate,
+    ) -> Estimate:
+        """Estimate the ``r``-th quantile from a without-replacement sample.
+
+        Args:
+            values: Sampled values.
+            universe_size: Size of the universe they were drawn from.
+            r: Quantile level (close to 1 for MAX, close to 0 for MIN).
+            delta: Bound failure probability.
+            aggregate: MAX or MIN; selects the variance term of the bound.
+
+        Returns:
+            The estimate; ``error_bound`` bounds the relative *rank* error.
+        """

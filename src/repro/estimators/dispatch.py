@@ -1,0 +1,121 @@
+"""Routing a (query, execution, method) triple to the right estimator.
+
+The mean-family estimators work at the mean level; SUM and COUNT scale the
+result by the corpus length (paper §3.2.2–3.2.3: the video length is known
+in advance, and scaling by a known constant leaves the relative bound
+unchanged). MAX/MIN route to the quantile estimators. This module owns that
+bookkeeping so experiments can ask for any method by name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.estimators.base import Estimate, MeanEstimator, QuantileEstimator
+from repro.estimators.classic import (
+    CLTEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+)
+from repro.estimators.ebgs import EBGSEstimator
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.stein import SteinEstimator
+from repro.estimators.variance import (
+    CLTVarianceEstimator,
+    SmokescreenVarianceEstimator,
+)
+from repro.query.processor import DegradedExecution
+from repro.query.query import AggregateQuery
+
+
+def mean_estimator_registry() -> dict[str, MeanEstimator]:
+    """Fresh instances of every mean-family estimator, keyed by name."""
+    estimators: list[MeanEstimator] = [
+        SmokescreenMeanEstimator(),
+        EBGSEstimator(),
+        HoeffdingEstimator(),
+        HoeffdingSerflingEstimator(),
+        CLTEstimator(),
+    ]
+    return {estimator.name: estimator for estimator in estimators}
+
+
+def quantile_estimator_registry() -> dict[str, QuantileEstimator]:
+    """Fresh instances of every quantile estimator, keyed by name."""
+    estimators: list[QuantileEstimator] = [
+        SmokescreenQuantileEstimator(),
+        SteinEstimator(),
+    ]
+    return {estimator.name: estimator for estimator in estimators}
+
+
+def variance_estimator_registry() -> dict[str, MeanEstimator]:
+    """Fresh instances of every VAR estimator, keyed by name."""
+    estimators: list[MeanEstimator] = [
+        SmokescreenVarianceEstimator(),
+        CLTVarianceEstimator(),
+    ]
+    return {estimator.name: estimator for estimator in estimators}
+
+
+def estimate_query(
+    query: AggregateQuery,
+    execution: DegradedExecution,
+    method: str = "smokescreen",
+) -> Estimate:
+    """Estimate a query's answer and error bound from a degraded execution.
+
+    Args:
+        query: The query (selects the aggregate and its parameters).
+        execution: A degraded execution produced by
+            :meth:`repro.query.processor.QueryProcessor.execute`.
+        method: Estimator name — one of the mean registry for
+            AVG/SUM/COUNT (``smokescreen``, ``ebgs``, ``hoeffding``,
+            ``hoeffding-serfling``, ``clt``) or the quantile registry for
+            MAX/MIN (``smokescreen``, ``stein``).
+
+    Returns:
+        The estimate, with SUM/COUNT answers scaled to the corpus length.
+    """
+    if query.aggregate.is_mean_family:
+        registry = mean_estimator_registry()
+        estimator = registry.get(method)
+        if estimator is None:
+            raise ConfigurationError(
+                f"unknown mean estimator {method!r}; valid: {sorted(registry)}"
+            )
+        estimate = estimator.estimate(
+            execution.values,
+            execution.universe_size,
+            query.delta,
+            value_range=query.known_value_range,
+        )
+        if query.aggregate.name in ("SUM", "COUNT"):
+            return estimate.scaled(execution.population_size)
+        return estimate
+
+    if query.aggregate.is_variance:
+        registry_v = variance_estimator_registry()
+        estimator_v = registry_v.get(method)
+        if estimator_v is None:
+            raise ConfigurationError(
+                f"unknown variance estimator {method!r}; valid: "
+                f"{sorted(registry_v)}"
+            )
+        return estimator_v.estimate(
+            execution.values, execution.universe_size, query.delta
+        )
+
+    registry_q = quantile_estimator_registry()
+    estimator_q = registry_q.get(method)
+    if estimator_q is None:
+        raise ConfigurationError(
+            f"unknown quantile estimator {method!r}; valid: {sorted(registry_q)}"
+        )
+    return estimator_q.estimate(
+        execution.values,
+        execution.universe_size,
+        query.effective_quantile,
+        query.delta,
+        query.aggregate,
+    )

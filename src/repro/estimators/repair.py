@@ -1,0 +1,202 @@
+"""Profile repair: Algorithm 3 — correcting bounds under non-random
+interventions with a correction set.
+
+Outputs sampled from video degraded by non-random interventions (reduced
+resolution, image removal) can be systematically wrong in one direction, so
+the basic §3.2 bounds are invalid there. The correction set ``v_1..v_m`` —
+frames degraded only by *random* interventions (a plain without-replacement
+sample at native resolution and no removal) — anchors an unbiased estimate,
+and the triangle inequality transfers its guaranteed bound to the degraded
+estimate:
+
+- mean family (Eq. 12)::
+
+    err_b = (1 + err_b(v)) |Y_approx - Y_approx(v)| / |Y_approx(v)| + err_b(v)
+
+- MAX/MIN (Eq. 13): the unknown true rank difference between the two
+  answers is estimated by their rank difference *within the correction
+  set*, divided by ``r``, plus ``err_b(v)``.
+
+No distributional assumption is made about the degraded outputs; the
+corrected bound inherits the correction set's ``1 - delta`` guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.query.aggregates import Aggregate
+from repro.stats.quantiles import rank_of_value
+
+
+@dataclass(frozen=True)
+class RepairedEstimate:
+    """A degraded estimate with its repaired error bound.
+
+    Attributes:
+        value: The degraded approximate answer ``Y_approx`` (unchanged by
+            repair — only the bound is corrected).
+        error_bound: The corrected bound from Algorithm 3.
+        degraded: The uncorrected estimate on the degraded sample.
+        correction: The estimate computed from the correction set alone.
+    """
+
+    value: float
+    error_bound: float
+    degraded: Estimate
+    correction: Estimate
+
+    @property
+    def uncorrected_bound(self) -> float:
+        """The (possibly invalid) bound before repair, for comparison."""
+        return self.degraded.error_bound
+
+
+class ProfileRepair:
+    """Algorithm 3: corrected error bounds for any intervention mix."""
+
+    def __init__(
+        self,
+        mean_estimator: SmokescreenMeanEstimator | None = None,
+        quantile_estimator: SmokescreenQuantileEstimator | None = None,
+    ) -> None:
+        """Configure the repair with the estimators used on both samples.
+
+        Args:
+            mean_estimator: Estimator for AVG/SUM/COUNT; defaults to
+                Smokescreen's Algorithm 1.
+            quantile_estimator: Estimator for MAX/MIN; defaults to
+                Smokescreen's Algorithm 2.
+        """
+        self._mean = mean_estimator or SmokescreenMeanEstimator()
+        self._quantile = quantile_estimator or SmokescreenQuantileEstimator()
+
+    def repair_mean(
+        self,
+        degraded_values: np.ndarray,
+        degraded_universe: int,
+        correction_values: np.ndarray,
+        population_size: int,
+        delta: float,
+    ) -> RepairedEstimate:
+        """Corrected bound for AVG (SUM/COUNT scale the same estimate).
+
+        Args:
+            degraded_values: Sample values from the degraded video.
+            degraded_universe: Eligible-universe size of the degraded sample.
+            correction_values: Correction-set values (random interventions
+                only, drawn from the full corpus).
+            population_size: Total corpus length ``N`` (the correction
+                set's universe).
+            delta: Bound failure probability.
+
+        Returns:
+            The repaired estimate.
+        """
+        degraded = self._mean.estimate(degraded_values, degraded_universe, delta)
+        correction = self._mean.estimate(correction_values, population_size, delta)
+        error_bound = self.corrected_mean_bound(degraded.value, correction)
+        return RepairedEstimate(
+            value=degraded.value,
+            error_bound=error_bound,
+            degraded=degraded,
+            correction=correction,
+        )
+
+    @staticmethod
+    def corrected_mean_bound(y_approx: float, correction: Estimate) -> float:
+        """Equation (12): the triangle-inequality transfer of the bound.
+
+        Args:
+            y_approx: The degraded approximate answer.
+            correction: The correction set's own estimate (with a valid
+                random-intervention bound).
+
+        Returns:
+            The corrected bound; infinity when the correction answer is 0
+            (relative error is then undefined).
+        """
+        err_v = correction.error_bound
+        if correction.value == 0.0:
+            return math.inf
+        drift = abs(y_approx - correction.value) / abs(correction.value)
+        return (1.0 + err_v) * drift + err_v
+
+    def repair_quantile(
+        self,
+        degraded_values: np.ndarray,
+        degraded_universe: int,
+        correction_values: np.ndarray,
+        population_size: int,
+        r: float,
+        delta: float,
+        aggregate: Aggregate,
+    ) -> RepairedEstimate:
+        """Corrected bound for MAX/MIN (Equation 13).
+
+        Args:
+            degraded_values: Sample values from the degraded video.
+            degraded_universe: Eligible-universe size of the degraded sample.
+            correction_values: Correction-set values.
+            population_size: Total corpus length ``N``.
+            r: Extreme quantile level.
+            delta: Bound failure probability.
+            aggregate: MAX or MIN.
+
+        Returns:
+            The repaired estimate.
+        """
+        degraded = self._quantile.estimate(
+            degraded_values, degraded_universe, r, delta, aggregate
+        )
+        correction = self._quantile.estimate(
+            correction_values, population_size, r, delta, aggregate
+        )
+        error_bound = self.corrected_quantile_bound(
+            degraded.value, correction.value, correction_values, r, correction
+        )
+        return RepairedEstimate(
+            value=degraded.value,
+            error_bound=error_bound,
+            degraded=degraded,
+            correction=correction,
+        )
+
+    @staticmethod
+    def corrected_quantile_bound(
+        y_approx: float,
+        y_approx_v: float,
+        correction_values: np.ndarray,
+        r: float,
+        correction: Estimate,
+    ) -> float:
+        """Equation (13): rank-difference transfer within the correction set.
+
+        The unknown true rank gap between the degraded and correction
+        answers is estimated by their cumulative-frequency gap in the
+        correction set.
+
+        Args:
+            y_approx: Degraded approximate quantile.
+            y_approx_v: Correction set's approximate quantile.
+            correction_values: Correction-set values.
+            r: Extreme quantile level.
+            correction: The correction set's estimate (supplies
+                ``err_b(v)``).
+
+        Returns:
+            The corrected rank-error bound.
+        """
+        m = np.asarray(correction_values).size
+        if m == 0:
+            raise EstimationError("correction set is empty")
+        rank_degraded = rank_of_value(correction_values, y_approx) / m
+        rank_correction = rank_of_value(correction_values, y_approx_v) / m
+        return abs(rank_degraded - rank_correction) / r + correction.error_bound

@@ -1,0 +1,28 @@
+"""Experiment harness: the paper's evaluation (§5), figure by figure.
+
+Each ``figN_*`` module exposes a ``run_*`` function that regenerates the
+corresponding figure's data (the same series the paper plots) and returns a
+:class:`~repro.experiments.reporting.ExperimentResult` whose ``rows()`` are
+printable tables. The benchmarks in ``benchmarks/`` call these and print
+the rows; ``EXPERIMENTS.md`` records paper-vs-measured shape per figure.
+
+The experiments run on the synthetic corpora at the paper's full frame
+counts by default; every runner takes ``frame_count``/``trials`` parameters
+so tests can exercise them at reduced scale.
+"""
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.workloads import (
+    Workload,
+    load_dataset,
+    model_for,
+    paper_workloads,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Workload",
+    "load_dataset",
+    "model_for",
+    "paper_workloads",
+]

@@ -1,0 +1,94 @@
+"""Figure 7: the abnormal error spike at 384x384.
+
+Applying YOLOv4 to night-street video and varying only the frame
+resolution, the paper finds the relative error at 384x384 is *larger* than
+at lower resolutions — a counter-intuitive network artifact. A profile
+exposes it so an administrator never unknowingly picks the bad setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.correction import CorrectionSet
+from repro.detection.zoo import YOLO_ANOMALY_SIDE, yolo_v4_like
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.trials import run_repair_trials
+from repro.experiments.workloads import NIGHT_STREET, load_dataset, shared_suite
+from repro.interventions.plan import InterventionPlan
+from repro.query.aggregates import Aggregate
+from repro.query.processor import QueryProcessor
+from repro.query.query import AggregateQuery
+from repro.stats.sampling import ProgressiveSampler
+
+
+def run_fig7(
+    trials: int = 100,
+    frame_count: int | None = None,
+    seed: int = 0,
+    correction_fraction: float = 0.06,
+) -> ExperimentResult:
+    """Regenerate Figure 7: AVG error vs resolution with the 384 anomaly.
+
+    Args:
+        trials: Sampling trials per resolution (paper: 100).
+        frame_count: Optional reduced corpus size.
+        seed: Trial randomness seed.
+        correction_fraction: Correction-set size (the night-street AVG
+            default from §5.2.2).
+
+    Returns:
+        Bounds (w/ and w/o correction) and the true error per resolution,
+        including the anomalous 384.
+    """
+    dataset = load_dataset(NIGHT_STREET, frame_count)
+    model = yolo_v4_like()
+    query = AggregateQuery(dataset, model, Aggregate.AVG)
+    processor = QueryProcessor(shared_suite())
+    rng = np.random.default_rng(seed)
+
+    # Build the correction set against *this* query (YOLO on night-street),
+    # not the workload default (Mask R-CNN).
+    correction_query_values = processor.true_values(query)
+    size = max(1, round(dataset.frame_count * correction_fraction))
+    sampler = ProgressiveSampler(dataset.frame_count, rng)
+    indices = sampler.prefix(size)
+    correction = CorrectionSet(
+        frame_indices=indices,
+        values=correction_query_values[indices],
+        error_bound=float("nan"),
+        trace=((size, float("nan")),),
+    )
+
+    sides = [128, 192, 256, 320, YOLO_ANOMALY_SIDE, 448, 512, 576, 640]
+    sides = [side for side in sides if side <= dataset.native_resolution.side]
+
+    series: dict[str, list[float]] = {
+        "bound_no_correction": [],
+        "bound_with_correction": [],
+        "true_error": [],
+    }
+    for side in sides:
+        plan = InterventionPlan.from_knobs(f=0.5, p=side)
+        summary = run_repair_trials(
+            processor, query, plan, correction.values, trials,
+            np.random.default_rng(seed + 1),
+        )
+        series["bound_no_correction"].append(summary.uncorrected_bound)
+        series["bound_with_correction"].append(summary.corrected_bound)
+        series["true_error"].append(summary.true_error)
+
+    return ExperimentResult(
+        title=(
+            "Figure 7: YOLOv4-like AVG on night-street vs resolution — "
+            f"anomaly at {YOLO_ANOMALY_SIDE} ({trials} trials)"
+        ),
+        knob_label="resolution",
+        knobs=[float(side) for side in sides],
+        series=series,
+        notes=(
+            f"expected: true error at {YOLO_ANOMALY_SIDE} exceeds both "
+            "neighbouring resolutions",
+            "the corrected bound tracks the anomaly so profiles expose it",
+        ),
+    )

@@ -1,0 +1,156 @@
+"""Name → runner registry for every experiment in the harness.
+
+Shared by the CLI (``repro experiment <name>``) and any driver that wants
+to enumerate the reproduction: each entry adapts the common knob set
+(dataset, aggregate, axis, frames, trials, seed) to the specific runner's
+signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import ExperimentResult
+from repro.query.aggregates import Aggregate
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """The common experiment knobs (a subset applies to each runner).
+
+    Attributes:
+        dataset: Corpus name.
+        aggregate: Aggregate function.
+        axis: Figure 6 axis.
+        frames: Optional reduced corpus size.
+        trials: Trials per point.
+        seed: Randomness seed.
+    """
+
+    dataset: str = "ua-detrac"
+    aggregate: Aggregate = Aggregate.AVG
+    axis: str = "resolution"
+    frames: int | None = None
+    trials: int = 20
+    seed: int = 0
+
+
+Runner = Callable[[ExperimentRequest], ExperimentResult]
+
+
+def _runners() -> dict[str, Runner]:
+    # Imported lazily so `import repro.experiments.registry` stays cheap.
+    from repro.experiments.ablations import (
+        run_ablation_anomaly,
+        run_ablation_elbow,
+        run_ablation_radius,
+        run_ablation_replacement,
+        run_ablation_reuse,
+        run_ablation_stratified,
+    )
+    from repro.experiments.coverage_audit import run_coverage_audit
+    from repro.experiments.extension_temporal import run_extension_temporal
+    from repro.experiments.extension_var import run_extension_var
+    from repro.experiments.fig3_tradeoff_curves import run_fig3
+    from repro.experiments.fig4_bound_comparison import run_fig4
+    from repro.experiments.fig5_clt_violations import run_fig5
+    from repro.experiments.fig6_profile_repair import run_fig6
+    from repro.experiments.fig7_resolution_anomaly import run_fig7
+    from repro.experiments.fig8_count_distribution import run_fig8
+    from repro.experiments.fig9_correction_size import run_fig9
+    from repro.experiments.fig10_profile_similarity import (
+        run_fig10_resolution,
+        run_fig10_sampling,
+    )
+    from repro.experiments.headline import (
+        run_headline_tightness,
+        run_headline_tradeoff,
+    )
+    from repro.experiments.timing import run_timing
+
+    return {
+        "fig3": lambda r: run_fig3(frame_count=r.frames),
+        "fig4": lambda r: run_fig4(
+            r.dataset, r.aggregate, trials=r.trials, frame_count=r.frames,
+            seed=r.seed,
+        ),
+        "fig5": lambda r: run_fig5(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "fig6": lambda r: run_fig6(
+            r.dataset, r.aggregate, r.axis, trials=r.trials,
+            frame_count=r.frames, seed=r.seed,
+        ),
+        "fig7": lambda r: run_fig7(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "fig8": lambda r: run_fig8(frame_count=r.frames),
+        "fig9": lambda r: run_fig9(
+            aggregate=r.aggregate, trials=r.trials, frame_count=r.frames,
+            seed=r.seed,
+        ),
+        "fig10-sampling": lambda r: run_fig10_sampling(
+            trials=r.trials, seed=r.seed
+        ),
+        "fig10-resolution": lambda r: run_fig10_resolution(
+            trials=r.trials, seed=r.seed
+        ),
+        "headline-tightness": lambda r: run_headline_tightness(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "headline-tradeoff": lambda r: run_headline_tradeoff(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "timing": lambda r: run_timing(frame_count=r.frames, seed=r.seed),
+        "var": lambda r: run_extension_var(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "temporal": lambda r: run_extension_temporal(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "ablation-radius": lambda r: run_ablation_radius(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "ablation-replacement": lambda r: run_ablation_replacement(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "ablation-elbow": lambda r: run_ablation_elbow(
+            frame_count=r.frames, seed=r.seed
+        ),
+        "ablation-reuse": lambda r: run_ablation_reuse(
+            frame_count=r.frames, seed=r.seed
+        ),
+        "ablation-anomaly": lambda r: run_ablation_anomaly(frame_count=r.frames),
+        "ablation-stratified": lambda r: run_ablation_stratified(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "coverage-audit": lambda r: run_coverage_audit(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+    }
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Every registered experiment name, figure order first."""
+    return tuple(_runners())
+
+
+def run_experiment(name: str, request: ExperimentRequest) -> ExperimentResult:
+    """Run one registered experiment.
+
+    Args:
+        name: A name from :func:`experiment_names`.
+        request: The common knobs.
+
+    Returns:
+        The experiment result.
+    """
+    runners = _runners()
+    runner = runners.get(name)
+    if runner is None:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; valid: {sorted(runners)}"
+        )
+    return runner(request)

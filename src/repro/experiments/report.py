@@ -1,0 +1,116 @@
+"""One-command reproduction report.
+
+Runs every registered experiment and writes a single markdown artifact
+with all the tables — the "did the reproduction hold end to end" document
+a reviewer can regenerate with one command::
+
+    repro report --output REPRODUCTION.md            # full scale
+    repro report --output quick.md --frames 4000 --trials 10   # smoke
+
+Experiments that fail are recorded in the report rather than aborting it,
+so one broken sweep never hides the rest of the evidence.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.registry import (
+    ExperimentRequest,
+    experiment_names,
+    run_experiment,
+)
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One experiment's outcome inside the report.
+
+    Attributes:
+        name: The registered experiment name.
+        succeeded: Whether the runner completed.
+        seconds: Wall time of the run.
+        lines: The result's table rows, or the failure's traceback tail.
+    """
+
+    name: str
+    succeeded: bool
+    seconds: float
+    lines: tuple[str, ...]
+
+
+def generate_report(
+    output_path: str | Path,
+    request: ExperimentRequest | None = None,
+    names: tuple[str, ...] | None = None,
+) -> list[ReportEntry]:
+    """Run experiments and write the markdown report.
+
+    Args:
+        output_path: Destination markdown file.
+        request: Common experiment knobs (scale/trials/seed); defaults to
+            the registry defaults (full corpora, 20 trials).
+        names: Experiments to include; defaults to every registered one.
+
+    Returns:
+        The per-experiment entries (also serialised into the file).
+    """
+    request = request or ExperimentRequest()
+    chosen = names or experiment_names()
+
+    entries: list[ReportEntry] = []
+    for name in chosen:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(name, request)
+            entries.append(
+                ReportEntry(
+                    name=name,
+                    succeeded=True,
+                    seconds=time.perf_counter() - start,
+                    lines=tuple(result.rows()),
+                )
+            )
+        except Exception:  # noqa: BLE001 - a report must survive failures
+            entries.append(
+                ReportEntry(
+                    name=name,
+                    succeeded=False,
+                    seconds=time.perf_counter() - start,
+                    lines=tuple(traceback.format_exc().splitlines()[-6:]),
+                )
+            )
+
+    _write_markdown(Path(output_path), request, entries)
+    return entries
+
+
+def _write_markdown(
+    path: Path, request: ExperimentRequest, entries: list[ReportEntry]
+) -> None:
+    succeeded = sum(1 for entry in entries if entry.succeeded)
+    total_seconds = sum(entry.seconds for entry in entries)
+    lines: list[str] = [
+        "# Smokescreen reproduction report",
+        "",
+        f"- experiments run: {len(entries)} ({succeeded} succeeded)",
+        f"- total wall time: {total_seconds:.1f}s",
+        f"- scale: frames={request.frames or 'paper-full'}, "
+        f"trials={request.trials}, seed={request.seed}",
+        "",
+        "See `EXPERIMENTS.md` for the paper-vs-measured interpretation of "
+        "each table.",
+        "",
+    ]
+    for entry in entries:
+        status = "ok" if entry.succeeded else "FAILED"
+        lines.append(f"## {entry.name} [{status}, {entry.seconds:.2f}s]")
+        lines.append("")
+        lines.append("```")
+        lines.extend(entry.lines)
+        lines.append("```")
+        lines.append("")
+    path.write_text("\n".join(lines))

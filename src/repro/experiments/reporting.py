@@ -1,0 +1,139 @@
+"""Result containers, table formatting, and ASCII charts.
+
+The harness runs in terminals without a plotting stack, so alongside the
+printable tables every :class:`ExperimentResult` can render its series as
+an ASCII chart — enough to eyeball the curve shapes the paper plots
+(monotone decay, the 384 spike, crossovers) straight from ``repro
+experiment ... --chart`` or a bench log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+#: Glyphs used to distinguish chart series, recycled when exceeded.
+_SERIES_GLYPHS = "ox*+#@%&"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output: named series over a shared knob axis.
+
+    Attributes:
+        title: The experiment's title (figure number + description).
+        knob_label: Name of the x-axis knob (e.g. ``"fraction"``).
+        knobs: The knob values, one per row.
+        series: Column name -> one value per knob (the plotted lines).
+        notes: Free-form remarks (cut-offs, parameters, caveats).
+    """
+
+    title: str
+    knob_label: str
+    knobs: Sequence[object]
+    series: Mapping[str, Sequence[float]]
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.knobs):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for "
+                    f"{len(self.knobs)} knobs"
+                )
+
+    def rows(self) -> list[str]:
+        """The result as printable table rows (header + one row per knob)."""
+        names = list(self.series)
+        header = f"{self.knob_label:>14} | " + " | ".join(
+            f"{name:>18}" for name in names
+        )
+        lines = [self.title, "-" * len(header), header, "-" * len(header)]
+        for index, knob in enumerate(self.knobs):
+            knob_text = f"{knob:>14.6g}" if isinstance(knob, float) else f"{knob!s:>14}"
+            cells = []
+            for name in names:
+                value = self.series[name][index]
+                cells.append(f"{value:>18.6g}" if value == value else f"{'nan':>18}")
+            lines.append(knob_text + " | " + " | ".join(cells))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return lines
+
+    def ascii_chart(self, height: int = 12, width: int = 68) -> list[str]:
+        """The series as an ASCII chart, one glyph per series.
+
+        Knobs map to columns in order (even spacing — the chart shows
+        shape, not scale); values map to rows linearly between the finite
+        minimum and maximum across all series. Non-finite values are
+        skipped.
+
+        Args:
+            height: Plot rows (excluding the legend and axis lines).
+            width: Plot columns.
+
+        Returns:
+            The chart lines, legend last.
+        """
+        if height < 2 or width < 2:
+            raise ValueError("chart needs at least a 2x2 canvas")
+        finite = [
+            value
+            for values in self.series.values()
+            for value in values
+            if isinstance(value, (int, float)) and math.isfinite(value)
+        ]
+        if not finite:
+            return [self.title, "(no finite values to chart)"]
+        low, high = min(finite), max(finite)
+        span = (high - low) or 1.0
+
+        canvas = [[" "] * width for _ in range(height)]
+        knob_count = len(self.knobs)
+        for series_index, (name, values) in enumerate(self.series.items()):
+            glyph = _SERIES_GLYPHS[series_index % len(_SERIES_GLYPHS)]
+            for knob_index, value in enumerate(values):
+                if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                    continue
+                column = (
+                    round(knob_index * (width - 1) / (knob_count - 1))
+                    if knob_count > 1
+                    else 0
+                )
+                row = height - 1 - round((value - low) / span * (height - 1))
+                canvas[row][column] = glyph
+        lines = [self.title]
+        for row_index, row in enumerate(canvas):
+            if row_index == 0:
+                label = f"{high:>10.3g} |"
+            elif row_index == height - 1:
+                label = f"{low:>10.3g} |"
+            else:
+                label = " " * 10 + " |"
+            lines.append(label + "".join(row))
+        lines.append(" " * 10 + " +" + "-" * width)
+        first = self.knobs[0]
+        last = self.knobs[-1]
+        lines.append(
+            " " * 12 + f"{first!s:<{max(1, width // 2)}}{last!s:>{width // 2}}"
+        )
+        legend = "  ".join(
+            f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]}={name}"
+            for i, name in enumerate(self.series)
+        )
+        lines.append(f"legend: {legend}   x-axis: {self.knob_label}")
+        return lines
+
+    def print(self, chart: bool = False) -> None:
+        """Print the table (and optionally the chart) to stdout.
+
+        Args:
+            chart: Also render the ASCII chart below the table.
+        """
+        for line in self.rows():
+            print(line)
+        if chart:
+            print()
+            for line in self.ascii_chart():
+                print(line)

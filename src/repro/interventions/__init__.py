@@ -1,0 +1,39 @@
+"""Destructive interventions (paper §2.1).
+
+Interventions intentionally degrade video to meet system, privacy, and legal
+goals, at some cost to analytical accuracy. The paper's taxonomy:
+
+- **Random** interventions leave the distribution of model outputs unchanged
+  — :class:`~repro.interventions.sampling.FrameSampling` (reduced frame
+  sampling) is the canonical example.
+- **Non-random** interventions can shift the output distribution —
+  :class:`~repro.interventions.resolution.ResolutionReduction` and
+  :class:`~repro.interventions.removal.ImageRemoval`, plus the extension
+  operators :class:`~repro.interventions.quality.NoiseAddition` and
+  :class:`~repro.interventions.quality.Compression` the paper mentions as
+  further degradation methods.
+
+A full degradation setting is an
+:class:`~repro.interventions.plan.InterventionPlan` — the paper's
+``(f, p, c)`` triple (plus optional extension operators) — which knows how
+to derive the eligible frame universe and draw a degraded sample from a
+dataset.
+"""
+
+from repro.interventions.base import Intervention
+from repro.interventions.plan import DegradedSample, InterventionPlan
+from repro.interventions.quality import Compression, NoiseAddition
+from repro.interventions.removal import ImageRemoval
+from repro.interventions.resolution import ResolutionReduction
+from repro.interventions.sampling import FrameSampling
+
+__all__ = [
+    "Compression",
+    "DegradedSample",
+    "FrameSampling",
+    "ImageRemoval",
+    "Intervention",
+    "InterventionPlan",
+    "NoiseAddition",
+    "ResolutionReduction",
+]

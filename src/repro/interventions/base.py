@@ -1,0 +1,30 @@
+"""The intervention interface.
+
+Every destructive intervention declares whether it is *random* (leaves the
+distribution of model outputs unchanged) or *non-random* (may shift it) —
+the distinction that decides which estimation machinery applies
+(paper Table 1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class Intervention(abc.ABC):
+    """One destructive degradation operator."""
+
+    @property
+    @abc.abstractmethod
+    def is_random(self) -> bool:
+        """True when the intervention leaves the model-output distribution
+        unchanged (paper §2.1): the basic error bounds of §3.2.1–3.2.4 are
+        then valid without profile repair."""
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Short human-readable description, e.g. ``"sampling f=0.10"``."""
+
+    def __str__(self) -> str:
+        return self.label

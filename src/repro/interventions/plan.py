@@ -1,0 +1,230 @@
+"""Composite degradation settings: the paper's ``(f, p, c)`` triple.
+
+An :class:`InterventionPlan` bundles one optional intervention of each kind
+(sampling fraction, processing resolution, restricted classes, plus optional
+quality extensions) and knows how to derive a
+:class:`DegradedSample` from a dataset — the frame indices a degraded query
+may touch, the resolution/quality they are processed at, and the size of the
+eligible universe the without-replacement bounds need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.zoo import DetectorSuite
+from repro.errors import InterventionError
+from repro.interventions.quality import Compression, NoiseAddition
+from repro.interventions.removal import ImageRemoval
+from repro.interventions.resolution import ResolutionReduction
+from repro.interventions.sampling import FrameSampling
+from repro.stats.sampling import SampleDesign
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class DegradedSample:
+    """The frames a degraded query execution is allowed to process.
+
+    Attributes:
+        frame_indices: Sampled frame indices (draw order).
+        universe_size: Size of the eligible frame universe the sample was
+            drawn from (after image removal); the ``N`` of the
+            without-replacement bounds.
+        population_size: Total frames in the corpus; SUM/COUNT answers scale
+            to this (the paper assumes the video length is known up front).
+        resolution: Resolution the frames are processed at.
+        quality: Image-quality multiplier from extension interventions.
+    """
+
+    frame_indices: np.ndarray
+    universe_size: int
+    population_size: int
+    resolution: Resolution
+    quality: float
+
+    @property
+    def size(self) -> int:
+        """Number of sampled frames ``n``."""
+        return int(self.frame_indices.size)
+
+
+@dataclass(frozen=True)
+class InterventionPlan:
+    """A full degradation setting ``(f, p, c)`` plus optional extensions.
+
+    ``None`` / empty members mean "knob at its loosest value": full
+    sampling, native resolution, no removal.
+
+    Attributes:
+        sampling: Reduced-frame-sampling intervention, or None.
+        resolution: Reduced-resolution intervention, or None.
+        removal: Image-removal intervention, or None.
+        extras: Extension interventions (noise, compression).
+    """
+
+    sampling: FrameSampling | None = None
+    resolution: ResolutionReduction | None = None
+    removal: ImageRemoval | None = None
+    extras: tuple[NoiseAddition | Compression, ...] = field(default=())
+
+    @classmethod
+    def from_knobs(
+        cls,
+        f: float | None = None,
+        p: int | Resolution | None = None,
+        c: tuple[ObjectClass, ...] | list[ObjectClass] = (),
+    ) -> "InterventionPlan":
+        """Build a plan from raw knob values, the paper's notation.
+
+        Args:
+            f: Sampling fraction, or None for full sampling.
+            p: Resolution side (or a :class:`Resolution`), or None for
+                native resolution.
+            c: Restricted classes; empty for no removal.
+
+        Returns:
+            The composed plan.
+        """
+        sampling = FrameSampling(f) if f is not None else None
+        if p is None:
+            resolution = None
+        elif isinstance(p, Resolution):
+            resolution = ResolutionReduction(p)
+        else:
+            resolution = ResolutionReduction(Resolution(p))
+        removal = ImageRemoval(tuple(c)) if c else None
+        return cls(sampling=sampling, resolution=resolution, removal=removal)
+
+    @property
+    def fraction(self) -> float:
+        """Effective sampling fraction ``f`` (1.0 when not sampling)."""
+        return self.sampling.fraction if self.sampling else 1.0
+
+    @property
+    def is_random(self) -> bool:
+        """True when the plan contains only random interventions.
+
+        Only then are the basic §3.2 bounds valid without profile repair.
+        Note a resolution knob set to the corpus's native resolution is not
+        actually degrading; use :meth:`is_random_for` when the dataset is
+        at hand to classify precisely.
+        """
+        non_random = (
+            self.resolution is not None
+            or self.removal is not None
+            or bool(self.extras)
+        )
+        return not non_random
+
+    def is_random_for(self, dataset: VideoDataset) -> bool:
+        """Like :attr:`is_random`, treating a native-resolution knob as loose.
+
+        A candidate grid includes the native resolution as its loosest
+        resolution value; processing at native resolution changes nothing,
+        so such plans are still random.
+
+        Args:
+            dataset: The corpus the plan will be applied to.
+
+        Returns:
+            True when the plan's only effective interventions are random.
+        """
+        if self.removal is not None or self.extras:
+            return False
+        if self.resolution is None:
+            return True
+        return self.resolution.resolution.side >= dataset.native_resolution.side
+
+    @property
+    def quality(self) -> float:
+        """Combined quality factor of the extension interventions."""
+        quality = 1.0
+        for extra in self.extras:
+            quality *= extra.quality_factor
+        return quality
+
+    def label(self) -> str:
+        """Readable description, e.g. ``"f=0.1, resolution 256x256"``."""
+        parts = [
+            intervention.label
+            for intervention in (self.sampling, self.resolution, self.removal)
+            if intervention is not None
+        ]
+        parts.extend(extra.label for extra in self.extras)
+        return ", ".join(parts) if parts else "no degradation"
+
+    def effective_resolution(self, dataset: VideoDataset) -> Resolution:
+        """The processing resolution under this plan for a given corpus."""
+        if self.resolution is None:
+            return dataset.native_resolution
+        chosen = self.resolution.resolution
+        if chosen.side > dataset.native_resolution.side:
+            raise InterventionError(
+                f"plan resolution {chosen} exceeds native "
+                f"{dataset.native_resolution} of {dataset.name!r}"
+            )
+        return chosen
+
+    def eligible_indices(
+        self, dataset: VideoDataset, suite: DetectorSuite | None
+    ) -> np.ndarray:
+        """Indices of frames surviving image removal.
+
+        Args:
+            dataset: The corpus.
+            suite: Restricted-class detectors; required when the plan has a
+                removal intervention.
+
+        Returns:
+            Sorted frame indices the degraded execution may sample from.
+        """
+        if self.removal is None:
+            return np.arange(dataset.frame_count)
+        if suite is None:
+            raise InterventionError(
+                "image removal requires a DetectorSuite for restricted-class flags"
+            )
+        mask = self.removal.eligible_mask(dataset, suite)
+        indices = np.nonzero(mask)[0]
+        if indices.size == 0:
+            raise InterventionError(
+                f"removal of {self.removal.label!r} leaves no eligible frames "
+                f"in {dataset.name!r}"
+            )
+        return indices
+
+    def draw(
+        self,
+        dataset: VideoDataset,
+        rng: np.random.Generator,
+        suite: DetectorSuite | None = None,
+    ) -> DegradedSample:
+        """Draw the degraded sample for one trial.
+
+        Frames are removed first (restricted classes), then sampled without
+        replacement at the plan's fraction, and processed at the plan's
+        resolution/quality.
+
+        Args:
+            dataset: The corpus.
+            rng: Trial randomness for the frame sample.
+            suite: Restricted-class detectors (needed only with removal).
+
+        Returns:
+            The degraded sample.
+        """
+        eligible = self.eligible_indices(dataset, suite)
+        design = SampleDesign(eligible.size, self.fraction)
+        chosen = eligible[rng.choice(eligible.size, size=design.size, replace=False)]
+        return DegradedSample(
+            frame_indices=chosen,
+            universe_size=int(eligible.size),
+            population_size=dataset.frame_count,
+            resolution=self.effective_resolution(dataset),
+            quality=self.quality,
+        )

@@ -1,0 +1,80 @@
+"""Extension interventions: noise addition and lossy compression.
+
+The paper lists noise addition [65] and video compression [27] as further
+degradation methods beyond its three examples. Both blur fine detail, which
+in the simulated-detector model is equivalent to shrinking every object's
+apparent size by a *quality factor* in ``(0, 1]``. They are non-random:
+outputs shift systematically toward missed detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.interventions.base import Intervention
+
+
+@dataclass(frozen=True)
+class NoiseAddition(Intervention):
+    """Additive image noise that masks detail (privacy against face
+    recognition, paper reference [65]).
+
+    Attributes:
+        strength: Noise strength in ``[0, 1)``; the detector-visible quality
+            factor is ``1 - strength``.
+    """
+
+    strength: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.strength < 1.0:
+            raise ConfigurationError(
+                f"noise strength must lie in [0, 1), got {self.strength}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"noise {self.strength:g}"
+
+    @property
+    def quality_factor(self) -> float:
+        """Multiplier applied to apparent object sizes."""
+        return 1.0 - self.strength
+
+
+@dataclass(frozen=True)
+class Compression(Intervention):
+    """Lossy compression at a quality setting (paper reference [27]).
+
+    Attributes:
+        quality: Encoder quality in ``(0, 1]``; 1 is visually lossless. The
+            detector-visible quality factor interpolates between 0.5 (at
+            quality 0) and 1.0, reflecting that even harsh compression keeps
+            coarse structure.
+    """
+
+    quality: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quality <= 1.0:
+            raise ConfigurationError(
+                f"compression quality must lie in (0, 1], got {self.quality}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"compression q={self.quality:g}"
+
+    @property
+    def quality_factor(self) -> float:
+        """Multiplier applied to apparent object sizes."""
+        return 0.5 + 0.5 * self.quality

@@ -1,0 +1,75 @@
+"""Image removal of frames containing restricted classes (example 3).
+
+Frames in which a restricted class ("person", "face", or any combination)
+is detected are deleted outright for legal compliance and privacy. The
+detection is done by the deployment's
+:class:`~repro.detection.zoo.DetectorSuite` at native resolution, and the
+per-frame containment flags are treated as stored prior information, exactly
+as in the paper's §5.1.
+
+This is a *non-random* intervention: if the restricted class is correlated
+with the query's subject (people appear where cars do), the surviving frame
+universe is biased and so is any estimate computed from it — the central
+motivation for profile repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.zoo import DetectorSuite
+from repro.errors import ConfigurationError
+from repro.interventions.base import Intervention
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+
+
+@dataclass(frozen=True)
+class ImageRemoval(Intervention):
+    """Delete frames containing any of the restricted classes.
+
+    Attributes:
+        classes: The restricted classes; frames where the suite detects at
+            least one instance of *any* of them are removed.
+    """
+
+    classes: tuple[ObjectClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError(
+                "image removal requires at least one restricted class; "
+                "omit the intervention instead of passing an empty tuple"
+            )
+        if len(set(self.classes)) != len(self.classes):
+            raise ConfigurationError(f"duplicate restricted classes: {self.classes}")
+
+    @property
+    def is_random(self) -> bool:
+        """Removal biases the frame universe whenever the restricted class
+        correlates with the query subject."""
+        return False
+
+    @property
+    def label(self) -> str:
+        names = "+".join(cls.name.lower() for cls in self.classes)
+        return f"remove {names}"
+
+    def eligible_mask(self, dataset: VideoDataset, suite: DetectorSuite) -> np.ndarray:
+        """Frames that survive the removal.
+
+        Args:
+            dataset: The corpus.
+            suite: Restricted-class detectors (per-frame flags are computed
+                at native resolution and cached by the detectors).
+
+        Returns:
+            Boolean array; True where the frame contains none of the
+            restricted classes.
+        """
+        mask = np.ones(dataset.frame_count, dtype=bool)
+        for object_class in self.classes:
+            mask &= ~suite.presence(dataset, object_class)
+        return mask

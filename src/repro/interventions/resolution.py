@@ -1,0 +1,36 @@
+"""Reduced frame resolution (paper intervention example 2).
+
+Downscaling frames hides objects that need high resolution to recognise
+(faces, licence plates) and lightens storage/transmission. It is a
+*non-random* intervention: detector recall depends on apparent object size,
+so outputs on low-resolution frames are systematically shifted — the reason
+the basic bounds need profile repair under this knob (paper §3.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interventions.base import Intervention
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class ResolutionReduction(Intervention):
+    """Process frames at a reduced square resolution.
+
+    Attributes:
+        resolution: Target processing resolution; must not exceed the
+            dataset's native resolution (validated when applied).
+    """
+
+    resolution: Resolution
+
+    @property
+    def is_random(self) -> bool:
+        """Resolution reduction systematically shifts model outputs."""
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"resolution {self.resolution}"

@@ -1,0 +1,42 @@
+"""Reduced frame sampling (paper intervention example 1).
+
+Randomly keeping only a fraction ``f`` of the query-specified frames
+conceals time-related private information (daily life tracks) and reduces
+file size for low-bandwidth or low-energy deployments. It is the paper's
+canonical *random* intervention: the retained frames are an unbiased
+without-replacement sample, so the distribution of model outputs is
+unchanged and the §3.2 bounds apply directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.interventions.base import Intervention
+
+
+@dataclass(frozen=True)
+class FrameSampling(Intervention):
+    """Keep a uniformly random fraction of frames, without replacement.
+
+    Attributes:
+        fraction: Sampling fraction ``f`` in ``(0, 1]``; 1 keeps everything.
+    """
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"sample fraction must lie in (0, 1], got {self.fraction}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        """Frame sampling is the canonical random intervention."""
+        return True
+
+    @property
+    def label(self) -> str:
+        return f"sampling f={self.fraction:g}"

@@ -1,0 +1,22 @@
+"""The video query processor.
+
+A query is the paper's 3-tuple ``(D, F_model, F_A)``: a video corpus, a
+frame-level vision model (UDF), and an aggregate function. The processor
+evaluates queries exactly (the ground truth: model outputs at native
+resolution over all ``N`` frames) and under an
+:class:`~repro.interventions.plan.InterventionPlan` (the degraded,
+approximate execution the estimators bound).
+"""
+
+from repro.query.aggregates import Aggregate, FramePredicate, contains_at_least
+from repro.query.processor import DegradedExecution, QueryProcessor
+from repro.query.query import AggregateQuery
+
+__all__ = [
+    "Aggregate",
+    "AggregateQuery",
+    "DegradedExecution",
+    "FramePredicate",
+    "QueryProcessor",
+    "contains_at_least",
+]

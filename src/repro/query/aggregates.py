@@ -1,0 +1,133 @@
+"""Aggregate functions and frame predicates (paper §3.2).
+
+The supported aggregates are the paper's AVG, SUM, COUNT, MAX and MIN, all
+computed at the frame level and then aggregated. COUNT counts frames
+satisfying a predicate over the model output (e.g. "contains at least one
+car") and is reduced to SUM of indicators, exactly as §3.2.3 does. MAX/MIN
+are estimated through extreme quantiles (§3.2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.stats.quantiles import empirical_quantile
+
+
+class Aggregate(enum.Enum):
+    """The aggregate functions Smokescreen supports.
+
+    AVG/SUM/COUNT/MAX/MIN are the paper's aggregates; VAR is the extension
+    named in its future work (§7), estimated via moment intervals (see
+    :mod:`repro.estimators.variance`).
+    """
+
+    AVG = "avg"
+    SUM = "sum"
+    COUNT = "count"
+    MAX = "max"
+    MIN = "min"
+    VAR = "var"
+
+    @property
+    def is_mean_family(self) -> bool:
+        """AVG/SUM/COUNT share the Algorithm 1 estimation machinery."""
+        return self in (Aggregate.AVG, Aggregate.SUM, Aggregate.COUNT)
+
+    @property
+    def is_extreme(self) -> bool:
+        """MAX/MIN use the quantile machinery of Algorithm 2."""
+        return self in (Aggregate.MAX, Aggregate.MIN)
+
+    @property
+    def is_variance(self) -> bool:
+        """VAR uses the moment-interval extension of Algorithm 1."""
+        return self == Aggregate.VAR
+
+    @property
+    def default_quantile(self) -> float:
+        """The paper's default extreme quantile: 0.99 for MAX, 0.01 for MIN."""
+        if self == Aggregate.MAX:
+            return 0.99
+        if self == Aggregate.MIN:
+            return 0.01
+        raise ConfigurationError(f"{self.name} has no extreme quantile")
+
+
+@dataclass(frozen=True)
+class FramePredicate:
+    """A named boolean predicate over per-frame model outputs.
+
+    Used by COUNT queries: the aggregate counts frames where the predicate
+    holds. The name appears in profiles and reports.
+
+    Attributes:
+        name: Readable description, e.g. ``"count >= 1"``.
+        fn: Vectorised predicate mapping output values to booleans.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, outputs: np.ndarray) -> np.ndarray:
+        result = np.asarray(self.fn(np.asarray(outputs)))
+        if result.dtype != bool:
+            raise ConfigurationError(
+                f"predicate {self.name!r} must return booleans, got {result.dtype}"
+            )
+        return result
+
+
+def contains_at_least(minimum: int = 1) -> FramePredicate:
+    """Predicate: the frame's detected count is at least ``minimum``.
+
+    ``contains_at_least(1)`` is the paper's COUNT workload ("count the
+    number of frames that contain cars").
+
+    Args:
+        minimum: Minimum detected count for the predicate to hold.
+
+    Returns:
+        The predicate.
+    """
+    if minimum < 0:
+        raise ConfigurationError(f"minimum must be non-negative, got {minimum}")
+    return FramePredicate(
+        name=f"count >= {minimum}", fn=lambda outputs: outputs >= minimum
+    )
+
+
+def aggregate_value(
+    values: np.ndarray, aggregate: Aggregate, quantile_r: float | None = None
+) -> float:
+    """Evaluate an aggregate over frame values exactly.
+
+    For MAX/MIN this returns the extreme *quantile* (the paper's target of
+    estimation), not the literal extreme; pass ``quantile_r=1.0`` / ``0.0``
+    for the literal value.
+
+    Args:
+        values: Per-frame values (already predicate-transformed for COUNT).
+        aggregate: The aggregate function.
+        quantile_r: Quantile level for MAX/MIN; defaults to the paper's
+            0.99 / 0.01.
+
+    Returns:
+        The aggregate value.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot aggregate an empty value array")
+    if aggregate == Aggregate.AVG:
+        return float(array.mean())
+    if aggregate in (Aggregate.SUM, Aggregate.COUNT):
+        return float(array.sum())
+    if aggregate == Aggregate.VAR:
+        return float(array.var())
+    r = quantile_r if quantile_r is not None else aggregate.default_quantile
+    return empirical_quantile(array, r)

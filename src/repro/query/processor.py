@@ -1,0 +1,166 @@
+"""Query execution: exact (ground truth) and degraded.
+
+The processor is the only component that touches model outputs, so it is
+also where the paper's reuse strategy lives: full-corpus outputs per
+(model, resolution, quality) are computed once by the detector's own cache
+and every degraded execution just gathers the sampled frames from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.zoo import DetectorSuite
+from repro.errors import ConfigurationError
+from repro.interventions.plan import DegradedSample, InterventionPlan
+from repro.query.aggregates import Aggregate, aggregate_value
+from repro.query.query import AggregateQuery
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class DegradedExecution:
+    """Everything the estimators need from one degraded query run.
+
+    Attributes:
+        values: Aggregate input values on the sampled frames (model outputs,
+            predicate-transformed for COUNT).
+        sample: The degraded sample that produced the values.
+    """
+
+    values: np.ndarray
+    sample: DegradedSample
+
+    @property
+    def universe_size(self) -> int:
+        """Eligible-universe size ``N`` for the without-replacement bounds."""
+        return self.sample.universe_size
+
+    @property
+    def population_size(self) -> int:
+        """Total corpus length, the scaling target of SUM/COUNT answers."""
+        return self.sample.population_size
+
+    @property
+    def size(self) -> int:
+        """Sample size ``n``."""
+        return int(self.values.size)
+
+
+class QueryProcessor:
+    """Evaluates aggregate queries exactly and under intervention plans."""
+
+    def __init__(self, suite: DetectorSuite | None = None) -> None:
+        """Create a processor.
+
+        Args:
+            suite: Restricted-class detectors used by image-removal plans;
+                optional when no plan removes frames.
+        """
+        self._suite = suite
+
+    @property
+    def suite(self) -> DetectorSuite | None:
+        """The restricted-class detector suite, if configured."""
+        return self._suite
+
+    def frame_values(
+        self,
+        query: AggregateQuery,
+        resolution: Resolution | None = None,
+        quality: float = 1.0,
+    ) -> np.ndarray:
+        """Aggregate input values for every frame of the corpus.
+
+        Args:
+            query: The query.
+            resolution: Processing resolution; defaults to native.
+            quality: Quality factor from extension interventions.
+
+        Returns:
+            Per-frame values over all ``N`` frames.
+        """
+        outputs = query.model.run(query.dataset, resolution, quality).counts
+        return query.frame_values(outputs)
+
+    def true_values(self, query: AggregateQuery) -> np.ndarray:
+        """Ground-truth per-frame values: native resolution, full quality."""
+        return self.frame_values(query)
+
+    def true_answer(self, query: AggregateQuery) -> float:
+        """The true query answer ``Y_true`` (paper §2.3: the result on
+        non-degraded video)."""
+        if query.aggregate.is_extreme:
+            return aggregate_value(
+                self.true_values(query), query.aggregate, query.effective_quantile
+            )
+        return aggregate_value(self.true_values(query), query.aggregate)
+
+    def execute(
+        self,
+        query: AggregateQuery,
+        plan: InterventionPlan,
+        rng: np.random.Generator,
+    ) -> DegradedExecution:
+        """Run the query under a degradation plan for one trial.
+
+        Args:
+            query: The query.
+            plan: The degradation setting.
+            rng: Trial randomness for the frame sample.
+
+        Returns:
+            The degraded execution (sampled values + sample metadata).
+        """
+        sample = plan.draw(query.dataset, rng, self._suite)
+        values = self.values_for_sample(query, sample)
+        return DegradedExecution(values=values, sample=sample)
+
+    def values_for_sample(
+        self, query: AggregateQuery, sample: DegradedSample
+    ) -> np.ndarray:
+        """Aggregate input values on an already-drawn degraded sample.
+
+        Separated from :meth:`execute` so progressive samplers (profile
+        generation) can reuse one sample across estimators.
+
+        Args:
+            query: The query.
+            sample: The degraded sample.
+
+        Returns:
+            Values on the sampled frames, in sample order.
+        """
+        if sample.size == 0:
+            raise ConfigurationError("degraded sample contains no frames")
+        full = self.frame_values(query, sample.resolution, sample.quality)
+        return full[sample.frame_indices]
+
+    def naive_approximation(
+        self, query: AggregateQuery, execution: DegradedExecution
+    ) -> float:
+        """The plain plug-in estimate from a degraded execution.
+
+        AVG: sample mean; SUM/COUNT: scaled sample sum; MAX/MIN: sample
+        quantile. Useful as a reference point — the Smokescreen estimators
+        deliberately return a different (bound-aware) estimate for the mean
+        family.
+
+        Args:
+            query: The query.
+            execution: A degraded execution of it.
+
+        Returns:
+            The plug-in approximate answer.
+        """
+        values = execution.values
+        if query.aggregate == Aggregate.AVG:
+            return float(values.mean())
+        if query.aggregate in (Aggregate.SUM, Aggregate.COUNT):
+            scale = execution.population_size / values.size
+            return float(values.sum() * scale)
+        if query.aggregate == Aggregate.VAR:
+            return aggregate_value(values, query.aggregate)
+        return aggregate_value(values, query.aggregate, query.effective_quantile)

@@ -1,0 +1,114 @@
+"""The aggregate query object: the paper's ``(D, F_model, F_A)`` tuple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.base import Detector
+from repro.errors import ConfigurationError
+from repro.query.aggregates import Aggregate, FramePredicate, contains_at_least
+from repro.video.dataset import VideoDataset
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A frame-level analytical aggregate query.
+
+    Attributes:
+        dataset: The video corpus ``D``.
+        model: The vision-model UDF ``F_model`` (e.g. a car detector).
+        aggregate: The aggregate function ``F_A``.
+        predicate: Frame predicate for COUNT queries; defaults to
+            "contains at least one detection". Ignored by other aggregates.
+        quantile_r: Extreme quantile level for MAX/MIN; defaults to the
+            paper's 0.99 (MAX) / 0.01 (MIN). Ignored by other aggregates.
+        delta: Bound failure probability; the paper uses 0.05 (95%
+            confidence) throughout.
+    """
+
+    dataset: VideoDataset
+    model: Detector
+    aggregate: Aggregate
+    predicate: FramePredicate | None = None
+    quantile_r: float | None = None
+    delta: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError(f"delta must lie in (0, 1), got {self.delta}")
+        if self.quantile_r is not None and not 0.0 < self.quantile_r < 1.0:
+            raise ConfigurationError(
+                f"quantile level must lie in (0, 1), got {self.quantile_r}"
+            )
+        if self.predicate is not None and self.aggregate != Aggregate.COUNT:
+            raise ConfigurationError(
+                f"predicates only apply to COUNT queries, not {self.aggregate.name}"
+            )
+
+    @property
+    def effective_predicate(self) -> FramePredicate:
+        """The COUNT predicate, defaulting to "contains a detection"."""
+        if self.aggregate != Aggregate.COUNT:
+            raise ConfigurationError(
+                f"{self.aggregate.name} queries have no predicate"
+            )
+        return self.predicate or contains_at_least(1)
+
+    @property
+    def effective_quantile(self) -> float:
+        """The extreme quantile level used by MAX/MIN estimation."""
+        if not self.aggregate.is_extreme:
+            raise ConfigurationError(
+                f"{self.aggregate.name} queries have no quantile level"
+            )
+        return (
+            self.quantile_r
+            if self.quantile_r is not None
+            else self.aggregate.default_quantile
+        )
+
+    @property
+    def known_value_range(self) -> float | None:
+        """The population range of the aggregate's input values, when it is
+        structurally known.
+
+        COUNT queries see 0/1 predicate indicators, so their range is 1
+        regardless of what the detector outputs — supplying it closes the
+        sample-range blind spot (a sample of identical indicators would
+        otherwise claim certainty). Other aggregates see raw model outputs
+        with no a-priori range.
+        """
+        if self.aggregate == Aggregate.COUNT:
+            return 1.0
+        return None
+
+    def frame_values(self, outputs: np.ndarray) -> np.ndarray:
+        """Transform raw model outputs into the values the aggregate sees.
+
+        COUNT converts outputs to 0/1 indicators through the predicate
+        (§3.2.3's reduction to SUM); all other aggregates use the raw
+        outputs.
+
+        Args:
+            outputs: Per-frame model outputs.
+
+        Returns:
+            Per-frame aggregate input values, floating point.
+        """
+        if self.aggregate == Aggregate.COUNT:
+            return self.effective_predicate(outputs).astype(float)
+        return np.asarray(outputs, dtype=float)
+
+    def label(self) -> str:
+        """Readable description for profiles and reports."""
+        detail = ""
+        if self.aggregate == Aggregate.COUNT:
+            detail = f"[{self.effective_predicate.name}]"
+        elif self.aggregate.is_extreme:
+            detail = f"[r={self.effective_quantile:g}]"
+        return (
+            f"{self.aggregate.name}{detail}({self.model.name} "
+            f"on {self.dataset.name})"
+        )

@@ -1,0 +1,69 @@
+"""Statistical substrate: concentration inequalities and sampling designs.
+
+This subpackage contains the probabilistic machinery that the Smokescreen
+estimators (:mod:`repro.estimators`) are built on:
+
+- :mod:`repro.stats.inequalities` — interval radii from Hoeffding,
+  Hoeffding–Serfling, empirical Bernstein (single-``n`` and the
+  union-over-time form used by the EBGS stopping algorithm) and the CLT.
+- :mod:`repro.stats.hypergeometric` — moments and the normal approximation of
+  the hypergeometric distribution used by the MAX/MIN quantile bound
+  (Theorem 3.2 of the paper).
+- :mod:`repro.stats.sampling` — sampling-without-replacement designs,
+  including the progressive (nested) sampler that lets profile generation
+  reuse model invocations across sample fractions (paper §3.3.2).
+- :mod:`repro.stats.quantiles` — rank and distinct-value-frequency utilities
+  underlying the rank-based quantile error metric.
+"""
+
+from repro.stats.hypergeometric import (
+    hypergeometric_mean,
+    hypergeometric_variance,
+    normal_approximation_interval,
+    z_score,
+)
+from repro.stats.inequalities import (
+    clt_radius,
+    empirical_bernstein_radius,
+    empirical_bernstein_serfling_radius,
+    empirical_bernstein_union_radius,
+    hoeffding_radius,
+    hoeffding_serfling_radius,
+    hoeffding_serfling_rho,
+)
+from repro.stats.quantiles import (
+    DistinctValueTable,
+    empirical_quantile,
+    quantile_rank_index,
+    rank_of_value,
+    relative_rank_error,
+)
+from repro.stats.sampling import (
+    ProgressiveSampler,
+    SampleDesign,
+    sample_without_replacement,
+    stratified_time_sample,
+)
+
+__all__ = [
+    "DistinctValueTable",
+    "ProgressiveSampler",
+    "SampleDesign",
+    "clt_radius",
+    "empirical_bernstein_radius",
+    "empirical_bernstein_serfling_radius",
+    "empirical_bernstein_union_radius",
+    "empirical_quantile",
+    "hoeffding_radius",
+    "hoeffding_serfling_radius",
+    "hoeffding_serfling_rho",
+    "hypergeometric_mean",
+    "hypergeometric_variance",
+    "normal_approximation_interval",
+    "quantile_rank_index",
+    "rank_of_value",
+    "relative_rank_error",
+    "sample_without_replacement",
+    "stratified_time_sample",
+    "z_score",
+]

@@ -1,0 +1,226 @@
+"""Concentration-inequality interval radii.
+
+Every function here returns the half-width ``I`` of a two-sided confidence
+interval for the mean of bounded observations: with probability at least
+``1 - delta`` the true mean lies in ``(sample_mean - I, sample_mean + I)``.
+
+These radii are the raw statistical ingredients of the error-bound estimators
+in :mod:`repro.estimators`; keeping them here, free of any video vocabulary,
+makes them independently testable and reusable.
+
+References (numbering follows the paper):
+
+- Hoeffding [31] — i.i.d. bounded variables.
+- Hoeffding–Serfling [8] — sampling *without replacement* from a finite
+  population of size ``N``; strictly tighter than Hoeffding for ``n > 1``.
+- Empirical Bernstein [7] — variance-adaptive bound; the union-over-time form
+  is the one used inside the EBGS stopping algorithm [48].
+- CLT — the normal-approximation radius used by online aggregation [30];
+  *not* a guaranteed bound (see Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _check_common(n: int, delta: float, value_range: float) -> None:
+    """Validate arguments shared by every radius function."""
+    if n <= 0:
+        raise ConfigurationError(f"sample size must be positive, got n={n}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+    if value_range < 0.0:
+        raise ConfigurationError(
+            f"value range must be non-negative, got {value_range}"
+        )
+
+
+def hoeffding_radius(n: int, delta: float, value_range: float) -> float:
+    """Two-sided Hoeffding interval radius for i.i.d. samples.
+
+    With probability at least ``1 - delta``,
+    ``|sample_mean - mean| <= R * sqrt(log(2 / delta) / (2 n))`` where ``R``
+    is the range of the observations.
+
+    Args:
+        n: Number of samples.
+        delta: Failure probability of the two-sided interval.
+        value_range: Range ``R`` of the bounded observations.
+
+    Returns:
+        The interval half-width ``I``.
+    """
+    _check_common(n, delta, value_range)
+    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def hoeffding_serfling_rho(n: int, population: int) -> float:
+    """The ``rho_n`` factor of the Hoeffding–Serfling inequality.
+
+    ``rho_n = min(1 - (n - 1) / N, (1 - n / N) (1 + 1 / n))`` exactly as in
+    Algorithm 1 of the paper. It decays to zero as the sample exhausts the
+    population, which is what makes the bound collapse at ``n = N``.
+
+    Args:
+        n: Number of samples drawn without replacement.
+        population: Finite population size ``N``; must satisfy ``n <= N``.
+
+    Returns:
+        The dimensionless factor ``rho_n`` in ``[0, 1]``.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"sample size must be positive, got n={n}")
+    if population < n:
+        raise ConfigurationError(
+            f"population {population} smaller than sample size {n}"
+        )
+    first = 1.0 - (n - 1) / population
+    second = (1.0 - n / population) * (1.0 + 1.0 / n)
+    return min(first, second)
+
+
+def hoeffding_serfling_radius(
+    n: int, population: int, delta: float, value_range: float
+) -> float:
+    """Two-sided Hoeffding–Serfling radius for without-replacement samples.
+
+    With probability at least ``1 - delta``,
+    ``|sample_mean - mean| <= R * sqrt(rho_n * log(2 / delta) / (2 n))``.
+    The factor 2 inside the logarithm is the union bound over the two
+    one-sided inequalities, as derived in §3.2.1 of the paper.
+
+    Args:
+        n: Number of samples drawn without replacement.
+        population: Finite population size ``N``.
+        delta: Failure probability of the two-sided interval.
+        value_range: Range ``R`` of the observations.
+
+    Returns:
+        The interval half-width ``I``.
+    """
+    _check_common(n, delta, value_range)
+    rho = hoeffding_serfling_rho(n, population)
+    return value_range * math.sqrt(rho * math.log(2.0 / delta) / (2.0 * n))
+
+
+def empirical_bernstein_radius(
+    n: int, delta: float, value_range: float, sample_std: float
+) -> float:
+    """Two-sided empirical Bernstein radius for a single sample size.
+
+    ``I = sigma_hat * sqrt(2 log(3 / delta) / n) + 3 R log(3 / delta) / n``
+    (Audibert et al. [7]). Variance-adaptive: much tighter than Hoeffding
+    when the observations have small empirical standard deviation.
+
+    Args:
+        n: Number of samples.
+        delta: Failure probability.
+        value_range: Range ``R`` of the observations.
+        sample_std: Empirical standard deviation of the samples.
+
+    Returns:
+        The interval half-width ``I``.
+    """
+    _check_common(n, delta, value_range)
+    if sample_std < 0.0:
+        raise ConfigurationError(
+            f"sample standard deviation must be non-negative, got {sample_std}"
+        )
+    log_term = math.log(3.0 / delta)
+    return sample_std * math.sqrt(2.0 * log_term / n) + 3.0 * value_range * log_term / n
+
+
+def empirical_bernstein_union_radius(
+    t: int, delta: float, value_range: float, sample_std: float
+) -> float:
+    """Empirical Bernstein radius valid *simultaneously* for all times ``t``.
+
+    The EBGS stopping algorithm [48] needs intervals that hold jointly for
+    every prefix length ``t`` of the sample stream, so it spends
+    ``delta_t = delta / (t (t + 1))`` at step ``t`` (these sum to ``delta``
+    over ``t >= 1``). This is the construction Smokescreen's Algorithm 1
+    deliberately *relaxes* — it only needs the interval at the final ``n`` —
+    which is one source of its tighter bound.
+
+    Args:
+        t: Prefix length (1-based step of the sample stream).
+        delta: Total failure probability, shared across all steps.
+        value_range: Range ``R`` of the observations.
+        sample_std: Empirical standard deviation of the first ``t`` samples.
+
+    Returns:
+        The interval half-width at step ``t``.
+    """
+    _check_common(t, delta, value_range)
+    delta_t = delta / (t * (t + 1))
+    return empirical_bernstein_radius(t, delta_t, value_range, sample_std)
+
+
+def empirical_bernstein_serfling_radius(
+    n: int, population: int, delta: float, value_range: float, sample_std: float
+) -> float:
+    """Two-sided empirical Bernstein–Serfling radius (without replacement).
+
+    Bardenet & Maillard's [8] variance-adaptive companion to the
+    Hoeffding–Serfling inequality: with probability at least ``1 - delta``,
+
+    ``|x_bar - mu| <= sigma_hat * sqrt(2 rho_n log(5/delta) / n)
+                       + kappa * R * log(5/delta) / n``
+
+    with ``kappa = 7/3 + 3/sqrt(2)`` and the same ``rho_n`` shrinkage as
+    Hoeffding–Serfling. Tighter than H-S when the empirical standard
+    deviation is well below the range; looser at very small ``n`` where
+    the ``R/n`` correction term dominates. The `ablation-radius`
+    experiment compares both inside Algorithm 1's output construction.
+
+    Args:
+        n: Number of samples drawn without replacement.
+        population: Finite population size ``N``.
+        delta: Failure probability of the two-sided interval.
+        value_range: Range ``R`` of the observations.
+        sample_std: Empirical standard deviation of the samples.
+
+    Returns:
+        The interval half-width ``I``.
+    """
+    _check_common(n, delta, value_range)
+    if sample_std < 0.0:
+        raise ConfigurationError(
+            f"sample standard deviation must be non-negative, got {sample_std}"
+        )
+    rho = hoeffding_serfling_rho(n, population)
+    log_term = math.log(5.0 / delta)
+    kappa = 7.0 / 3.0 + 3.0 / math.sqrt(2.0)
+    return sample_std * math.sqrt(2.0 * rho * log_term / n) + (
+        kappa * value_range * log_term / n
+    )
+
+
+def clt_radius(n: int, delta: float, sample_std: float) -> float:
+    """Normal-approximation radius used by online aggregation.
+
+    ``I = z_{delta/2} * sigma_hat / sqrt(n)``. This is *not* a guaranteed
+    bound: at small ``n`` or skewed data the coverage can fall below
+    ``1 - delta`` (the paper's Figure 5 quantifies exactly this failure).
+
+    Args:
+        n: Number of samples.
+        delta: Nominal two-sided failure probability.
+        sample_std: Empirical standard deviation of the samples.
+
+    Returns:
+        The nominal interval half-width ``I``.
+    """
+    _check_common(n, delta, value_range=0.0)
+    if sample_std < 0.0:
+        raise ConfigurationError(
+            f"sample standard deviation must be non-negative, got {sample_std}"
+        )
+    # Local import keeps scipy out of the module import path for callers that
+    # only need the closed-form inequalities.
+    from repro.stats.hypergeometric import z_score
+
+    return z_score(delta) * sample_std / math.sqrt(n)

@@ -1,0 +1,164 @@
+"""Rank and distinct-value utilities for the quantile (MAX/MIN) estimators.
+
+The paper measures MAX/MIN accuracy with a *rank-based* relative error
+(§3.2.4): the approximate answer's rank in the original output array is
+compared against the true answer's rank. The helpers here define quantile
+indexing, rank lookup, and the distinct-value frequency table
+(``s_i``, ``F_i``, ``F_hat_i``) that Theorem 3.2's formulas are written in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantile_rank_index(n: int, r: float) -> int:
+    """0-based index of the ``r``-th quantile in a sorted array of length ``n``.
+
+    Matches Algorithm 2's ``sortList[n * r]`` with clamping so that ``r = 1``
+    selects the last element rather than overflowing.
+
+    Args:
+        n: Array length; must be positive.
+        r: Quantile level in ``[0, 1]``.
+
+    Returns:
+        ``min(floor(n * r), n - 1)``.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"array length must be positive, got {n}")
+    if not 0.0 <= r <= 1.0:
+        raise ConfigurationError(f"quantile level must lie in [0, 1], got {r}")
+    return min(int(n * r), n - 1)
+
+
+def empirical_quantile(values: np.ndarray, r: float) -> float:
+    """The ``r``-th empirical quantile, by the paper's indexing rule.
+
+    Args:
+        values: Sample values (any order).
+        r: Quantile level in ``[0, 1]``.
+
+    Returns:
+        The element at :func:`quantile_rank_index` of the sorted values.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    ordered = np.sort(array)
+    return float(ordered[quantile_rank_index(ordered.size, r)])
+
+
+def rank_of_value(values: np.ndarray, value: float) -> int:
+    """Number of entries of ``values`` that are ``<= value``.
+
+    This is the (1-based) rank used by the paper's rank-error metric: the
+    cumulative count at ``value`` in the reference array.
+
+    Args:
+        values: Reference array (any order).
+        value: Query value.
+
+    Returns:
+        ``#{ v in values : v <= value }``.
+    """
+    array = np.asarray(values, dtype=float)
+    return int(np.count_nonzero(array <= value))
+
+
+def relative_rank_error(reference: np.ndarray, approx: float, true: float) -> float:
+    """The paper's MAX/MIN accuracy metric.
+
+    ``| rank(approx) - rank(true) | / rank(true)`` where ranks are cumulative
+    counts in the *reference* (original, non-degraded) output array.
+
+    Args:
+        reference: The original model outputs ``X_1..X_N``.
+        approx: Approximate quantile answer.
+        true: True quantile answer.
+
+    Returns:
+        The relative rank error; zero when the ranks agree.
+    """
+    true_rank = rank_of_value(reference, true)
+    if true_rank == 0:
+        raise ConfigurationError(
+            "true value has rank zero in the reference array; "
+            "the relative rank error is undefined"
+        )
+    approx_rank = rank_of_value(reference, approx)
+    return abs(approx_rank - true_rank) / true_rank
+
+
+@dataclass(frozen=True)
+class DistinctValueTable:
+    """Sorted distinct values of a sample with their relative frequencies.
+
+    This is the ``(s_i, F_hat_i)`` table of §3.2.4: ``values[i]`` is the
+    ``i``-th smallest distinct value and ``frequencies[i]`` its share of the
+    sample. Built with :meth:`from_sample`.
+
+    Attributes:
+        values: Sorted distinct sample values.
+        frequencies: Relative frequency of each distinct value; sums to 1.
+    """
+
+    values: np.ndarray
+    frequencies: np.ndarray
+
+    @classmethod
+    def from_sample(cls, sample: np.ndarray) -> "DistinctValueTable":
+        """Build the table from raw sample values.
+
+        Args:
+            sample: Non-empty array of sample values.
+
+        Returns:
+            The distinct-value table.
+        """
+        array = np.asarray(sample, dtype=float)
+        if array.size == 0:
+            raise ConfigurationError("cannot tabulate an empty sample")
+        values, counts = np.unique(array, return_counts=True)
+        return cls(values=values, frequencies=counts / array.size)
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """Cumulative frequencies ``sum_{j <= i} F_hat_j``."""
+        return np.cumsum(self.frequencies)
+
+    def quantile_position(self, r: float) -> int:
+        """Index of the ``r``-th quantile among the distinct values.
+
+        Implements Theorem 3.2's ``min_i { s_i : sum_{j<=i} F_hat_j >= r }``.
+
+        Args:
+            r: Quantile level in ``(0, 1]``.
+
+        Returns:
+            0-based index ``k_hat`` into :attr:`values`.
+        """
+        if not 0.0 < r <= 1.0:
+            raise ConfigurationError(
+                f"quantile level must lie in (0, 1], got {r}"
+            )
+        cumulative = self.cumulative
+        # Guard against floating-point round-off leaving the last cumulative
+        # frequency infinitesimally below r.
+        positions = np.nonzero(cumulative >= r - 1e-12)[0]
+        if positions.size == 0:
+            return int(self.values.size - 1)
+        return int(positions[0])
+
+    def frequency_at(self, index: int) -> float:
+        """Relative frequency ``F_hat_i`` of the distinct value at ``index``."""
+        if not 0 <= index < self.values.size:
+            raise ConfigurationError(
+                f"index {index} outside distinct-value table of size "
+                f"{self.values.size}"
+            )
+        return float(self.frequencies[index])

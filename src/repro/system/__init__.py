@@ -1,0 +1,45 @@
+"""System context: cameras, transmission, privacy accounting, costs.
+
+The paper's deployment model (§1) has configurable networked cameras that
+collect, degrade, and transmit frames to a central query processor, with an
+administrator balancing policy goals. This subpackage models that context
+so examples and benchmarks can express those goals quantitatively:
+
+- :mod:`repro.system.costs` — model-invocation accounting and the analytic
+  profile-generation time model of §5.3.1.
+- :mod:`repro.system.network` — bytes/energy of transmitting degraded
+  frames (bandwidth and power goals).
+- :mod:`repro.system.privacy` — privacy-exposure metrics of a degradation
+  setting (person/face frames revealed).
+- :mod:`repro.system.camera` — a camera with degradation knobs.
+- :mod:`repro.system.administrator` — the administrator persona tying
+  preferences to profile-driven choices.
+"""
+
+from repro.system.camera import Camera
+from repro.system.costs import CostModel, InvocationLedger
+from repro.system.fleet import CameraFleet, FleetEstimate
+from repro.system.network import TransmissionModel
+from repro.system.privacy import PrivacyReport, privacy_report
+
+__all__ = [
+    "Administrator",
+    "Camera",
+    "CameraFleet",
+    "FleetEstimate",
+    "CostModel",
+    "InvocationLedger",
+    "PrivacyReport",
+    "TransmissionModel",
+    "privacy_report",
+]
+
+
+def __getattr__(name: str):
+    # Administrator depends on repro.core, which itself uses this package's
+    # cost ledger; importing it lazily breaks the cycle (PEP 562).
+    if name == "Administrator":
+        from repro.system.administrator import Administrator
+
+        return Administrator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

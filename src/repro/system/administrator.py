@@ -1,0 +1,67 @@
+"""The public administrator persona (paper §1's fourth component).
+
+An :class:`Administrator` holds public preferences and walks the paper's
+administration procedure end to end: request a profile from a Smokescreen
+deployment, choose the tradeoff the preferences allow, install it on a
+camera, and run the degraded query — the workflow of EXAMPLE 3 in the
+paper ("Harry").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profile import Profile
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import PublicPreferences, TradeoffChoice
+from repro.estimators.base import Estimate
+from repro.query.query import AggregateQuery
+from repro.system.camera import Camera
+
+
+@dataclass
+class Administrator:
+    """An administrator with public preferences.
+
+    Attributes:
+        name: The administrator's name (e.g. ``"Harry"``).
+        preferences: The policy constraints guiding tradeoff choices.
+    """
+
+    name: str
+    preferences: PublicPreferences
+
+    def choose_from(self, system: Smokescreen, profile: Profile) -> TradeoffChoice:
+        """Choose a tradeoff from a profile under the held preferences.
+
+        Args:
+            system: The Smokescreen deployment.
+            profile: A profile produced by the deployment.
+
+        Returns:
+            The chosen tradeoff.
+        """
+        return system.choose(profile, self.preferences)
+
+    def deploy(
+        self,
+        system: Smokescreen,
+        camera: Camera,
+        query: AggregateQuery,
+        profile: Profile,
+    ) -> tuple[TradeoffChoice, Estimate]:
+        """Full procedure: choose, install on the camera, run the query.
+
+        Args:
+            system: The Smokescreen deployment.
+            camera: The camera to configure.
+            query: The analytical query.
+            profile: The profile to choose from.
+
+        Returns:
+            The chosen tradeoff and the degraded query's estimate.
+        """
+        choice = self.choose_from(system, profile)
+        camera.apply_plan(choice.point.plan)
+        estimate = system.estimate(query, choice.point.plan)
+        return choice, estimate

@@ -1,0 +1,121 @@
+"""A configurable networked camera (paper §1, first system component).
+
+Cameras collect frames, apply the configured destructive interventions
+on-device, and transmit the degraded result to the central query
+processor. The class is a thin stateful wrapper over an
+:class:`~repro.interventions.plan.InterventionPlan` with transmission
+accounting — the piece the examples use to tell the deployment story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.zoo import DetectorSuite
+from repro.interventions.plan import DegradedSample, InterventionPlan
+from repro.system.network import TransmissionModel
+from repro.video.dataset import VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+class Camera:
+    """One networked camera with tunable degradation knobs."""
+
+    def __init__(
+        self,
+        name: str,
+        dataset: VideoDataset,
+        suite: DetectorSuite,
+        transmission: TransmissionModel | None = None,
+    ) -> None:
+        """Install a camera over a (synthetic) scene.
+
+        Args:
+            name: Camera identifier.
+            dataset: The corpus this camera observes.
+            suite: On-device restricted-class detectors (needed to apply
+                image removal at the edge).
+            transmission: Radio cost model; defaults to
+                :class:`TransmissionModel`'s defaults.
+        """
+        self._name = name
+        self._dataset = dataset
+        self._suite = suite
+        self._transmission = transmission or TransmissionModel()
+        self._plan = InterventionPlan()
+        self._bytes_transmitted = 0.0
+
+    @property
+    def name(self) -> str:
+        """Camera identifier."""
+        return self._name
+
+    @property
+    def dataset(self) -> VideoDataset:
+        """The corpus the camera observes."""
+        return self._dataset
+
+    @property
+    def plan(self) -> InterventionPlan:
+        """The currently configured degradation setting."""
+        return self._plan
+
+    @property
+    def bytes_transmitted(self) -> float:
+        """Total bytes shipped off-camera so far."""
+        return self._bytes_transmitted
+
+    def configure(
+        self,
+        fraction: float | None = None,
+        resolution: int | Resolution | None = None,
+        removed_classes: tuple[ObjectClass, ...] = (),
+    ) -> InterventionPlan:
+        """Tune the camera's degradation knobs (the administrator's action).
+
+        Args:
+            fraction: Sampling fraction, or None for full sampling.
+            resolution: Processing/transmission resolution, or None for
+                native.
+            removed_classes: Restricted classes whose frames are deleted
+                on-device.
+
+        Returns:
+            The new plan.
+        """
+        self._plan = InterventionPlan.from_knobs(
+            f=fraction, p=resolution, c=removed_classes
+        )
+        # Validate the resolution against this camera's corpus eagerly.
+        self._plan.effective_resolution(self._dataset)
+        return self._plan
+
+    def apply_plan(self, plan: InterventionPlan) -> InterventionPlan:
+        """Install a ready-made plan (e.g. a chosen tradeoff's plan)."""
+        plan.effective_resolution(self._dataset)
+        self._plan = plan
+        return plan
+
+    def transmit(self, rng: np.random.Generator) -> DegradedSample:
+        """Degrade and ship one corpus pass to the central system.
+
+        Args:
+            rng: Randomness for the frame sample.
+
+        Returns:
+            The degraded sample that was transmitted.
+        """
+        sample = self._plan.draw(self._dataset, rng, self._suite)
+        per_frame = self._transmission.frame_bytes(
+            sample.resolution, self._plan.quality
+        )
+        self._bytes_transmitted += per_frame * sample.size
+        return sample
+
+    def transmission_cost(self) -> float:
+        """Expected bytes of one full corpus pass under the current plan."""
+        return self._transmission.plan_bytes(self._dataset, self._plan)
+
+    def __repr__(self) -> str:
+        return f"Camera(name={self._name!r}, plan={self._plan.label()!r})"

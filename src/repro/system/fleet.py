@@ -1,0 +1,150 @@
+"""Multi-camera fleets: one analytical answer across several cameras.
+
+The paper's deployment (§1) is "a set of configurable networked cameras"
+feeding one central query processor. A city-wide AVG ("average cars per
+frame across all monitored roads") spans every camera's corpus; each
+camera samples its own frames under its own degradation plan, and the
+central system must combine the per-camera estimates into one answer with
+one guaranteed bound.
+
+The combination is a stratified estimator: with camera ``i`` holding
+``N_i`` frames whose sampled interval is ``[L_i, U_i]`` (each built at
+``delta / k`` so the union over ``k`` cameras spends ``delta``), the fleet
+mean lies in
+
+``[ sum_i N_i L_i / N,  sum_i N_i U_i / N ]``   with probability >= 1-delta
+
+and the usual Theorem 3.1 output construction turns that interval into a
+bound-aware answer. Stratification also helps accuracy: between-camera
+variance costs nothing because every camera contributes its exact weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.smokescreen import (
+    SmokescreenMeanEstimator,
+    bound_aware_estimate_from_interval,
+)
+from repro.interventions.plan import InterventionPlan
+from repro.query.aggregates import Aggregate
+from repro.query.processor import QueryProcessor
+from repro.query.query import AggregateQuery
+from repro.system.camera import Camera
+
+
+@dataclass(frozen=True)
+class FleetEstimate:
+    """The combined fleet answer plus its per-camera parts.
+
+    Attributes:
+        combined: The fleet-level bound-aware estimate (AVG across all
+            frames of all cameras).
+        per_camera: Each camera's own estimate, keyed by camera name.
+    """
+
+    combined: Estimate
+    per_camera: dict[str, Estimate]
+
+
+class CameraFleet:
+    """Several cameras answering one frame-level AVG query together."""
+
+    def __init__(self, cameras: list[Camera], processor: QueryProcessor) -> None:
+        """Assemble a fleet.
+
+        Args:
+            cameras: The fleet's cameras (each with its own corpus and
+                currently configured plan); at least one, distinct names.
+            processor: The central query processor.
+        """
+        if not cameras:
+            raise ConfigurationError("a fleet needs at least one camera")
+        names = [camera.name for camera in cameras]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate camera names: {names}")
+        self._cameras = list(cameras)
+        self._processor = processor
+
+    @property
+    def cameras(self) -> list[Camera]:
+        """The fleet's cameras (copy)."""
+        return list(self._cameras)
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames across the fleet (the stratification weights)."""
+        return sum(camera.dataset.frame_count for camera in self._cameras)
+
+    def estimate_mean(
+        self,
+        model_for_camera,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+    ) -> FleetEstimate:
+        """The fleet-wide AVG with a combined guaranteed bound.
+
+        Each camera transmits one degraded pass under its configured plan;
+        its interval is built at ``delta / k`` and the intervals combine by
+        frame-count weights. Cameras whose plans are non-random contribute
+        *uncorrected* intervals — configure cameras with random plans (or
+        repair per camera first) for a trustworthy fleet bound.
+
+        Args:
+            model_for_camera: Callable mapping a camera to the query
+                detector for its corpus (fleets may mix camera models).
+            rng: Randomness for the per-camera frame samples.
+            delta: Total failure probability, split across cameras.
+
+        Returns:
+            The fleet estimate with per-camera parts.
+        """
+        if not 0.0 < delta < 1.0:
+            raise EstimationError(f"delta must lie in (0, 1), got {delta}")
+        share = delta / len(self._cameras)
+        estimator = SmokescreenMeanEstimator()
+
+        per_camera: dict[str, Estimate] = {}
+        weighted_lower = 0.0
+        weighted_upper = 0.0
+        weighted_mean_sign = 0.0
+        total = float(self.total_frames)
+        for camera in self._cameras:
+            query = AggregateQuery(
+                camera.dataset, model_for_camera(camera), Aggregate.AVG,
+                delta=share,
+            )
+            sample = camera.transmit(rng)
+            values = self._processor.values_for_sample(query, sample)
+            estimate = estimator.estimate(values, sample.universe_size, share)
+            per_camera[camera.name] = estimate
+            weight = camera.dataset.frame_count / total
+            weighted_lower += weight * estimate.extras["lower"]
+            weighted_upper += weight * estimate.extras["upper"]
+            weighted_mean_sign += weight * estimate.value
+
+        combined = bound_aware_estimate_from_interval(
+            weighted_mean_sign,
+            weighted_upper,
+            weighted_lower,
+            n=sum(estimate.n for estimate in per_camera.values()),
+            universe_size=self.total_frames,
+            method="smokescreen-fleet",
+        )
+        return FleetEstimate(combined=combined, per_camera=per_camera)
+
+    def configure_all(
+        self, plan: InterventionPlan
+    ) -> None:
+        """Install one degradation plan on every camera.
+
+        Args:
+            plan: The shared plan (validated per camera's resolution).
+        """
+        for camera in self._cameras:
+            camera.apply_plan(plan)

@@ -1,0 +1,49 @@
+"""Synthetic video substrate.
+
+The paper evaluates on the night-street (BlazeIt) and UA-DETRAC corpora with
+GPU object detectors; neither videos nor weights are available offline, so
+this subpackage provides the synthetic equivalent described in DESIGN.md:
+traffic scenes that generate per-frame ground-truth objects (cars, persons,
+faces) with temporally correlated arrival processes and realistic
+car-person correlation.
+
+The key exports are:
+
+- :class:`~repro.video.geometry.Resolution` — frame resolutions.
+- :class:`~repro.video.dataset.VideoDataset` — a generated corpus with flat
+  object arrays (for fast vectorised detection) and per-frame record views.
+- :mod:`repro.video.presets` — dataset builders calibrated to the paper's
+  corpora (frame counts, person/face prevalence, count distributions).
+"""
+
+from repro.video.calibration import (
+    CalibrationReport,
+    CalibrationTarget,
+    calibrate_scene,
+)
+from repro.video.dataset import VideoDataset
+from repro.video.frame import FrameRecord, ObjectClass, ObjectInstance
+from repro.video.geometry import Resolution
+from repro.video.presets import (
+    build_dataset,
+    detrac_sequence_pair,
+    night_street,
+    ua_detrac,
+)
+from repro.video.scene import SceneModel
+
+__all__ = [
+    "CalibrationReport",
+    "CalibrationTarget",
+    "FrameRecord",
+    "ObjectClass",
+    "ObjectInstance",
+    "Resolution",
+    "SceneModel",
+    "VideoDataset",
+    "build_dataset",
+    "calibrate_scene",
+    "detrac_sequence_pair",
+    "night_street",
+    "ua_detrac",
+]

@@ -1,0 +1,285 @@
+"""The generated video corpus container.
+
+A :class:`VideoDataset` stores its ground truth in flat per-class numpy
+arrays — one row per object across the whole corpus — so simulated detectors
+can evaluate an entire corpus at one resolution with a handful of vectorised
+operations. A readable per-frame view (:class:`~repro.video.frame.FrameRecord`)
+is materialised on demand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.video.frame import FrameRecord, ObjectClass, ObjectInstance
+from repro.video.geometry import Resolution
+
+
+@dataclass(frozen=True)
+class ObjectArrays:
+    """Flat storage for all objects of one class across a corpus.
+
+    All arrays share the same length (one entry per object).
+
+    Attributes:
+        frame: Frame index of each object.
+        size: Apparent size in pixels at the native resolution.
+        difficulty: Latent detectability in ``[0, 1)``; see
+            :class:`~repro.video.frame.ObjectInstance`.
+        duplicate_latent: Latent used by detector anomaly terms.
+    """
+
+    frame: np.ndarray
+    size: np.ndarray
+    difficulty: np.ndarray
+    duplicate_latent: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            self.frame.size,
+            self.size.size,
+            self.difficulty.size,
+            self.duplicate_latent.size,
+        }
+        if len(lengths) != 1:
+            raise DatasetError(f"object arrays have mismatched lengths: {lengths}")
+
+    @property
+    def count(self) -> int:
+        """Total number of objects of this class in the corpus."""
+        return int(self.frame.size)
+
+    @classmethod
+    def empty(cls) -> "ObjectArrays":
+        """Storage for a class with no objects."""
+        return cls(
+            frame=np.empty(0, dtype=np.int64),
+            size=np.empty(0, dtype=float),
+            difficulty=np.empty(0, dtype=float),
+            duplicate_latent=np.empty(0, dtype=float),
+        )
+
+
+class VideoDataset:
+    """A synthetic video corpus with per-frame ground-truth objects.
+
+    Instances are immutable once constructed; detectors treat
+    :attr:`cache_key` as a stable identity for output caching.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        native_resolution: Resolution,
+        frame_count: int,
+        objects: Mapping[ObjectClass, ObjectArrays],
+        clutter: np.ndarray,
+        frame_rate: float = 30.0,
+        seed: int | None = None,
+    ) -> None:
+        """Build a dataset from pre-generated arrays.
+
+        Most callers should use the builders in :mod:`repro.video.presets`
+        instead of this constructor.
+
+        Args:
+            name: Corpus name, e.g. ``"night-street"``.
+            native_resolution: Resolution the corpus is captured at; the
+                loosest value of the resolution intervention.
+            frame_count: Number of frames ``N``.
+            objects: Flat object arrays per class; classes missing from the
+                mapping are treated as empty.
+            clutter: Per-frame latent in ``[0, 1)`` driving deterministic
+                false positives; length must equal ``frame_count``.
+            frame_rate: Frames per second (metadata only).
+            seed: The generator seed, recorded for the cache key.
+        """
+        if frame_count <= 0:
+            raise DatasetError(f"frame count must be positive, got {frame_count}")
+        if clutter.size != frame_count:
+            raise DatasetError(
+                f"clutter length {clutter.size} != frame count {frame_count}"
+            )
+        self._name = name
+        self._native_resolution = native_resolution
+        self._frame_count = frame_count
+        self._objects = {
+            object_class: objects.get(object_class, ObjectArrays.empty())
+            for object_class in ObjectClass
+        }
+        for object_class, arrays in self._objects.items():
+            if arrays.count and int(arrays.frame.max()) >= frame_count:
+                raise DatasetError(
+                    f"{object_class.name} object refers to frame "
+                    f"{int(arrays.frame.max())} outside [0, {frame_count})"
+                )
+        self._clutter = clutter
+        self._frame_rate = frame_rate
+        self._seed = seed
+        self._fingerprint = self._compute_fingerprint()
+
+    def _compute_fingerprint(self) -> str:
+        """Content hash so differently-generated corpora never share a
+        detector cache entry, even under identical (name, size, seed)."""
+        digest = hashlib.blake2b(digest_size=12)
+        for object_class in ObjectClass:
+            arrays = self._objects[object_class]
+            digest.update(arrays.frame.tobytes())
+            digest.update(np.ascontiguousarray(arrays.size).tobytes())
+            digest.update(np.ascontiguousarray(arrays.difficulty).tobytes())
+        digest.update(np.ascontiguousarray(self._clutter).tobytes())
+        return digest.hexdigest()
+
+    @property
+    def name(self) -> str:
+        """Corpus name."""
+        return self._name
+
+    @property
+    def native_resolution(self) -> Resolution:
+        """Resolution the corpus is captured at."""
+        return self._native_resolution
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames ``N``."""
+        return self._frame_count
+
+    @property
+    def frame_rate(self) -> float:
+        """Frames per second (metadata)."""
+        return self._frame_rate
+
+    @property
+    def clutter(self) -> np.ndarray:
+        """Per-frame clutter latents (read-only view)."""
+        view = self._clutter.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cache_key(self) -> tuple[str, int, str]:
+        """Stable identity for detector output caches.
+
+        Includes a content fingerprint: corpora with the same name, size
+        and seed but different contents (e.g. probe corpora of different
+        scene parameters during calibration) must not share cache entries.
+        """
+        return (self._name, self._frame_count, self._fingerprint)
+
+    def __len__(self) -> int:
+        return self._frame_count
+
+    def objects_of(self, object_class: ObjectClass) -> ObjectArrays:
+        """Flat object arrays for one class.
+
+        Args:
+            object_class: The class to fetch.
+
+        Returns:
+            The class's :class:`ObjectArrays` (possibly empty).
+        """
+        return self._objects[object_class]
+
+    def true_counts(self, object_class: ObjectClass) -> np.ndarray:
+        """Ground-truth per-frame object counts (scene truth, not detector).
+
+        Args:
+            object_class: The class to count.
+
+        Returns:
+            Integer array of length :attr:`frame_count`.
+        """
+        arrays = self._objects[object_class]
+        return np.bincount(arrays.frame, minlength=self._frame_count)
+
+    def true_presence(self, object_class: ObjectClass) -> np.ndarray:
+        """Ground-truth per-frame presence flags for one class."""
+        return self.true_counts(object_class) > 0
+
+    def frame(self, index: int) -> FrameRecord:
+        """Materialise the readable record of one frame.
+
+        Args:
+            index: Frame index in ``[0, frame_count)``.
+
+        Returns:
+            The frame's ground-truth record.
+        """
+        if not 0 <= index < self._frame_count:
+            raise DatasetError(
+                f"frame index {index} outside [0, {self._frame_count})"
+            )
+        instances: list[ObjectInstance] = []
+        for object_class, arrays in self._objects.items():
+            positions = np.nonzero(arrays.frame == index)[0]
+            for pos in positions:
+                instances.append(
+                    ObjectInstance(
+                        object_class=object_class,
+                        size=float(arrays.size[pos]),
+                        difficulty=float(arrays.difficulty[pos]),
+                        duplicate_latent=float(arrays.duplicate_latent[pos]),
+                    )
+                )
+        return FrameRecord(
+            index=index,
+            objects=tuple(instances),
+            clutter=float(self._clutter[index]),
+        )
+
+    def frames(self) -> Iterator[FrameRecord]:
+        """Iterate over all frame records (slow path; prefer the arrays)."""
+        for index in range(self._frame_count):
+            yield self.frame(index)
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "VideoDataset":
+        """A contiguous sub-sequence as its own dataset.
+
+        Models "the same camera at a different time": two slices of one
+        generated stream share the scene and its statistics but cover
+        disjoint time windows (used by the §5.3.2 similar-video pair).
+
+        Args:
+            start: First frame (inclusive).
+            stop: Last frame (exclusive); must satisfy
+                ``0 <= start < stop <= frame_count``.
+            name: Name of the sliced corpus; defaults to
+                ``"<name>[start:stop]"``.
+
+        Returns:
+            The sliced dataset with re-indexed frames.
+        """
+        if not 0 <= start < stop <= self._frame_count:
+            raise DatasetError(
+                f"slice [{start}, {stop}) invalid for {self._frame_count} frames"
+            )
+        objects: dict[ObjectClass, ObjectArrays] = {}
+        for object_class, arrays in self._objects.items():
+            keep = (arrays.frame >= start) & (arrays.frame < stop)
+            objects[object_class] = ObjectArrays(
+                frame=arrays.frame[keep] - start,
+                size=arrays.size[keep],
+                difficulty=arrays.difficulty[keep],
+                duplicate_latent=arrays.duplicate_latent[keep],
+            )
+        return VideoDataset(
+            name=name or f"{self._name}[{start}:{stop}]",
+            native_resolution=self._native_resolution,
+            frame_count=stop - start,
+            objects=objects,
+            clutter=self._clutter[start:stop].copy(),
+            frame_rate=self._frame_rate,
+            seed=self._seed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoDataset(name={self._name!r}, frames={self._frame_count}, "
+            f"native={self._native_resolution})"
+        )

@@ -1,0 +1,87 @@
+"""Object and frame records of the synthetic corpora.
+
+Datasets store objects in flat numpy arrays for vectorised detection (see
+:mod:`repro.video.dataset`); the classes here are the readable per-frame view
+of that storage, used by examples, tests, and anything that wants to inspect
+a single frame.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ObjectClass(enum.IntEnum):
+    """Object classes the synthetic scenes generate.
+
+    The integer values index the per-class columns of the dataset's flat
+    arrays; they are stable and safe to persist.
+    """
+
+    CAR = 0
+    PERSON = 1
+    FACE = 2
+
+    @classmethod
+    def from_name(cls, name: str) -> "ObjectClass":
+        """Parse a class from its lower-case name, e.g. ``"person"``.
+
+        Args:
+            name: Class name, case-insensitive.
+
+        Returns:
+            The matching class member.
+        """
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(member.name.lower() for member in cls)
+            raise ValueError(f"unknown object class {name!r}; valid: {valid}") from None
+
+
+@dataclass(frozen=True)
+class ObjectInstance:
+    """One ground-truth object in one frame.
+
+    Attributes:
+        object_class: The object's class.
+        size: Apparent size in pixels at the dataset's native resolution
+            (roughly the square root of the bounding-box area).
+        difficulty: Latent detectability in ``[0, 1)``; detectors compare
+            their confidence against a threshold that this latent perturbs,
+            so a *fixed* difficulty makes detection deterministic per
+            (object, resolution) and monotone in resolution.
+        duplicate_latent: Second latent in ``[0, 1)`` used only by
+            model-specific anomaly terms (e.g. the YOLOv4-like duplicate
+            detections at 384x384, Figure 7/8 of the paper).
+    """
+
+    object_class: ObjectClass
+    size: float
+    difficulty: float
+    duplicate_latent: float
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Ground truth for a single frame.
+
+    Attributes:
+        index: Frame index within the dataset.
+        objects: The frame's ground-truth objects.
+        clutter: Per-frame latent in ``[0, 1)`` that drives deterministic
+            false positives at degraded resolutions.
+    """
+
+    index: int
+    objects: tuple[ObjectInstance, ...]
+    clutter: float
+
+    def count(self, object_class: ObjectClass) -> int:
+        """Number of ground-truth objects of a class in this frame."""
+        return sum(1 for obj in self.objects if obj.object_class == object_class)
+
+    def contains(self, object_class: ObjectClass) -> bool:
+        """Whether the frame contains at least one object of the class."""
+        return any(obj.object_class == object_class for obj in self.objects)

@@ -1,0 +1,102 @@
+"""Frame geometry: resolutions and scaling.
+
+The paper's reduced-resolution intervention processes frames at square
+resolutions (608x608 for YOLOv4, 640x640 for Mask R-CNN, down to 128x128 and
+below). Objects shrink proportionally: an object that spans ``s`` pixels at
+the native resolution spans ``s * p / p_native`` pixels after resizing to
+side ``p`` — which is what drives detector recall loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Resolution:
+    """A square processing resolution, e.g. ``Resolution(608)`` for 608x608.
+
+    Resolutions are ordered by side length so intervention grids can be
+    sorted from loosest (largest) to most degraded (smallest).
+
+    Attributes:
+        side: Side length in pixels.
+    """
+
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ConfigurationError(
+                f"resolution side must be positive, got {self.side}"
+            )
+
+    @property
+    def pixels(self) -> int:
+        """Total pixel count ``side * side``."""
+        return self.side * self.side
+
+    def scale_factor(self, native: "Resolution") -> float:
+        """Linear shrink factor relative to a native resolution.
+
+        Args:
+            native: The resolution frames were captured/processed at.
+
+        Returns:
+            ``side / native.side``; 1.0 when this is the native resolution.
+        """
+        if native.side <= 0:
+            raise ConfigurationError("native resolution must be positive")
+        return self.side / native.side
+
+    def apparent_size(self, size_at_native: float, native: "Resolution") -> float:
+        """Apparent pixel size of an object after resizing to this resolution.
+
+        Args:
+            size_at_native: Object size in pixels at the native resolution.
+            native: The native resolution.
+
+        Returns:
+            The object's size in pixels at this resolution.
+        """
+        return size_at_native * self.scale_factor(native)
+
+    def __str__(self) -> str:
+        return f"{self.side}x{self.side}"
+
+
+def resolution_grid(native: Resolution, count: int, minimum: int = 64) -> list[Resolution]:
+    """Uniformly spaced resolution candidates from ``minimum`` up to native.
+
+    Implements the paper's candidate design (§3.3.2: "we uniformly generate
+    ten frame resolutions"), snapped to multiples of 64 because the paper
+    notes Mask R-CNN only handles multiples of 64.
+
+    Args:
+        native: The native (loosest) resolution; included as the last entry.
+        count: Number of candidates to generate; must be at least 2.
+        minimum: Smallest allowed side, defaults to 64.
+
+    Returns:
+        Candidates in ascending side order, ending at ``native``, with
+        duplicates removed (possible when the span is narrow).
+    """
+    if count < 2:
+        raise ConfigurationError(f"need at least 2 candidates, got {count}")
+    if minimum <= 0 or minimum > native.side:
+        raise ConfigurationError(
+            f"minimum side {minimum} must lie in (0, native={native.side}]"
+        )
+    step = (native.side - minimum) / (count - 1)
+    sides: list[int] = []
+    for i in range(count):
+        raw = minimum + step * i
+        snapped = max(64, int(round(raw / 64.0)) * 64)
+        snapped = min(snapped, native.side)
+        if snapped not in sides:
+            sides.append(snapped)
+    if native.side not in sides:
+        sides.append(native.side)
+    return [Resolution(side) for side in sorted(sides)]

@@ -1,0 +1,170 @@
+"""Tests for profiles and the degradation hypercube."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.profile import DegradationHypercube, Profile, ProfilePoint
+from repro.errors import ProfileError
+from repro.interventions import InterventionPlan
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+def sampling_profile(fractions=(0.1, 0.5, 1.0), bounds=(0.3, 0.1, 0.0)) -> Profile:
+    points = tuple(
+        ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=fraction),
+            error_bound=bound,
+            value=5.0,
+            n=int(fraction * 100),
+        )
+        for fraction, bound in zip(fractions, bounds)
+    )
+    return Profile(axis="sampling", points=points, query_label="test")
+
+
+def make_cube() -> DegradationHypercube:
+    fractions = (0.1, 0.5, 1.0)
+    resolutions = (Resolution(128), Resolution(320), Resolution(608))
+    removals = ((), (ObjectClass.PERSON,))
+    shape = (3, 3, 2)
+    bounds = np.arange(np.prod(shape), dtype=float).reshape(shape) / 100
+    values = np.full(shape, 5.0)
+    return DegradationHypercube(
+        fractions=fractions,
+        resolutions=resolutions,
+        removals=removals,
+        bounds=bounds,
+        values=values,
+        query_label="cube",
+    )
+
+
+class TestProfile:
+    def test_knob_values_sampling(self):
+        assert sampling_profile().knob_values() == [0.1, 0.5, 1.0]
+
+    def test_error_bounds(self):
+        assert sampling_profile().error_bounds().tolist() == [0.3, 0.1, 0.0]
+
+    def test_true_errors_nan_when_absent(self):
+        assert np.isnan(sampling_profile().true_errors()).all()
+
+    def test_interpolation(self):
+        profile = sampling_profile()
+        assert profile.interpolate_bound(0.3) == pytest.approx(0.2)
+        assert profile.interpolate_bound(0.75) == pytest.approx(0.05)
+
+    def test_interpolation_rejects_out_of_range(self):
+        with pytest.raises(ProfileError):
+            sampling_profile().interpolate_bound(0.05)
+
+    def test_removal_profile_categorical(self):
+        point = ProfilePoint(
+            plan=InterventionPlan.from_knobs(c=(ObjectClass.FACE,)),
+            error_bound=0.2,
+            value=5.0,
+            n=10,
+        )
+        profile = Profile(axis="removal", points=(point,))
+        assert profile.knob_values() == ["remove face"]
+        with pytest.raises(ProfileError):
+            profile.interpolate_bound(1.0)
+
+    def test_rejects_unknown_axis(self):
+        point = ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=0.5), error_bound=0.1, value=1.0, n=1
+        )
+        with pytest.raises(ProfileError):
+            Profile(axis="compression", points=(point,))
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ProfileError):
+            Profile(axis="sampling", points=())
+
+    def test_resolution_knob_values(self):
+        point = ProfilePoint(
+            plan=InterventionPlan.from_knobs(p=256), error_bound=0.1, value=1.0, n=1
+        )
+        profile = Profile(axis="resolution", points=(point,))
+        assert profile.knob_values() == [256.0]
+
+
+class TestHypercube:
+    def test_shape_validation(self):
+        cube = make_cube()
+        with pytest.raises(ProfileError):
+            DegradationHypercube(
+                fractions=cube.fractions,
+                resolutions=cube.resolutions,
+                removals=cube.removals,
+                bounds=np.zeros((2, 3, 2)),
+                values=cube.values,
+            )
+
+    def test_initial_slices_fix_loosest(self):
+        cube = make_cube()
+        sampling, resolution, removal = cube.initial_slices()
+        # Sampling slice fixes resolution=608 (index 2) and removal=() (0).
+        assert sampling.error_bounds().tolist() == [
+            cube.bounds[0, 2, 0],
+            cube.bounds[1, 2, 0],
+            cube.bounds[2, 2, 0],
+        ]
+        assert resolution.error_bounds().tolist() == [
+            cube.bounds[2, 0, 0],
+            cube.bounds[2, 1, 0],
+            cube.bounds[2, 2, 0],
+        ]
+        assert removal.error_bounds().tolist() == [
+            cube.bounds[2, 2, 0],
+            cube.bounds[2, 2, 1],
+        ]
+
+    def test_slice_at_other_indices(self):
+        cube = make_cube()
+        profile = cube.slice_sampling(resolution_index=0, removal_index=1)
+        assert profile.error_bounds().tolist() == [
+            cube.bounds[0, 0, 1],
+            cube.bounds[1, 0, 1],
+            cube.bounds[2, 0, 1],
+        ]
+
+    def test_nan_cells_skipped(self):
+        cube = make_cube()
+        bounds = cube.bounds.copy()
+        bounds[1, 2, 0] = math.nan
+        cube2 = DegradationHypercube(
+            fractions=cube.fractions,
+            resolutions=cube.resolutions,
+            removals=cube.removals,
+            bounds=bounds,
+            values=cube.values,
+        )
+        profile = cube2.slice_sampling()
+        assert len(profile.points) == 2
+
+    def test_all_nan_slice_rejected(self):
+        cube = make_cube()
+        bounds = np.full_like(cube.bounds, math.nan)
+        cube2 = DegradationHypercube(
+            fractions=cube.fractions,
+            resolutions=cube.resolutions,
+            removals=cube.removals,
+            bounds=bounds,
+            values=cube.values,
+        )
+        with pytest.raises(ProfileError):
+            cube2.slice_sampling()
+
+    def test_points_carry_full_plans(self):
+        cube = make_cube()
+        profile = cube.slice_resolution()
+        plan = profile.points[0].plan
+        assert plan.fraction == 1.0
+        assert plan.resolution.resolution == Resolution(128)
+        assert plan.removal is None

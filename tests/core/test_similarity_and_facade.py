@@ -1,0 +1,92 @@
+"""Tests for profile similarity and the Smokescreen facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profile import Profile, ProfilePoint
+from repro.core.similarity import profile_difference
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import PublicPreferences
+from repro.detection import yolo_v4_like
+from repro.errors import ConfigurationError, ProfileError
+from repro.interventions import InterventionPlan
+from repro.query import Aggregate
+from repro.video import ua_detrac
+
+
+def sampling_profile(fractions, bounds) -> Profile:
+    points = tuple(
+        ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=fraction),
+            error_bound=bound,
+            value=1.0,
+            n=1,
+        )
+        for fraction, bound in zip(fractions, bounds)
+    )
+    return Profile(axis="sampling", points=points)
+
+
+class TestProfileDifference:
+    def test_pointwise_differences(self):
+        a = sampling_profile([0.1, 0.2, 0.3], [0.5, 0.3, 0.2])
+        b = sampling_profile([0.1, 0.2, 0.3], [0.45, 0.35, 0.2])
+        diff = profile_difference(a, b)
+        assert diff.differences.tolist() == pytest.approx([0.05, 0.05, 0.0])
+        assert diff.max_difference == pytest.approx(0.05)
+        assert diff.mean_difference == pytest.approx(0.1 / 3)
+
+    def test_only_shared_knobs_compared(self):
+        a = sampling_profile([0.1, 0.2], [0.5, 0.3])
+        b = sampling_profile([0.2, 0.4], [0.25, 0.1])
+        diff = profile_difference(a, b)
+        assert diff.knob_values == (0.2,)
+
+    def test_rejects_axis_mismatch(self):
+        a = sampling_profile([0.1], [0.5])
+        point = ProfilePoint(
+            plan=InterventionPlan.from_knobs(p=128), error_bound=0.1, value=1.0, n=1
+        )
+        b = Profile(axis="resolution", points=(point,))
+        with pytest.raises(ProfileError):
+            profile_difference(a, b)
+
+    def test_rejects_disjoint_knobs(self):
+        a = sampling_profile([0.1], [0.5])
+        b = sampling_profile([0.2], [0.3])
+        with pytest.raises(ProfileError):
+            profile_difference(a, b)
+
+
+class TestSmokescreenFacade:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return Smokescreen(ua_detrac(frame_count=1500), yolo_v4_like(), trials=2)
+
+    def test_query_builder(self, system):
+        query = system.query(Aggregate.MAX)
+        assert query.aggregate == Aggregate.MAX
+        assert query.delta == 0.05
+
+    def test_correction_set_for_foreign_query_rejected(self, system, detrac_dataset):
+        from repro.query import AggregateQuery
+
+        foreign = AggregateQuery(detrac_dataset, yolo_v4_like(), Aggregate.AVG)
+        with pytest.raises(ConfigurationError):
+            system.build_correction_set(foreign)
+
+    def test_end_to_end_profile_choose_estimate(self, system):
+        query = system.query(Aggregate.AVG)
+        correction = system.build_correction_set(query)
+        candidates = system.candidates(fraction_step=0.2, resolution_count=3)
+        cube = system.profile(query, candidates, correction=correction)
+        sampling, resolution, removal = cube.initial_slices()
+        choice = system.choose(sampling, PublicPreferences(max_error=0.35))
+        estimate = system.estimate(query, choice.point.plan)
+        truth = system.processor.true_answer(query)
+        assert abs(estimate.value - truth) / truth <= choice.point.error_bound + 0.15
+
+    def test_ledger_accumulates(self, system):
+        assert system.ledger.total > 0

@@ -1,0 +1,150 @@
+"""Tests for tradeoff selection under public preferences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import Profile, ProfilePoint
+from repro.core.tradeoff import (
+    PublicPreferences,
+    choose_tradeoff,
+    tradeoff_regret,
+)
+from repro.errors import ProfileError
+from repro.interventions import InterventionPlan
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+def profile_with(fractions, bounds, true_errors=None) -> Profile:
+    true_errors = true_errors or [None] * len(fractions)
+    points = tuple(
+        ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=fraction),
+            error_bound=bound,
+            value=5.0,
+            n=10,
+            true_error=true_error,
+        )
+        for fraction, bound, true_error in zip(fractions, bounds, true_errors)
+    )
+    return Profile(axis="sampling", points=points)
+
+
+def resolution_profile(sides, bounds) -> Profile:
+    points = tuple(
+        ProfilePoint(
+            plan=InterventionPlan.from_knobs(p=side),
+            error_bound=bound,
+            value=5.0,
+            n=10,
+        )
+        for side, bound in zip(sides, bounds)
+    )
+    return Profile(axis="resolution", points=points)
+
+
+class TestPreferences:
+    def test_rejects_nonpositive_max_error(self):
+        with pytest.raises(ProfileError):
+            PublicPreferences(max_error=0.0)
+
+    def test_admits_resolution_ceiling(self):
+        preferences = PublicPreferences(max_error=0.1, max_resolution=Resolution(256))
+        low = ProfilePoint(
+            plan=InterventionPlan.from_knobs(p=128), error_bound=0.0, value=1.0, n=1
+        )
+        high = ProfilePoint(
+            plan=InterventionPlan.from_knobs(p=512), error_bound=0.0, value=1.0, n=1
+        )
+        assert preferences.admits(low)
+        assert not preferences.admits(high)
+
+    def test_native_resolution_fails_ceiling(self):
+        """No resolution knob at all means full resolution — inadmissible
+        under a resolution ceiling."""
+        preferences = PublicPreferences(max_error=0.1, max_resolution=Resolution(256))
+        point = ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=0.5), error_bound=0.0, value=1.0, n=1
+        )
+        assert not preferences.admits(point)
+
+    def test_required_removed(self):
+        preferences = PublicPreferences(
+            max_error=0.1, required_removed=(ObjectClass.FACE,)
+        )
+        with_face = ProfilePoint(
+            plan=InterventionPlan.from_knobs(c=(ObjectClass.FACE, ObjectClass.PERSON)),
+            error_bound=0.0,
+            value=1.0,
+            n=1,
+        )
+        without = ProfilePoint(
+            plan=InterventionPlan.from_knobs(c=(ObjectClass.PERSON,)),
+            error_bound=0.0,
+            value=1.0,
+            n=1,
+        )
+        assert preferences.admits(with_face)
+        assert not preferences.admits(without)
+
+    def test_max_fraction(self):
+        preferences = PublicPreferences(max_error=0.1, max_fraction=0.3)
+        ok = ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=0.2), error_bound=0.0, value=1.0, n=1
+        )
+        too_much = ProfilePoint(
+            plan=InterventionPlan.from_knobs(f=0.5), error_bound=0.0, value=1.0, n=1
+        )
+        assert preferences.admits(ok)
+        assert not preferences.admits(too_much)
+
+
+class TestChooseTradeoff:
+    def test_picks_most_degraded_meeting_target(self):
+        profile = profile_with([0.05, 0.1, 0.5, 1.0], [0.5, 0.12, 0.08, 0.0])
+        choice = choose_tradeoff(profile, PublicPreferences(max_error=0.1))
+        assert choice.point.plan.fraction == 0.5
+
+    def test_tighter_bound_allows_more_degradation(self):
+        """The Figure 2 story: a tighter curve yields a better tradeoff."""
+        loose = profile_with([0.1, 0.5, 1.0], [0.5, 0.3, 0.05])
+        tight = profile_with([0.1, 0.5, 1.0], [0.09, 0.03, 0.0])
+        preferences = PublicPreferences(max_error=0.1)
+        assert (
+            choose_tradeoff(tight, preferences).degradation_level
+            < choose_tradeoff(loose, preferences).degradation_level
+        )
+
+    def test_resolution_axis_prefers_lower_side(self):
+        profile = resolution_profile([128, 320, 608], [0.3, 0.08, 0.0])
+        choice = choose_tradeoff(profile, PublicPreferences(max_error=0.1))
+        assert choice.degradation_level == 320.0
+
+    def test_no_admissible_point_raises(self):
+        profile = profile_with([0.1, 0.5], [0.5, 0.4])
+        with pytest.raises(ProfileError):
+            choose_tradeoff(profile, PublicPreferences(max_error=0.1))
+
+    def test_oracle_choice_requires_true_errors(self):
+        profile = profile_with([0.1, 0.5], [0.2, 0.05])
+        with pytest.raises(ProfileError):
+            choose_tradeoff(
+                profile, PublicPreferences(max_error=0.1), use_true_error=True
+            )
+
+
+class TestRegret:
+    def test_zero_when_bound_is_oracle(self):
+        profile = profile_with(
+            [0.1, 0.5, 1.0], [0.05, 0.02, 0.0], true_errors=[0.05, 0.02, 0.0]
+        )
+        assert tradeoff_regret(profile, PublicPreferences(max_error=0.1)) == 0.0
+
+    def test_positive_for_looser_bound(self):
+        """A bound that overestimates error forces a larger fraction."""
+        profile = profile_with(
+            [0.1, 0.5, 1.0], [0.3, 0.08, 0.0], true_errors=[0.04, 0.01, 0.0]
+        )
+        regret = tradeoff_regret(profile, PublicPreferences(max_error=0.1))
+        assert regret == pytest.approx((0.5 - 0.1) / 0.1)

@@ -1,0 +1,89 @@
+"""Tests for detector output-cache identity semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.response import ResolutionResponse
+from repro.detection.simulated import SimulatedDetector
+from repro.video import build_dataset, ua_detrac
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+from repro.video.presets import ua_detrac_scene
+from repro.video.scene import SceneModel
+
+
+def make_detector() -> SimulatedDetector:
+    return SimulatedDetector(
+        name="cache-probe",
+        target_class=ObjectClass.CAR,
+        response=ResolutionResponse(midpoint_size=14.0, slope=0.25),
+        threshold=0.7,
+    )
+
+
+class TestCacheKeys:
+    def test_distinct_resolutions_distinct_entries(self, detrac_dataset):
+        detector = make_detector()
+        low = detector.run(detrac_dataset, Resolution(128)).counts
+        high = detector.run(detrac_dataset, Resolution(512)).counts
+        assert not np.array_equal(low, high)
+
+    def test_distinct_quality_distinct_entries(self, detrac_dataset):
+        detector = make_detector()
+        clean = detector.run(detrac_dataset, quality=1.0).counts
+        noisy = detector.run(detrac_dataset, quality=0.6).counts
+        assert not np.array_equal(clean, noisy)
+
+    def test_same_name_different_scene_never_collides(self):
+        """The calibration-loop regression: identical (name, size, seed)
+        with different scene parameters must produce different outputs."""
+        import dataclasses
+
+        scene_a = ua_detrac_scene()
+        scene_b = dataclasses.replace(scene_a, car_intensity=1.0)
+        corpus_a = build_dataset(
+            scene_a, frame_count=800, seed=5, native_resolution=Resolution(608)
+        )
+        corpus_b = build_dataset(
+            scene_b, frame_count=800, seed=5, native_resolution=Resolution(608)
+        )
+        assert corpus_a.name == corpus_b.name
+        assert corpus_a.cache_key != corpus_b.cache_key
+        detector = make_detector()
+        counts_a = detector.run(corpus_a).counts
+        counts_b = detector.run(corpus_b).counts
+        assert counts_a.mean() > counts_b.mean()
+
+    def test_slice_and_parent_never_collide(self):
+        stream = ua_detrac(frame_count=600, seed=8)
+        window = stream.slice(0, 600)  # same frames, same length
+        # Identical content: identical fingerprint is correct here —
+        # the cache may be shared because the outputs ARE equal.
+        detector = make_detector()
+        assert np.array_equal(
+            detector.run(stream).counts, detector.run(window).counts
+        )
+
+    def test_regenerated_corpus_reuses_cache(self):
+        """Same (scene, size, seed) regenerated from scratch hits the
+        same cache entry (deterministic generation, stable fingerprint)."""
+        detector = make_detector()
+        first = detector.run(ua_detrac(frame_count=500, seed=3)).counts
+        second = detector.run(ua_detrac(frame_count=500, seed=3)).counts
+        assert first is second  # identity: served from cache
+
+
+class TestSceneValidationExtras:
+    def test_negative_intensity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SceneModel(name="bad", car_intensity=-1.0)
+
+    def test_intensity_zero_allowed(self):
+        scene = SceneModel(name="empty-road", car_intensity=0.0)
+        rng = np.random.default_rng(0)
+        intensity = scene.simulate_intensity(100, rng)
+        assert np.all(intensity == 0.0)

@@ -1,0 +1,129 @@
+"""Tests for resolution-response curves, anomaly and false-positive terms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.response import (
+    AnomalyTerm,
+    FalsePositiveModel,
+    ResolutionResponse,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResolutionResponse:
+    def test_confidence_monotone_in_size(self):
+        response = ResolutionResponse(midpoint_size=14.0, slope=0.25)
+        sizes = np.array([2.0, 10.0, 14.0, 40.0, 100.0])
+        confidence = response.base_confidence(sizes)
+        assert np.all(np.diff(confidence) > 0)
+
+    def test_midpoint_gives_half_confidence(self):
+        response = ResolutionResponse(midpoint_size=14.0, slope=0.25)
+        assert response.base_confidence(np.array([14.0]))[0] == pytest.approx(0.5)
+
+    def test_difficulty_lowers_confidence(self):
+        response = ResolutionResponse(midpoint_size=10.0, slope=0.3, confidence_spread=0.3)
+        easy = response.confidence(np.array([50.0]), np.array([0.0]))[0]
+        hard = response.confidence(np.array([50.0]), np.array([0.99]))[0]
+        assert hard < easy
+
+    def test_large_objects_confidently_detected(self):
+        response = ResolutionResponse(midpoint_size=14.0, slope=0.25)
+        assert response.base_confidence(np.array([200.0]))[0] > 0.99
+
+    @given(
+        size=st.floats(min_value=0.1, max_value=500.0),
+        difficulty=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=50)
+    def test_confidence_in_unit_interval(self, size, difficulty):
+        response = ResolutionResponse(midpoint_size=14.0, slope=0.25, confidence_spread=0.25)
+        confidence = response.confidence(np.array([size]), np.array([difficulty]))[0]
+        assert 0.0 <= confidence <= 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ResolutionResponse(midpoint_size=0.0, slope=0.25)
+        with pytest.raises(ConfigurationError):
+            ResolutionResponse(midpoint_size=10.0, slope=-1.0)
+        with pytest.raises(ConfigurationError):
+            ResolutionResponse(midpoint_size=10.0, slope=0.2, confidence_spread=1.0)
+
+
+class TestAnomalyTerm:
+    def make_term(self) -> AnomalyTerm:
+        return AnomalyTerm(
+            resolution_side=384,
+            duplicate_probability=0.5,
+            band_low=25.0,
+            band_high=200.0,
+        )
+
+    def test_inactive_at_other_resolutions(self):
+        term = self.make_term()
+        detected = np.array([True, True])
+        sizes = np.array([50.0, 60.0])
+        latents = np.array([0.1, 0.2])
+        assert not term.duplicates(detected, sizes, latents, 320).any()
+
+    def test_active_only_in_band_and_below_probability(self):
+        term = self.make_term()
+        detected = np.array([True, True, True, False])
+        sizes = np.array([50.0, 300.0, 50.0, 50.0])
+        latents = np.array([0.1, 0.1, 0.9, 0.1])
+        duplicated = term.duplicates(detected, sizes, latents, 384)
+        assert duplicated.tolist() == [True, False, False, False]
+
+    def test_deterministic(self):
+        term = self.make_term()
+        detected = np.array([True] * 5)
+        sizes = np.linspace(30, 150, 5)
+        latents = np.linspace(0.0, 1.0, 5, endpoint=False)
+        first = term.duplicates(detected, sizes, latents, 384)
+        second = term.duplicates(detected, sizes, latents, 384)
+        assert np.array_equal(first, second)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AnomalyTerm(resolution_side=0, duplicate_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            AnomalyTerm(resolution_side=384, duplicate_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            AnomalyTerm(
+                resolution_side=384, duplicate_probability=0.5, band_low=10, band_high=5
+            )
+
+
+class TestFalsePositiveModel:
+    def test_rate_grows_as_resolution_shrinks(self):
+        model = FalsePositiveModel(base_rate=0.01, gain=2.0)
+        assert model.rate(128, 608) > model.rate(512, 608) >= model.rate(608, 608)
+
+    def test_rate_at_native_equals_base(self):
+        model = FalsePositiveModel(base_rate=0.01, gain=2.0)
+        assert model.rate(608, 608) == pytest.approx(0.01)
+
+    def test_counts_deterministic_threshold(self):
+        model = FalsePositiveModel(base_rate=0.5, gain=0.0)
+        clutter = np.array([0.1, 0.49, 0.51, 0.9])
+        assert model.counts(clutter, 608, 608).tolist() == [1, 1, 0, 0]
+
+    def test_zero_base_rate_never_fires(self):
+        model = FalsePositiveModel(base_rate=0.0)
+        clutter = np.random.default_rng(0).random(100)
+        assert model.counts(clutter, 64, 608).sum() == 0
+
+    def test_rate_capped_at_one(self):
+        model = FalsePositiveModel(base_rate=0.9, gain=10.0)
+        assert model.rate(64, 608) == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FalsePositiveModel(base_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FalsePositiveModel(base_rate=0.1, gain=-1.0)

@@ -1,0 +1,97 @@
+"""Tests for the sequence-model extension (paper §7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.temporal import MotionEventDetector, TemporalDifferenceDetector
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def flow(yolo_car):
+    return TemporalDifferenceDetector(yolo_car)
+
+
+@pytest.fixture
+def motion(yolo_car):
+    return MotionEventDetector(yolo_car, threshold_change=2)
+
+
+class TestTemporalDifference:
+    def test_requires_sequence_flag(self, flow):
+        assert flow.requires_sequence
+
+    def test_name_wraps_base(self, flow, yolo_car):
+        assert flow.name == f"flow({yolo_car.name})"
+        assert flow.target_class == yolo_car.target_class
+        assert flow.threshold == yolo_car.threshold
+
+    def test_flow_formula(self):
+        counts = np.array([0, 3, 1, 4, 4])
+        flow = TemporalDifferenceDetector.flow_for_order(
+            counts, np.arange(5)
+        )
+        assert flow.tolist() == [0, 3, 0, 3, 0]
+
+    def test_output_depends_on_sampling_pattern(self, flow, detrac_dataset):
+        """The defining sequence-model property: the same frame's output
+        changes with its sampled predecessor."""
+        dense = flow.run_on_sample(detrac_dataset, np.arange(0, 200))
+        sparse = flow.run_on_sample(detrac_dataset, np.arange(0, 200, 50))
+        # Dense differences are small (smooth traffic); sparse ones larger.
+        assert sparse.mean() != pytest.approx(dense.mean(), rel=0.01)
+
+    def test_run_matches_consecutive_sample(self, flow, detrac_dataset):
+        full = flow.run(detrac_dataset).counts
+        sampled = flow.run_on_sample(
+            detrac_dataset, np.arange(detrac_dataset.frame_count)
+        )
+        assert np.array_equal(full, sampled)
+
+    def test_sample_order_is_temporal(self, flow, detrac_dataset):
+        shuffled = np.array([50, 10, 30])
+        ordered = np.array([10, 30, 50])
+        assert np.array_equal(
+            flow.run_on_sample(detrac_dataset, shuffled),
+            flow.run_on_sample(detrac_dataset, ordered),
+        )
+
+    def test_rejects_empty_sample(self, flow, detrac_dataset):
+        with pytest.raises(ConfigurationError):
+            flow.run_on_sample(detrac_dataset, np.array([], dtype=int))
+
+
+class TestMotionEvents:
+    def test_outputs_are_indicators(self, motion, detrac_dataset):
+        outputs = motion.run(detrac_dataset).counts
+        assert set(np.unique(outputs)) <= {0, 1}
+
+    def test_first_frame_never_motion(self, motion, detrac_dataset):
+        outputs = motion.run(detrac_dataset).counts
+        assert outputs[0] == 0
+
+    def test_sparse_sampling_inflates_motion_share(self, motion, detrac_dataset):
+        """The §7 bias: gaps decorrelate counts, so 'motion' inflates."""
+        consecutive = motion.run(detrac_dataset).counts.mean()
+        sparse = motion.run_on_sample(
+            detrac_dataset, np.arange(0, detrac_dataset.frame_count, 40)
+        ).mean()
+        assert sparse > consecutive
+
+    def test_threshold_validation(self, yolo_car):
+        with pytest.raises(ConfigurationError):
+            MotionEventDetector(yolo_car, threshold_change=0)
+
+    def test_profiler_never_classifies_sampling_as_random(
+        self, processor, detrac_dataset, motion
+    ):
+        from repro.core.profiler import DegradationProfiler
+        from repro.interventions import InterventionPlan
+        from repro.query import Aggregate, AggregateQuery
+
+        query = AggregateQuery(detrac_dataset, motion, Aggregate.AVG)
+        plan = InterventionPlan.from_knobs(f=0.1)
+        assert plan.is_random_for(detrac_dataset)  # for frame-level models
+        assert not DegradationProfiler._plan_is_random(query, plan)

@@ -1,0 +1,96 @@
+"""Tests for the detector presets and the restricted-class suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.zoo import (
+    DetectorSuite,
+    default_suite,
+    mask_rcnn_like,
+    mtcnn_like,
+    yolo_v4_like,
+)
+from repro.errors import ConfigurationError
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+class TestPresets:
+    def test_paper_thresholds(self):
+        assert yolo_v4_like().threshold == 0.7
+        assert mask_rcnn_like().threshold == 0.7
+        assert mtcnn_like().threshold == 0.8
+
+    def test_target_classes(self):
+        assert yolo_v4_like().target_class == ObjectClass.CAR
+        assert yolo_v4_like(target_class=ObjectClass.PERSON).target_class == (
+            ObjectClass.PERSON
+        )
+        assert mtcnn_like().target_class == ObjectClass.FACE
+
+    def test_names_stable(self):
+        assert yolo_v4_like().name == "yolo-v4-like"
+        assert yolo_v4_like(with_anomaly=False).name == "yolo-v4-like-no-anomaly"
+        assert mask_rcnn_like().name == "mask-rcnn-like"
+        assert mtcnn_like().name == "mtcnn-like"
+
+    def test_detects_most_objects_at_native(self, detrac_dataset):
+        """The paper's ground-truth definition needs near-complete recall
+        at native resolution."""
+        detector = yolo_v4_like()
+        detected = detector.run(detrac_dataset).counts.sum()
+        truth = detrac_dataset.true_counts(ObjectClass.CAR).sum()
+        assert detected / truth > 0.8
+
+    def test_faces_vanish_at_low_resolution(self, detrac_dataset):
+        """Resolution reduction as face privacy: MTCNN-like recall collapses."""
+        detector = mtcnn_like()
+        native = detector.run(detrac_dataset).counts.sum()
+        degraded = detector.run(detrac_dataset, Resolution(128)).counts.sum()
+        assert native > 0
+        assert degraded < 0.05 * native
+
+
+class TestDetectorSuite:
+    def test_default_suite_composition(self):
+        suite = default_suite()
+        assert suite.person_detector.target_class == ObjectClass.PERSON
+        assert suite.face_detector.target_class == ObjectClass.FACE
+
+    def test_detector_for_routes_classes(self):
+        suite = default_suite()
+        assert suite.detector_for(ObjectClass.PERSON) is suite.person_detector
+        assert suite.detector_for(ObjectClass.FACE) is suite.face_detector
+
+    def test_detector_for_rejects_car(self):
+        with pytest.raises(ConfigurationError):
+            default_suite().detector_for(ObjectClass.CAR)
+
+    def test_presence_prevalence_matches_paper(self):
+        """Full-size corpora reproduce §5.1's containment statistics."""
+        from repro.video import night_street, ua_detrac
+
+        suite = default_suite()
+        night = night_street()
+        detrac = ua_detrac()
+        night_person = suite.presence(night, ObjectClass.PERSON).mean()
+        night_face = suite.presence(night, ObjectClass.FACE).mean()
+        detrac_person = suite.presence(detrac, ObjectClass.PERSON).mean()
+        detrac_face = suite.presence(detrac, ObjectClass.FACE).mean()
+        assert night_person == pytest.approx(0.1418, abs=0.02)
+        assert night_face == pytest.approx(0.0402, abs=0.015)
+        assert detrac_person == pytest.approx(0.6586, abs=0.04)
+        assert detrac_face == pytest.approx(0.0248, abs=0.015)
+
+    def test_presence_boolean(self, detrac_dataset, suite):
+        flags = suite.presence(detrac_dataset, ObjectClass.PERSON)
+        assert flags.dtype == bool
+        assert flags.size == detrac_dataset.frame_count
+
+    def test_person_presence_correlates_with_cars(self, detrac_dataset, suite, yolo_car):
+        """The §5.2.2 mechanism: person frames have more cars on average."""
+        persons = suite.presence(detrac_dataset, ObjectClass.PERSON)
+        cars = yolo_car.run(detrac_dataset).counts
+        assert cars[persons].mean() > cars[~persons].mean()

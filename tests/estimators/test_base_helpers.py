@@ -1,0 +1,86 @@
+"""Tests for the estimator base helpers and streaming integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.base import Estimate, effective_range, validate_sample
+
+
+class TestValidateSample:
+    def test_passes_through_valid_arrays(self):
+        array = validate_sample(np.array([1, 2, 3]), 10)
+        assert array.dtype == float
+        assert array.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            validate_sample(np.array([]), 10)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(EstimationError):
+            validate_sample(np.ones(11), 10)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(EstimationError):
+            validate_sample(np.array([1.0, bad]), 10)
+
+    def test_accepts_lists(self):
+        array = validate_sample([1, 2], 10)
+        assert isinstance(array, np.ndarray)
+
+
+class TestEffectiveRange:
+    def test_known_range_wins(self):
+        assert effective_range(np.array([0.0, 0.0]), 1.0) == 1.0
+
+    def test_falls_back_to_sample_range(self):
+        assert effective_range(np.array([2.0, 7.0]), None) == 5.0
+
+    def test_rejects_negative_known_range(self):
+        with pytest.raises(EstimationError):
+            effective_range(np.array([1.0]), -0.5)
+
+    def test_known_range_fixes_constant_indicator_blind_spot(self):
+        """The coverage-audit regression in miniature: an all-ones
+        indicator sample must not certify p = 1."""
+        from repro.estimators.smokescreen import SmokescreenMeanEstimator
+
+        ones = np.ones(20)
+        without = SmokescreenMeanEstimator().estimate(ones, 1000, 0.05)
+        with_known = SmokescreenMeanEstimator().estimate(
+            ones, 1000, 0.05, value_range=1.0
+        )
+        assert without.error_bound == 0.0  # the blind spot
+        assert with_known.error_bound > 0.0  # closed by the known range
+
+    def test_known_range_never_tightens_vs_true_wider_sample(self):
+        """When the sample already spans the known range, supplying it
+        changes nothing."""
+        from repro.estimators.smokescreen import SmokescreenMeanEstimator
+
+        sample = np.array([0.0, 1.0] * 10)
+        default = SmokescreenMeanEstimator().estimate(sample, 1000, 0.05)
+        known = SmokescreenMeanEstimator().estimate(
+            sample, 1000, 0.05, value_range=1.0
+        )
+        assert default.error_bound == known.error_bound
+
+
+class TestEstimateContainer:
+    def test_scaled_keeps_metadata(self):
+        estimate = Estimate(
+            value=2.0, error_bound=0.1, method="m", n=5, universe_size=50,
+            extras={"upper": 3.0},
+        )
+        scaled = estimate.scaled(10.0)
+        assert scaled.method == "m"
+        assert scaled.n == 5
+        assert scaled.extras["upper"] == 3.0
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(EstimationError):
+            Estimate(value=1.0, error_bound=-1e-9, method="m", n=1, universe_size=2)

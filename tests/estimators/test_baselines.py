@@ -1,0 +1,167 @@
+"""Tests for the baseline estimators (EBGS, Hoeffding, H-S, CLT, Stein)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.classic import (
+    CLTEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+)
+from repro.estimators.ebgs import EBGSEstimator
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.stein import SteinEstimator
+from repro.query.aggregates import Aggregate
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(23)
+    return rng.poisson(5.0, size=5000).astype(float)
+
+
+@pytest.fixture()
+def sample(population):
+    rng = np.random.default_rng(7)
+    return rng.choice(population, size=200, replace=False)
+
+
+class TestEBGS:
+    def test_envelope_tighter_or_equal_to_last_prefix(self, sample, population):
+        """The running max/min envelope can only tighten the final interval."""
+        estimate = EBGSEstimator().estimate(sample, population.size, 0.05)
+        assert estimate.extras["lower"] <= estimate.extras["upper"]
+
+    def test_looser_than_smokescreen(self, sample, population):
+        """The union-over-time budget makes EBGS looser than Algorithm 1
+        (the paper's §5.2.1: Smokescreen always beats EBGS)."""
+        ebgs = EBGSEstimator().estimate(sample, population.size, 0.05)
+        ours = SmokescreenMeanEstimator().estimate(sample, population.size, 0.05)
+        assert ours.error_bound <= ebgs.error_bound
+
+    def test_coverage(self, population):
+        rng = np.random.default_rng(8)
+        mu = population.mean()
+        violations = 0
+        trials = 150
+        for _ in range(trials):
+            sample = rng.choice(population, size=300, replace=False)
+            estimate = EBGSEstimator().estimate(sample, population.size, 0.05)
+            if abs(estimate.value - mu) / mu > estimate.error_bound:
+                violations += 1
+        assert violations / trials <= 0.05
+
+    def test_order_dependence_is_prefix_based(self, population):
+        """EBGS depends on stream order (prefix envelope); shuffling the
+        same sample may change the bound, unlike Algorithm 1."""
+        rng = np.random.default_rng(9)
+        sample = rng.choice(population, size=300, replace=False)
+        shuffled = sample.copy()
+        rng.shuffle(shuffled)
+        ours = SmokescreenMeanEstimator()
+        assert (
+            ours.estimate(sample, population.size, 0.05).error_bound
+            == ours.estimate(shuffled, population.size, 0.05).error_bound
+        )
+
+    def test_single_sample_zero_range(self, population):
+        """One sample has range 0, so every radius collapses — the same
+        zero-range degeneracy as Algorithm 1 on a constant sample."""
+        estimate = EBGSEstimator().estimate(np.array([5.0]), population.size, 0.05)
+        assert estimate.value == 5.0
+        assert estimate.error_bound == 0.0
+
+
+class TestRatioBoundBaselines:
+    def test_hoeffding_value_is_sample_mean(self, sample, population):
+        estimate = HoeffdingEstimator().estimate(sample, population.size, 0.05)
+        assert estimate.value == pytest.approx(sample.mean())
+
+    def test_hs_tighter_than_hoeffding(self, sample, population):
+        h = HoeffdingEstimator().estimate(sample, population.size, 0.05)
+        hs = HoeffdingSerflingEstimator().estimate(sample, population.size, 0.05)
+        assert hs.error_bound <= h.error_bound
+
+    def test_smokescreen_tighter_than_both(self, sample, population):
+        """The headline §5.2.1 relation on a typical sample."""
+        ours = SmokescreenMeanEstimator().estimate(sample, population.size, 0.05)
+        h = HoeffdingEstimator().estimate(sample, population.size, 0.05)
+        hs = HoeffdingSerflingEstimator().estimate(sample, population.size, 0.05)
+        assert ours.error_bound < hs.error_bound < h.error_bound
+
+    def test_degenerate_bound_is_infinite(self, population):
+        """When the radius swallows the mean, the ratio bound blows up."""
+        tiny = np.array([0.0, 10.0])  # huge range, tiny n
+        estimate = HoeffdingEstimator().estimate(tiny, population.size, 0.05)
+        assert math.isinf(estimate.error_bound)
+
+    def test_clt_tighter_but_unreliable(self, population):
+        """CLT is tighter than Smokescreen on typical draws (Figure 4) but
+        violates the confidence level in a measurable share of trials at
+        small n (Figure 5)."""
+        rng = np.random.default_rng(10)
+        mu = population.mean()
+        clt = CLTEstimator()
+        ours = SmokescreenMeanEstimator()
+        tighter = 0
+        violations = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=20, replace=False)
+            clt_estimate = clt.estimate(sample, population.size, 0.05)
+            our_estimate = ours.estimate(sample, population.size, 0.05)
+            if clt_estimate.error_bound < our_estimate.error_bound:
+                tighter += 1
+            if abs(clt_estimate.value - mu) / mu > clt_estimate.error_bound:
+                violations += 1
+        assert tighter / trials > 0.9
+        assert violations > 0  # CLT misses sometimes: the Figure 5 story
+
+    def test_clt_single_sample_infinite(self, population):
+        estimate = CLTEstimator().estimate(np.array([3.0]), population.size, 0.05)
+        assert math.isinf(estimate.error_bound)
+
+
+class TestStein:
+    def test_answer_matches_smokescreen_quantile(self, sample, population):
+        """'Our query result estimation is the same as Stein's' (§5.2.1)."""
+        ours = SmokescreenQuantileEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        stein = SteinEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        assert stein.value == ours.value
+
+    def test_epsilon_formula(self, sample, population):
+        estimate = SteinEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        epsilon = math.sqrt(math.log(2 / 0.05) / (2 * sample.size))
+        assert estimate.extras["epsilon"] == pytest.approx(epsilon)
+        assert estimate.error_bound == pytest.approx(epsilon / 0.99)
+
+    def test_smokescreen_tighter_at_small_samples(self, population):
+        """Figure 4 MAX panels: our bound is tighter when the fraction is
+        small (the without-replacement + variance-aware construction)."""
+        rng = np.random.default_rng(11)
+        sample = rng.choice(population, size=60, replace=False)
+        ours = SmokescreenQuantileEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        stein = SteinEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        assert ours.error_bound < stein.error_bound
+
+    def test_bound_independent_of_data_values(self, population):
+        """Stein's bound depends only on n, r, delta."""
+        stein = SteinEstimator()
+        a = stein.estimate(np.arange(100.0), 1000, 0.99, 0.05, Aggregate.MAX)
+        b = stein.estimate(np.arange(100.0) * 7, 1000, 0.99, 0.05, Aggregate.MAX)
+        assert a.error_bound == b.error_bound

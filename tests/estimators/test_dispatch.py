@@ -1,0 +1,94 @@
+"""Tests for the estimator dispatch layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimators.dispatch import (
+    estimate_query,
+    mean_estimator_registry,
+    quantile_estimator_registry,
+)
+from repro.interventions import InterventionPlan
+from repro.query import Aggregate, AggregateQuery
+
+
+class TestRegistries:
+    def test_mean_registry_contents(self):
+        assert set(mean_estimator_registry()) == {
+            "smokescreen",
+            "ebgs",
+            "hoeffding",
+            "hoeffding-serfling",
+            "clt",
+        }
+
+    def test_quantile_registry_contents(self):
+        assert set(quantile_estimator_registry()) == {"smokescreen", "stein"}
+
+    def test_registries_return_fresh_instances(self):
+        assert (
+            mean_estimator_registry()["smokescreen"]
+            is not mean_estimator_registry()["smokescreen"]
+        )
+
+
+class TestEstimateQuery:
+    @pytest.fixture
+    def execution(self, processor, detrac_dataset, yolo_car, rng):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+        plan = InterventionPlan.from_knobs(f=0.1)
+        return query, processor.execute(query, plan, rng)
+
+    def test_avg_not_scaled(self, execution):
+        query, degraded = execution
+        estimate = estimate_query(query, degraded)
+        assert estimate.value < 100  # a mean of car counts, not a sum
+
+    def test_sum_scaled_to_population(self, processor, detrac_dataset, yolo_car, rng):
+        avg_query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+        sum_query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.SUM)
+        plan = InterventionPlan.from_knobs(f=0.1)
+        execution = processor.execute(avg_query, plan, rng)
+        avg_estimate = estimate_query(avg_query, execution)
+        sum_estimate = estimate_query(sum_query, execution)
+        assert sum_estimate.value == pytest.approx(
+            avg_estimate.value * detrac_dataset.frame_count
+        )
+        assert sum_estimate.error_bound == avg_estimate.error_bound
+
+    def test_count_uses_indicators(self, processor, detrac_dataset, yolo_car, rng):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.COUNT)
+        plan = InterventionPlan.from_knobs(f=0.2)
+        execution = processor.execute(query, plan, rng)
+        estimate = estimate_query(query, execution)
+        assert 0 <= estimate.value <= detrac_dataset.frame_count
+
+    def test_max_routes_to_quantile(self, processor, detrac_dataset, yolo_car, rng):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+        plan = InterventionPlan.from_knobs(f=0.2)
+        execution = processor.execute(query, plan, rng)
+        smokescreen = estimate_query(query, execution, "smokescreen")
+        stein = estimate_query(query, execution, "stein")
+        assert smokescreen.value == stein.value
+
+    def test_every_mean_method_runs(self, execution):
+        query, degraded = execution
+        for method in mean_estimator_registry():
+            estimate = estimate_query(query, degraded, method)
+            assert estimate.method == method
+
+    def test_unknown_method_rejected(self, execution):
+        query, degraded = execution
+        with pytest.raises(ConfigurationError):
+            estimate_query(query, degraded, "bootstrap")
+
+    def test_unknown_quantile_method_rejected(
+        self, processor, detrac_dataset, yolo_car, rng
+    ):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+        execution = processor.execute(query, InterventionPlan.from_knobs(f=0.2), rng)
+        with pytest.raises(ConfigurationError):
+            estimate_query(query, execution, "hoeffding")

@@ -1,0 +1,173 @@
+"""Property-based invariants across all estimators (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import Estimate
+from repro.estimators.classic import (
+    CLTEstimator,
+    HoeffdingEstimator,
+    HoeffdingSerflingEstimator,
+)
+from repro.estimators.ebgs import EBGSEstimator
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.estimators.repair import ProfileRepair
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.stein import SteinEstimator
+from repro.estimators.variance import SmokescreenVarianceEstimator
+from repro.query.aggregates import Aggregate
+
+count_samples = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=3, max_size=120
+).map(lambda values: np.array(values, dtype=float))
+
+slack = st.integers(min_value=0, max_value=2000)
+
+
+class TestMeanEstimatorInvariants:
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=60)
+    def test_smokescreen_value_inside_interval(self, values, extra):
+        estimate = SmokescreenMeanEstimator().estimate(
+            values, values.size + extra, 0.05
+        )
+        assert estimate.extras["lower"] - 1e-9 <= abs(estimate.value)
+        assert abs(estimate.value) <= estimate.extras["upper"] + 1e-9
+
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=60)
+    def test_bound_monotone_in_delta(self, values, extra):
+        """Less confidence demanded -> tighter (or equal) bound."""
+        estimator = SmokescreenMeanEstimator()
+        universe = values.size + extra
+        strict = estimator.estimate(values, universe, 0.01).error_bound
+        loose = estimator.estimate(values, universe, 0.20).error_bound
+        assert loose <= strict + 1e-12
+
+    @given(values=count_samples, extra=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=60)
+    def test_hs_never_looser_than_hoeffding(self, values, extra):
+        universe = values.size + extra
+        hs = HoeffdingSerflingEstimator().estimate(values, universe, 0.05)
+        hoeffding = HoeffdingEstimator().estimate(values, universe, 0.05)
+        if math.isfinite(hoeffding.error_bound):
+            assert hs.error_bound <= hoeffding.error_bound + 1e-9
+
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=40)
+    def test_ebgs_never_tighter_than_smokescreen(self, values, extra):
+        universe = values.size + extra
+        ours = SmokescreenMeanEstimator().estimate(values, universe, 0.05)
+        ebgs = EBGSEstimator().estimate(values, universe, 0.05)
+        assert ours.error_bound <= ebgs.error_bound + 1e-9
+
+    @given(values=count_samples, extra=slack, factor=st.floats(0.1, 1000.0))
+    @settings(max_examples=40)
+    def test_scaled_preserves_bound(self, values, extra, factor):
+        estimate = SmokescreenMeanEstimator().estimate(
+            values, values.size + extra, 0.05
+        )
+        scaled = estimate.scaled(factor)
+        assert scaled.error_bound == estimate.error_bound
+        assert scaled.value == pytest.approx(estimate.value * factor)
+
+    @given(values=count_samples, extra=slack, shift=st.floats(1.0, 100.0))
+    @settings(max_examples=40)
+    def test_shift_invariance_of_radius(self, values, extra, shift):
+        """The interval radius depends only on the sample range, so a
+        positive shift tightens the *relative* bound (larger mean)."""
+        estimator = SmokescreenMeanEstimator()
+        universe = values.size + extra
+        base = estimator.estimate(values + 1.0, universe, 0.05)
+        shifted = estimator.estimate(values + 1.0 + shift, universe, 0.05)
+        assert shifted.error_bound <= base.error_bound + 1e-9
+
+
+class TestQuantileEstimatorInvariants:
+    @given(
+        values=count_samples,
+        extra=slack,
+        r=st.floats(min_value=0.8, max_value=0.995),
+    )
+    @settings(max_examples=60)
+    def test_answer_is_a_sample_value(self, values, extra, r):
+        estimate = SmokescreenQuantileEstimator().estimate(
+            values, values.size + extra, r, 0.05, Aggregate.MAX
+        )
+        assert estimate.value in values
+
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=60)
+    def test_bound_positive_and_finite(self, values, extra):
+        estimate = SmokescreenQuantileEstimator().estimate(
+            values, values.size + extra, 0.95, 0.05, Aggregate.MAX
+        )
+        assert 0.0 < estimate.error_bound < math.inf
+
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=40)
+    def test_stein_bound_data_independent(self, values, extra):
+        universe = values.size + extra
+        a = SteinEstimator().estimate(values, universe, 0.95, 0.05, Aggregate.MAX)
+        b = SteinEstimator().estimate(
+            values * 3 + 1, universe, 0.95, 0.05, Aggregate.MAX
+        )
+        assert a.error_bound == b.error_bound
+
+
+class TestVarianceEstimatorInvariants:
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=60)
+    def test_variance_value_non_negative(self, values, extra):
+        estimate = SmokescreenVarianceEstimator().estimate(
+            values, values.size + extra, 0.05
+        )
+        assert estimate.value >= 0.0
+        assert 0.0 <= estimate.error_bound <= 1.0
+
+
+class TestRepairInvariants:
+    @given(
+        correction=count_samples,
+        y_approx=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_corrected_bound_at_least_correction_bound(self, correction, y_approx):
+        estimate = SmokescreenMeanEstimator().estimate(
+            correction, correction.size + 100, 0.05
+        )
+        bound = ProfileRepair.corrected_mean_bound(y_approx, estimate)
+        assert bound >= estimate.error_bound - 1e-12
+
+    @given(correction=count_samples)
+    @settings(max_examples=40)
+    def test_corrected_bound_minimal_at_correction_value(self, correction):
+        """Eq. 12's drift term vanishes exactly at Y_approx(v)."""
+        estimate = SmokescreenMeanEstimator().estimate(
+            correction, correction.size + 100, 0.05
+        )
+        at_value = ProfileRepair.corrected_mean_bound(estimate.value, estimate)
+        away = ProfileRepair.corrected_mean_bound(estimate.value + 1.0, estimate)
+        assert at_value <= away + 1e-12
+        if estimate.value != 0:
+            assert at_value == pytest.approx(estimate.error_bound)
+
+
+class TestCLTNominality:
+    @given(values=count_samples, extra=slack)
+    @settings(max_examples=40)
+    def test_clt_bound_finite_or_degenerate(self, values, extra):
+        estimate = CLTEstimator().estimate(values, values.size + extra, 0.05)
+        assert estimate.error_bound >= 0.0
+
+    def test_estimate_post_init_rejects_negative_bound(self):
+        from repro.errors import EstimationError
+
+        with pytest.raises(EstimationError):
+            Estimate(value=1.0, error_bound=-0.1, method="x", n=1, universe_size=2)

@@ -1,0 +1,115 @@
+"""Tests for Algorithm 2 (Smokescreen's MAX/MIN quantile estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimators.quantile import SmokescreenQuantileEstimator
+from repro.query.aggregates import Aggregate
+from repro.stats.quantiles import relative_rank_error
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(17)
+    return rng.poisson(6.0, size=8000).astype(float)
+
+
+class TestAnswerConstruction:
+    def test_answer_is_distinct_value_quantile(self):
+        values = np.array([1.0, 1, 2, 3, 3, 3, 4, 9, 9, 10])
+        estimate = SmokescreenQuantileEstimator().estimate(
+            values, 100, 0.9, 0.05, Aggregate.MAX
+        )
+        # cumulative distinct freqs: 1:0.2, 2:0.3, 3:0.6, 4:0.7, 9:0.9, 10:1.0
+        assert estimate.value == 9.0
+
+    def test_min_answer(self):
+        values = np.arange(100, dtype=float)
+        estimate = SmokescreenQuantileEstimator().estimate(
+            values, 1000, 0.05, 0.05, Aggregate.MIN
+        )
+        assert estimate.value <= 5.0
+
+    def test_rejects_mean_aggregates(self):
+        with pytest.raises(ConfigurationError):
+            SmokescreenQuantileEstimator().estimate(
+                np.arange(10.0), 100, 0.99, 0.05, Aggregate.AVG
+            )
+
+    def test_rejects_degenerate_r(self):
+        with pytest.raises(ConfigurationError):
+            SmokescreenQuantileEstimator().estimate(
+                np.arange(10.0), 100, 1.0, 0.05, Aggregate.MAX
+            )
+
+
+class TestBoundBehaviour:
+    def test_bound_positive(self, population):
+        rng = np.random.default_rng(2)
+        sample = rng.choice(population, 200, replace=False)
+        estimate = SmokescreenQuantileEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        assert estimate.error_bound > 0.0
+
+    def test_bound_shrinks_with_sample_size(self, population):
+        rng = np.random.default_rng(3)
+        estimator = SmokescreenQuantileEstimator()
+        bounds = []
+        for n in (100, 1000, 4000):
+            sample = rng.choice(population, n, replace=False)
+            bounds.append(
+                estimator.estimate(
+                    sample, population.size, 0.99, 0.05, Aggregate.MAX
+                ).error_bound
+            )
+        assert bounds[2] < bounds[0]
+
+    def test_coverage_of_rank_error(self, population):
+        """The bound covers the true relative rank error >= 1 - delta."""
+        rng = np.random.default_rng(4)
+        estimator = SmokescreenQuantileEstimator()
+        r, delta = 0.99, 0.05
+        ordered = np.sort(population)
+        true_quantile = ordered[int(population.size * r)]
+        violations = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.choice(population, size=300, replace=False)
+            estimate = estimator.estimate(
+                sample, population.size, r, delta, Aggregate.MAX
+            )
+            error = relative_rank_error(population, estimate.value, true_quantile)
+            if error > estimate.error_bound:
+                violations += 1
+        assert violations / trials <= delta
+
+    def test_min_coverage(self, population):
+        rng = np.random.default_rng(5)
+        estimator = SmokescreenQuantileEstimator()
+        r, delta = 0.02, 0.05
+        ordered = np.sort(population)
+        true_quantile = ordered[int(population.size * r)]
+        violations = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=400, replace=False)
+            estimate = estimator.estimate(
+                sample, population.size, r, delta, Aggregate.MIN
+            )
+            error = relative_rank_error(population, estimate.value, true_quantile)
+            if error > estimate.error_bound:
+                violations += 1
+        assert violations / trials <= delta
+
+    def test_extras_expose_diagnostics(self, population):
+        rng = np.random.default_rng(6)
+        sample = rng.choice(population, 100, replace=False)
+        estimate = SmokescreenQuantileEstimator().estimate(
+            sample, population.size, 0.99, 0.05, Aggregate.MAX
+        )
+        assert set(estimate.extras) >= {"quantile_frequency", "deviation", "r"}
+        assert 0.0 < estimate.extras["quantile_frequency"] <= 1.0

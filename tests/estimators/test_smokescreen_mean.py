@@ -1,0 +1,162 @@
+"""Tests for Algorithm 1 (Smokescreen's AVG/SUM/COUNT estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.estimators.smokescreen import (
+    SmokescreenMeanEstimator,
+    bound_aware_estimate,
+)
+from repro.stats.inequalities import hoeffding_serfling_radius
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(42)
+    return rng.poisson(5.0, size=5000).astype(float)
+
+
+class TestOutputConstruction:
+    def test_theorem_3_1_identities(self):
+        """Y_approx = sgn * 2 UB LB/(UB+LB), err_b = (UB-LB)/(UB+LB)."""
+        estimate = bound_aware_estimate(
+            sample_mean=10.0, radius=2.0, n=50, universe_size=100, method="test"
+        )
+        upper, lower = 12.0, 8.0
+        assert estimate.value == pytest.approx(2 * upper * lower / (upper + lower))
+        assert estimate.error_bound == pytest.approx((upper - lower) / (upper + lower))
+
+    def test_negative_mean_preserves_sign(self):
+        estimate = bound_aware_estimate(-10.0, 2.0, 50, 100, "test")
+        assert estimate.value < 0
+        assert estimate.error_bound == pytest.approx(4.0 / 20.0)
+
+    def test_degenerate_case_lb_zero(self):
+        """When LB = 0 the theorem sets Y_approx = 0, err_b = 1."""
+        estimate = bound_aware_estimate(1.0, 5.0, 10, 100, "test")
+        assert estimate.value == 0.0
+        assert estimate.error_bound == 1.0
+
+    def test_zero_radius_zero_error(self):
+        estimate = bound_aware_estimate(3.0, 0.0, 100, 100, "test")
+        assert estimate.value == pytest.approx(3.0)
+        assert estimate.error_bound == 0.0
+
+    def test_value_biased_toward_lower_bound(self):
+        """The harmonic mean is below the sample mean; the paper notes the
+        result estimate is less precise than the plain mean."""
+        estimate = bound_aware_estimate(10.0, 2.0, 50, 100, "test")
+        assert estimate.value < 10.0
+
+    def test_error_bound_certifies_value(self):
+        """For any mu inside [LB, UB], |Y - mu| / mu <= err_b (Theorem 3.1)."""
+        estimate = bound_aware_estimate(10.0, 2.0, 50, 100, "test")
+        for mu in np.linspace(8.0, 12.0, 50):
+            assert abs(estimate.value - mu) / mu <= estimate.error_bound + 1e-12
+
+
+class TestEstimate:
+    def test_uses_hoeffding_serfling_radius(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        estimate = SmokescreenMeanEstimator().estimate(values, 100, 0.05)
+        radius = hoeffding_serfling_radius(4, 100, 0.05, 3.0)
+        assert estimate.extras["upper"] == pytest.approx(2.5 + radius)
+        assert estimate.extras["lower"] == pytest.approx(max(0.0, 2.5 - radius))
+
+    def test_full_sample_has_zero_bound(self, population):
+        estimate = SmokescreenMeanEstimator().estimate(
+            population, population.size, 0.05
+        )
+        assert estimate.error_bound == 0.0
+        assert estimate.value == pytest.approx(population.mean())
+
+    def test_bound_shrinks_with_sample_size(self, population):
+        rng = np.random.default_rng(0)
+        estimator = SmokescreenMeanEstimator()
+        small = estimator.estimate(
+            rng.choice(population, 50, replace=False), population.size, 0.05
+        )
+        large = estimator.estimate(
+            rng.choice(population, 1000, replace=False), population.size, 0.05
+        )
+        assert large.error_bound < small.error_bound
+
+    def test_coverage_at_95_percent(self, population):
+        """err_b >= true relative error in at least 1 - delta of trials."""
+        rng = np.random.default_rng(1)
+        estimator = SmokescreenMeanEstimator()
+        mu = population.mean()
+        violations = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.choice(population, size=100, replace=False)
+            estimate = estimator.estimate(sample, population.size, 0.05)
+            true_error = abs(estimate.value - mu) / mu
+            if true_error > estimate.error_bound:
+                violations += 1
+        assert violations / trials <= 0.05
+
+    def test_all_zero_sample_certain(self):
+        """A constant-zero sample collapses the interval to the point {0}:
+        a certain zero, consistent with the constant-sample case below."""
+        estimate = SmokescreenMeanEstimator().estimate(np.zeros(10), 100, 0.05)
+        assert estimate.value == 0.0
+        assert estimate.error_bound == 0.0
+
+    def test_constant_sample_zero_range(self):
+        """Sample range 0 means radius 0: the estimator reports certainty."""
+        estimate = SmokescreenMeanEstimator().estimate(np.full(10, 3.0), 100, 0.05)
+        assert estimate.value == pytest.approx(3.0)
+        assert estimate.error_bound == 0.0
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(EstimationError):
+            SmokescreenMeanEstimator().estimate(np.array([]), 100, 0.05)
+
+    def test_rejects_sample_larger_than_universe(self):
+        with pytest.raises(EstimationError):
+            SmokescreenMeanEstimator().estimate(np.ones(11), 10, 0.05)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(EstimationError):
+            SmokescreenMeanEstimator().estimate(np.array([1.0, np.nan]), 10, 0.05)
+
+    def test_scaled_for_sum(self):
+        values = np.array([1.0, 2.0, 3.0])
+        estimate = SmokescreenMeanEstimator().estimate(values, 100, 0.05)
+        scaled = estimate.scaled(100)
+        assert scaled.value == pytest.approx(estimate.value * 100)
+        assert scaled.error_bound == estimate.error_bound
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=100
+        ),
+        extra=st.integers(min_value=0, max_value=1000),
+        delta=st.floats(min_value=0.01, max_value=0.3),
+    )
+    @settings(max_examples=60)
+    def test_error_bound_in_unit_interval(self, values, extra, delta):
+        """Algorithm 1's err_b is always in [0, 1] by construction."""
+        sample = np.array(values)
+        estimate = SmokescreenMeanEstimator().estimate(
+            sample, sample.size + extra, delta
+        )
+        assert 0.0 <= estimate.error_bound <= 1.0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-50.0, max_value=-0.1), min_size=2, max_size=50
+        ),
+        extra=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=30)
+    def test_negative_values_supported(self, values, extra):
+        sample = np.array(values)
+        estimate = SmokescreenMeanEstimator().estimate(sample, sample.size + extra, 0.05)
+        assert estimate.value <= 0.0

@@ -1,0 +1,135 @@
+"""Tests for the streaming (incremental) Algorithm 1 estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.streaming import StreamingMeanEstimator
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(55)
+    return rng.poisson(5.0, size=3000).astype(float)
+
+
+class TestEquivalenceWithBatch:
+    def test_matches_batch_at_every_prefix(self, population):
+        rng = np.random.default_rng(1)
+        stream_values = rng.choice(population, size=200, replace=False)
+        streaming = StreamingMeanEstimator(population.size)
+        batch = SmokescreenMeanEstimator()
+        for prefix in (1, 5, 50, 200):
+            while streaming.count < prefix:
+                streaming.update(float(stream_values[streaming.count]))
+            incremental = streaming.estimate()
+            reference = batch.estimate(
+                stream_values[:prefix], population.size, 0.05
+            )
+            assert incremental.value == pytest.approx(reference.value)
+            assert incremental.error_bound == pytest.approx(reference.error_bound)
+
+    def test_extend_equals_updates(self, population):
+        values = population[:50]
+        one = StreamingMeanEstimator(population.size)
+        one.extend(values)
+        two = StreamingMeanEstimator(population.size)
+        for value in values:
+            two.update(float(value))
+        assert one.estimate().value == two.estimate().value
+
+
+class TestStreamBehaviour:
+    def test_bound_tightens_as_stream_grows(self, population):
+        rng = np.random.default_rng(2)
+        values = rng.choice(population, size=500, replace=False)
+        streaming = StreamingMeanEstimator(population.size)
+        streaming.extend(values[:50])
+        early = streaming.estimate().error_bound
+        streaming.extend(values[50:])
+        late = streaming.estimate().error_bound
+        assert late < early
+
+    def test_estimate_when_below(self, population):
+        rng = np.random.default_rng(3)
+        values = rng.choice(population, size=1000, replace=False)
+        streaming = StreamingMeanEstimator(population.size)
+        streaming.extend(values[:10])
+        # Below the warm-up floor: never stops, however tight the bound.
+        assert streaming.estimate_when_below(0.99, min_count=30) is None
+        streaming.extend(values[10:])
+        hit = streaming.estimate_when_below(0.9)
+        assert hit is not None
+        assert hit.error_bound <= 0.9
+
+    def test_full_universe_certain(self, population):
+        streaming = StreamingMeanEstimator(population.size)
+        streaming.extend(population)
+        estimate = streaming.estimate()
+        assert estimate.error_bound == 0.0
+        assert estimate.value == pytest.approx(population.mean())
+
+    def test_processing_until_target_workflow(self, population):
+        """The streaming loop: ingest frames until the bound is met; the
+        answer then matches the batch estimate on what was consumed."""
+        rng = np.random.default_rng(4)
+        order = rng.permutation(population.size)
+        streaming = StreamingMeanEstimator(population.size)
+        result = None
+        consumed = 0
+        for index in order:
+            streaming.update(float(population[index]))
+            consumed += 1
+            result = streaming.estimate_when_below(0.25)
+            if result is not None:
+                break
+        assert consumed >= 30  # the warm-up floor held
+        assert result is not None
+        assert consumed < population.size
+        reference = SmokescreenMeanEstimator().estimate(
+            population[order[:consumed]], population.size, 0.05
+        )
+        assert result.error_bound == pytest.approx(reference.error_bound)
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(EstimationError):
+            StreamingMeanEstimator(0)
+        with pytest.raises(EstimationError):
+            StreamingMeanEstimator(10, delta=1.0)
+
+    def test_rejects_non_finite_values(self):
+        streaming = StreamingMeanEstimator(10)
+        with pytest.raises(EstimationError):
+            streaming.update(float("nan"))
+        with pytest.raises(EstimationError):
+            streaming.update(float("inf"))
+
+    def test_rejects_overflowing_universe(self):
+        streaming = StreamingMeanEstimator(2)
+        streaming.update(1.0)
+        streaming.update(2.0)
+        with pytest.raises(EstimationError):
+            streaming.update(3.0)
+
+    def test_estimate_requires_data(self):
+        with pytest.raises(EstimationError):
+            StreamingMeanEstimator(10).estimate()
+
+    def test_when_below_rejects_bad_min_count(self):
+        streaming = StreamingMeanEstimator(10)
+        streaming.update(1.0)
+        with pytest.raises(EstimationError):
+            streaming.estimate_when_below(0.5, min_count=0)
+
+    def test_single_constant_frame_cannot_trigger_stop(self):
+        """The regression the warm-up floor closes: one frame has zero
+        sample range, hence a zero bound — it must not stop the stream."""
+        streaming = StreamingMeanEstimator(1000)
+        streaming.update(6.0)
+        assert streaming.estimate().error_bound == 0.0
+        assert streaming.estimate_when_below(0.2) is None

@@ -1,0 +1,83 @@
+"""Reduced-scale tests for the extension experiments (paper §7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ablations import run_ablation_stratified
+from repro.experiments.extension_temporal import run_extension_temporal
+from repro.experiments.extension_var import run_extension_var
+
+FRAMES = 4000
+
+
+class TestExtensionVar:
+    def test_smokescreen_var_valid(self):
+        result = run_extension_var(
+            trials=30, frame_count=FRAMES, fractions=(0.1, 0.5, 0.9)
+        )
+        assert max(result.series["smokescreen_violation_pct"]) <= 10.0
+
+    def test_bound_informative_at_large_fractions(self):
+        result = run_extension_var(
+            trials=30, frame_count=FRAMES, fractions=(0.1, 0.9)
+        )
+        bounds = result.series["smokescreen_bound"]
+        assert bounds[-1] < bounds[0]
+        assert bounds[-1] < 1.0
+
+    def test_clt_tighter_where_informative(self):
+        result = run_extension_var(
+            trials=30, frame_count=FRAMES, fractions=(0.5, 0.9)
+        )
+        assert result.series["clt_bound"][-1] < result.series["smokescreen_bound"][-1]
+
+
+class TestExtensionTemporal:
+    def test_naive_treatment_violates(self):
+        result = run_extension_temporal(
+            trials=50, frame_count=FRAMES, fractions=(0.05, 0.1)
+        )
+        assert max(result.series["naive_violation_pct"]) > 20.0
+
+    def test_window_repair_restores_coverage(self):
+        result = run_extension_temporal(
+            trials=50, frame_count=FRAMES, fractions=(0.05, 0.1)
+        )
+        naive = np.array(result.series["naive_violation_pct"])
+        window = np.array(result.series["window_violation_pct"])
+        assert np.all(window <= naive)
+        assert window.max() <= 15.0
+
+    def test_bias_shrinks_with_fraction(self):
+        """Denser samples mean smaller gaps, so the motion bias fades."""
+        result = run_extension_temporal(
+            trials=50, frame_count=FRAMES, fractions=(0.05, 0.4)
+        )
+        errors = result.series["true_error"]
+        assert errors[-1] < errors[0]
+
+
+class TestStratifiedAblation:
+    def test_stratified_wins_at_moderate_budgets(self):
+        """At tiny n the gain drowns in Poisson noise; from ~2% of frames
+        the temporal waves are resolved and stratification clearly wins."""
+        result = run_ablation_stratified(
+            trials=120, frame_count=FRAMES, fractions=(0.02, 0.05)
+        )
+        ratios = np.array(result.series["rmse_ratio"])
+        assert np.all(ratios < 0.95)
+
+    def test_gain_grows_with_budget(self):
+        """More strata resolve the traffic waves better."""
+        result = run_ablation_stratified(
+            trials=80, frame_count=FRAMES, fractions=(0.005, 0.05)
+        )
+        ratios = result.series["rmse_ratio"]
+        assert ratios[-1] <= ratios[0] + 0.1
+
+    def test_bound_remains_empirically_valid(self):
+        result = run_ablation_stratified(
+            trials=80, frame_count=FRAMES, fractions=(0.01, 0.05)
+        )
+        assert max(result.series["stratified_violation_pct"]) <= 5.0

@@ -1,0 +1,219 @@
+"""Reduced-scale runs of every figure experiment: shapes and invariants.
+
+The benchmarks run these at the paper's full scale; here each runner is
+exercised at a few thousand frames and a handful of trials to keep the
+suite fast while still checking the qualitative claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.zoo import YOLO_ANOMALY_SIDE
+from repro.experiments.ablations import (
+    run_ablation_anomaly,
+    run_ablation_radius,
+    run_ablation_replacement,
+    run_ablation_reuse,
+)
+from repro.experiments.fig3_tradeoff_curves import run_fig3
+from repro.experiments.fig4_bound_comparison import run_fig4
+from repro.experiments.fig5_clt_violations import run_fig5
+from repro.experiments.fig6_profile_repair import run_fig6
+from repro.experiments.fig7_resolution_anomaly import run_fig7
+from repro.experiments.fig8_count_distribution import (
+    distribution_distance,
+    run_fig8,
+)
+from repro.experiments.fig9_correction_size import run_fig9
+from repro.experiments.fig10_profile_similarity import (
+    run_fig10_resolution,
+    run_fig10_sampling,
+)
+from repro.experiments.timing import run_timing
+from repro.query.aggregates import Aggregate
+
+FRAMES = 4000
+
+
+class TestFig3:
+    def test_curves_differ_by_dataset(self):
+        result = run_fig3(frame_count=FRAMES, resolution_count=6)
+        night = np.array(result.series["night-street"])
+        detrac = np.array(result.series["ua-detrac"])
+        assert night.shape == detrac.shape
+        assert not np.allclose(night, detrac, atol=0.02)
+
+    def test_error_vanishes_at_native(self):
+        result = run_fig3(frame_count=FRAMES, resolution_count=6)
+        assert result.series["ua-detrac"][-1] < 0.05
+
+
+class TestFig4:
+    def test_avg_panel_orderings(self):
+        result = run_fig4(
+            "ua-detrac", Aggregate.AVG, trials=10, frame_count=FRAMES, grid_points=4
+        )
+        ours = np.array(result.series["smokescreen_bound"])
+        ebgs = np.array(result.series["ebgs_bound"])
+        assert np.all(ours <= ebgs + 1e-9)
+        assert ours[-1] < ours[0]
+
+    def test_max_panel_has_stein(self):
+        result = run_fig4(
+            "ua-detrac", Aggregate.MAX, trials=10, frame_count=FRAMES, grid_points=4
+        )
+        assert "stein_bound" in result.series
+        assert "ebgs_bound" not in result.series
+
+    def test_custom_fractions_respected(self):
+        fractions = (0.01, 0.05)
+        result = run_fig4(
+            "ua-detrac",
+            Aggregate.AVG,
+            trials=5,
+            frame_count=FRAMES,
+            fractions=fractions,
+        )
+        assert tuple(result.knobs) == fractions
+
+
+class TestFig5:
+    def test_smokescreen_within_budget(self):
+        result = run_fig5(trials=60, frame_count=FRAMES, fractions=(0.002, 0.01))
+        assert max(result.series["smokescreen_violation_pct"]) <= 10.0
+
+    def test_clt_worse_than_smokescreen_somewhere(self):
+        result = run_fig5(trials=60, frame_count=FRAMES, fractions=(0.002, 0.01))
+        clt = result.series["clt_violation_pct"]
+        ours = result.series["smokescreen_violation_pct"]
+        assert max(clt) >= max(ours)
+
+
+class TestFig6:
+    def test_resolution_row_red_circle(self):
+        """The uncorrected bound under-covers at low resolution; the
+        corrected bound does not."""
+        result = run_fig6(
+            "ua-detrac", Aggregate.AVG, "resolution", trials=10, frame_count=FRAMES
+        )
+        errors = np.array(result.series["true_error"])
+        uncorrected = np.array(result.series["bound_no_correction"])
+        corrected = np.array(result.series["bound_with_correction"])
+        assert uncorrected[0] < errors[0]
+        assert np.all(corrected >= errors - 0.05)
+
+    def test_sampling_row_min_rule(self):
+        """On the random axis the corrected bound is never looser."""
+        result = run_fig6(
+            "ua-detrac", Aggregate.AVG, "sampling", trials=10, frame_count=FRAMES
+        )
+        corrected = np.array(result.series["bound_with_correction"])
+        uncorrected = np.array(result.series["bound_no_correction"])
+        assert np.all(corrected <= uncorrected + 1e-9)
+
+    def test_rejects_sum_aggregate(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fig6("ua-detrac", Aggregate.SUM, "sampling", trials=2)
+
+    def test_rejects_unknown_axis(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fig6("ua-detrac", Aggregate.AVG, "brightness", trials=2)
+
+
+class TestFig7And8:
+    def test_anomaly_spike(self):
+        result = run_fig7(trials=10, frame_count=FRAMES)
+        knobs = list(result.knobs)
+        errors = result.series["true_error"]
+        at = knobs.index(float(YOLO_ANOMALY_SIDE))
+        assert errors[at] > errors[at + 1]
+
+    def test_distribution_deviation(self):
+        result = run_fig8(frame_count=FRAMES)
+        assert distribution_distance(result, YOLO_ANOMALY_SIDE, 608) > (
+            distribution_distance(result, 320, 608)
+        )
+
+    def test_histograms_cover_all_frames(self):
+        result = run_fig8(frame_count=FRAMES)
+        for name, histogram in result.series.items():
+            assert sum(histogram) == FRAMES, name
+
+
+class TestFig9:
+    def test_bounds_shrink_with_correction_size(self):
+        result = run_fig9(
+            trials=20, frame_count=FRAMES, fractions=(0.01, 0.04, 0.08)
+        )
+        own = result.series["own_bound"]
+        assert own[-1] < own[0]
+
+    def test_rejects_count_aggregate(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fig9(aggregate=Aggregate.COUNT, trials=2, frame_count=FRAMES)
+
+
+class TestFig10:
+    def test_limited_profile_zero_below_cap(self):
+        result = run_fig10_sampling(trials=5, sizes=(10, 30, 60, 90))
+        knobs = np.array(result.knobs)
+        limited = np.array(result.series["limited_A_diff"])
+        assert np.all(limited[knobs <= 50] == 0.0)
+        assert np.any(limited[knobs > 50] > 0.0)
+
+    def test_similar_video_closer_than_limited_on_resolution(self):
+        result = run_fig10_resolution(trials=5, sides=(128, 320, 608))
+        similar = np.array(result.series["similar_B_diff"])
+        limited = np.array(result.series["limited_A_diff"])
+        assert similar.mean() < limited.mean()
+
+    def test_rejects_cap_above_target(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fig10_sampling(access_limit=600, target_frames=500)
+
+
+class TestTimingAndAblations:
+    def test_timing_invocations_scale_with_corpus(self):
+        result = run_timing(frame_count=FRAMES)
+        total = sum(result.series["invocations"])
+        resolutions = len(result.knobs)
+        assert total == pytest.approx(0.04 * FRAMES * resolutions, rel=0.05)
+
+    def test_ablation_radius_ordering(self):
+        result = run_ablation_radius(
+            trials=20, frame_count=FRAMES, fractions=(0.005, 0.05)
+        )
+        hs = result.series["hoeffding_serfling"]
+        hoeffding = result.series["hoeffding"]
+        assert all(a <= b + 1e-9 for a, b in zip(hs, hoeffding))
+
+    def test_ablation_replacement_ordering(self):
+        result = run_ablation_replacement(
+            trials=20, frame_count=FRAMES, fractions=(0.01, 0.2)
+        )
+        without = result.series["without_replacement"]
+        with_repl = result.series["with_replacement"]
+        assert all(a <= b + 1e-12 for a, b in zip(without, with_repl))
+
+    def test_ablation_reuse_saves(self):
+        result = run_ablation_reuse(frame_count=FRAMES)
+        reuse, naive = result.series["invocations"]
+        assert reuse < naive
+
+    def test_ablation_anomaly_isolates_artifact(self):
+        result = run_ablation_anomaly(frame_count=FRAMES)
+        knobs = list(result.knobs)
+        at = knobs.index(float(YOLO_ANOMALY_SIDE))
+        with_anomaly = result.series["with_anomaly"]
+        without = result.series["without_anomaly"]
+        assert with_anomaly[at] > without[at]

@@ -1,0 +1,90 @@
+"""Reduced-scale tests for the headline metrics and timing accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.headline import (
+    run_headline_tightness,
+    run_headline_tradeoff,
+)
+from repro.experiments.timing import run_timing
+
+FRAMES = 3000
+
+
+class TestHeadlineTightness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_headline_tightness(trials=10, frame_count=FRAMES, grid_points=4)
+
+    def test_covers_all_guaranteed_baselines(self, result):
+        assert set(result.knobs) == {
+            "ebgs",
+            "hoeffding",
+            "hoeffding-serfling",
+            "stein",
+        }
+
+    def test_mean_family_improvements_positive(self, result):
+        maxima = dict(zip(result.knobs, result.series["max_improvement_pct"]))
+        assert maxima["ebgs"] > 0
+        assert maxima["hoeffding"] > 0
+        assert maxima["hoeffding-serfling"] > 0
+
+    def test_max_at_least_mean(self, result):
+        for maximum, mean in zip(
+            result.series["max_improvement_pct"],
+            result.series["mean_improvement_pct"],
+        ):
+            if not (math.isnan(maximum) or math.isnan(mean)):
+                assert maximum >= mean
+
+
+class TestHeadlineTradeoff:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_headline_tradeoff(trials=10, frame_count=FRAMES)
+
+    def test_oracle_never_larger_than_choices(self, result):
+        for oracle, ours, ebgs in zip(
+            result.series["oracle_fraction"],
+            result.series["smokescreen_fraction"],
+            result.series["ebgs_fraction"],
+        ):
+            if not math.isnan(oracle):
+                assert oracle <= ours + 1e-12
+                assert oracle <= ebgs + 1e-12
+
+    def test_smokescreen_never_more_conservative_than_ebgs(self, result):
+        for ours, ebgs in zip(
+            result.series["smokescreen_fraction"], result.series["ebgs_fraction"]
+        ):
+            assert ours <= ebgs + 1e-12
+
+    def test_regret_reduction_in_unit_range(self, result):
+        for value in result.series["regret_reduction_pct"]:
+            if not math.isnan(value):
+                assert 0.0 <= value <= 100.0
+
+
+class TestTiming:
+    def test_invocation_accounting(self):
+        result = run_timing(frame_count=FRAMES, max_fraction=0.02, resolution_count=4)
+        per_resolution = result.series["invocations"]
+        expected = round(FRAMES * 0.02)
+        assert all(value == expected for value in per_resolution)
+
+    def test_model_seconds_grow_with_resolution(self):
+        result = run_timing(frame_count=FRAMES, max_fraction=0.02, resolution_count=4)
+        seconds = result.series["model_seconds"]
+        assert seconds == sorted(seconds)
+
+    def test_notes_report_totals(self):
+        result = run_timing(frame_count=FRAMES, max_fraction=0.02, resolution_count=4)
+        joined = " ".join(result.notes)
+        assert "total model invocations" in joined
+        assert "estimation" in joined

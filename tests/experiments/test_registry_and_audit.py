@@ -1,0 +1,84 @@
+"""Tests for the experiment registry and the coverage audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.coverage_audit import (
+    GUARANTEED_ROWS,
+    NOMINAL_ROWS,
+    run_coverage_audit,
+)
+from repro.experiments.registry import (
+    ExperimentRequest,
+    experiment_names,
+    run_experiment,
+)
+from repro.query.aggregates import Aggregate
+
+
+class TestRegistry:
+    def test_names_include_all_paper_figures(self):
+        names = experiment_names()
+        for figure in range(3, 10):
+            assert f"fig{figure}" in names
+        assert "fig10-sampling" in names and "fig10-resolution" in names
+
+    def test_names_include_extensions_and_audit(self):
+        names = experiment_names()
+        for extra in ("var", "temporal", "coverage-audit", "timing"):
+            assert extra in names
+
+    def test_run_by_name(self):
+        request = ExperimentRequest(frames=1500)
+        result = run_experiment("fig8", request)
+        assert "Figure 8" in result.title
+
+    def test_request_knobs_forwarded(self):
+        request = ExperimentRequest(
+            dataset="ua-detrac", aggregate=Aggregate.MAX, frames=1500, trials=3
+        )
+        result = run_experiment("fig4", request)
+        assert "MAX" in result.title
+        assert "3 trials" in result.title
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99", ExperimentRequest())
+
+
+class TestCoverageAudit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_coverage_audit(
+            trials=40, frame_count=4000, fractions=(0.01, 0.05)
+        )
+
+    def test_one_row_per_method_aggregate_pair(self, result):
+        assert len(result.knobs) == len(GUARANTEED_ROWS) + len(NOMINAL_ROWS)
+
+    def test_guaranteed_rows_within_budget(self, result):
+        worst = np.array(result.series["worst_violation_pct"])
+        guaranteed = np.array(result.series["guaranteed"]) == 1.0
+        # 40 trials/cell: allow binomial headroom over the 5% budget.
+        assert worst[guaranteed].max() <= 12.5
+
+    def test_every_aggregate_covered_for_smokescreen(self, result):
+        smokescreen_rows = [
+            str(knob) for knob in result.knobs if str(knob).startswith("smokescreen/")
+        ]
+        covered = {row.split("/")[1] for row in smokescreen_rows}
+        assert covered == {"AVG", "SUM", "COUNT", "MAX", "MIN", "VAR"}
+
+    def test_count_row_uses_known_indicator_range(self):
+        """The regression this audit caught: near-constant indicator
+        samples must not produce falsely certain COUNT bounds. At a tiny
+        fraction of the busy corpus, the COUNT row stays within budget."""
+        result = run_coverage_audit(
+            trials=60, frame_count=4000, fractions=(0.005,)
+        )
+        knobs = [str(k) for k in result.knobs]
+        count_row = knobs.index("smokescreen/COUNT")
+        assert result.series["worst_violation_pct"][count_row] <= 10.0

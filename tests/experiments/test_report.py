@@ -1,0 +1,64 @@
+"""Tests for the one-command reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ExperimentRequest
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    def test_writes_markdown_with_all_requested_tables(self, tmp_path):
+        path = tmp_path / "report.md"
+        entries = generate_report(
+            path,
+            ExperimentRequest(frames=2000, trials=3),
+            names=("fig3", "fig8"),
+        )
+        assert [entry.name for entry in entries] == ["fig3", "fig8"]
+        assert all(entry.succeeded for entry in entries)
+        text = path.read_text()
+        assert "# Smokescreen reproduction report" in text
+        assert "## fig3 [ok" in text
+        assert "Figure 8" in text
+
+    def test_failures_recorded_not_raised(self, tmp_path):
+        path = tmp_path / "report.md"
+        entries = generate_report(
+            path,
+            # fig6 with a VAR aggregate is rejected by the runner.
+            ExperimentRequest(frames=2000, trials=2, aggregate=__import__(
+                "repro.query.aggregates", fromlist=["Aggregate"]
+            ).Aggregate.VAR),
+            names=("fig6", "fig8"),
+        )
+        by_name = {entry.name: entry for entry in entries}
+        assert not by_name["fig6"].succeeded
+        assert by_name["fig8"].succeeded
+        text = path.read_text()
+        assert "## fig6 [FAILED" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli_report.md"
+        code = main([
+            "report", "--output", str(path), "--frames", "2000",
+            "--trials", "3", "--only", "fig8,ablation-reuse",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 experiments" in out
+        assert path.exists()
+
+    def test_cli_report_failure_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli_report.md"
+        code = main([
+            "report", "--output", str(path), "--frames", "2000",
+            "--trials", "2", "--only", "no-such-experiment",
+        ])
+        assert code == 1
+        assert "failed" in capsys.readouterr().out

@@ -1,0 +1,192 @@
+"""Tests for workload definitions, reporting, and metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import (
+    tightness_improvement,
+    true_error,
+    violation_rate,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.workloads import (
+    FIGURE4_END_FRACTIONS,
+    Workload,
+    load_dataset,
+    model_for,
+    paper_workloads,
+    shared_suite,
+)
+from repro.query.aggregates import Aggregate
+
+
+class TestWorkloads:
+    def test_paper_workloads_eight_panels(self):
+        workloads = paper_workloads()
+        assert len(workloads) == 8
+        assert {w.dataset_name for w in workloads} == {"night-street", "ua-detrac"}
+
+    def test_dataset_cache_returns_same_object(self):
+        a = load_dataset("ua-detrac", 500)
+        b = load_dataset("ua-detrac", 500)
+        assert a is b
+
+    def test_model_pairing_matches_paper(self):
+        assert model_for("night-street").name == "mask-rcnn-like"
+        assert model_for("ua-detrac").name == "yolo-v4-like"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("city-walk")
+        with pytest.raises(ConfigurationError):
+            model_for("city-walk")
+
+    def test_workload_query_materialisation(self):
+        workload = Workload("ua-detrac", Aggregate.MAX, frame_count=500)
+        query = workload.query()
+        assert query.aggregate == Aggregate.MAX
+        assert query.dataset.frame_count == 500
+        assert workload.name == "ua-detrac/MAX"
+
+    def test_every_panel_has_end_fraction(self):
+        for workload in paper_workloads():
+            if workload.aggregate in (
+                Aggregate.AVG,
+                Aggregate.SUM,
+                Aggregate.COUNT,
+                Aggregate.MAX,
+            ):
+                key = (workload.dataset_name, workload.aggregate)
+                assert key in FIGURE4_END_FRACTIONS
+
+    def test_shared_suite_is_singleton(self):
+        assert shared_suite() is shared_suite()
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            title="demo",
+            knob_label="fraction",
+            knobs=[0.1, 0.2],
+            series={"a": [1.0, 2.0], "b": [3.0, float("nan")]},
+            notes=("hello",),
+        )
+
+    def test_rows_contain_header_and_values(self):
+        rows = self.make_result().rows()
+        assert rows[0] == "demo"
+        assert any("fraction" in row and "a" in row for row in rows)
+        assert any("0.1" in row for row in rows)
+        assert rows[-1] == "note: hello"
+
+    def test_nan_rendered(self):
+        rows = self.make_result().rows()
+        assert any("nan" in row for row in rows)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentResult(
+                title="bad",
+                knob_label="x",
+                knobs=[1.0],
+                series={"a": [1.0, 2.0]},
+            )
+
+    def test_string_knobs_supported(self):
+        result = ExperimentResult(
+            title="t", knob_label="strategy", knobs=["reuse"], series={"v": [1.0]}
+        )
+        assert any("reuse" in row for row in result.rows())
+
+
+class TestMetrics:
+    def test_true_error_mean_family(self, processor, detrac_dataset, yolo_car):
+        from repro.query import AggregateQuery
+
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+        truth = processor.true_answer(query)
+        assert true_error(processor, query, truth) == 0.0
+        assert true_error(processor, query, truth * 1.1) == pytest.approx(0.1)
+
+    def test_true_error_rank_based_for_max(self, processor, detrac_dataset, yolo_car):
+        from repro.query import AggregateQuery
+
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+        truth = processor.true_answer(query)
+        assert true_error(processor, query, truth) == 0.0
+
+    def test_violation_rate(self):
+        bounds = np.array([0.5, 0.1, 0.3])
+        errors = np.array([0.4, 0.2, 0.3])
+        assert violation_rate(bounds, errors) == pytest.approx(1 / 3)
+
+    def test_violation_rate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            violation_rate(np.array([]), np.array([]))
+
+    def test_tightness_improvement(self):
+        assert tightness_improvement(2.0, 1.0) == 1.0
+        assert tightness_improvement(1.0, 1.0) == 0.0
+        assert math.isinf(tightness_improvement(1.0, 0.0))
+        assert tightness_improvement(0.0, 0.0) == 0.0
+
+
+class TestAsciiChart:
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            title="chart demo",
+            knob_label="fraction",
+            knobs=[0.1, 0.2, 0.4],
+            series={"down": [0.9, 0.5, 0.1], "flat": [0.3, 0.3, 0.3]},
+        )
+
+    def test_chart_structure(self):
+        lines = self.make_result().ascii_chart(height=6, width=30)
+        assert lines[0] == "chart demo"
+        assert lines[-1].startswith("legend:")
+        assert "o=down" in lines[-1]
+        assert "x=flat" in lines[-1]
+        # Six canvas rows between the title and the axis line.
+        assert sum(1 for line in lines if line.endswith("|") is False and "|" in line) >= 6
+
+    def test_extremes_labelled(self):
+        lines = self.make_result().ascii_chart(height=6, width=30)
+        assert any(line.lstrip().startswith("0.9") for line in lines)
+        assert any(line.lstrip().startswith("0.1") for line in lines)
+
+    def test_monotone_series_renders_monotone(self):
+        lines = self.make_result().ascii_chart(height=8, width=31)
+        canvas = [line[13:] for line in lines[1:9]]
+        columns = {}
+        for row_index, row in enumerate(canvas):
+            for col_index, glyph in enumerate(row):
+                if glyph == "o":
+                    columns[col_index] = row_index
+        ordered = [columns[c] for c in sorted(columns)]
+        assert ordered == sorted(ordered)  # decreasing values = rows go down
+
+    def test_non_finite_values_skipped(self):
+        result = ExperimentResult(
+            title="inf demo",
+            knob_label="x",
+            knobs=[1.0, 2.0],
+            series={"a": [float("inf"), 1.0]},
+        )
+        lines = result.ascii_chart(height=4, width=10)
+        assert lines[-1].startswith("legend:")
+
+    def test_all_non_finite_degrades_gracefully(self):
+        result = ExperimentResult(
+            title="empty", knob_label="x", knobs=[1.0], series={"a": [float("nan")]}
+        )
+        assert result.ascii_chart() == ["empty", "(no finite values to chart)"]
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            self.make_result().ascii_chart(height=1, width=1)

@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scenarios():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "harry_traffic_survey.py",
+        "bandwidth_budget.py",
+        "profile_transfer.py",
+        "city_dashboard.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_reports_choice_and_estimate(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "chosen setting" in out
+    assert "estimate" in out
+
+
+def test_harry_reports_privacy_and_energy(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "harry_traffic_survey.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "Harry chose" in out
+    assert "face frames" in out
+    assert "transmission saved" in out
+
+
+def test_dashboard_meets_every_target(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "city_dashboard.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "chosen shared fraction" in out
+    assert out.count("target") >= 3

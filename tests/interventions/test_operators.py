@@ -1,0 +1,94 @@
+"""Tests for the individual intervention operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interventions import (
+    Compression,
+    FrameSampling,
+    ImageRemoval,
+    NoiseAddition,
+    ResolutionReduction,
+)
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+class TestFrameSampling:
+    def test_is_random(self):
+        assert FrameSampling(0.1).is_random
+
+    def test_label(self):
+        assert FrameSampling(0.1).label == "sampling f=0.1"
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_rejects_bad_fraction(self, fraction):
+        with pytest.raises(ConfigurationError):
+            FrameSampling(fraction)
+
+    def test_full_sampling_allowed(self):
+        assert FrameSampling(1.0).fraction == 1.0
+
+
+class TestResolutionReduction:
+    def test_is_non_random(self):
+        assert not ResolutionReduction(Resolution(256)).is_random
+
+    def test_label(self):
+        assert ResolutionReduction(Resolution(256)).label == "resolution 256x256"
+
+
+class TestImageRemoval:
+    def test_is_non_random(self):
+        assert not ImageRemoval((ObjectClass.PERSON,)).is_random
+
+    def test_label_joins_classes(self):
+        removal = ImageRemoval((ObjectClass.PERSON, ObjectClass.FACE))
+        assert removal.label == "remove person+face"
+
+    def test_rejects_empty_classes(self):
+        with pytest.raises(ConfigurationError):
+            ImageRemoval(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            ImageRemoval((ObjectClass.PERSON, ObjectClass.PERSON))
+
+    def test_eligible_mask_excludes_flagged_frames(self, detrac_dataset, suite):
+        removal = ImageRemoval((ObjectClass.PERSON,))
+        mask = removal.eligible_mask(detrac_dataset, suite)
+        flagged = suite.presence(detrac_dataset, ObjectClass.PERSON)
+        assert np.array_equal(mask, ~flagged)
+
+    def test_multi_class_mask_is_intersection(self, detrac_dataset, suite):
+        both = ImageRemoval((ObjectClass.PERSON, ObjectClass.FACE))
+        mask = both.eligible_mask(detrac_dataset, suite)
+        persons = suite.presence(detrac_dataset, ObjectClass.PERSON)
+        faces = suite.presence(detrac_dataset, ObjectClass.FACE)
+        assert np.array_equal(mask, ~(persons | faces))
+
+
+class TestQualityInterventions:
+    def test_noise_quality_factor(self):
+        assert NoiseAddition(0.3).quality_factor == pytest.approx(0.7)
+        assert not NoiseAddition(0.3).is_random
+
+    def test_noise_rejects_bad_strength(self):
+        with pytest.raises(ConfigurationError):
+            NoiseAddition(1.0)
+        with pytest.raises(ConfigurationError):
+            NoiseAddition(-0.1)
+
+    def test_compression_quality_factor_range(self):
+        assert Compression(1.0).quality_factor == 1.0
+        assert Compression(0.5).quality_factor == pytest.approx(0.75)
+        assert not Compression(0.5).is_random
+
+    def test_compression_rejects_bad_quality(self):
+        with pytest.raises(ConfigurationError):
+            Compression(0.0)
+        with pytest.raises(ConfigurationError):
+            Compression(1.5)

@@ -1,0 +1,147 @@
+"""Tests for composite intervention plans and degraded sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InterventionError
+from repro.interventions import (
+    Compression,
+    FrameSampling,
+    InterventionPlan,
+    NoiseAddition,
+)
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+class TestFromKnobs:
+    def test_empty_plan_is_loose(self):
+        plan = InterventionPlan.from_knobs()
+        assert plan.is_random
+        assert plan.fraction == 1.0
+        assert plan.label() == "no degradation"
+
+    def test_full_triple(self):
+        plan = InterventionPlan.from_knobs(f=0.1, p=256, c=(ObjectClass.PERSON,))
+        assert plan.fraction == 0.1
+        assert plan.resolution.resolution == Resolution(256)
+        assert plan.removal.classes == (ObjectClass.PERSON,)
+        assert not plan.is_random
+
+    def test_resolution_object_accepted(self):
+        plan = InterventionPlan.from_knobs(p=Resolution(320))
+        assert plan.resolution.resolution.side == 320
+
+    def test_label_composes(self):
+        plan = InterventionPlan.from_knobs(f=0.5, p=128)
+        assert plan.label() == "sampling f=0.5, resolution 128x128"
+
+
+class TestRandomness:
+    def test_sampling_only_is_random(self):
+        assert InterventionPlan.from_knobs(f=0.05).is_random
+
+    def test_resolution_makes_non_random(self):
+        assert not InterventionPlan.from_knobs(f=0.5, p=256).is_random
+
+    def test_removal_makes_non_random(self):
+        assert not InterventionPlan.from_knobs(c=(ObjectClass.FACE,)).is_random
+
+    def test_extras_make_non_random(self):
+        plan = InterventionPlan(
+            sampling=FrameSampling(0.5), extras=(NoiseAddition(0.2),)
+        )
+        assert not plan.is_random
+
+    def test_native_resolution_is_random_for_dataset(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(f=0.5, p=608)
+        assert not plan.is_random
+        assert plan.is_random_for(detrac_dataset)
+
+    def test_reduced_resolution_not_random_for_dataset(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(f=0.5, p=512)
+        assert not plan.is_random_for(detrac_dataset)
+
+    def test_removal_never_random_for_dataset(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(c=(ObjectClass.FACE,))
+        assert not plan.is_random_for(detrac_dataset)
+
+
+class TestQuality:
+    def test_quality_multiplies_extras(self):
+        plan = InterventionPlan(
+            extras=(NoiseAddition(0.2), Compression(0.5))
+        )
+        assert plan.quality == pytest.approx(0.8 * 0.75)
+
+    def test_quality_default_one(self):
+        assert InterventionPlan().quality == 1.0
+
+
+class TestEffectiveResolution:
+    def test_defaults_to_native(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(f=0.5)
+        assert plan.effective_resolution(detrac_dataset) == Resolution(608)
+
+    def test_reduced(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(p=192)
+        assert plan.effective_resolution(detrac_dataset) == Resolution(192)
+
+    def test_rejects_above_native(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(p=1024)
+        with pytest.raises(InterventionError):
+            plan.effective_resolution(detrac_dataset)
+
+
+class TestEligibleAndDraw:
+    def test_no_removal_keeps_all_frames(self, detrac_dataset, suite):
+        plan = InterventionPlan.from_knobs(f=0.5)
+        eligible = plan.eligible_indices(detrac_dataset, suite)
+        assert eligible.size == detrac_dataset.frame_count
+
+    def test_removal_shrinks_universe(self, detrac_dataset, suite):
+        plan = InterventionPlan.from_knobs(c=(ObjectClass.PERSON,))
+        eligible = plan.eligible_indices(detrac_dataset, suite)
+        assert 0 < eligible.size < detrac_dataset.frame_count
+
+    def test_removal_requires_suite(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(c=(ObjectClass.PERSON,))
+        with pytest.raises(InterventionError):
+            plan.eligible_indices(detrac_dataset, None)
+
+    def test_draw_respects_fraction(self, detrac_dataset, suite, rng):
+        plan = InterventionPlan.from_knobs(f=0.1)
+        sample = plan.draw(detrac_dataset, rng, suite)
+        assert sample.size == round(detrac_dataset.frame_count * 0.1)
+        assert sample.universe_size == detrac_dataset.frame_count
+        assert sample.population_size == detrac_dataset.frame_count
+
+    def test_draw_fraction_applies_to_eligible_universe(
+        self, detrac_dataset, suite, rng
+    ):
+        plan = InterventionPlan.from_knobs(f=0.1, c=(ObjectClass.PERSON,))
+        sample = plan.draw(detrac_dataset, rng, suite)
+        assert sample.universe_size < detrac_dataset.frame_count
+        assert sample.size == round(sample.universe_size * 0.1)
+
+    def test_drawn_frames_all_eligible(self, detrac_dataset, suite, rng):
+        plan = InterventionPlan.from_knobs(f=0.2, c=(ObjectClass.PERSON,))
+        eligible = set(plan.eligible_indices(detrac_dataset, suite).tolist())
+        sample = plan.draw(detrac_dataset, rng, suite)
+        assert set(sample.frame_indices.tolist()) <= eligible
+
+    def test_draw_distinct_frames(self, detrac_dataset, suite, rng):
+        plan = InterventionPlan.from_knobs(f=0.3)
+        sample = plan.draw(detrac_dataset, rng, suite)
+        assert len(set(sample.frame_indices.tolist())) == sample.size
+
+    def test_sample_carries_resolution_and_quality(self, detrac_dataset, suite, rng):
+        plan = InterventionPlan(
+            sampling=FrameSampling(0.1),
+            extras=(NoiseAddition(0.5),),
+        )
+        sample = plan.draw(detrac_dataset, rng, suite)
+        assert sample.resolution == detrac_dataset.native_resolution
+        assert sample.quality == pytest.approx(0.5)

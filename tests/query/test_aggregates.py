@@ -1,0 +1,96 @@
+"""Tests for aggregate functions and frame predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.query.aggregates import (
+    Aggregate,
+    FramePredicate,
+    aggregate_value,
+    contains_at_least,
+)
+
+
+class TestAggregateEnum:
+    def test_mean_family(self):
+        assert Aggregate.AVG.is_mean_family
+        assert Aggregate.SUM.is_mean_family
+        assert Aggregate.COUNT.is_mean_family
+        assert not Aggregate.MAX.is_mean_family
+
+    def test_extreme_family(self):
+        assert Aggregate.MAX.is_extreme
+        assert Aggregate.MIN.is_extreme
+        assert not Aggregate.AVG.is_extreme
+
+    def test_default_quantiles_match_paper(self):
+        assert Aggregate.MAX.default_quantile == 0.99
+        assert Aggregate.MIN.default_quantile == 0.01
+
+    def test_mean_family_has_no_quantile(self):
+        with pytest.raises(ConfigurationError):
+            _ = Aggregate.AVG.default_quantile
+
+
+class TestPredicates:
+    def test_contains_at_least_one(self):
+        predicate = contains_at_least(1)
+        assert predicate(np.array([0, 1, 3])).tolist() == [False, True, True]
+
+    def test_contains_at_least_k(self):
+        predicate = contains_at_least(3)
+        assert predicate(np.array([2, 3, 5])).tolist() == [False, True, True]
+        assert predicate.name == "count >= 3"
+
+    def test_rejects_negative_minimum(self):
+        with pytest.raises(ConfigurationError):
+            contains_at_least(-1)
+
+    def test_predicate_must_return_booleans(self):
+        bad = FramePredicate(name="bad", fn=lambda outputs: outputs * 2)
+        with pytest.raises(ConfigurationError):
+            bad(np.array([1, 2]))
+
+
+class TestAggregateValue:
+    def test_avg(self):
+        assert aggregate_value(np.array([1.0, 2.0, 3.0]), Aggregate.AVG) == 2.0
+
+    def test_sum(self):
+        assert aggregate_value(np.array([1.0, 2.0, 3.0]), Aggregate.SUM) == 6.0
+
+    def test_count_is_sum_of_indicators(self):
+        indicators = np.array([1.0, 0.0, 1.0, 1.0])
+        assert aggregate_value(indicators, Aggregate.COUNT) == 3.0
+
+    def test_max_uses_default_extreme_quantile(self):
+        values = np.arange(100, dtype=float)
+        assert aggregate_value(values, Aggregate.MAX) == 99.0
+
+    def test_min_uses_default_extreme_quantile(self):
+        values = np.arange(100, dtype=float)
+        assert aggregate_value(values, Aggregate.MIN) == 1.0
+
+    def test_custom_quantile(self):
+        values = np.arange(100, dtype=float)
+        assert aggregate_value(values, Aggregate.MAX, quantile_r=0.9) == 90.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_value(np.array([]), Aggregate.AVG)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50)
+    def test_avg_between_min_and_max(self, values):
+        array = np.array(values)
+        result = aggregate_value(array, Aggregate.AVG)
+        assert array.min() - 1e-9 <= result <= array.max() + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for query objects and the query processor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interventions import InterventionPlan
+from repro.query import Aggregate, AggregateQuery, QueryProcessor, contains_at_least
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+@pytest.fixture
+def avg_query(detrac_dataset, yolo_car):
+    return AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+
+
+class TestAggregateQuery:
+    def test_defaults(self, avg_query):
+        assert avg_query.delta == 0.05
+        assert avg_query.aggregate == Aggregate.AVG
+
+    def test_count_default_predicate(self, detrac_dataset, yolo_car):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.COUNT)
+        assert query.effective_predicate.name == "count >= 1"
+
+    def test_max_default_quantile(self, detrac_dataset, yolo_car):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+        assert query.effective_quantile == 0.99
+
+    def test_min_default_quantile(self, detrac_dataset, yolo_car):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MIN)
+        assert query.effective_quantile == 0.01
+
+    def test_predicate_only_for_count(self, detrac_dataset, yolo_car):
+        with pytest.raises(ConfigurationError):
+            AggregateQuery(
+                detrac_dataset, yolo_car, Aggregate.AVG, predicate=contains_at_least(1)
+            )
+
+    def test_quantile_only_for_extremes(self, avg_query):
+        with pytest.raises(ConfigurationError):
+            avg_query.effective_quantile
+
+    def test_rejects_bad_delta(self, detrac_dataset, yolo_car):
+        with pytest.raises(ConfigurationError):
+            AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG, delta=0.0)
+
+    def test_frame_values_identity_for_avg(self, avg_query):
+        outputs = np.array([0, 3, 5])
+        assert avg_query.frame_values(outputs).tolist() == [0.0, 3.0, 5.0]
+
+    def test_frame_values_indicator_for_count(self, detrac_dataset, yolo_car):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.COUNT)
+        assert query.frame_values(np.array([0, 3, 5])).tolist() == [0.0, 1.0, 1.0]
+
+    def test_label_mentions_parts(self, avg_query):
+        label = avg_query.label()
+        assert "AVG" in label
+        assert "yolo-v4-like" in label
+        assert "ua-detrac" in label
+
+
+class TestQueryProcessor:
+    def test_true_answer_is_full_res_aggregate(self, processor, avg_query, yolo_car):
+        truth = processor.true_answer(avg_query)
+        expected = yolo_car.run(avg_query.dataset).counts.mean()
+        assert truth == pytest.approx(expected)
+
+    def test_true_values_length(self, processor, avg_query):
+        assert processor.true_values(avg_query).size == avg_query.dataset.frame_count
+
+    def test_execute_under_plan(self, processor, avg_query, rng):
+        plan = InterventionPlan.from_knobs(f=0.1, p=256)
+        execution = processor.execute(avg_query, plan, rng)
+        assert execution.size == round(avg_query.dataset.frame_count * 0.1)
+        assert execution.sample.resolution == Resolution(256)
+
+    def test_degraded_values_match_resolution_outputs(
+        self, processor, avg_query, yolo_car, rng
+    ):
+        plan = InterventionPlan.from_knobs(f=0.05, p=320)
+        execution = processor.execute(avg_query, plan, rng)
+        full = yolo_car.run(avg_query.dataset, Resolution(320)).counts
+        expected = full[execution.sample.frame_indices].astype(float)
+        assert np.array_equal(execution.values, expected)
+
+    def test_naive_approximation_avg(self, processor, avg_query, rng):
+        plan = InterventionPlan.from_knobs(f=0.2)
+        execution = processor.execute(avg_query, plan, rng)
+        naive = processor.naive_approximation(avg_query, execution)
+        assert naive == pytest.approx(float(execution.values.mean()))
+
+    def test_naive_approximation_sum_scales_to_population(
+        self, processor, detrac_dataset, yolo_car, rng
+    ):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.SUM)
+        plan = InterventionPlan.from_knobs(f=0.2, c=(ObjectClass.PERSON,))
+        execution = processor.execute(query, plan, rng)
+        naive = processor.naive_approximation(query, execution)
+        expected = (
+            execution.values.sum()
+            * detrac_dataset.frame_count
+            / execution.values.size
+        )
+        assert naive == pytest.approx(expected)
+
+    def test_naive_approximation_max_quantile(self, processor, detrac_dataset, yolo_car, rng):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+        plan = InterventionPlan.from_knobs(f=0.3)
+        execution = processor.execute(query, plan, rng)
+        naive = processor.naive_approximation(query, execution)
+        assert naive in execution.values
+
+    def test_full_sampling_recovers_truth(self, processor, avg_query, rng):
+        plan = InterventionPlan.from_knobs(f=1.0)
+        execution = processor.execute(avg_query, plan, rng)
+        naive = processor.naive_approximation(avg_query, execution)
+        assert naive == pytest.approx(processor.true_answer(avg_query))
+
+    def test_count_true_answer_counts_frames(self, processor, detrac_dataset, yolo_car):
+        query = AggregateQuery(detrac_dataset, yolo_car, Aggregate.COUNT)
+        truth = processor.true_answer(query)
+        counts = yolo_car.run(detrac_dataset).counts
+        assert truth == float((counts >= 1).sum())

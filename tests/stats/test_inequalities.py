@@ -1,0 +1,153 @@
+"""Unit and property tests for the concentration-inequality radii."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats.inequalities import (
+    clt_radius,
+    empirical_bernstein_radius,
+    empirical_bernstein_union_radius,
+    hoeffding_radius,
+    hoeffding_serfling_radius,
+    hoeffding_serfling_rho,
+)
+
+
+class TestHoeffdingRadius:
+    def test_matches_closed_form(self):
+        expected = 2.0 * math.sqrt(math.log(2 / 0.05) / (2 * 100))
+        assert hoeffding_radius(100, 0.05, 2.0) == pytest.approx(expected)
+
+    def test_zero_range_gives_zero_radius(self):
+        assert hoeffding_radius(10, 0.05, 0.0) == 0.0
+
+    def test_shrinks_with_sample_size(self):
+        assert hoeffding_radius(400, 0.05, 1.0) < hoeffding_radius(100, 0.05, 1.0)
+
+    def test_shrinks_with_larger_delta(self):
+        assert hoeffding_radius(100, 0.2, 1.0) < hoeffding_radius(100, 0.01, 1.0)
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_rejects_nonpositive_n(self, n):
+        with pytest.raises(ConfigurationError):
+            hoeffding_radius(n, 0.05, 1.0)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ConfigurationError):
+            hoeffding_radius(10, delta, 1.0)
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_radius(10, 0.05, -1.0)
+
+
+class TestHoeffdingSerflingRho:
+    def test_small_sample_close_to_one(self):
+        assert hoeffding_serfling_rho(1, 10_000) == pytest.approx(1.0, abs=1e-3)
+
+    def test_full_sample_gives_zero(self):
+        assert hoeffding_serfling_rho(100, 100) == 0.0
+
+    def test_matches_paper_formula(self):
+        n, population = 30, 100
+        first = 1 - (n - 1) / population
+        second = (1 - n / population) * (1 + 1 / n)
+        assert hoeffding_serfling_rho(n, population) == min(first, second)
+
+    def test_rejects_sample_larger_than_population(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_serfling_rho(11, 10)
+
+    @given(
+        n=st.integers(min_value=1, max_value=1000),
+        extra=st.integers(min_value=0, max_value=1000),
+    )
+    def test_rho_always_in_unit_interval(self, n, extra):
+        rho = hoeffding_serfling_rho(n, n + extra)
+        assert 0.0 <= rho <= 1.0
+
+
+class TestHoeffdingSerflingRadius:
+    def test_tighter_than_hoeffding(self):
+        """The finite-population factor can only shrink the radius."""
+        hs = hoeffding_serfling_radius(50, 200, 0.05, 1.0)
+        h = hoeffding_radius(50, 0.05, 1.0)
+        assert hs < h
+
+    def test_vanishes_at_full_sample(self):
+        assert hoeffding_serfling_radius(100, 100, 0.05, 5.0) == 0.0
+
+    @given(
+        n=st.integers(min_value=2, max_value=500),
+        extra=st.integers(min_value=1, max_value=500),
+        delta=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50)
+    def test_never_exceeds_hoeffding(self, n, extra, delta):
+        population = n + extra
+        hs = hoeffding_serfling_radius(n, population, delta, 1.0)
+        h = hoeffding_radius(n, delta, 1.0)
+        assert hs <= h + 1e-12
+
+    def test_coverage_on_synthetic_population(self):
+        """Empirical check: the radius covers the true mean >= 1 - delta."""
+        rng = np.random.default_rng(7)
+        population = rng.poisson(4.0, size=2000).astype(float)
+        mu = population.mean()
+        value_range = population.max() - population.min()
+        n, delta = 100, 0.1
+        misses = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.choice(population, size=n, replace=False)
+            radius = hoeffding_serfling_radius(n, population.size, delta, value_range)
+            if abs(sample.mean() - mu) > radius:
+                misses += 1
+        assert misses / trials <= delta
+
+
+class TestEmpiricalBernstein:
+    def test_matches_closed_form(self):
+        log_term = math.log(3 / 0.05)
+        expected = 0.5 * math.sqrt(2 * log_term / 50) + 3 * 2.0 * log_term / 50
+        assert empirical_bernstein_radius(50, 0.05, 2.0, 0.5) == pytest.approx(expected)
+
+    def test_zero_variance_leaves_range_term(self):
+        radius = empirical_bernstein_radius(50, 0.05, 2.0, 0.0)
+        assert radius == pytest.approx(3 * 2.0 * math.log(3 / 0.05) / 50)
+
+    def test_union_radius_looser_than_single(self):
+        single = empirical_bernstein_radius(50, 0.05, 1.0, 0.5)
+        union = empirical_bernstein_union_radius(50, 0.05, 1.0, 0.5)
+        assert union > single
+
+    def test_union_budget_sums_to_delta(self):
+        """sum over t of delta / (t (t+1)) telescopes to delta."""
+        total = sum(0.05 / (t * (t + 1)) for t in range(1, 100_000))
+        assert total == pytest.approx(0.05, rel=1e-4)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ConfigurationError):
+            empirical_bernstein_radius(10, 0.05, 1.0, -0.1)
+
+
+class TestCLTRadius:
+    def test_matches_z_score_formula(self):
+        radius = clt_radius(100, 0.05, 2.0)
+        assert radius == pytest.approx(1.959964 * 2.0 / 10.0, rel=1e-4)
+
+    def test_smaller_than_hoeffding_for_low_variance(self):
+        """The CLT radius is tighter when the data barely varies."""
+        assert clt_radius(100, 0.05, 0.1) < hoeffding_radius(100, 0.05, 1.0)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ConfigurationError):
+            clt_radius(10, 0.05, -1.0)

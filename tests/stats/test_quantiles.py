@@ -1,0 +1,124 @@
+"""Tests for rank/quantile utilities and the distinct-value table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats.quantiles import (
+    DistinctValueTable,
+    empirical_quantile,
+    quantile_rank_index,
+    rank_of_value,
+    relative_rank_error,
+)
+
+
+class TestQuantileRankIndex:
+    def test_matches_algorithm_two_indexing(self):
+        assert quantile_rank_index(100, 0.99) == 99
+        assert quantile_rank_index(10, 0.5) == 5
+
+    def test_r_one_clamps_to_last(self):
+        assert quantile_rank_index(10, 1.0) == 9
+
+    def test_r_zero_selects_first(self):
+        assert quantile_rank_index(10, 0.0) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            quantile_rank_index(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            quantile_rank_index(10, 1.5)
+
+
+class TestEmpiricalQuantile:
+    def test_selects_sorted_element(self):
+        values = np.array([5, 1, 3, 2, 4], dtype=float)
+        assert empirical_quantile(values, 0.5) == 3.0
+
+    def test_extreme_quantiles(self):
+        values = np.arange(100, dtype=float)
+        assert empirical_quantile(values, 0.99) == 99.0
+        assert empirical_quantile(values, 0.01) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            empirical_quantile(np.array([]), 0.5)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=100),
+        r=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_result_is_a_sample_value(self, values, r):
+        array = np.array(values, dtype=float)
+        assert empirical_quantile(array, r) in array
+
+
+class TestRanks:
+    def test_rank_counts_at_or_below(self):
+        values = np.array([1, 2, 2, 3, 5], dtype=float)
+        assert rank_of_value(values, 2) == 3
+        assert rank_of_value(values, 0) == 0
+        assert rank_of_value(values, 10) == 5
+
+    def test_relative_rank_error_zero_for_same_value(self):
+        values = np.arange(10, dtype=float)
+        assert relative_rank_error(values, 5.0, 5.0) == 0.0
+
+    def test_relative_rank_error_formula(self):
+        values = np.arange(100, dtype=float)
+        # rank(89)=90, rank(99)=100 -> |90-100|/100
+        assert relative_rank_error(values, 89.0, 99.0) == pytest.approx(0.1)
+
+    def test_rejects_zero_true_rank(self):
+        values = np.arange(1, 10, dtype=float)
+        with pytest.raises(ConfigurationError):
+            relative_rank_error(values, 5.0, 0.0)
+
+
+class TestDistinctValueTable:
+    def test_frequencies_sum_to_one(self):
+        table = DistinctValueTable.from_sample(np.array([1, 1, 2, 3, 3, 3.0]))
+        assert table.frequencies.sum() == pytest.approx(1.0)
+        assert table.values.tolist() == [1.0, 2.0, 3.0]
+        assert table.frequencies.tolist() == pytest.approx([2 / 6, 1 / 6, 3 / 6])
+
+    def test_quantile_position_definition(self):
+        """min_i { s_i : cumulative >= r } from Theorem 3.2."""
+        table = DistinctValueTable.from_sample(np.array([1.0, 1, 2, 3]))
+        assert table.quantile_position(0.5) == 0  # cum = [0.5, 0.75, 1.0]
+        assert table.quantile_position(0.6) == 1
+        assert table.quantile_position(1.0) == 2
+
+    def test_quantile_position_tolerates_roundoff_at_one(self):
+        table = DistinctValueTable.from_sample(np.array([0.1] * 3 + [0.2] * 7))
+        assert table.quantile_position(1.0) == 1
+
+    def test_frequency_at_bounds_checked(self):
+        table = DistinctValueTable.from_sample(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            table.frequency_at(2)
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ConfigurationError):
+            DistinctValueTable.from_sample(np.array([]))
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
+        r=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_quantile_position_consistent_with_empirical_quantile(self, values, r):
+        array = np.array(values, dtype=float)
+        table = DistinctValueTable.from_sample(array)
+        position = table.quantile_position(r)
+        # The distinct-value quantile is >= the index-based quantile and
+        # both carry at least r cumulative mass.
+        assert table.cumulative[position] >= r - 1e-9
+        if position > 0:
+            assert table.cumulative[position - 1] < r

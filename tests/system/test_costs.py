@@ -1,0 +1,88 @@
+"""Tests for invocation accounting and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.costs import CostModel, InvocationLedger
+
+
+class TestInvocationLedger:
+    def test_accumulates_per_resolution(self):
+        ledger = InvocationLedger()
+        ledger.record(608, 100)
+        ledger.record(608, 50)
+        ledger.record(256, 30)
+        assert ledger.total == 180
+        assert ledger.by_resolution() == {608: 150, 256: 30}
+
+    def test_merge(self):
+        a = InvocationLedger()
+        a.record(608, 10)
+        b = InvocationLedger()
+        b.record(608, 5)
+        b.record(128, 7)
+        a.merge(b)
+        assert a.by_resolution() == {608: 15, 128: 7}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            InvocationLedger().record(608, -1)
+
+    def test_by_resolution_returns_copy(self):
+        ledger = InvocationLedger()
+        ledger.record(608, 10)
+        snapshot = ledger.by_resolution()
+        snapshot[608] = 0
+        assert ledger.total == 10
+
+
+class TestCostModel:
+    def test_per_frame_time_scales_with_pixels(self):
+        model = CostModel(seconds_per_frame_at_native=0.030, native_side=608)
+        native = model.seconds_per_frame(608)
+        half = model.seconds_per_frame(304)
+        assert native == pytest.approx(0.030)
+        assert half < native
+        assert half > model.fixed_overhead_seconds
+
+    def test_paper_timing_reproduced(self):
+        """§5.3.1: 6,084 YOLOv4 invocations take about three minutes.
+
+        4% of 15,210 frames under each of 10 resolutions is 6,084
+        invocations... per-resolution; the paper's phrasing prices the
+        full sweep at ~3 minutes, i.e. ~30 ms/frame at native.
+        """
+        model = CostModel(seconds_per_frame_at_native=0.030, native_side=608)
+        ledger = InvocationLedger()
+        ledger.record(608, 6084)
+        seconds = model.model_seconds(ledger)
+        assert 150 <= seconds <= 210
+
+    def test_profile_seconds_adds_estimation(self):
+        model = CostModel(estimation_seconds_per_setting=0.02)
+        ledger = InvocationLedger()
+        ledger.record(608, 100)
+        with_settings = model.profile_seconds(ledger, settings=10)
+        without = model.profile_seconds(ledger, settings=0)
+        assert with_settings == pytest.approx(without + 0.2)
+
+    def test_estimation_negligible_vs_model_time(self):
+        """The paper's conclusion: model time dominates."""
+        model = CostModel()
+        ledger = InvocationLedger()
+        ledger.record(608, 6084)
+        model_time = model.model_seconds(ledger)
+        estimation_time = 30 * model.estimation_seconds_per_setting
+        assert estimation_time < 0.01 * model_time
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(seconds_per_frame_at_native=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(native_side=0)
+        with pytest.raises(ConfigurationError):
+            CostModel().seconds_per_frame(0)
+        with pytest.raises(ConfigurationError):
+            CostModel().profile_seconds(InvocationLedger(), settings=-1)

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import experiment_names
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "--dataset", "ua-detrac"])
+        assert args.output == "hypercube.json"
+        assert args.trials == 3
+        assert not args.no_correction
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--dataset", "city-walk"])
+
+    def test_experiment_names_cover_every_figure(self):
+        names = experiment_names()
+        for figure in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert figure in names
+        assert "fig10-sampling" in names
+        assert "fig10-resolution" in names
+        assert "temporal" in names
+        assert "var" in names
+
+
+class TestInfo:
+    def test_prints_calibration(self, capsys):
+        code = main(["info", "--dataset", "ua-detrac", "--frames", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ua-detrac" in out
+        assert "mean cars/frame" in out
+        assert "person frames" in out
+
+
+class TestEstimate:
+    def test_random_plan(self, capsys):
+        code = main([
+            "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+            "--aggregate", "avg", "--fraction", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out
+        assert "warning" not in out
+
+    def test_non_random_plan_warns(self, capsys):
+        code = main([
+            "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+            "--fraction", "0.5", "--resolution", "256",
+        ])
+        assert code == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_max_aggregate_with_stein(self, capsys):
+        code = main([
+            "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+            "--aggregate", "max", "--fraction", "0.2", "--method", "stein",
+        ])
+        assert code == 0
+        assert "stein" not in capsys.readouterr().err
+
+    def test_unknown_aggregate_exits(self):
+        with pytest.raises(SystemExit):
+            main([
+                "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+                "--aggregate", "median",
+            ])
+
+    def test_unknown_method_reports_error(self, capsys):
+        code = main([
+            "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+            "--fraction", "0.1", "--method", "bootstrap",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileAndChoose:
+    def test_profile_writes_cube_and_choose_reads_it(self, tmp_path, capsys):
+        cube_path = tmp_path / "cube.json"
+        code = main([
+            "profile", "--dataset", "ua-detrac", "--frames", "1500",
+            "--output", str(cube_path), "--fraction-step", "0.25",
+            "--resolution-count", "3", "--trials", "1",
+        ])
+        assert code == 0
+        data = json.loads(cube_path.read_text())
+        assert data["kind"] == "hypercube"
+
+        capsys.readouterr()
+        code = main([
+            "choose", "--cube", str(cube_path), "--axis", "sampling",
+            "--max-error", "0.9",
+        ])
+        assert code == 0
+        assert "chosen setting" in capsys.readouterr().out
+
+    def test_choose_infeasible_target_reports_error(self, tmp_path, capsys):
+        cube_path = tmp_path / "cube.json"
+        main([
+            "profile", "--dataset", "ua-detrac", "--frames", "1500",
+            "--output", str(cube_path), "--fraction-step", "0.5",
+            "--resolution-count", "2", "--trials", "1", "--no-correction",
+        ])
+        capsys.readouterr()
+        # No profiled fraction is at or below 0.1, so the degradation goal
+        # admits nothing.
+        code = main([
+            "choose", "--cube", str(cube_path), "--axis", "sampling",
+            "--max-error", "0.9", "--max-fraction", "0.1",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_fig8_runs_fast(self, capsys):
+        code = main(["experiment", "fig8", "--frames", "1500"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_fig4_with_options(self, capsys):
+        code = main([
+            "experiment", "fig4", "--dataset", "ua-detrac",
+            "--aggregate", "max", "--frames", "1500", "--trials", "3",
+        ])
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_ablation_reuse(self, capsys):
+        code = main(["experiment", "ablation-reuse", "--frames", "1500"])
+        assert code == 0
+        assert "reuse" in capsys.readouterr().out

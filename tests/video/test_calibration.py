@@ -1,0 +1,103 @@
+"""Tests for scene calibration against detector-view targets."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.detection.zoo import yolo_v4_like
+from repro.errors import ConfigurationError
+from repro.video.calibration import (
+    CalibrationReport,
+    CalibrationTarget,
+    calibrate_scene,
+)
+from repro.video.presets import ua_detrac_scene
+
+
+@pytest.fixture(scope="module")
+def car_model():
+    return yolo_v4_like()
+
+
+class TestTargetValidation:
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTarget(person_share=0.0)
+        with pytest.raises(ConfigurationError):
+            CalibrationTarget(face_share=1.0)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTarget(mean_count=0.0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTarget(tolerance=0.0)
+
+
+class TestCalibration:
+    def test_already_calibrated_scene_converges_immediately(self, car_model):
+        """The shipped preset hits §5.1's numbers in one probe round."""
+        report = calibrate_scene(
+            ua_detrac_scene(),
+            CalibrationTarget(person_share=0.6586, face_share=0.0248, tolerance=0.15),
+            car_model,
+            frame_count=4000,
+        )
+        assert report.converged
+        assert report.iterations == 1
+
+    def test_recovers_from_detuned_scene(self, car_model):
+        """Start far off target; the loop pulls the shares back."""
+        detuned = dataclasses.replace(
+            ua_detrac_scene(), person_base_rate=0.2, face_given_person=0.3
+        )
+        target = CalibrationTarget(
+            person_share=0.6586, face_share=0.0248, tolerance=0.12
+        )
+        report = calibrate_scene(detuned, target, car_model, frame_count=4000)
+        assert report.converged
+        assert report.measured_person_share == pytest.approx(0.6586, rel=0.12)
+        assert report.measured_face_share == pytest.approx(0.0248, rel=0.12)
+
+    def test_mean_count_target(self, car_model):
+        detuned = dataclasses.replace(ua_detrac_scene(), car_intensity=2.0)
+        report = calibrate_scene(
+            detuned,
+            CalibrationTarget(mean_count=5.5, tolerance=0.1),
+            car_model,
+            frame_count=4000,
+        )
+        assert report.converged
+        assert report.measured_mean_count == pytest.approx(5.5, rel=0.1)
+
+    def test_unreachable_target_reports_non_convergence(self, car_model):
+        """A 99% face share is unreachable (faces need persons and the
+        clip caps the rate): the loop gives up honestly."""
+        report = calibrate_scene(
+            ua_detrac_scene(),
+            CalibrationTarget(face_share=0.99, tolerance=0.05),
+            car_model,
+            frame_count=2000,
+            max_iterations=4,
+        )
+        assert not report.converged
+        assert isinstance(report, CalibrationReport)
+
+    def test_no_targets_is_trivially_converged(self, car_model):
+        report = calibrate_scene(
+            ua_detrac_scene(), CalibrationTarget(), car_model, frame_count=1000
+        )
+        assert report.converged
+        assert report.iterations == 1
+
+    def test_rejects_nonpositive_iterations(self, car_model):
+        with pytest.raises(ConfigurationError):
+            calibrate_scene(
+                ua_detrac_scene(),
+                CalibrationTarget(),
+                car_model,
+                max_iterations=0,
+            )

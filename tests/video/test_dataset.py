@@ -1,0 +1,166 @@
+"""Tests for the dataset container and per-frame record views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.video.dataset import ObjectArrays, VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+
+def tiny_dataset() -> VideoDataset:
+    cars = ObjectArrays(
+        frame=np.array([0, 0, 2]),
+        size=np.array([50.0, 30.0, 80.0]),
+        difficulty=np.array([0.1, 0.9, 0.5]),
+        duplicate_latent=np.array([0.2, 0.3, 0.4]),
+    )
+    persons = ObjectArrays(
+        frame=np.array([1]),
+        size=np.array([25.0]),
+        difficulty=np.array([0.4]),
+        duplicate_latent=np.array([0.6]),
+    )
+    return VideoDataset(
+        name="tiny",
+        native_resolution=Resolution(608),
+        frame_count=3,
+        objects={ObjectClass.CAR: cars, ObjectClass.PERSON: persons},
+        clutter=np.array([0.1, 0.5, 0.9]),
+        seed=42,
+    )
+
+
+class TestObjectArrays:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DatasetError):
+            ObjectArrays(
+                frame=np.array([0, 1]),
+                size=np.array([1.0]),
+                difficulty=np.array([0.5, 0.5]),
+                duplicate_latent=np.array([0.5, 0.5]),
+            )
+
+    def test_empty_arrays(self):
+        empty = ObjectArrays.empty()
+        assert empty.count == 0
+
+
+class TestVideoDataset:
+    def test_true_counts_per_frame(self):
+        dataset = tiny_dataset()
+        assert dataset.true_counts(ObjectClass.CAR).tolist() == [2, 0, 1]
+        assert dataset.true_counts(ObjectClass.PERSON).tolist() == [0, 1, 0]
+        assert dataset.true_counts(ObjectClass.FACE).tolist() == [0, 0, 0]
+
+    def test_true_presence(self):
+        dataset = tiny_dataset()
+        assert dataset.true_presence(ObjectClass.PERSON).tolist() == [
+            False,
+            True,
+            False,
+        ]
+
+    def test_len(self):
+        assert len(tiny_dataset()) == 3
+
+    def test_frame_record_materialisation(self):
+        dataset = tiny_dataset()
+        record = dataset.frame(0)
+        assert record.count(ObjectClass.CAR) == 2
+        assert record.contains(ObjectClass.CAR)
+        assert not record.contains(ObjectClass.FACE)
+        assert record.clutter == pytest.approx(0.1)
+
+    def test_frames_iterator_covers_corpus(self):
+        dataset = tiny_dataset()
+        records = list(dataset.frames())
+        assert [record.index for record in records] == [0, 1, 2]
+
+    def test_frame_index_bounds(self):
+        dataset = tiny_dataset()
+        with pytest.raises(DatasetError):
+            dataset.frame(3)
+        with pytest.raises(DatasetError):
+            dataset.frame(-1)
+
+    def test_cache_key_identifies_corpus(self):
+        key = tiny_dataset().cache_key
+        assert key[0] == "tiny"
+        assert key[1] == 3
+        # Identical construction gives an identical key (stable fingerprint).
+        assert tiny_dataset().cache_key == key
+
+    def test_cache_key_distinguishes_different_contents(self):
+        """Same name/size/seed but different objects must not collide —
+        the calibration loop regenerates probes with new parameters."""
+        base = tiny_dataset()
+        cars = ObjectArrays(
+            frame=np.array([0, 0, 2]),
+            size=np.array([50.0, 30.0, 99.0]),  # one size changed
+            difficulty=np.array([0.1, 0.9, 0.5]),
+            duplicate_latent=np.array([0.2, 0.3, 0.4]),
+        )
+        variant = VideoDataset(
+            name="tiny",
+            native_resolution=Resolution(608),
+            frame_count=3,
+            objects={ObjectClass.CAR: cars},
+            clutter=np.array([0.1, 0.5, 0.9]),
+            seed=42,
+        )
+        assert variant.cache_key != base.cache_key
+
+    def test_clutter_read_only(self):
+        dataset = tiny_dataset()
+        with pytest.raises(ValueError):
+            dataset.clutter[0] = 0.0
+
+    def test_rejects_object_frame_out_of_range(self):
+        cars = ObjectArrays(
+            frame=np.array([5]),
+            size=np.array([50.0]),
+            difficulty=np.array([0.1]),
+            duplicate_latent=np.array([0.2]),
+        )
+        with pytest.raises(DatasetError):
+            VideoDataset(
+                name="bad",
+                native_resolution=Resolution(608),
+                frame_count=3,
+                objects={ObjectClass.CAR: cars},
+                clutter=np.zeros(3),
+            )
+
+    def test_rejects_clutter_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            VideoDataset(
+                name="bad",
+                native_resolution=Resolution(608),
+                frame_count=3,
+                objects={},
+                clutter=np.zeros(2),
+            )
+
+    def test_rejects_nonpositive_frame_count(self):
+        with pytest.raises(DatasetError):
+            VideoDataset(
+                name="bad",
+                native_resolution=Resolution(608),
+                frame_count=0,
+                objects={},
+                clutter=np.zeros(0),
+            )
+
+
+class TestObjectClass:
+    def test_from_name(self):
+        assert ObjectClass.from_name("person") == ObjectClass.PERSON
+        assert ObjectClass.from_name("CAR") == ObjectClass.CAR
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ObjectClass.from_name("bicycle")

@@ -1,0 +1,79 @@
+"""Tests for resolutions and the candidate resolution grid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.video.geometry import Resolution, resolution_grid
+
+
+class TestResolution:
+    def test_pixels(self):
+        assert Resolution(608).pixels == 608 * 608
+
+    def test_ordering_by_side(self):
+        assert Resolution(128) < Resolution(256) < Resolution(608)
+
+    def test_scale_factor(self):
+        assert Resolution(304).scale_factor(Resolution(608)) == pytest.approx(0.5)
+
+    def test_apparent_size_shrinks_linearly(self):
+        assert Resolution(128).apparent_size(64.0, Resolution(640)) == pytest.approx(12.8)
+
+    def test_native_apparent_size_unchanged(self):
+        assert Resolution(640).apparent_size(50.0, Resolution(640)) == 50.0
+
+    def test_str_format(self):
+        assert str(Resolution(384)) == "384x384"
+
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ConfigurationError):
+            Resolution(0)
+
+    def test_hashable_and_equal_by_side(self):
+        assert Resolution(256) == Resolution(256)
+        assert len({Resolution(256), Resolution(256), Resolution(128)}) == 2
+
+
+class TestResolutionGrid:
+    def test_paper_default_ten_candidates(self):
+        grid = resolution_grid(Resolution(608), 10)
+        assert grid[-1] == Resolution(608)
+        assert grid[0].side >= 64
+        assert len(grid) <= 10
+
+    def test_all_multiples_of_64(self):
+        """Mask R-CNN's default structure only handles multiples of 64."""
+        for resolution in resolution_grid(Resolution(640), 10):
+            assert resolution.side % 64 == 0
+
+    def test_ascending_and_unique(self):
+        grid = resolution_grid(Resolution(608), 10)
+        sides = [resolution.side for resolution in grid]
+        assert sides == sorted(set(sides))
+
+    def test_includes_native(self):
+        assert Resolution(512) in resolution_grid(Resolution(512), 5)
+
+    def test_narrow_span_deduplicates(self):
+        grid = resolution_grid(Resolution(128), 10, minimum=64)
+        assert len(grid) <= 3
+
+    def test_rejects_too_few_candidates(self):
+        with pytest.raises(ConfigurationError):
+            resolution_grid(Resolution(608), 1)
+
+    def test_rejects_bad_minimum(self):
+        with pytest.raises(ConfigurationError):
+            resolution_grid(Resolution(608), 5, minimum=0)
+        with pytest.raises(ConfigurationError):
+            resolution_grid(Resolution(608), 5, minimum=1000)
+
+    @given(count=st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20)
+    def test_grid_bounded_by_count_plus_native(self, count):
+        grid = resolution_grid(Resolution(608), count)
+        assert 1 <= len(grid) <= count + 1

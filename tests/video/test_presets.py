@@ -1,0 +1,126 @@
+"""Tests for the paper-calibrated dataset presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    build_dataset,
+    detrac_sequence_pair,
+    night_street,
+    ua_detrac,
+)
+from repro.video.frame import ObjectClass
+from repro.video.presets import (
+    DETRAC_SEQUENCE_A_FRAMES,
+    DETRAC_SEQUENCE_B_FRAMES,
+    NIGHT_STREET_FRAMES,
+    UA_DETRAC_FRAMES,
+    night_street_scene,
+    ua_detrac_scene,
+)
+from repro.video.geometry import Resolution
+
+
+class TestNightStreet:
+    def test_default_frame_count_matches_paper(self):
+        assert NIGHT_STREET_FRAMES == 19463
+
+    def test_native_resolution_for_mask_rcnn(self):
+        assert night_street(frame_count=100).native_resolution == Resolution(640)
+
+    def test_sparse_night_traffic(self):
+        dataset = night_street(frame_count=5000)
+        mean_cars = dataset.true_counts(ObjectClass.CAR).mean()
+        assert 0.3 < mean_cars < 1.5
+
+    def test_deterministic_generation(self):
+        a = night_street(frame_count=500, seed=9)
+        b = night_street(frame_count=500, seed=9)
+        assert np.array_equal(
+            a.true_counts(ObjectClass.CAR), b.true_counts(ObjectClass.CAR)
+        )
+        assert np.array_equal(a.clutter, b.clutter)
+
+    def test_different_seeds_differ(self):
+        a = night_street(frame_count=500, seed=9)
+        b = night_street(frame_count=500, seed=10)
+        assert not np.array_equal(
+            a.true_counts(ObjectClass.CAR), b.true_counts(ObjectClass.CAR)
+        )
+
+
+class TestUADetrac:
+    def test_default_frame_count_matches_paper(self):
+        assert UA_DETRAC_FRAMES == 15210
+
+    def test_native_resolution_for_yolo(self):
+        assert ua_detrac(frame_count=100).native_resolution == Resolution(608)
+
+    def test_busy_daytime_traffic(self):
+        dataset = ua_detrac(frame_count=5000)
+        mean_cars = dataset.true_counts(ObjectClass.CAR).mean()
+        assert 4.0 < mean_cars < 9.0
+
+    def test_person_frames_common(self):
+        """DETRAC person prevalence is high (paper: 65.86% detector-flagged,
+        scene truth somewhat higher)."""
+        dataset = ua_detrac(frame_count=5000)
+        person_share = dataset.true_presence(ObjectClass.PERSON).mean()
+        assert 0.55 < person_share < 0.9
+
+    def test_faces_only_on_person_frames(self):
+        dataset = ua_detrac(frame_count=5000)
+        faces = dataset.true_presence(ObjectClass.FACE)
+        persons = dataset.true_presence(ObjectClass.PERSON)
+        assert not np.any(faces & ~persons)
+
+    def test_face_count_never_exceeds_person_count(self):
+        dataset = ua_detrac(frame_count=5000)
+        assert np.all(
+            dataset.true_counts(ObjectClass.FACE)
+            <= dataset.true_counts(ObjectClass.PERSON)
+        )
+
+
+class TestSequencePair:
+    def test_default_lengths_match_paper(self):
+        assert DETRAC_SEQUENCE_A_FRAMES == 1720
+        assert DETRAC_SEQUENCE_B_FRAMES == 975
+
+    def test_pair_shares_scene_statistics(self):
+        """Same camera, different time: similar mean traffic."""
+        video_a, video_b = detrac_sequence_pair()
+        mean_a = video_a.true_counts(ObjectClass.CAR).mean()
+        mean_b = video_b.true_counts(ObjectClass.CAR).mean()
+        assert mean_a == pytest.approx(mean_b, rel=0.5)
+
+    def test_pair_not_identical(self):
+        video_a, video_b = detrac_sequence_pair(frames_a=500, frames_b=500)
+        assert not np.array_equal(
+            video_a.true_counts(ObjectClass.CAR),
+            video_b.true_counts(ObjectClass.CAR),
+        )
+
+    def test_names_distinguish_sequences(self):
+        video_a, video_b = detrac_sequence_pair(frames_a=50, frames_b=50)
+        assert video_a.name != video_b.name
+
+
+class TestBuildDataset:
+    def test_custom_scene(self):
+        dataset = build_dataset(
+            night_street_scene(),
+            frame_count=200,
+            seed=1,
+            native_resolution=Resolution(512),
+            name="custom",
+        )
+        assert dataset.name == "custom"
+        assert dataset.frame_count == 200
+        assert dataset.native_resolution == Resolution(512)
+
+    def test_scene_presets_are_fresh_objects(self):
+        assert night_street_scene() is not night_street_scene()
+        assert ua_detrac_scene().car_intensity > night_street_scene().car_intensity

@@ -1,0 +1,102 @@
+"""Tests for the traffic scene models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.scene import SceneModel, SizeDistribution
+
+
+class TestSizeDistribution:
+    def test_draws_positive_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = SizeDistribution(median=40.0, sigma=0.5).draw(1000, rng)
+        assert np.all(sizes >= 4.0)
+
+    def test_median_roughly_respected(self):
+        rng = np.random.default_rng(1)
+        sizes = SizeDistribution(median=40.0, sigma=0.5).draw(20_000, rng)
+        assert np.median(sizes) == pytest.approx(40.0, rel=0.05)
+
+    def test_minimum_clamp(self):
+        rng = np.random.default_rng(2)
+        sizes = SizeDistribution(median=5.0, sigma=1.0, minimum=4.0).draw(5000, rng)
+        assert sizes.min() >= 4.0
+
+    def test_zero_count_gives_empty(self):
+        rng = np.random.default_rng(3)
+        assert SizeDistribution(10.0, 0.3).draw(0, rng).size == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            SizeDistribution(median=0.0, sigma=0.5)
+        with pytest.raises(ConfigurationError):
+            SizeDistribution(median=10.0, sigma=-1.0)
+
+
+class TestSceneModel:
+    def make_scene(self, **overrides) -> SceneModel:
+        params = dict(name="test", car_intensity=3.0)
+        params.update(overrides)
+        return SceneModel(**params)
+
+    def test_intensity_mean_calibrated(self):
+        scene = self.make_scene()
+        rng = np.random.default_rng(4)
+        intensity = scene.simulate_intensity(50_000, rng)
+        assert intensity.mean() == pytest.approx(3.0, rel=0.15)
+
+    def test_intensity_positive(self):
+        scene = self.make_scene(intensity_sigma=0.5)
+        rng = np.random.default_rng(5)
+        assert np.all(scene.simulate_intensity(5000, rng) > 0)
+
+    def test_intensity_temporally_correlated(self):
+        """AR(1) with phi near 1 gives strong lag-1 autocorrelation."""
+        scene = self.make_scene(intensity_phi=0.99, intensity_sigma=0.3)
+        rng = np.random.default_rng(6)
+        intensity = scene.simulate_intensity(20_000, rng)
+        log_level = np.log(intensity)
+        lag1 = np.corrcoef(log_level[:-1], log_level[1:])[0, 1]
+        assert lag1 > 0.9
+
+    def test_zero_sigma_gives_constant_intensity(self):
+        scene = self.make_scene(intensity_sigma=0.0)
+        rng = np.random.default_rng(7)
+        intensity = scene.simulate_intensity(100, rng)
+        assert np.allclose(intensity, 3.0)
+
+    def test_person_presence_rate_near_base(self):
+        scene = self.make_scene(person_base_rate=0.3, person_traffic_coupling=0.0)
+        rng = np.random.default_rng(8)
+        intensity = scene.simulate_intensity(20_000, rng)
+        present = scene.simulate_person_presence(intensity, rng)
+        assert present.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_person_presence_correlates_with_traffic(self):
+        """The §5.2.2 correlation: busier frames more often contain people."""
+        scene = self.make_scene(
+            person_base_rate=0.3, person_traffic_coupling=1.5, intensity_sigma=0.5
+        )
+        rng = np.random.default_rng(9)
+        intensity = scene.simulate_intensity(30_000, rng)
+        present = scene.simulate_person_presence(intensity, rng)
+        busy = intensity > np.median(intensity)
+        assert present[busy].mean() > present[~busy].mean() + 0.05
+
+    def test_rejects_invalid_phi(self):
+        with pytest.raises(ConfigurationError):
+            self.make_scene(intensity_phi=1.0)
+
+    def test_rejects_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            self.make_scene(person_base_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self.make_scene(face_given_person=-0.1)
+
+    def test_rejects_nonpositive_frames(self):
+        scene = self.make_scene()
+        with pytest.raises(ConfigurationError):
+            scene.simulate_intensity(0, np.random.default_rng(10))

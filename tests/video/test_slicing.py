@@ -1,0 +1,75 @@
+"""Tests for dataset slicing (the same-camera-different-time model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.video import detrac_sequence_pair, ua_detrac
+from repro.video.frame import ObjectClass
+
+
+class TestSlice:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return ua_detrac(frame_count=1000, seed=9)
+
+    def test_slice_reindexes_frames(self, stream):
+        window = stream.slice(200, 500)
+        assert window.frame_count == 300
+        assert np.array_equal(
+            window.true_counts(ObjectClass.CAR),
+            stream.true_counts(ObjectClass.CAR)[200:500],
+        )
+
+    def test_slice_preserves_object_attributes(self, stream):
+        window = stream.slice(100, 200)
+        original = stream.objects_of(ObjectClass.CAR)
+        keep = (original.frame >= 100) & (original.frame < 200)
+        sliced = window.objects_of(ObjectClass.CAR)
+        assert np.array_equal(sliced.size, original.size[keep])
+        assert np.array_equal(sliced.difficulty, original.difficulty[keep])
+
+    def test_slice_clutter_window(self, stream):
+        window = stream.slice(10, 20)
+        assert np.array_equal(window.clutter, stream.clutter[10:20])
+
+    def test_slice_default_name(self, stream):
+        assert stream.slice(0, 10).name == f"{stream.name}[0:10]"
+
+    def test_slice_custom_name(self, stream):
+        assert stream.slice(0, 10, name="window").name == "window"
+
+    def test_detector_outputs_match_on_slice(self, stream, yolo_car):
+        """Detection on a slice equals the corresponding full-stream rows:
+        object latents travel with the slice."""
+        window = stream.slice(300, 700)
+        full = yolo_car.run(stream).counts[300:700]
+        sliced = yolo_car.run(window).counts
+        assert np.array_equal(full, sliced)
+
+    @pytest.mark.parametrize("bounds", [(-1, 10), (5, 5), (10, 5), (0, 1001)])
+    def test_invalid_bounds_rejected(self, stream, bounds):
+        with pytest.raises(DatasetError):
+            stream.slice(*bounds)
+
+
+class TestSequencePairStructure:
+    def test_windows_are_disjoint_in_time(self):
+        """A and B come from one stream separated by a gap, so their car
+        counts are not simply shifted copies of each other."""
+        video_a, video_b = detrac_sequence_pair(frames_a=400, frames_b=300)
+        counts_a = video_a.true_counts(ObjectClass.CAR)
+        counts_b = video_b.true_counts(ObjectClass.CAR)
+        assert not np.array_equal(counts_a[: counts_b.size], counts_b)
+
+    def test_same_camera_statistics(self):
+        video_a, video_b = detrac_sequence_pair()
+        mean_a = video_a.true_counts(ObjectClass.CAR).mean()
+        mean_b = video_b.true_counts(ObjectClass.CAR).mean()
+        assert mean_a == pytest.approx(mean_b, rel=0.4)
+
+    def test_distinct_cache_keys(self):
+        video_a, video_b = detrac_sequence_pair(frames_a=100, frames_b=100)
+        assert video_a.cache_key != video_b.cache_key
