@@ -6,6 +6,7 @@ The administrator workflow without writing Python::
     repro choose   --cube cube.json --axis sampling --max-error 0.2
     repro estimate --dataset ua-detrac --aggregate avg --fraction 0.1
     repro experiment fig4 --dataset ua-detrac --aggregate avg --trials 50
+    repro chaos    --rates 0,0.2,0.5 --trials 10
     repro info     --dataset night-street
 
 Every subcommand accepts ``--frames`` to run on a reduced corpus and
@@ -199,6 +200,31 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep outage rates and print the bound-width degradation table."""
+    from repro.experiments.chaos_sweep import run_chaos
+
+    try:
+        rates = tuple(
+            float(part) for part in args.rates.split(",") if part.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"invalid --rates list: {args.rates!r}")
+    if not rates:
+        raise SystemExit("--rates needs at least one outage rate")
+    result = run_chaos(
+        trials=args.trials,
+        frame_count=args.frames,
+        seed=args.seed,
+        outage_rates=rates,
+        camera_count=args.cameras,
+        fraction=args.fraction,
+        delta=args.delta,
+    )
+    result.print(chart=args.chart)
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Print a corpus calibration summary."""
     dataset = load_dataset(args.dataset, args.frames)
@@ -274,6 +300,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="render an ASCII chart too"
     )
     experiment.set_defaults(handler=cmd_experiment)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="sweep outage rates -> bound-width degradation table"
+    )
+    chaos.add_argument(
+        "--rates", default="0,0.1,0.2,0.3,0.5",
+        help="comma list of per-query camera outage probabilities",
+    )
+    chaos.add_argument("--cameras", type=int, default=5, help="fleet size")
+    chaos.add_argument(
+        "--fraction", type=float, default=0.2, help="per-camera sampling fraction"
+    )
+    chaos.add_argument(
+        "--delta", type=float, default=0.05, help="total failure probability"
+    )
+    chaos.add_argument("--frames", type=int, default=None)
+    chaos.add_argument("--trials", type=int, default=10)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    chaos.set_defaults(handler=cmd_chaos)
 
     info = subparsers.add_parser("info", help="corpus calibration summary")
     _add_common(info)

@@ -51,3 +51,32 @@ class ProfileError(ReproError):
     For example, reading a hypercube slice along an unknown axis, or asking
     for a tradeoff from an empty profile.
     """
+
+
+class TransmissionError(ReproError):
+    """A camera failed to deliver its degraded sample to the processor.
+
+    Raised by the fault-injection channel for a failed transmit attempt and
+    escalated by the resilient fleet executor once a camera's retry budget
+    is exhausted (or its circuit breaker refuses further attempts). The
+    fleet executor catches it per camera and degrades gracefully; it only
+    propagates when *no* camera delivered anything.
+    """
+
+
+class CameraOutageError(TransmissionError):
+    """A camera is entirely unreachable for the duration of a query.
+
+    Unlike a transient :class:`TransmissionError`, an outage persists across
+    retries within one query, so the fleet executor fails the camera fast
+    instead of burning its retry budget.
+    """
+
+
+class FaultInjectionError(ConfigurationError):
+    """A fault injector was configured with invalid parameters.
+
+    For example, a fault probability outside ``[0, 1]`` or a negative
+    latency. A :class:`ConfigurationError` subclass: misconfiguration
+    surfaces at construction time, where it was written.
+    """

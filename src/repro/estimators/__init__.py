@@ -27,6 +27,12 @@ a degraded execution with the right scaling per aggregate type.
 """
 
 from repro.estimators.base import Estimate, MeanEstimator, QuantileEstimator
+from repro.estimators.budget import (
+    StratumInterval,
+    combine_stratum_intervals,
+    resplit_delta,
+    split_delta,
+)
 from repro.estimators.classic import (
     CLTEstimator,
     HoeffdingEstimator,
@@ -62,9 +68,13 @@ __all__ = [
     "SmokescreenMeanEstimator",
     "SmokescreenQuantileEstimator",
     "SmokescreenVarianceEstimator",
+    "StratumInterval",
     "StreamingMeanEstimator",
     "SteinEstimator",
+    "combine_stratum_intervals",
     "estimate_query",
     "mean_estimator_registry",
     "quantile_estimator_registry",
+    "resplit_delta",
+    "split_delta",
 ]

@@ -1,0 +1,129 @@
+"""Delta-budget splitting and stratified interval combination.
+
+A fleet query spends one total failure probability ``delta`` across ``k``
+per-camera intervals via the union bound: each stratum's interval is
+built at share ``delta / k``, so the event "any stratum interval misses
+its mean" has probability at most ``delta``. When cameras are lost
+mid-query the budget is *re-split* across the ``k' < k`` survivors —
+each survivor's share grows (``delta/k' > delta/k``), every surviving
+interval is re-derived at the new share, and the union over survivors
+still spends at most ``delta``. Validity is never lost; only coverage of
+the lost strata is, which the fleet report states explicitly.
+
+These helpers live in the estimators layer because they are pure interval
+arithmetic — the system layer supplies strata, this module supplies the
+guarantee-preserving combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.smokescreen import bound_aware_estimate_from_interval
+
+
+def split_delta(delta: float, parts: int) -> float:
+    """The per-stratum failure budget under the union bound.
+
+    Args:
+        delta: Total failure probability of the combined interval.
+        parts: Number of strata sharing it (>= 1).
+
+    Returns:
+        The per-stratum share ``delta / parts``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise EstimationError(f"delta must lie in (0, 1), got {delta}")
+    if parts < 1:
+        raise EstimationError(f"budget needs at least one stratum, got {parts}")
+    return delta / parts
+
+
+def resplit_delta(delta: float, surviving: int) -> float:
+    """Redistribute the whole budget across the surviving strata.
+
+    Identical arithmetic to :func:`split_delta`; the separate name records
+    intent at call sites — this is the degradation path, re-deriving each
+    survivor's interval at its enlarged share after losses.
+
+    Args:
+        delta: Total failure probability, unchanged by camera loss.
+        surviving: Number of strata that still produced intervals.
+
+    Returns:
+        The enlarged per-survivor share ``delta / surviving``.
+    """
+    return split_delta(delta, surviving)
+
+
+@dataclass(frozen=True)
+class StratumInterval:
+    """One stratum's contribution to a combined fleet interval.
+
+    Attributes:
+        weight: The stratum's share of the combined universe (its frame
+            count over the total); weights must sum to 1 across strata.
+        mean: The stratum's sample mean (its sign steers Theorem 3.1).
+        lower: Lower interval endpoint ``L_i`` on ``|mean_i|``.
+        upper: Upper interval endpoint ``U_i``.
+        n: The stratum's sample size.
+    """
+
+    weight: float
+    mean: float
+    lower: float
+    upper: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise EstimationError(
+                f"stratum weight must lie in (0, 1], got {self.weight}"
+            )
+        if self.upper < self.lower:
+            raise EstimationError(
+                f"stratum interval is inverted: [{self.lower}, {self.upper}]"
+            )
+
+
+def combine_stratum_intervals(
+    strata: list[StratumInterval],
+    universe_size: int,
+    method: str,
+) -> Estimate:
+    """Weight per-stratum intervals into one Theorem 3.1 estimate.
+
+    With stratum ``i`` holding weight ``w_i`` and interval
+    ``[L_i, U_i]`` at share ``delta_i``, the weighted mean lies in
+    ``[sum w_i L_i, sum w_i U_i]`` with probability at least
+    ``1 - sum delta_i`` (union bound), and the usual bound-aware output
+    construction applies to that interval.
+
+    Args:
+        strata: The per-stratum intervals; weights must sum to 1.
+        universe_size: Size of the combined universe the weights cover.
+        method: Estimator name recorded on the combined estimate.
+
+    Returns:
+        The combined bound-aware estimate.
+    """
+    if not strata:
+        raise EstimationError("cannot combine zero stratum intervals")
+    total_weight = sum(stratum.weight for stratum in strata)
+    if abs(total_weight - 1.0) > 1e-9:
+        raise EstimationError(
+            f"stratum weights must sum to 1, got {total_weight}"
+        )
+    weighted_mean = sum(s.weight * s.mean for s in strata)
+    weighted_lower = sum(s.weight * s.lower for s in strata)
+    weighted_upper = sum(s.weight * s.upper for s in strata)
+    return bound_aware_estimate_from_interval(
+        weighted_mean,
+        weighted_upper,
+        weighted_lower,
+        n=sum(s.n for s in strata),
+        universe_size=universe_size,
+        method=method,
+    )

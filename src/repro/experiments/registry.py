@@ -50,6 +50,7 @@ def _runners() -> dict[str, Runner]:
         run_ablation_reuse,
         run_ablation_stratified,
     )
+    from repro.experiments.chaos_sweep import run_chaos
     from repro.experiments.coverage_audit import run_coverage_audit
     from repro.experiments.extension_temporal import run_extension_temporal
     from repro.experiments.extension_var import run_extension_var
@@ -127,6 +128,9 @@ def _runners() -> dict[str, Runner]:
             trials=r.trials, frame_count=r.frames, seed=r.seed
         ),
         "coverage-audit": lambda r: run_coverage_audit(
+            trials=r.trials, frame_count=r.frames, seed=r.seed
+        ),
+        "chaos": lambda r: run_chaos(
             trials=r.trials, frame_count=r.frames, seed=r.seed
         ),
     }

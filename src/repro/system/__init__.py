@@ -12,26 +12,68 @@ so examples and benchmarks can express those goals quantitatively:
 - :mod:`repro.system.privacy` — privacy-exposure metrics of a degradation
   setting (person/face frames revealed).
 - :mod:`repro.system.camera` — a camera with degradation knobs.
+- :mod:`repro.system.faults` — deterministic, seed-driven fault injection
+  (outages, transient failures, frame drop/corruption, stragglers) behind
+  a faulty transmission channel.
+- :mod:`repro.system.resilience` — retry-with-backoff, per-camera circuit
+  breakers, and the fleet health ledger.
+- :mod:`repro.system.fleet` — fleets, including the resilient
+  :class:`FleetQueryProcessor` that degrades gracefully under faults.
 - :mod:`repro.system.administrator` — the administrator persona tying
   preferences to profile-driven choices.
 """
 
 from repro.system.camera import Camera
 from repro.system.costs import CostModel, InvocationLedger
-from repro.system.fleet import CameraFleet, FleetEstimate
+from repro.system.faults import (
+    ChannelDelivery,
+    FaultInjector,
+    FaultModel,
+    FaultyChannel,
+    transmit_with_retry,
+)
+from repro.system.fleet import (
+    CameraFleet,
+    CameraReport,
+    CameraStatus,
+    FleetEstimate,
+    FleetQueryProcessor,
+    FleetReport,
+)
 from repro.system.network import TransmissionModel
 from repro.system.privacy import PrivacyReport, privacy_report
+from repro.system.resilience import (
+    BreakerState,
+    CameraHealth,
+    CircuitBreaker,
+    HealthLedger,
+    RetryPolicy,
+)
 
 __all__ = [
     "Administrator",
+    "BreakerState",
     "Camera",
     "CameraFleet",
+    "CameraHealth",
+    "CameraReport",
+    "CameraStatus",
+    "ChannelDelivery",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultModel",
+    "FaultyChannel",
     "FleetEstimate",
+    "FleetQueryProcessor",
+    "FleetReport",
     "CostModel",
+    "HealthLedger",
     "InvocationLedger",
     "PrivacyReport",
+    "RetryPolicy",
     "TransmissionModel",
     "privacy_report",
+    "transmit_with_retry",
 ]
 
 

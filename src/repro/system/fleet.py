@@ -17,25 +17,73 @@ mean lies in
 and the usual Theorem 3.1 output construction turns that interval into a
 bound-aware answer. Stratification also helps accuracy: between-camera
 variance costs nothing because every camera contributes its exact weight.
+
+Two executors share that combination:
+
+- :class:`CameraFleet` — the happy-path estimator (every camera answers).
+- :class:`FleetQueryProcessor` — the resilient executor: cameras
+  transmit through seeded :class:`~repro.system.faults.FaultyChannel`
+  paths with retry/backoff and per-camera circuit breakers; cameras lost
+  mid-query are excised, the ``delta`` budget is re-split across the
+  survivors (:func:`~repro.estimators.budget.resplit_delta`), and the
+  :class:`FleetReport` records exactly which cameras degraded, which
+  frames were dropped, and the widened-but-valid surviving-fleet bound.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EstimationError
-from repro.estimators.base import Estimate
-from repro.estimators.smokescreen import (
-    SmokescreenMeanEstimator,
-    bound_aware_estimate_from_interval,
+from repro.errors import (
+    CameraOutageError,
+    ConfigurationError,
+    EstimationError,
+    TransmissionError,
 )
+from repro.estimators.base import Estimate
+from repro.estimators.budget import (
+    StratumInterval,
+    combine_stratum_intervals,
+    resplit_delta,
+    split_delta,
+)
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
 from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system.camera import Camera
+from repro.system.faults import (
+    ChannelDelivery,
+    FaultInjector,
+    FaultModel,
+    transmit_with_retry,
+)
+from repro.system.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    HealthLedger,
+    RetryPolicy,
+)
+
+
+def _validate_cameras(cameras: list[Camera]) -> None:
+    """Eager fleet validation: misconfiguration surfaces where written."""
+    if not cameras:
+        raise ConfigurationError("a fleet needs at least one camera")
+    names = [camera.name for camera in cameras]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate camera names: {names}")
+    for camera in cameras:
+        if camera.dataset.frame_count <= 0:
+            raise ConfigurationError(
+                f"camera {camera.name!r} observes an empty dataset "
+                f"({camera.dataset.frame_count} frames); every fleet camera "
+                "needs a non-empty corpus"
+            )
 
 
 @dataclass(frozen=True)
@@ -60,14 +108,11 @@ class CameraFleet:
 
         Args:
             cameras: The fleet's cameras (each with its own corpus and
-                currently configured plan); at least one, distinct names.
+                currently configured plan); at least one, distinct names,
+                non-empty corpora.
             processor: The central query processor.
         """
-        if not cameras:
-            raise ConfigurationError("a fleet needs at least one camera")
-        names = [camera.name for camera in cameras]
-        if len(set(names)) != len(names):
-            raise ConfigurationError(f"duplicate camera names: {names}")
+        _validate_cameras(cameras)
         self._cameras = list(cameras)
         self._processor = processor
 
@@ -95,6 +140,9 @@ class CameraFleet:
         *uncorrected* intervals — configure cameras with random plans (or
         repair per camera first) for a trustworthy fleet bound.
 
+        The only randomness consumed is ``rng``'s: re-running with a
+        freshly seeded generator reproduces the estimate bit for bit.
+
         Args:
             model_for_camera: Callable mapping a camera to the query
                 detector for its corpus (fleets may mix camera models).
@@ -106,13 +154,11 @@ class CameraFleet:
         """
         if not 0.0 < delta < 1.0:
             raise EstimationError(f"delta must lie in (0, 1), got {delta}")
-        share = delta / len(self._cameras)
+        share = split_delta(delta, len(self._cameras))
         estimator = SmokescreenMeanEstimator()
 
         per_camera: dict[str, Estimate] = {}
-        weighted_lower = 0.0
-        weighted_upper = 0.0
-        weighted_mean_sign = 0.0
+        strata: list[StratumInterval] = []
         total = float(self.total_frames)
         for camera in self._cameras:
             query = AggregateQuery(
@@ -123,18 +169,18 @@ class CameraFleet:
             values = self._processor.values_for_sample(query, sample)
             estimate = estimator.estimate(values, sample.universe_size, share)
             per_camera[camera.name] = estimate
-            weight = camera.dataset.frame_count / total
-            weighted_lower += weight * estimate.extras["lower"]
-            weighted_upper += weight * estimate.extras["upper"]
-            weighted_mean_sign += weight * estimate.value
+            strata.append(
+                StratumInterval(
+                    weight=camera.dataset.frame_count / total,
+                    mean=estimate.value,
+                    lower=estimate.extras["lower"],
+                    upper=estimate.extras["upper"],
+                    n=estimate.n,
+                )
+            )
 
-        combined = bound_aware_estimate_from_interval(
-            weighted_mean_sign,
-            weighted_upper,
-            weighted_lower,
-            n=sum(estimate.n for estimate in per_camera.values()),
-            universe_size=self.total_frames,
-            method="smokescreen-fleet",
+        combined = combine_stratum_intervals(
+            strata, universe_size=self.total_frames, method="smokescreen-fleet"
         )
         return FleetEstimate(combined=combined, per_camera=per_camera)
 
@@ -148,3 +194,446 @@ class CameraFleet:
         """
         for camera in self._cameras:
             camera.apply_plan(plan)
+
+
+class CameraStatus(enum.Enum):
+    """How one camera fared during one resilient fleet query."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    LOST = "lost"
+
+
+@dataclass(frozen=True)
+class CameraReport:
+    """One camera's line in a :class:`FleetReport`.
+
+    Attributes:
+        name: Camera identifier.
+        status: OK (clean delivery), DEGRADED (delivered, but only after
+            retries, frame losses, or a straggling transfer), or LOST (no
+            data this query — outage, exhausted retries, or an open
+            circuit breaker).
+        weight: The camera's share of the *full* fleet's frames.
+        attempts: Transmit attempts made this query.
+        retries: Backoff-then-retry cycles taken this query.
+        frames_requested: Frames the camera put on the wire (delivering
+            attempt only; zero when lost).
+        frames_delivered: Frames that survived drop and corruption.
+        frames_dropped: Frames lost in flight.
+        frames_corrupted: Frames discarded by the integrity check.
+        latency: Simulated seconds spent on this camera (transfer plus
+            backoff waits).
+        straggler: Whether the delivering transfer straggled.
+        breaker_state: The camera's circuit-breaker state after the query.
+        estimate: The camera's interval at the re-split share, or None
+            when lost.
+        reason: Why the camera was lost (None otherwise).
+    """
+
+    name: str
+    status: CameraStatus
+    weight: float
+    attempts: int
+    retries: int
+    frames_requested: int
+    frames_delivered: int
+    frames_dropped: int
+    frames_corrupted: int
+    latency: float
+    straggler: bool
+    breaker_state: BreakerState
+    estimate: Estimate | None
+    reason: str | None = None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The structured outcome of one resilient fleet query.
+
+    Attributes:
+        combined: The bound-aware estimate over the *surviving* strata —
+            valid at confidence ``1 - delta`` for the exact mean across
+            the surviving cameras' frames.
+        per_camera: Every camera's :class:`CameraReport`, keyed by name.
+        delta: The configured total failure probability.
+        share: The per-survivor budget actually spent
+            (``delta / len(surviving)``).
+        surviving: Names of cameras whose data entered the estimate.
+        lost: Names of cameras that contributed nothing this query.
+        coverage: Fraction of the full fleet's frames the estimate
+            covers (1.0 when nothing was lost).
+        total_retries: Retry cycles across the whole fleet this query.
+        elapsed: Simulated seconds the query took (transfers + backoff).
+    """
+
+    combined: Estimate
+    per_camera: dict[str, CameraReport]
+    delta: float
+    share: float
+    surviving: tuple[str, ...]
+    lost: tuple[str, ...]
+    coverage: float
+    total_retries: int
+    elapsed: float
+
+    @property
+    def degraded(self) -> tuple[str, ...]:
+        """Names of cameras that delivered, but not cleanly."""
+        return tuple(
+            name
+            for name, report in self.per_camera.items()
+            if report.status is CameraStatus.DEGRADED
+        )
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames lost in flight across the fleet this query."""
+        return sum(r.frames_dropped for r in self.per_camera.values())
+
+    @property
+    def frames_corrupted(self) -> int:
+        """Frames discarded by integrity checks across the fleet."""
+        return sum(r.frames_corrupted for r in self.per_camera.values())
+
+    def summary_lines(self) -> list[str]:
+        """A printable per-camera table plus the combined answer."""
+        lines = [
+            f"{'camera':<12} {'status':<9} {'attempts':>8} {'retries':>7} "
+            f"{'frames':>11} {'dropped':>7} {'latency':>8}"
+        ]
+        for name, report in self.per_camera.items():
+            frames = f"{report.frames_delivered}/{report.frames_requested}"
+            lines.append(
+                f"{name:<12} {report.status.value:<9} {report.attempts:>8} "
+                f"{report.retries:>7} {frames:>11} "
+                f"{report.frames_dropped + report.frames_corrupted:>7} "
+                f"{report.latency:>7.2f}s"
+            )
+        lines.append(
+            f"coverage {self.coverage:.1%} of fleet frames "
+            f"({len(self.surviving)}/{len(self.per_camera)} cameras); "
+            f"per-survivor budget delta/k' = {self.share:.4f}"
+        )
+        lines.append(
+            f"surviving-fleet AVG {self.combined.value:.3f} "
+            f"(bounded error {self.combined.error_bound:.3f} "
+            f"at {1 - self.delta:.0%})"
+        )
+        return lines
+
+
+class FleetQueryProcessor:
+    """Fleet execution that survives camera failure with a valid bound.
+
+    Every camera transmits through a seeded faulty channel with
+    retry/backoff; a per-camera circuit breaker skips cameras that keep
+    failing across queries; and when cameras are lost mid-query the
+    remaining ``delta`` budget is re-split across the survivors, whose
+    intervals are re-derived at the enlarged share ``delta / k'``. The
+    union bound over survivors then spends at most ``delta``, so the
+    combined interval remains valid — wider in coverage terms, never
+    wrong (see docs/SUBSTRATE.md, "Failure model & graceful degradation").
+
+    All time is simulated (a logical clock advanced by backoff delays and
+    transfer latencies); all randomness is seed-derived, so a chaos run
+    replays bit-for-bit on a freshly constructed processor.
+    """
+
+    def __init__(
+        self,
+        cameras: list[Camera],
+        processor: QueryProcessor,
+        faults: FaultModel | None = None,
+        fault_seed: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+    ) -> None:
+        """Assemble the resilient executor.
+
+        Args:
+            cameras: The fleet's cameras; at least one, distinct names,
+                non-empty corpora (validated eagerly).
+            processor: The central query processor.
+            faults: Fault rates to inject, or None for a perfect network.
+            fault_seed: Root seed of the injected fault streams.
+            retry_policy: Backoff policy; defaults to 3 attempts.
+            breaker_threshold: Consecutive failures that open a camera's
+                circuit breaker.
+            breaker_cooldown: Simulated seconds before an open breaker
+                half-opens for a probe.
+        """
+        _validate_cameras(cameras)
+        self._cameras = list(cameras)
+        self._processor = processor
+        self._injector = (
+            FaultInjector(faults, fault_seed) if faults is not None else None
+        )
+        self._policy = retry_policy or RetryPolicy()
+        self._breakers = {
+            camera.name: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for camera in self._cameras
+        }
+        self._ledger = HealthLedger()
+        self._clock = 0.0
+
+    @property
+    def cameras(self) -> list[Camera]:
+        """The fleet's cameras (copy)."""
+        return list(self._cameras)
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames across the full fleet."""
+        return sum(camera.dataset.frame_count for camera in self._cameras)
+
+    @property
+    def ledger(self) -> HealthLedger:
+        """The per-camera health ledger (cumulative across queries)."""
+        return self._ledger
+
+    @property
+    def clock(self) -> float:
+        """The fleet's simulated clock, in seconds."""
+        return self._clock
+
+    def breaker_state(self, camera_name: str) -> BreakerState:
+        """One camera's circuit-breaker state at the current clock."""
+        breaker = self._breakers.get(camera_name)
+        if breaker is None:
+            raise ConfigurationError(f"unknown camera {camera_name!r}")
+        return breaker.state(self._clock)
+
+    def execute(
+        self,
+        model_for_camera,
+        delta: float = 0.05,
+        seed: int = 0,
+    ) -> FleetReport:
+        """Run one fleet-wide AVG query, degrading gracefully on failure.
+
+        Args:
+            model_for_camera: Callable mapping a camera to its detector.
+            delta: Total failure probability of the combined bound.
+            seed: Seed for frame sampling, retry jitter, and (together
+                with the construction-time ``fault_seed``) the fault
+                streams; one seed replays the whole query exactly.
+
+        Returns:
+            The :class:`FleetReport`; its combined interval covers the
+            exact surviving-fleet mean with probability >= ``1 - delta``.
+
+        Raises:
+            TransmissionError: No camera delivered anything — there is no
+                surviving stratum to answer from.
+            EstimationError: ``delta`` is outside ``(0, 1)``.
+        """
+        if not 0.0 < delta < 1.0:
+            raise EstimationError(f"delta must lie in (0, 1), got {delta}")
+        root = np.random.SeedSequence(int(seed))
+        camera_sequences = root.spawn(len(self._cameras))
+
+        started = self._clock
+        deliveries: dict[str, ChannelDelivery] = {}
+        partial: dict[str, dict] = {}
+        for camera, sequence in zip(self._cameras, camera_sequences):
+            partial[camera.name] = self._transmit_one(camera, sequence, seed)
+            delivery = partial[camera.name]["delivery"]
+            if delivery is not None:
+                deliveries[camera.name] = delivery
+
+        if not deliveries:
+            reasons = "; ".join(
+                f"{name}: {meta['reason']}" for name, meta in partial.items()
+            )
+            raise TransmissionError(
+                f"no camera delivered a sample this query ({reasons})"
+            )
+
+        share = resplit_delta(delta, len(deliveries))
+        estimator = SmokescreenMeanEstimator()
+        surviving_frames = sum(
+            camera.dataset.frame_count
+            for camera in self._cameras
+            if camera.name in deliveries
+        )
+        total_frames = float(self.total_frames)
+
+        strata: list[StratumInterval] = []
+        reports: dict[str, CameraReport] = {}
+        for camera in self._cameras:
+            meta = partial[camera.name]
+            weight = camera.dataset.frame_count / total_frames
+            delivery = meta["delivery"]
+            estimate = None
+            if delivery is not None:
+                query = AggregateQuery(
+                    camera.dataset, model_for_camera(camera), Aggregate.AVG,
+                    delta=share,
+                )
+                values = self._processor.values_for_sample(
+                    query, delivery.sample
+                )
+                estimate = estimator.estimate(
+                    values, delivery.sample.universe_size, share
+                )
+                strata.append(
+                    StratumInterval(
+                        weight=camera.dataset.frame_count / surviving_frames,
+                        mean=estimate.value,
+                        lower=estimate.extras["lower"],
+                        upper=estimate.extras["upper"],
+                        n=estimate.n,
+                    )
+                )
+            reports[camera.name] = CameraReport(
+                name=camera.name,
+                status=meta["status"],
+                weight=weight,
+                attempts=meta["attempts"],
+                retries=meta["retries"],
+                frames_requested=delivery.requested if delivery else 0,
+                frames_delivered=delivery.delivered if delivery else 0,
+                frames_dropped=delivery.dropped if delivery else 0,
+                frames_corrupted=delivery.corrupted if delivery else 0,
+                latency=meta["latency"],
+                straggler=bool(delivery.straggler) if delivery else False,
+                breaker_state=self._breakers[camera.name].state(self._clock),
+                estimate=estimate,
+                reason=meta["reason"],
+            )
+
+        combined = combine_stratum_intervals(
+            strata,
+            universe_size=surviving_frames,
+            method="smokescreen-fleet-resilient",
+        )
+        surviving = tuple(
+            camera.name for camera in self._cameras
+            if camera.name in deliveries
+        )
+        lost = tuple(
+            camera.name for camera in self._cameras
+            if camera.name not in deliveries
+        )
+        return FleetReport(
+            combined=combined,
+            per_camera=reports,
+            delta=delta,
+            share=share,
+            surviving=surviving,
+            lost=lost,
+            coverage=surviving_frames / total_frames,
+            total_retries=sum(meta["retries"] for meta in partial.values()),
+            elapsed=self._clock - started,
+        )
+
+    def _transmit_one(
+        self,
+        camera: Camera,
+        sequence: np.random.SeedSequence,
+        query_seed: int,
+    ) -> dict:
+        """One camera's transmit-with-retry, with breaker and ledger."""
+        breaker = self._breakers[camera.name]
+        health = self._ledger.health(camera.name)
+        base = {
+            "delivery": None,
+            "attempts": 0,
+            "retries": 0,
+            "latency": 0.0,
+            "status": CameraStatus.LOST,
+        }
+        if not breaker.allow(self._clock):
+            health.skipped_queries += 1
+            return {**base, "reason": "circuit breaker open"}
+
+        sample_sequence, retry_sequence = sequence.spawn(2)
+        sample_rng = np.random.default_rng(sample_sequence)
+        retry_rng = np.random.default_rng(retry_sequence)
+        if self._injector is not None:
+            channel = self._injector.channel(camera, query_seed)
+        else:
+            channel = _PerfectChannel(camera)
+
+        try:
+            outcome = transmit_with_retry(
+                channel, sample_rng, self._policy, retry_rng
+            )
+        except CameraOutageError as error:
+            health.attempts += 1
+            health.failures += 1
+            health.last_error = str(error)
+            breaker.record_failure(self._clock)
+            return {**base, "attempts": 1, "reason": str(error)}
+        except TransmissionError as error:
+            attempts = getattr(error, "attempts", self._policy.max_attempts)
+            retries = getattr(error, "retries", attempts - 1)
+            backoff = getattr(error, "backoff", 0.0)
+            health.attempts += attempts
+            health.failures += attempts
+            health.retries += retries
+            health.latency += backoff
+            health.last_error = str(error)
+            for _ in range(attempts):
+                breaker.record_failure(self._clock)
+            self._clock += backoff
+            return {
+                **base,
+                "attempts": attempts,
+                "retries": retries,
+                "latency": backoff,
+                "reason": str(error),
+            }
+
+        delivery = outcome.delivery
+        latency = outcome.backoff + delivery.latency
+        health.attempts += outcome.attempts
+        health.successes += 1
+        health.failures += outcome.attempts - 1
+        health.retries += outcome.retries
+        health.frames_dropped += delivery.dropped
+        health.frames_corrupted += delivery.corrupted
+        health.latency += latency
+        for _ in range(outcome.attempts - 1):
+            breaker.record_failure(self._clock)
+        breaker.record_success(self._clock)
+        self._clock += latency
+
+        clean = (
+            outcome.retries == 0
+            and not delivery.lossy
+            and not delivery.straggler
+        )
+        return {
+            "delivery": delivery,
+            "attempts": outcome.attempts,
+            "retries": outcome.retries,
+            "latency": latency,
+            "status": CameraStatus.OK if clean else CameraStatus.DEGRADED,
+            "reason": None,
+        }
+
+
+class _PerfectChannel:
+    """A fault-free stand-in channel (no injector configured)."""
+
+    def __init__(self, camera: Camera) -> None:
+        self._camera = camera
+
+    @property
+    def name(self) -> str:
+        return self._camera.name
+
+    def transmit(self, rng: np.random.Generator) -> ChannelDelivery:
+        sample = self._camera.transmit(rng)
+        return ChannelDelivery(
+            sample=sample,
+            requested=sample.size,
+            delivered=sample.size,
+            dropped=0,
+            corrupted=0,
+            latency=0.0,
+            straggler=False,
+        )

@@ -1,0 +1,203 @@
+"""Retry, circuit-breaking, and health accounting for fleet execution.
+
+Three cooperating pieces the resilient fleet executor threads together:
+
+- :class:`RetryPolicy` — exponential backoff with seeded jitter. Delays
+  are *simulated* seconds on the fleet's logical clock (reproducibility;
+  the suite never sleeps).
+- :class:`CircuitBreaker` — per-camera failure isolation: after
+  ``failure_threshold`` consecutive failures the breaker opens and the
+  camera is skipped outright (no retry budget wasted on a dead camera);
+  after ``cooldown`` simulated seconds it half-opens and admits a single
+  probe, closing again only when the probe succeeds.
+- :class:`HealthLedger` — the per-camera operational record a
+  :class:`~repro.system.fleet.FleetReport` is built from: attempts,
+  retries, frames dropped/corrupted, simulated latency, last error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient transmission faults.
+
+    Attempt ``k`` (zero-based) that fails waits
+    ``min(base_delay * multiplier**k, max_delay) * (1 + jitter * u)``
+    simulated seconds before the next attempt, with ``u`` uniform on
+    ``[0, 1)`` from the caller's seeded RNG — decorrelating retries
+    across cameras without sacrificing reproducibility.
+
+    Attributes:
+        max_attempts: Total attempts per camera per query (>= 1).
+        base_delay: First backoff delay, simulated seconds.
+        multiplier: Backoff growth factor per attempt.
+        max_delay: Backoff ceiling before jitter.
+        jitter: Jitter amplitude as a fraction of the raw delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must lie in [0, 1], got {self.jitter}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """The simulated wait after a failed attempt.
+
+        Args:
+            attempt: Zero-based index of the attempt that just failed.
+            rng: Seeded randomness for the jitter term.
+
+        Returns:
+            Simulated seconds to wait before the next attempt.
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt index must be >= 0, got {attempt}")
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+class BreakerState(enum.Enum):
+    """The classic three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-camera failure isolation on the fleet's simulated clock."""
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown: float = 30.0
+    ) -> None:
+        """Create a closed breaker.
+
+        Args:
+            failure_threshold: Consecutive failures that open the breaker.
+            cooldown: Simulated seconds an open breaker waits before
+                half-opening for a probe.
+        """
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure threshold must be at least 1, got {failure_threshold}"
+            )
+        if cooldown < 0.0:
+            raise ConfigurationError(
+                f"cooldown must be non-negative, got {cooldown}"
+            )
+        self._threshold = failure_threshold
+        self._cooldown = cooldown
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Current run of consecutive failures."""
+        return self._consecutive_failures
+
+    def state(self, now: float) -> BreakerState:
+        """The breaker state at a simulated time (open may half-open)."""
+        if (
+            self._state is BreakerState.OPEN
+            and now - self._opened_at >= self._cooldown
+        ):
+            return BreakerState.HALF_OPEN
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """Whether an attempt may proceed at a simulated time.
+
+        A half-open breaker admits the probe (and transitions so a
+        subsequent failure re-opens with a fresh cooldown).
+        """
+        state = self.state(now)
+        if state is BreakerState.HALF_OPEN:
+            self._state = BreakerState.HALF_OPEN
+        return state is not BreakerState.OPEN
+
+    def record_success(self, now: float) -> None:
+        """A successful attempt closes the breaker and clears the run."""
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A failed attempt; opens the breaker at the threshold.
+
+        A failure while half-open re-opens immediately (the probe failed),
+        restarting the cooldown.
+        """
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self._threshold
+        ):
+            self._state = BreakerState.OPEN
+            self._opened_at = now
+
+
+@dataclass
+class CameraHealth:
+    """One camera's operational record across a processor's lifetime.
+
+    Attributes:
+        attempts: Transmit attempts made.
+        successes: Attempts that delivered a sample.
+        failures: Attempts that raised a transmission fault.
+        retries: Backoff-then-retry cycles taken.
+        frames_dropped: Frames lost in flight, cumulative.
+        frames_corrupted: Frames discarded by integrity checks, cumulative.
+        latency: Simulated seconds spent transmitting and backing off.
+        skipped_queries: Queries skipped because the breaker was open.
+        last_error: Message of the most recent transmission fault.
+    """
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    frames_dropped: int = 0
+    frames_corrupted: int = 0
+    latency: float = 0.0
+    skipped_queries: int = 0
+    last_error: str | None = None
+
+
+@dataclass
+class HealthLedger:
+    """Per-camera :class:`CameraHealth` records, keyed by camera name."""
+
+    records: dict[str, CameraHealth] = field(default_factory=dict)
+
+    def health(self, name: str) -> CameraHealth:
+        """The (auto-created) record for one camera."""
+        return self.records.setdefault(name, CameraHealth())
+
+    def summary(self) -> dict[str, CameraHealth]:
+        """A snapshot copy of every record."""
+        return dict(self.records)

@@ -1,0 +1,92 @@
+"""Tests for delta-budget splitting and stratified combination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.budget import (
+    StratumInterval,
+    combine_stratum_intervals,
+    resplit_delta,
+    split_delta,
+)
+
+
+class TestSplitDelta:
+    def test_even_split(self):
+        assert split_delta(0.05, 5) == pytest.approx(0.01)
+
+    def test_resplit_grows_the_share_after_losses(self):
+        full = split_delta(0.05, 5)
+        after_losses = resplit_delta(0.05, 3)
+        assert after_losses > full
+        assert after_losses == pytest.approx(0.05 / 3)
+        # The union over survivors still spends exactly delta.
+        assert 3 * after_losses == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            split_delta(0.0, 3)
+        with pytest.raises(EstimationError):
+            split_delta(1.0, 3)
+        with pytest.raises(EstimationError):
+            split_delta(0.05, 0)
+
+
+class TestStratumInterval:
+    def test_rejects_bad_weight(self):
+        with pytest.raises(EstimationError):
+            StratumInterval(weight=0.0, mean=1.0, lower=0.5, upper=1.5, n=10)
+        with pytest.raises(EstimationError):
+            StratumInterval(weight=1.2, mean=1.0, lower=0.5, upper=1.5, n=10)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(EstimationError):
+            StratumInterval(weight=0.5, mean=1.0, lower=2.0, upper=1.0, n=10)
+
+
+class TestCombine:
+    def test_weighted_endpoints(self):
+        strata = [
+            StratumInterval(weight=0.75, mean=4.0, lower=3.0, upper=5.0, n=100),
+            StratumInterval(weight=0.25, mean=1.0, lower=0.5, upper=1.5, n=50),
+        ]
+        estimate = combine_stratum_intervals(strata, 4000, "test-combine")
+        assert estimate.extras["upper"] == pytest.approx(0.75 * 5.0 + 0.25 * 1.5)
+        assert estimate.extras["lower"] == pytest.approx(0.75 * 3.0 + 0.25 * 0.5)
+        assert estimate.n == 150
+        assert estimate.universe_size == 4000
+        assert estimate.method == "test-combine"
+        # Theorem 3.1 output: harmonic mean of the combined endpoints.
+        upper, lower = estimate.extras["upper"], estimate.extras["lower"]
+        assert estimate.value == pytest.approx(
+            2.0 * upper * lower / (upper + lower)
+        )
+        assert estimate.error_bound == pytest.approx(
+            (upper - lower) / (upper + lower)
+        )
+
+    def test_single_stratum_passes_through(self):
+        strata = [
+            StratumInterval(weight=1.0, mean=2.0, lower=1.0, upper=3.0, n=40)
+        ]
+        estimate = combine_stratum_intervals(strata, 1000, "solo")
+        assert estimate.extras == {"upper": 3.0, "lower": 1.0}
+
+    def test_rejects_empty_and_unnormalised_weights(self):
+        with pytest.raises(EstimationError):
+            combine_stratum_intervals([], 100, "none")
+        strata = [
+            StratumInterval(weight=0.5, mean=1.0, lower=0.5, upper=1.5, n=10)
+        ]
+        with pytest.raises(EstimationError):
+            combine_stratum_intervals(strata, 100, "half")
+
+    def test_degenerate_zero_lower_is_uninformative(self):
+        strata = [
+            StratumInterval(weight=1.0, mean=0.1, lower=0.0, upper=1.0, n=10)
+        ]
+        estimate = combine_stratum_intervals(strata, 100, "degenerate")
+        assert estimate.value == 0.0
+        assert estimate.error_bound == 1.0

@@ -19,6 +19,7 @@ def test_examples_directory_has_expected_scenarios():
         "bandwidth_budget.py",
         "profile_transfer.py",
         "city_dashboard.py",
+        "chaos_fleet.py",
     } <= names
 
 
@@ -51,3 +52,14 @@ def test_dashboard_meets_every_target(capsys):
     out = capsys.readouterr().out
     assert "chosen shared fraction" in out
     assert out.count("target") >= 3
+
+
+def test_chaos_fleet_reports_degradation_and_valid_bound(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "chaos_fleet.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "lost cameras:" in out
+    assert "degraded cameras:" in out
+    assert "widened bound" in out
+    assert "within bound: True" in out
+    # The seeded run actually loses cameras, so coverage drops below 100%.
+    assert "coverage 60.0% of fleet frames" in out

@@ -1,0 +1,290 @@
+"""Tests for fault injection, retry/backoff, and the circuit breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CameraOutageError,
+    ConfigurationError,
+    FaultInjectionError,
+    TransmissionError,
+)
+from repro.system.camera import Camera
+from repro.system.faults import (
+    ChannelDelivery,
+    FaultInjector,
+    FaultModel,
+    FaultyChannel,
+    transmit_with_retry,
+)
+from repro.system.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    HealthLedger,
+    RetryPolicy,
+)
+from repro.video import ua_detrac
+
+
+@pytest.fixture(scope="module")
+def camera(suite):
+    cam = Camera("chaos-cam", ua_detrac(frame_count=1200), suite)
+    cam.configure(fraction=0.2)
+    return cam
+
+
+class TestFaultModel:
+    def test_null_by_default(self):
+        assert FaultModel().is_null
+
+    @pytest.mark.parametrize("field", [
+        "outage_probability",
+        "transient_failure_probability",
+        "frame_drop_probability",
+        "frame_corruption_probability",
+        "straggler_probability",
+    ])
+    def test_rejects_bad_probability(self, field):
+        with pytest.raises(FaultInjectionError):
+            FaultModel(**{field: 1.5})
+        with pytest.raises(FaultInjectionError):
+            FaultModel(**{field: -0.1})
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(FaultInjectionError):
+            FaultModel(straggler_latency=-1.0)
+        with pytest.raises(FaultInjectionError):
+            FaultModel(nominal_latency=-0.1)
+
+    def test_injector_rejects_non_model(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector({"outage_probability": 0.5}, seed=0)
+
+
+class TestFaultInjectorDeterminism:
+    def test_fault_stream_reproducible_from_seed(self):
+        model = FaultModel(outage_probability=0.4)
+        first = FaultInjector(model, seed=9)
+        second = FaultInjector(model, seed=9)
+        for name in ("cam0", "cam1", "weird name"):
+            a = first.fault_rng(name, query_seed=3)
+            b = second.fault_rng(name, query_seed=3)
+            assert np.array_equal(a.random(16), b.random(16))
+
+    def test_streams_differ_across_cameras_and_queries(self):
+        injector = FaultInjector(FaultModel(), seed=9)
+        base = injector.fault_rng("cam0", 3).random(8)
+        assert not np.array_equal(base, injector.fault_rng("cam1", 3).random(8))
+        assert not np.array_equal(base, injector.fault_rng("cam0", 4).random(8))
+
+    def test_outage_draw_is_query_scoped(self, camera):
+        injector = FaultInjector(FaultModel(outage_probability=1.0), seed=0)
+        channel = injector.channel(camera, query_seed=0)
+        assert channel.is_out
+        rng = np.random.default_rng(0)
+        with pytest.raises(CameraOutageError):
+            channel.transmit(rng)
+        with pytest.raises(CameraOutageError):
+            channel.transmit(rng)  # persists across retries
+
+
+class TestFaultyChannel:
+    def test_clean_delivery_when_null(self, camera):
+        channel = FaultInjector(FaultModel(), seed=0).channel(camera, 0)
+        delivery = channel.transmit(np.random.default_rng(1))
+        assert isinstance(delivery, ChannelDelivery)
+        assert delivery.delivered == delivery.requested == delivery.sample.size
+        assert delivery.dropped == delivery.corrupted == 0
+        assert not delivery.lossy
+
+    def test_transient_failure_raises_transmission_error(self, camera):
+        model = FaultModel(transient_failure_probability=1.0)
+        channel = FaultInjector(model, seed=0).channel(camera, 0)
+        with pytest.raises(TransmissionError):
+            channel.transmit(np.random.default_rng(1))
+
+    def test_frame_drops_shrink_the_sample_not_the_universe(self, camera):
+        model = FaultModel(frame_drop_probability=0.3)
+        channel = FaultInjector(model, seed=5).channel(camera, 0)
+        delivery = channel.transmit(np.random.default_rng(1))
+        assert 0 < delivery.dropped < delivery.requested
+        assert delivery.delivered == delivery.requested - delivery.dropped
+        assert delivery.sample.size == delivery.delivered
+        clean = camera.plan.draw(camera.dataset, np.random.default_rng(1))
+        assert delivery.sample.universe_size == clean.universe_size
+        # Survivors are a subset of what the camera put on the wire.
+        assert set(delivery.sample.frame_indices) <= set(clean.frame_indices)
+
+    def test_corrupted_frames_are_discarded_not_ingested(self, camera):
+        model = FaultModel(frame_corruption_probability=1.0)
+        channel = FaultInjector(model, seed=5).channel(camera, 0)
+        with pytest.raises(TransmissionError):
+            # Everything corrupted -> nothing trustworthy to deliver.
+            channel.transmit(np.random.default_rng(1))
+
+    def test_straggler_adds_latency(self, camera):
+        model = FaultModel(straggler_probability=1.0, straggler_latency=9.0)
+        channel = FaultInjector(model, seed=0).channel(camera, 0)
+        delivery = channel.transmit(np.random.default_rng(1))
+        assert delivery.straggler
+        assert delivery.latency == pytest.approx(9.0 + model.nominal_latency)
+
+    def test_fault_sequence_reproducible(self, camera):
+        model = FaultModel(
+            frame_drop_probability=0.2, frame_corruption_probability=0.1
+        )
+        injector = FaultInjector(model, seed=21)
+        first = injector.channel(camera, 7).transmit(np.random.default_rng(3))
+        second = injector.channel(camera, 7).transmit(np.random.default_rng(3))
+        assert np.array_equal(
+            first.sample.frame_indices, second.sample.frame_indices
+        )
+        assert (first.dropped, first.corrupted) == (
+            second.dropped, second.corrupted
+        )
+
+
+class _ScriptedChannel:
+    """A channel stub failing a scripted number of times, then delivering."""
+
+    name = "scripted"
+
+    def __init__(self, failures: int, delivery=None, outage: bool = False):
+        self._failures = failures
+        self._delivery = delivery
+        self._outage = outage
+        self.calls = 0
+
+    def transmit(self, rng):
+        self.calls += 1
+        if self._outage:
+            raise CameraOutageError("scripted outage")
+        if self.calls <= self._failures:
+            raise TransmissionError(f"scripted failure {self.calls}")
+        return self._delivery
+
+
+class TestTransmitWithRetry:
+    def _delivery(self, camera):
+        sample = camera.plan.draw(camera.dataset, np.random.default_rng(0))
+        return ChannelDelivery(
+            sample=sample, requested=sample.size, delivered=sample.size,
+            dropped=0, corrupted=0, latency=0.05, straggler=False,
+        )
+
+    def test_success_after_transient_failures(self, camera):
+        channel = _ScriptedChannel(2, self._delivery(camera))
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        outcome = transmit_with_retry(
+            channel, np.random.default_rng(0), policy, np.random.default_rng(1)
+        )
+        assert outcome.attempts == 3
+        assert outcome.retries == 2
+        # Exponential backoff: 0.1 + 0.2 with no jitter.
+        assert outcome.backoff == pytest.approx(0.3)
+
+    def test_exhausted_retries_escalate_to_transmission_error(self):
+        channel = _ScriptedChannel(99)
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(TransmissionError) as info:
+            transmit_with_retry(
+                channel, np.random.default_rng(0), policy,
+                np.random.default_rng(1),
+            )
+        assert "3 transmit attempts exhausted" in str(info.value)
+        assert info.value.attempts == 3
+        assert info.value.retries == 2
+        assert channel.calls == 3
+
+    def test_outage_fails_fast_without_retries(self):
+        channel = _ScriptedChannel(0, outage=True)
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(CameraOutageError):
+            transmit_with_retry(
+                channel, np.random.default_rng(0), policy,
+                np.random.default_rng(1),
+            )
+        assert channel.calls == 1
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_delay(k, rng) for k in range(4)]
+        assert delays == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = policy.backoff_delay(1, np.random.default_rng(3))
+        b = policy.backoff_delay(1, np.random.default_rng(3))
+        assert a == b
+        assert a >= policy.base_delay * policy.multiplier
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state(0.0) is BreakerState.CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) is BreakerState.OPEN
+        assert not breaker.allow(5.0)
+
+    def test_half_opens_after_cooldown_and_closes_on_probe_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(9.9) is BreakerState.OPEN
+        assert breaker.state(10.0) is BreakerState.HALF_OPEN
+        assert breaker.allow(10.0)
+        breaker.record_success(10.5)
+        assert breaker.state(10.5) is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # half-open probe admitted
+        breaker.record_failure(10.0)
+        assert breaker.state(15.0) is BreakerState.OPEN
+        assert breaker.state(20.0) is BreakerState.HALF_OPEN
+
+    def test_success_resets_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) is BreakerState.CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestHealthLedger:
+    def test_auto_creates_and_accumulates(self):
+        ledger = HealthLedger()
+        health = ledger.health("cam0")
+        health.attempts += 2
+        health.frames_dropped += 5
+        assert ledger.health("cam0").attempts == 2
+        assert ledger.summary()["cam0"].frames_dropped == 5

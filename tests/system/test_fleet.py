@@ -1,4 +1,4 @@
-"""Tests for multi-camera fleet estimation."""
+"""Tests for multi-camera fleet estimation and resilient execution."""
 
 from __future__ import annotations
 
@@ -6,11 +6,20 @@ import numpy as np
 import pytest
 
 from repro.detection import mask_rcnn_like, yolo_v4_like
-from repro.errors import ConfigurationError, EstimationError
+from repro.errors import ConfigurationError, EstimationError, TransmissionError
 from repro.interventions import InterventionPlan
 from repro.system.camera import Camera
-from repro.system.fleet import CameraFleet
+from repro.system.faults import FaultModel
+from repro.system.fleet import CameraFleet, CameraStatus, FleetQueryProcessor
+from repro.system.resilience import BreakerState, RetryPolicy
 from repro.video import night_street, ua_detrac
+
+
+class _EmptyDataset:
+    """A dataset-shaped object with no frames (misconfiguration)."""
+
+    name = "empty"
+    frame_count = 0
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +49,18 @@ class TestConstruction:
     def test_total_frames(self, fleet_parts, processor):
         fleet = CameraFleet(list(fleet_parts), processor)
         assert fleet.total_frames == 3500
+
+    def test_rejects_empty_dataset_camera(self, fleet_parts, processor, suite):
+        downtown, _ = fleet_parts
+        dead = Camera("dead", _EmptyDataset(), suite)
+        with pytest.raises(ConfigurationError, match="empty dataset"):
+            CameraFleet([downtown, dead], processor)
+        with pytest.raises(ConfigurationError, match="empty dataset"):
+            FleetQueryProcessor([downtown, dead], processor)
+
+    def test_resilient_processor_shares_fleet_validation(self, processor):
+        with pytest.raises(ConfigurationError):
+            FleetQueryProcessor([], processor)
 
 
 class TestFleetEstimate:
@@ -108,6 +129,214 @@ class TestFleetEstimate:
         fleet.configure_all(plan)
         for camera in fleet.cameras:
             assert camera.plan is plan
+
+    def test_same_seed_is_bit_identical(self, fleet_parts, processor):
+        """Fleet execution consumes only the passed generator: repeated
+        runs from freshly seeded generators match bit for bit (no
+        module-level RNG anywhere in repro.system)."""
+        fleet = CameraFleet(list(fleet_parts), processor)
+        first = fleet.estimate_mean(model_for, np.random.default_rng(42))
+        second = fleet.estimate_mean(model_for, np.random.default_rng(42))
+        assert first.combined.value == second.combined.value
+        assert first.combined.error_bound == second.combined.error_bound
+        for name in first.per_camera:
+            assert first.per_camera[name] == second.per_camera[name]
+
+
+@pytest.fixture(scope="module")
+def chaos_cameras(suite):
+    datasets = [
+        ua_detrac(frame_count=1200),
+        night_street(frame_count=1000),
+        ua_detrac(frame_count=800),
+        night_street(frame_count=1500),
+    ]
+    cameras = []
+    for index, dataset in enumerate(datasets):
+        camera = Camera(f"cam{index}", dataset, suite)
+        camera.configure(fraction=0.25)
+        cameras.append(camera)
+    return cameras
+
+
+def _surviving_truth(cameras, surviving):
+    weighted = 0.0
+    frames = 0
+    for camera in cameras:
+        if camera.name not in surviving:
+            continue
+        counts = model_for(camera).run(camera.dataset).counts
+        weighted += counts.mean() * camera.dataset.frame_count
+        frames += camera.dataset.frame_count
+    return weighted / frames
+
+
+class TestFleetQueryProcessor:
+    def test_fault_free_execution_covers_all_cameras(
+        self, chaos_cameras, processor
+    ):
+        fleet = FleetQueryProcessor(chaos_cameras, processor)
+        report = fleet.execute(model_for, delta=0.05, seed=1)
+        assert report.lost == ()
+        assert report.coverage == 1.0
+        assert report.share == pytest.approx(0.05 / 4)
+        assert set(report.surviving) == {c.name for c in chaos_cameras}
+        assert all(
+            r.status is CameraStatus.OK for r in report.per_camera.values()
+        )
+        assert report.combined.method == "smokescreen-fleet-resilient"
+
+    def test_rejects_bad_delta(self, chaos_cameras, processor):
+        fleet = FleetQueryProcessor(chaos_cameras, processor)
+        with pytest.raises(EstimationError):
+            fleet.execute(model_for, delta=1.5, seed=0)
+
+    def test_lost_camera_resplits_delta_and_reports(
+        self, chaos_cameras, processor
+    ):
+        # Full outage of some cameras: find a fault seed losing >= 1.
+        faults = FaultModel(outage_probability=0.5)
+        for fault_seed in range(20):
+            fleet = FleetQueryProcessor(
+                chaos_cameras, processor, faults=faults, fault_seed=fault_seed
+            )
+            try:
+                report = fleet.execute(model_for, delta=0.05, seed=2)
+            except TransmissionError:
+                continue
+            if report.lost:
+                break
+        else:
+            pytest.fail("no fault seed lost a camera")
+        survivors = len(report.surviving)
+        assert report.share == pytest.approx(0.05 / survivors)
+        assert report.coverage < 1.0
+        total = sum(c.dataset.frame_count for c in chaos_cameras)
+        surviving_frames = sum(
+            c.dataset.frame_count
+            for c in chaos_cameras
+            if c.name in report.surviving
+        )
+        assert report.coverage == pytest.approx(surviving_frames / total)
+        assert report.combined.universe_size == surviving_frames
+        for name in report.lost:
+            lost_report = report.per_camera[name]
+            assert lost_report.status is CameraStatus.LOST
+            assert lost_report.estimate is None
+            assert lost_report.reason
+
+    def test_chaos_reports_are_reproducible_from_seeds(
+        self, chaos_cameras, processor
+    ):
+        faults = FaultModel(
+            outage_probability=0.3,
+            transient_failure_probability=0.2,
+            frame_drop_probability=0.1,
+            straggler_probability=0.2,
+        )
+        reports = []
+        for _ in range(2):
+            fleet = FleetQueryProcessor(
+                chaos_cameras, processor, faults=faults, fault_seed=7
+            )
+            reports.append(fleet.execute(model_for, delta=0.05, seed=3))
+        first, second = reports
+        assert first.combined == second.combined
+        assert first.per_camera == second.per_camera
+        assert first.lost == second.lost
+        assert first.elapsed == second.elapsed
+
+    def test_never_raises_and_bound_holds_across_200_seeded_trials(
+        self, chaos_cameras, processor
+    ):
+        """The acceptance property: under outage up to 0.5 the processor
+        answers every surviving-camera query, and the interval covers the
+        exact surviving-fleet answer at the configured confidence."""
+        delta = 0.05
+        faults = FaultModel(
+            outage_probability=0.5,
+            transient_failure_probability=0.2,
+            frame_drop_probability=0.15,
+            frame_corruption_probability=0.05,
+            straggler_probability=0.1,
+        )
+        answered = 0
+        unavailable = 0
+        violations = 0
+        for trial in range(200):
+            fleet = FleetQueryProcessor(
+                chaos_cameras, processor, faults=faults, fault_seed=trial
+            )
+            try:
+                report = fleet.execute(model_for, delta=delta, seed=trial)
+            except TransmissionError:
+                unavailable += 1  # every camera lost: nothing to answer from
+                continue
+            answered += 1
+            truth = _surviving_truth(chaos_cameras, report.surviving)
+            error = abs(report.combined.value - truth) / truth
+            if error > report.combined.error_bound:
+                violations += 1
+        # All-lost fleets are rare even at 0.5 outage (~0.5^4 + retries).
+        assert answered >= 150
+        assert unavailable + answered == 200
+        assert violations / answered <= delta
+
+    def test_all_cameras_lost_raises_transmission_error(
+        self, chaos_cameras, processor
+    ):
+        fleet = FleetQueryProcessor(
+            chaos_cameras, processor,
+            faults=FaultModel(outage_probability=1.0),
+        )
+        with pytest.raises(TransmissionError, match="no camera delivered"):
+            fleet.execute(model_for, delta=0.05, seed=0)
+
+    def test_breaker_opens_after_repeated_failures_and_skips(
+        self, chaos_cameras, processor
+    ):
+        fleet = FleetQueryProcessor(
+            chaos_cameras, processor,
+            faults=FaultModel(outage_probability=1.0),
+            breaker_threshold=2,
+            breaker_cooldown=1000.0,
+        )
+        for seed in range(2):
+            with pytest.raises(TransmissionError):
+                fleet.execute(model_for, delta=0.05, seed=seed)
+        for camera in chaos_cameras:
+            assert fleet.breaker_state(camera.name) is BreakerState.OPEN
+        with pytest.raises(TransmissionError):
+            fleet.execute(model_for, delta=0.05, seed=99)
+        for camera in chaos_cameras:
+            assert fleet.ledger.health(camera.name).skipped_queries == 1
+            # The skipped query made no new attempts.
+            assert fleet.ledger.health(camera.name).attempts == 2
+
+    def test_health_ledger_accumulates_across_queries(
+        self, chaos_cameras, processor
+    ):
+        faults = FaultModel(
+            transient_failure_probability=0.3, frame_drop_probability=0.2
+        )
+        fleet = FleetQueryProcessor(
+            chaos_cameras, processor, faults=faults, fault_seed=3,
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+        for seed in range(3):
+            fleet.execute(model_for, delta=0.05, seed=seed)
+        totals = fleet.ledger.summary()
+        assert set(totals) == {c.name for c in chaos_cameras}
+        assert sum(h.attempts for h in totals.values()) >= 3 * len(chaos_cameras)
+        assert sum(h.frames_dropped for h in totals.values()) > 0
+        assert fleet.clock > 0.0
+
+    def test_unknown_camera_breaker_lookup_rejected(
+        self, chaos_cameras, processor
+    ):
+        fleet = FleetQueryProcessor(chaos_cameras, processor)
+        with pytest.raises(ConfigurationError):
+            fleet.breaker_state("nope")
 
 
 class TestBernsteinSerflingRadius:

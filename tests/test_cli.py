@@ -144,3 +144,25 @@ class TestExperimentCommand:
         code = main(["experiment", "ablation-reuse", "--frames", "1500"])
         assert code == 0
         assert "reuse" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_sweep_emits_outage_rate_to_bound_width_table(self, capsys):
+        code = main([
+            "chaos", "--frames", "1000", "--trials", "3",
+            "--rates", "0,0.3", "--cameras", "3", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outage rate" in out
+        assert "mean bound width" in out
+        assert "mean frame coverage" in out
+
+    def test_registered_as_experiment(self):
+        assert "chaos" in experiment_names()
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--rates", "0,banana"])
+        with pytest.raises(SystemExit):
+            main(["chaos", "--rates", ","])

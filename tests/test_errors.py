@@ -1,0 +1,74 @@
+"""Tests for the full exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CameraOutageError,
+    ConfigurationError,
+    DatasetError,
+    EstimationError,
+    FaultInjectionError,
+    InterventionError,
+    ProfileError,
+    ReproError,
+    TransmissionError,
+)
+
+ALL_ERRORS = (
+    ConfigurationError,
+    DatasetError,
+    EstimationError,
+    FaultInjectionError,
+    InterventionError,
+    ProfileError,
+    CameraOutageError,
+    TransmissionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS)
+    def test_everything_derives_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        assert issubclass(error, Exception)
+
+    def test_single_except_clause_catches_the_package(self):
+        for error in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise error("boom")
+
+    def test_outage_is_a_transmission_error(self):
+        # The fleet retry loop catches TransmissionError; an outage must
+        # land in the same handler while staying distinguishable.
+        assert issubclass(CameraOutageError, TransmissionError)
+        assert CameraOutageError is not TransmissionError
+
+    def test_fault_injection_is_a_configuration_error(self):
+        # Misconfigured injectors surface where they were written, like
+        # every other constructor-time mistake.
+        assert issubclass(FaultInjectionError, ConfigurationError)
+
+    def test_transmission_is_not_a_configuration_error(self):
+        # A failed transmit is a runtime event, not a written mistake.
+        assert not issubclass(TransmissionError, ConfigurationError)
+        assert not issubclass(TransmissionError, EstimationError)
+
+    def test_siblings_stay_distinct(self):
+        siblings = (
+            ConfigurationError,
+            DatasetError,
+            EstimationError,
+            InterventionError,
+            ProfileError,
+            TransmissionError,
+        )
+        for first in siblings:
+            for second in siblings:
+                if first is not second:
+                    assert not issubclass(first, second)
+
+    def test_messages_round_trip(self):
+        error = TransmissionError("camera 'x': 3 attempts exhausted")
+        assert "3 attempts exhausted" in str(error)
