@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.serialization import load_hypercube, save_hypercube
 from repro.core.smokescreen import Smokescreen
+from repro.detection import diskcache
 from repro.core.tradeoff import PublicPreferences, choose_tradeoff
 from repro.errors import ReproError
 from repro.estimators.dispatch import estimate_query
@@ -75,6 +76,16 @@ def _build_query(args: argparse.Namespace) -> tuple[AggregateQuery, QueryProcess
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """Generate a degradation hypercube and persist it."""
+    if args.cache_dir:
+        limit = (
+            int(args.cache_limit_mb * 1_000_000)
+            if args.cache_limit_mb is not None
+            else None
+        )
+        cache = diskcache.activate(args.cache_dir, limit)
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"detector cache cleared ({removed} entries)")
     dataset = load_dataset(args.dataset, args.frames)
     system = Smokescreen(
         dataset,
@@ -82,6 +93,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         suite=shared_suite(),
         trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     query = system.query(_parse_aggregate(args.aggregate))
 
@@ -102,6 +114,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"hypercube written to {args.output} "
           f"({len(candidates.fractions)}x{len(candidates.resolutions)}"
           f"x{len(candidates.removals)} cells)")
+    print(f"model invocations: {system.ledger.total} "
+          f"(workers={args.workers}"
+          + (", persistent cache on" if args.cache_dir else "")
+          + ")")
 
     sampling, resolution, removal = cube.initial_slices()
     for profile in (sampling, resolution, removal):
@@ -260,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--no-correction", action="store_true",
         help="skip the correction set (non-random bounds become untrusted)",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for profile generation "
+             "(the hypercube is bit-identical for any value)",
+    )
+    profile.add_argument(
+        "--cache-dir", default=None,
+        help="persistent detector-output cache directory (shared across "
+             "runs and workers); omit to disable",
+    )
+    profile.add_argument(
+        "--cache-limit-mb", type=float, default=None,
+        help="LRU byte budget for --cache-dir, in megabytes",
+    )
+    profile.add_argument(
+        "--clear-cache", action="store_true",
+        help="empty --cache-dir before profiling",
     )
     profile.set_defaults(handler=cmd_profile)
 

@@ -10,7 +10,25 @@ removal) pair, sample fractions are evaluated in *ascending* order over a
 nested (prefix) sample, so model outputs computed for a low fraction are
 reused by every higher fraction, and the sweep can stop early once the
 bound improves too slowly. Newly processed frames are recorded in an
-optional :class:`~repro.system.costs.InvocationLedger` for cost accounting.
+optional :class:`~repro.system.costs.InvocationLedger` for cost accounting;
+settings whose full-corpus outputs were served by the persistent detector
+cache (:mod:`repro.detection.diskcache`) are already paid for and are not
+recorded.
+
+Two execution styles coexist:
+
+- the original ``rng``-threaded methods (``profile_sampling`` etc.), whose
+  results depend on generator state and call order; and
+- ``*_seeded`` variants that derive every ``(setting, trial)`` stream from
+  a root seed via :func:`repro.system.executor.child_rng`, making results
+  independent of evaluation order — and therefore of the worker count when
+  a :class:`~repro.system.executor.ParallelExecutor` fans settings out
+  over processes.
+
+Internally a sweep computes every fraction grid point from ONE gather of
+the trial's maximal prefix sample: because prefix samples are nested,
+``full[eligible[perm[:n]]]`` equals ``(full[eligible[perm]])[:n]``, so one
+pass of prefix aggregates serves the whole ascending fraction grid.
 
 Bound selection per setting:
 
@@ -43,6 +61,18 @@ from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.stats.sampling import ProgressiveSampler, SampleDesign
 from repro.system.costs import InvocationLedger
+from repro.system.executor import (
+    ParallelExecutor,
+    PlanUnit,
+    RootSeed,
+    SweepUnit,
+    child_rng,
+    merge_ledger_counts,
+    normalize_root,
+    run_plan_unit,
+    run_sweep_unit,
+    trial_chunks,
+)
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
@@ -54,6 +84,36 @@ class PointEstimate:
     value: float
     error_bound: float
     n: int
+
+
+@dataclass(frozen=True)
+class SweptFraction:
+    """Per-trial results at one fraction of a sweep (pre-averaging).
+
+    Keeping per-trial arrays (instead of running sums) lets callers that
+    split trials across work units concatenate chunks in trial order and
+    reduce over the full array — the reduction then never depends on where
+    the chunk boundaries fell.
+
+    Attributes:
+        fraction: The sampling fraction.
+        values: Per-trial estimate values, in trial order.
+        bounds: Per-trial error bounds, in trial order.
+        size: Sample size ``n`` at this fraction.
+    """
+
+    fraction: float
+    values: np.ndarray
+    bounds: np.ndarray
+    size: int
+
+    def point(self) -> PointEstimate:
+        """The trial-averaged point estimate."""
+        return PointEstimate(
+            value=float(self.values.mean()),
+            error_bound=float(self.bounds.mean()),
+            n=self.size,
+        )
 
 
 class DegradationProfiler:
@@ -84,9 +144,35 @@ class DegradationProfiler:
         self._variance_estimator = SmokescreenVarianceEstimator()
         self._repair = ProfileRepair(self._mean_estimator, self._quantile_estimator)
 
-    def _record(self, resolution: Resolution, new_frames: int) -> None:
-        if self._ledger is not None and new_frames > 0:
-            self._ledger.record(resolution.side, new_frames)
+    def _record_sampled(
+        self,
+        query: AggregateQuery,
+        resolution: Resolution,
+        quality: float,
+        new_frames: int,
+    ) -> None:
+        """Account for newly sampled frames at a setting.
+
+        Frames are free when the model's full-corpus outputs at this
+        (resolution, quality) were served by the persistent detector cache
+        — an earlier run already paid for them. Outputs evaluated in this
+        process still charge per sampled frame: that is the paper's §5.3.1
+        accounting of the in-process reuse strategy.
+        """
+        if self._ledger is None or new_frames <= 0:
+            return
+        if self._setting_precomputed(query, resolution, quality):
+            return
+        self._ledger.record(resolution.side, new_frames)
+
+    @staticmethod
+    def _setting_precomputed(
+        query: AggregateQuery, resolution: Resolution, quality: float
+    ) -> bool:
+        checker = getattr(query.model, "output_was_precomputed", None)
+        if checker is None:
+            return False
+        return bool(checker(query.dataset, resolution, quality))
 
     @staticmethod
     def _plan_is_random(query: AggregateQuery, plan: InterventionPlan) -> bool:
@@ -109,16 +195,33 @@ class DegradationProfiler:
     ) -> Estimate:
         """Bound for one drawn sample, applying the correction-set policy."""
         values = self._processor.values_for_sample(query, sample)
+        return self._estimate_values(
+            query, values, sample.universe_size, plan_is_random, correction
+        )
+
+    def _estimate_values(
+        self,
+        query: AggregateQuery,
+        values: np.ndarray,
+        universe_size: int,
+        plan_is_random: bool,
+        correction: CorrectionSet | None,
+    ) -> Estimate:
+        """Bound for already-gathered sample values.
+
+        Split out of :meth:`_estimate_sample` so fraction sweeps can slice
+        one gathered prefix array instead of re-gathering per fraction.
+        """
         population = query.dataset.frame_count
         if query.aggregate.is_mean_family or query.aggregate.is_variance:
             if query.aggregate.is_variance:
                 basic = self._variance_estimator.estimate(
-                    values, sample.universe_size, query.delta
+                    values, universe_size, query.delta
                 )
             else:
                 basic = self._mean_estimator.estimate(
                     values,
-                    sample.universe_size,
+                    universe_size,
                     query.delta,
                     value_range=query.known_value_range,
                 )
@@ -146,7 +249,7 @@ class DegradationProfiler:
 
         basic = self._quantile_estimator.estimate(
             values,
-            sample.universe_size,
+            universe_size,
             query.effective_quantile,
             query.delta,
             query.aggregate,
@@ -230,7 +333,9 @@ class DegradationProfiler:
         n = 0
         for _ in range(self._trials):
             sample = plan.draw(query.dataset, rng, self._processor.suite)
-            self._record(sample.resolution, sample.size)
+            self._record_sampled(
+                query, sample.resolution, sample.quality, sample.size
+            )
             estimate = self._estimate_sample(
                 query, sample, self._plan_is_random(query, plan), correction
             )
@@ -243,6 +348,136 @@ class DegradationProfiler:
             n=n,
         )
 
+    def estimate_plan_seeded(
+        self,
+        query: AggregateQuery,
+        plan: InterventionPlan,
+        root: RootSeed,
+        unit_index: int,
+        correction: CorrectionSet | None = None,
+    ) -> PointEstimate:
+        """Price one setting with per-trial seed streams.
+
+        Trial ``t`` draws its sample from ``child_rng(root, unit_index,
+        t)``, so the result is a pure function of ``(root, unit_index)`` —
+        independent of evaluation order, process, or sibling settings.
+
+        Args:
+            query: The query to profile.
+            plan: The degradation setting.
+            root: Root entropy of the seed stream.
+            unit_index: This setting's index (first spawn-key coordinate).
+            correction: Optional correction set for repair.
+
+        Returns:
+            The averaged value/bound at the setting.
+        """
+        values = np.empty(self._trials)
+        bounds = np.empty(self._trials)
+        n = 0
+        plan_is_random = self._plan_is_random(query, plan)
+        for t in range(self._trials):
+            rng = child_rng(root, unit_index, t)
+            sample = plan.draw(query.dataset, rng, self._processor.suite)
+            self._record_sampled(
+                query, sample.resolution, sample.quality, sample.size
+            )
+            estimate = self._estimate_sample(
+                query, sample, plan_is_random, correction
+            )
+            values[t] = estimate.value
+            bounds[t] = estimate.error_bound
+            n = estimate.n
+        return PointEstimate(
+            value=float(values.mean()),
+            error_bound=float(bounds.mean()),
+            n=n,
+        )
+
+    def _sweep_core(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        resolution: Resolution | None,
+        removal: tuple[ObjectClass, ...],
+        correction: CorrectionSet | None,
+        samplers: list[ProgressiveSampler],
+        early_stop_tolerance: float | None,
+    ) -> list[SweptFraction]:
+        """Evaluate ascending fractions from one prefix gather per trial.
+
+        The maximal prefix sample's values are gathered once per trial;
+        every fraction's values are a slice of that array (prefix samples
+        are nested), so the whole grid costs one full-corpus gather plus
+        cheap per-fraction slices — identical results to re-gathering at
+        each fraction, without the redundant index arithmetic.
+
+        Returns one :class:`SweptFraction` per evaluated fraction;
+        fractions skipped by early stopping are absent.
+        """
+        if list(fractions) != sorted(fractions):
+            raise ConfigurationError("fractions must be ascending for reuse")
+        if not fractions:
+            return []
+        base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
+        eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
+        effective_resolution = base_plan.effective_resolution(query.dataset)
+        quality = base_plan.quality
+        sizes = [SampleDesign(eligible.size, f).size for f in fractions]
+        max_size = max(sizes)
+
+        full_values = self._processor.frame_values(
+            query, effective_resolution, quality
+        )
+        trial_values = [
+            full_values[eligible[sampler.prefix(max_size)]] for sampler in samplers
+        ]
+        # The fraction knob never changes the randomness classification
+        # (frame sampling is always the random intervention), so classify
+        # the setting once.
+        plan_is_random = self._plan_is_random(
+            query,
+            InterventionPlan.from_knobs(f=fractions[0], p=resolution, c=removal),
+        )
+
+        trials = len(samplers)
+        processed = [0] * trials
+        results: list[SweptFraction] = []
+        previous_bound: float | None = None
+        for fraction, size in zip(fractions, sizes):
+            values = np.empty(trials)
+            bounds = np.empty(trials)
+            for t in range(trials):
+                self._record_sampled(
+                    query,
+                    effective_resolution,
+                    quality,
+                    max(0, size - processed[t]),
+                )
+                processed[t] = max(processed[t], size)
+                estimate = self._estimate_values(
+                    query,
+                    trial_values[t][:size],
+                    int(eligible.size),
+                    plan_is_random,
+                    correction,
+                )
+                values[t] = estimate.value
+                bounds[t] = estimate.error_bound
+            swept = SweptFraction(
+                fraction=fraction, values=values, bounds=bounds, size=size
+            )
+            results.append(swept)
+            mean_bound = float(bounds.mean())
+            if (
+                early_stop_tolerance is not None
+                and previous_bound is not None
+                and abs(previous_bound - mean_bound) < early_stop_tolerance
+            ):
+                break
+            previous_bound = mean_bound
+        return results
+
     def _sweep_fractions(
         self,
         query: AggregateQuery,
@@ -253,60 +488,63 @@ class DegradationProfiler:
         rng: np.random.Generator,
         early_stop_tolerance: float | None,
     ) -> list[tuple[float, PointEstimate]]:
-        """Evaluate ascending fractions with nested-sample reuse.
-
-        Returns one (fraction, estimate) pair per evaluated fraction;
-        fractions skipped by early stopping are absent.
-        """
-        if list(fractions) != sorted(fractions):
-            raise ConfigurationError("fractions must be ascending for reuse")
+        """The sweep over sequential-``rng`` trial samplers (legacy path)."""
         base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
         eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
-        effective_resolution = base_plan.effective_resolution(query.dataset)
-        population = query.dataset.frame_count
-
         samplers = [
             ProgressiveSampler(eligible.size, rng) for _ in range(self._trials)
         ]
-        processed = [0] * self._trials
+        swept = self._sweep_core(
+            query, fractions, resolution, removal, correction, samplers,
+            early_stop_tolerance,
+        )
+        return [(item.fraction, item.point()) for item in swept]
 
-        results: list[tuple[float, PointEstimate]] = []
-        previous_bound: float | None = None
-        for fraction in fractions:
-            plan = InterventionPlan.from_knobs(f=fraction, p=resolution, c=removal)
-            size = SampleDesign(eligible.size, fraction).size
-            values_sum = 0.0
-            bounds_sum = 0.0
-            for t, sampler in enumerate(samplers):
-                indices = eligible[sampler.prefix(size)]
-                self._record(effective_resolution, max(0, size - processed[t]))
-                processed[t] = max(processed[t], size)
-                sample = DegradedSample(
-                    frame_indices=indices,
-                    universe_size=int(eligible.size),
-                    population_size=population,
-                    resolution=effective_resolution,
-                    quality=plan.quality,
-                )
-                estimate = self._estimate_sample(
-                    query, sample, self._plan_is_random(query, plan), correction
-                )
-                values_sum += estimate.value
-                bounds_sum += estimate.error_bound
-            point = PointEstimate(
-                value=values_sum / self._trials,
-                error_bound=bounds_sum / self._trials,
-                n=size,
-            )
-            results.append((fraction, point))
-            if (
-                early_stop_tolerance is not None
-                and previous_bound is not None
-                and abs(previous_bound - point.error_bound) < early_stop_tolerance
-            ):
-                break
-            previous_bound = point.error_bound
-        return results
+    def sweep_fractions_seeded(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        resolution: Resolution | None,
+        removal: tuple[ObjectClass, ...],
+        correction: CorrectionSet | None,
+        root: RootSeed,
+        unit_index: int,
+        trial_indices: tuple[int, ...],
+        early_stop_tolerance: float | None = None,
+    ) -> list[SweptFraction]:
+        """One (resolution, removal) fraction sweep with seeded trials.
+
+        Trial ``t`` permutes the eligible universe with ``child_rng(root,
+        unit_index, t)``; results are independent of which process runs
+        the sweep and which other trials it shares the unit with.
+
+        Args:
+            query: The query to profile.
+            fractions: Ascending fraction candidates.
+            resolution: Fixed resolution knob (None = native).
+            removal: Fixed restricted classes.
+            correction: Optional correction set.
+            root: Root entropy of the seed stream.
+            unit_index: This setting's index (first spawn-key coordinate).
+            trial_indices: The trial coordinates this call evaluates.
+            early_stop_tolerance: Stop the sweep when the mean bound over
+                *these* trials improves by less than this; pass None when
+                trials are split across units (the caller truncates after
+                merging, on the all-trials mean).
+
+        Returns:
+            Per-fraction per-trial results, in ``trial_indices`` order.
+        """
+        base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
+        eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
+        samplers = [
+            ProgressiveSampler(eligible.size, child_rng(root, unit_index, t))
+            for t in trial_indices
+        ]
+        return self._sweep_core(
+            query, fractions, resolution, removal, correction, samplers,
+            early_stop_tolerance,
+        )
 
     def profile_sampling(
         self,
@@ -471,6 +709,281 @@ class DegradationProfiler:
                     fi = fraction_index[fraction]
                     bounds[fi, ri, ci] = point.error_bound
                     values[fi, ri, ci] = point.value
+        return DegradationHypercube(
+            fractions=candidates.fractions,
+            resolutions=candidates.resolutions,
+            removals=candidates.removals,
+            bounds=bounds,
+            values=values,
+            query_label=query.label(),
+        )
+
+    # ------------------------------------------------------------------
+    # Seeded, parallelizable profile generation.
+    #
+    # Results are a pure function of (query, settings, root): the same
+    # bits come back for any worker count, any unit scheduling, and the
+    # serial fallback. Work units run against fresh ledgers; their counts
+    # are merged into this profiler's ledger in unit order.
+    # ------------------------------------------------------------------
+
+    def profile_sampling_seeded(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        root: RootSeed,
+        resolution: Resolution | None = None,
+        removal: tuple[ObjectClass, ...] = (),
+        correction: CorrectionSet | None = None,
+        early_stop_tolerance: float | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> Profile:
+        """Sampling-axis profile with seeded trials, parallel over trials.
+
+        Trials are split into contiguous chunks (one work unit each); every
+        trial keeps its own seed stream, so chunking is invisible to the
+        result. Early stopping is applied *after* merging, on the
+        all-trials mean bound — the kept points are exactly those the
+        incremental strategy keeps, but the ledger reflects the full sweep
+        (each unit cannot see the other units' bounds mid-flight).
+
+        Args:
+            query: The query.
+            fractions: Ascending fraction candidates.
+            root: Root entropy of the seed stream.
+            resolution: Fixed resolution knob (None = native).
+            removal: Fixed restricted classes.
+            correction: Optional correction set.
+            early_stop_tolerance: Post-hoc truncation threshold; None
+                disables.
+            executor: Execution substrate; defaults to serial.
+
+        Returns:
+            The sampling-axis profile.
+        """
+        executor = executor or ParallelExecutor()
+        root_t = normalize_root(root)
+        fractions = tuple(fractions)
+        chunks = trial_chunks(self._trials, executor.config.workers)
+        units = [
+            SweepUnit(
+                query=query,
+                fractions=fractions,
+                resolution=resolution,
+                removal=tuple(removal),
+                correction=correction,
+                trials=self._trials,
+                root=root_t,
+                unit_index=0,
+                trial_indices=tuple(chunk),
+                early_stop_tolerance=None,
+                suite=self._processor.suite,
+            )
+            for chunk in chunks
+        ]
+        outcomes = executor.map(run_sweep_unit, units)
+        for _, counts in outcomes:
+            merge_ledger_counts(self._ledger, counts)
+        swept_chunks = [swept for swept, _ in outcomes]
+
+        points: list[ProfilePoint] = []
+        previous_bound: float | None = None
+        for idx, fraction in enumerate(fractions):
+            per_trial_values = np.concatenate(
+                [chunk[idx].values for chunk in swept_chunks]
+            )
+            per_trial_bounds = np.concatenate(
+                [chunk[idx].bounds for chunk in swept_chunks]
+            )
+            bound = float(per_trial_bounds.mean())
+            points.append(
+                ProfilePoint(
+                    plan=InterventionPlan.from_knobs(
+                        f=fraction, p=resolution, c=tuple(removal)
+                    ),
+                    error_bound=bound,
+                    value=float(per_trial_values.mean()),
+                    n=swept_chunks[0][idx].size,
+                )
+            )
+            if (
+                early_stop_tolerance is not None
+                and previous_bound is not None
+                and abs(previous_bound - bound) < early_stop_tolerance
+            ):
+                break
+            previous_bound = bound
+        return Profile(
+            axis="sampling", points=tuple(points), query_label=query.label()
+        )
+
+    def _profile_plans_seeded(
+        self,
+        query: AggregateQuery,
+        axis: str,
+        plans: list[InterventionPlan],
+        root: RootSeed,
+        correction: CorrectionSet | None,
+        executor: ParallelExecutor | None,
+    ) -> Profile:
+        """Price a list of settings as one plan unit each."""
+        executor = executor or ParallelExecutor()
+        root_t = normalize_root(root)
+        units = [
+            PlanUnit(
+                query=query,
+                plan=plan,
+                correction=correction,
+                trials=self._trials,
+                root=root_t,
+                unit_index=i,
+                suite=self._processor.suite,
+            )
+            for i, plan in enumerate(plans)
+        ]
+        outcomes = executor.map(run_plan_unit, units)
+        points = []
+        for plan, (point, counts) in zip(plans, outcomes):
+            merge_ledger_counts(self._ledger, counts)
+            points.append(
+                ProfilePoint(
+                    plan=plan,
+                    error_bound=point.error_bound,
+                    value=point.value,
+                    n=point.n,
+                )
+            )
+        return Profile(axis=axis, points=tuple(points), query_label=query.label())
+
+    def profile_resolution_seeded(
+        self,
+        query: AggregateQuery,
+        resolutions: tuple[Resolution, ...],
+        root: RootSeed,
+        fraction: float = 0.5,
+        removal: tuple[ObjectClass, ...] = (),
+        correction: CorrectionSet | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> Profile:
+        """Resolution-axis profile with seeded trials, parallel over settings.
+
+        Args:
+            query: The query.
+            resolutions: Resolution candidates (ascending side order).
+            root: Root entropy of the seed stream.
+            fraction: Fixed sampling fraction.
+            removal: Fixed restricted classes.
+            correction: Optional correction set.
+            executor: Execution substrate; defaults to serial.
+
+        Returns:
+            The resolution-axis profile.
+        """
+        plans = [
+            InterventionPlan.from_knobs(f=fraction, p=resolution, c=tuple(removal))
+            for resolution in resolutions
+        ]
+        return self._profile_plans_seeded(
+            query, "resolution", plans, root, correction, executor
+        )
+
+    def profile_removal_seeded(
+        self,
+        query: AggregateQuery,
+        removals: tuple[tuple[ObjectClass, ...], ...],
+        root: RootSeed,
+        fraction: float = 0.5,
+        resolution: Resolution | None = None,
+        correction: CorrectionSet | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> Profile:
+        """Removal-axis profile with seeded trials, parallel over settings.
+
+        Args:
+            query: The query.
+            removals: Restricted-class combinations; ``()`` = no removal.
+            root: Root entropy of the seed stream.
+            fraction: Fixed sampling fraction.
+            resolution: Fixed resolution knob (None = native).
+            correction: Optional correction set.
+            executor: Execution substrate; defaults to serial.
+
+        Returns:
+            The removal-axis profile.
+        """
+        plans = [
+            InterventionPlan.from_knobs(f=fraction, p=resolution, c=tuple(combo))
+            for combo in removals
+        ]
+        return self._profile_plans_seeded(
+            query, "removal", plans, root, correction, executor
+        )
+
+    def generate_hypercube_seeded(
+        self,
+        query: AggregateQuery,
+        candidates: CandidateGrid,
+        root: RootSeed,
+        correction: CorrectionSet | None = None,
+        early_stop_tolerance: float | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> DegradationHypercube:
+        """Price the candidate grid, parallel over (resolution, removal).
+
+        Each (removal, resolution) pair is one work unit sweeping the
+        fraction axis with all trials inside it, so early stopping keeps
+        its incremental semantics per unit. Unit ``ci * R + ri`` seeds
+        trial ``t`` from ``child_rng(root, ci * R + ri, t)``.
+
+        Args:
+            query: The query.
+            candidates: The candidate grid.
+            root: Root entropy of the seed stream.
+            correction: Optional correction set.
+            early_stop_tolerance: Early-stop threshold for the fraction
+                sweeps; None disables.
+            executor: Execution substrate; defaults to serial.
+
+        Returns:
+            The degradation hypercube (bit-identical for any worker count).
+        """
+        executor = executor or ParallelExecutor()
+        root_t = normalize_root(root)
+        resolution_count = len(candidates.resolutions)
+        units = [
+            SweepUnit(
+                query=query,
+                fractions=tuple(candidates.fractions),
+                resolution=resolution,
+                removal=tuple(combo),
+                correction=correction,
+                trials=self._trials,
+                root=root_t,
+                unit_index=ci * resolution_count + ri,
+                early_stop_tolerance=early_stop_tolerance,
+                suite=self._processor.suite,
+            )
+            for ci, combo in enumerate(candidates.removals)
+            for ri, resolution in enumerate(candidates.resolutions)
+        ]
+        outcomes = executor.map(run_sweep_unit, units)
+
+        shape = (
+            len(candidates.fractions),
+            len(candidates.resolutions),
+            len(candidates.removals),
+        )
+        bounds = np.full(shape, math.nan)
+        values = np.full(shape, math.nan)
+        fraction_index = {f: i for i, f in enumerate(candidates.fractions)}
+        for unit, (swept, counts) in zip(units, outcomes):
+            merge_ledger_counts(self._ledger, counts)
+            ci, ri = divmod(unit.unit_index, resolution_count)
+            for item in swept:
+                fi = fraction_index[item.fraction]
+                point = item.point()
+                bounds[fi, ri, ci] = point.error_bound
+                values[fi, ri, ci] = point.value
         return DegradationHypercube(
             fractions=candidates.fractions,
             resolutions=candidates.resolutions,

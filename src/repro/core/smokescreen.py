@@ -27,6 +27,7 @@ from repro.query.aggregates import Aggregate, FramePredicate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system.costs import InvocationLedger
+from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.video.dataset import VideoDataset
 
 
@@ -41,6 +42,7 @@ class Smokescreen:
         delta: float = 0.05,
         trials: int = 1,
         seed: int = 0,
+        workers: int = 1,
     ) -> None:
         """Deploy Smokescreen on a corpus with a query UDF.
 
@@ -52,6 +54,8 @@ class Smokescreen:
             delta: Bound failure probability (paper: 0.05).
             trials: Sampling trials averaged per profiled setting.
             seed: Seed of the system's own RNG stream.
+            workers: Worker processes for profile generation; the profile
+                is bit-identical for any value.
         """
         self._dataset = dataset
         self._model = model
@@ -62,7 +66,10 @@ class Smokescreen:
         self._profiler = DegradationProfiler(
             self._processor, trials=trials, ledger=self._ledger
         )
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+        self._executor = ParallelExecutor(ExecutorConfig(workers=workers))
+        self._profile_calls = 0
 
     @property
     def processor(self) -> QueryProcessor:
@@ -160,12 +167,18 @@ class Smokescreen:
         Returns:
             The degradation hypercube; browse it via ``initial_slices()``.
         """
-        return self._profiler.generate_hypercube(
+        # Root the seed stream in (system seed, call counter): repeated
+        # profile() calls draw fresh trials, yet each call's result is
+        # independent of the worker count and of other RNG consumers.
+        root = (self._seed, self._profile_calls)
+        self._profile_calls += 1
+        return self._profiler.generate_hypercube_seeded(
             query,
             candidates,
-            self._rng,
+            root,
             correction=correction,
             early_stop_tolerance=early_stop_tolerance,
+            executor=self._executor,
         )
 
     def choose(

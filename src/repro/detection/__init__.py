@@ -13,6 +13,12 @@ reproduce non-monotonic artifacts such as YOLOv4's 384x384 failure
 """
 
 from repro.detection.base import Detector, DetectorOutputs
+from repro.detection.diskcache import (
+    DetectorDiskCache,
+    activate,
+    active_cache,
+    deactivate,
+)
 from repro.detection.response import (
     AnomalyTerm,
     FalsePositiveModel,
@@ -30,11 +36,15 @@ from repro.detection.zoo import (
 __all__ = [
     "AnomalyTerm",
     "Detector",
+    "DetectorDiskCache",
     "DetectorOutputs",
     "DetectorSuite",
     "FalsePositiveModel",
     "ResolutionResponse",
     "SimulatedDetector",
+    "activate",
+    "active_cache",
+    "deactivate",
     "default_suite",
     "mask_rcnn_like",
     "mtcnn_like",

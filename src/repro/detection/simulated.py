@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.detection import diskcache
 from repro.detection.base import DetectorOutputs
 from repro.detection.response import (
     AnomalyTerm,
@@ -65,6 +66,10 @@ class SimulatedDetector:
         self._anomalies = anomalies
         self._false_positives = false_positives or FalsePositiveModel(base_rate=0.0)
         self._cache: dict[tuple, np.ndarray] = {}
+        #: Keys whose outputs were loaded from the persistent cache rather
+        #: than evaluated in this process; cost accounting treats them as
+        #: already paid for (see :meth:`output_was_precomputed`).
+        self._disk_hits: set[tuple] = set()
 
     @property
     def name(self) -> str:
@@ -87,8 +92,69 @@ class SimulatedDetector:
         return self._response
 
     def clear_cache(self) -> None:
-        """Drop all cached outputs (mainly for memory-sensitive tests)."""
+        """Drop all in-memory cached outputs and disk-hit bookkeeping.
+
+        Persistent entries stay on disk; after clearing, the next ``run``
+        behaves like a fresh process (a warm-cache load counts as
+        precomputed again).
+        """
         self._cache.clear()
+        self._disk_hits.clear()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the volatile output cache.
+
+        Keeps worker-process payloads small; workers repopulate from the
+        persistent cache (or recompute) on first use.
+        """
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        state["_disk_hits"] = set()
+        return state
+
+    @staticmethod
+    def _cache_entry_key(
+        dataset: VideoDataset, resolution: Resolution, quality: float
+    ) -> tuple:
+        return (dataset.cache_key, resolution.side, round(quality, 9))
+
+    def output_was_precomputed(
+        self,
+        dataset: VideoDataset,
+        resolution: Resolution | None = None,
+        quality: float = 1.0,
+    ) -> bool:
+        """Whether this setting's outputs come from the persistent cache.
+
+        Cost accounting (the profiler's :class:`InvocationLedger`) skips
+        recording model invocations for settings whose full-corpus outputs
+        were already paid for by an earlier run — the warm-cache case. An
+        output evaluated locally in this process does *not* count: the
+        in-process reuse strategy is priced by the sampled-frame accounting
+        the paper describes.
+
+        Args:
+            dataset: The corpus.
+            resolution: Processing resolution; defaults to native.
+            quality: Quality factor.
+
+        Returns:
+            True when the outputs were (or will be) served from disk.
+        """
+        chosen = resolution or dataset.native_resolution
+        key = self._cache_entry_key(dataset, chosen, quality)
+        if key in self._disk_hits:
+            return True
+        if key in self._cache:
+            return False  # evaluated locally this process
+        cache = diskcache.active_cache()
+        return cache is not None and cache.contains(self._digest(key))
+
+    def _digest(self, key: tuple) -> str:
+        dataset_key, side, quality = key
+        return diskcache.DetectorDiskCache.digest(
+            self._name, dataset_key, side, quality
+        )
 
     def run(
         self,
@@ -118,14 +184,32 @@ class SimulatedDetector:
         if not 0.0 < quality <= 1.0:
             raise ConfigurationError(f"quality must lie in (0, 1], got {quality}")
 
-        key = (dataset.cache_key, chosen.side, round(quality, 9))
+        key = self._cache_entry_key(dataset, chosen, quality)
         cached = self._cache.get(key)
         if cached is not None:
+            # Backfill the persistent cache so outputs computed before it
+            # was activated still warm future runs.
+            disk = diskcache.active_cache()
+            if disk is not None and key not in self._disk_hits:
+                digest = self._digest(key)
+                if not disk.contains(digest):
+                    disk.store(digest, cached)
             return DetectorOutputs(counts=cached, resolution=chosen)
+
+        disk = diskcache.active_cache()
+        if disk is not None:
+            loaded = disk.load(self._digest(key))
+            if loaded is not None and loaded.size == dataset.frame_count:
+                loaded.flags.writeable = False
+                self._cache[key] = loaded
+                self._disk_hits.add(key)
+                return DetectorOutputs(counts=loaded, resolution=chosen)
 
         counts = self._evaluate(dataset, chosen, quality)
         counts.flags.writeable = False
         self._cache[key] = counts
+        if disk is not None:
+            disk.store(self._digest(key), counts)
         return DetectorOutputs(counts=counts, resolution=chosen)
 
     def _evaluate(

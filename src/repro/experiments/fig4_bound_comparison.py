@@ -14,10 +14,8 @@ sampling fraction varies. Expected shape:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.reporting import ExperimentResult
-from repro.experiments.trials import fraction_grid, run_method_trials
+from repro.experiments.trials import fraction_grid, run_method_trials_seeded
 from repro.experiments.workloads import (
     FIGURE4_END_FRACTIONS,
     Workload,
@@ -26,6 +24,7 @@ from repro.experiments.workloads import (
 from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
+from repro.system.executor import ExecutorConfig, ParallelExecutor
 
 MEAN_METHODS = ("smokescreen", "ebgs", "hoeffding", "hoeffding-serfling", "clt")
 QUANTILE_METHODS = ("smokescreen", "stein")
@@ -39,8 +38,12 @@ def run_fig4(
     fractions: tuple[float, ...] | None = None,
     seed: int = 0,
     grid_points: int = 8,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Regenerate one Figure 4 panel (one dataset x one aggregate).
+
+    Trials use per-``(fraction, trial)`` seed streams, so the panel is a
+    pure function of ``seed`` — identical for any worker count.
 
     Args:
         dataset_name: ``"night-street"`` or ``"ua-detrac"``.
@@ -51,6 +54,7 @@ def run_fig4(
             ending at the paper's per-panel cut-off.
         seed: Trial randomness seed.
         grid_points: Grid size when ``fractions`` is defaulted.
+        workers: Worker processes for the trial loops.
 
     Returns:
         Series ``<method>_bound`` and ``<method>_err`` per fraction.
@@ -58,7 +62,7 @@ def run_fig4(
     workload = Workload(dataset_name, aggregate, frame_count)
     query = workload.query()
     processor = QueryProcessor(shared_suite())
-    rng = np.random.default_rng(seed)
+    executor = ParallelExecutor(ExecutorConfig(workers=workers))
 
     if fractions is None:
         end = FIGURE4_END_FRACTIONS[(dataset_name, aggregate)]
@@ -69,9 +73,12 @@ def run_fig4(
     for method in methods:
         series[f"{method}_bound"] = []
         series[f"{method}_err"] = []
-    for fraction in fractions:
+    for setting_index, fraction in enumerate(fractions):
         plan = InterventionPlan.from_knobs(f=fraction)
-        summaries = run_method_trials(processor, query, plan, methods, trials, rng)
+        summaries = run_method_trials_seeded(
+            processor, query, plan, methods, trials, seed,
+            setting_index=setting_index, executor=executor,
+        )
         for method, summary in summaries.items():
             series[f"{method}_bound"].append(summary.mean_bound)
             series[f"{method}_err"].append(summary.mean_true_error)

@@ -23,7 +23,8 @@ import numpy as np
 from repro.core.correction import CorrectionSet
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import ExperimentResult
-from repro.experiments.trials import run_repair_trials
+from repro.experiments.trials import run_repair_trials_seeded
+from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.experiments.workloads import (
     NIGHT_STREET,
     UA_DETRAC,
@@ -113,8 +114,12 @@ def run_fig6(
     trials: int = 100,
     frame_count: int | None = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Regenerate one Figure 6 row.
+
+    Trials use per-``(knob, trial)`` seed streams, so the row is a pure
+    function of ``seed`` — identical for any worker count.
 
     Args:
         dataset_name: The corpus.
@@ -124,6 +129,7 @@ def run_fig6(
         trials: Sampling trials per knob (paper: 100).
         frame_count: Optional reduced corpus size.
         seed: Trial randomness seed.
+        workers: Worker processes for the trial loops.
 
     Returns:
         Series: bound without correction, bound with correction, true error.
@@ -149,11 +155,15 @@ def run_fig6(
         "bound_with_correction": [],
         "true_error": [],
     }
+    executor = ParallelExecutor(ExecutorConfig(workers=workers))
     for knob in knobs:
         plan = _plan_for(axis, knob, fixed_fraction)
-        summary = run_repair_trials(
-            processor, query, plan, correction.values, trials,
-            np.random.default_rng(seed + 1),
+        # setting_index 0 for every knob: trial t draws the same stream at
+        # each knob, keeping the row's knobs comparable (the legacy loop
+        # re-created the same generator per knob for the same reason).
+        summary = run_repair_trials_seeded(
+            processor, query, plan, correction.values, trials, seed + 1,
+            setting_index=0, executor=executor,
         )
         series["bound_no_correction"].append(summary.uncorrected_bound)
         series["bound_with_correction"].append(summary.corrected_bound)

@@ -25,6 +25,7 @@ from repro.experiments.workloads import UA_DETRAC, Workload, shared_suite
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.system.costs import CostModel, InvocationLedger
+from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.video.geometry import resolution_grid
 
 
@@ -33,6 +34,8 @@ def run_timing(
     max_fraction: float = 0.04,
     resolution_count: int = 10,
     seed: int = 0,
+    workers: int = 1,
+    ledger: InvocationLedger | None = None,
 ) -> ExperimentResult:
     """Regenerate the §5.3.1 timing accounting.
 
@@ -42,6 +45,10 @@ def run_timing(
             the determined correction fraction, 4%).
         resolution_count: Number of resolution candidates (paper: 10).
         seed: Randomness seed.
+        workers: Worker processes for the profile sweep.
+        ledger: Optional caller-owned ledger; lets benchmarks inspect the
+            merged invocation counts machine-readably (a warm persistent
+            detector cache yields a total of zero).
 
     Returns:
         Per-resolution invocation counts plus the totals and time split.
@@ -49,7 +56,7 @@ def run_timing(
     workload = Workload(UA_DETRAC, Aggregate.AVG, frame_count)
     query = workload.query()
     processor = QueryProcessor(shared_suite())
-    ledger = InvocationLedger()
+    ledger = ledger if ledger is not None else InvocationLedger()
     profiler = DegradationProfiler(processor, trials=1, ledger=ledger)
 
     fractions = fraction_candidates(step=0.01, maximum=max_fraction)
@@ -61,7 +68,12 @@ def run_timing(
     )
 
     start = time.perf_counter()
-    cube = profiler.generate_hypercube(query, grid, np.random.default_rng(seed))
+    cube = profiler.generate_hypercube_seeded(
+        query,
+        grid,
+        root=seed,
+        executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+    )
     estimation_wall_seconds = time.perf_counter() - start
 
     settings = int(np.isfinite(cube.bounds).sum())

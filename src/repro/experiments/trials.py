@@ -5,6 +5,14 @@ Every §5 experiment repeats its workload over independent sampling trials
 per trial and feeds the *same* sample to every method, which is both faster
 (model outputs are cached) and a fairer comparison (methods differ only in
 their estimation, not their luck).
+
+The ``*_seeded`` variants give every trial its own
+:func:`~repro.system.executor.child_rng` stream keyed on
+``(setting_index, trial)``, which makes the summaries a pure function of
+the root seed — independent of trial order and therefore safe to fan out
+over a :class:`~repro.system.executor.ParallelExecutor` in contiguous
+trial chunks (workers return per-trial arrays; the reduction always runs
+over the full concatenated array, so chunk boundaries are invisible).
 """
 
 from __future__ import annotations
@@ -19,6 +27,13 @@ from repro.experiments.metrics import true_error
 from repro.interventions.plan import InterventionPlan
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
+from repro.system.executor import (
+    ParallelExecutor,
+    RootSeed,
+    child_rng,
+    normalize_root,
+    trial_chunks,
+)
 
 
 @dataclass(frozen=True)
@@ -57,18 +72,42 @@ def run_method_trials(
     Returns:
         Per-method trial summaries.
     """
+    per_method = _method_trial_arrays(
+        processor, query, plan, methods, [rng] * trials
+    )
+    return _summarize_method_trials(methods, per_method)
+
+
+def _method_trial_arrays(
+    processor: QueryProcessor,
+    query: AggregateQuery,
+    plan: InterventionPlan,
+    methods: tuple[str, ...],
+    rngs: list[np.random.Generator],
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Per-trial (bounds, errors) arrays per method, one trial per rng."""
     bounds: dict[str, list[float]] = {method: [] for method in methods}
     errors: dict[str, list[float]] = {method: [] for method in methods}
-    for _ in range(trials):
+    for rng in rngs:
         execution = processor.execute(query, plan, rng)
         for method in methods:
             estimate: Estimate = estimate_query(query, execution, method)
             bounds[method].append(estimate.error_bound)
             errors[method].append(true_error(processor, query, estimate.value))
+    return {
+        method: (np.array(bounds[method]), np.array(errors[method]))
+        for method in methods
+    }
+
+
+def _summarize_method_trials(
+    methods: tuple[str, ...],
+    per_method: dict[str, tuple[np.ndarray, np.ndarray]],
+) -> dict[str, TrialSummary]:
+    """Reduce per-trial arrays to the per-method summaries."""
     summaries: dict[str, TrialSummary] = {}
     for method in methods:
-        method_bounds = np.array(bounds[method])
-        method_errors = np.array(errors[method])
+        method_bounds, method_errors = per_method[method]
         finite = method_bounds[np.isfinite(method_bounds)]
         summaries[method] = TrialSummary(
             mean_bound=float(finite.mean()) if finite.size else float("inf"),
@@ -76,6 +115,96 @@ def run_method_trials(
             violation_rate=float(np.mean(method_bounds < method_errors)),
         )
     return summaries
+
+
+@dataclass(frozen=True)
+class MethodTrialsChunk:
+    """Picklable work unit: a contiguous run of seeded method trials.
+
+    Attributes:
+        processor: The query processor.
+        query: The query.
+        plan: The degradation setting.
+        methods: Estimator names to score.
+        root: Root entropy of the seed stream.
+        setting_index: First spawn-key coordinate of the setting.
+        trial_indices: The trial coordinates this chunk evaluates.
+    """
+
+    processor: QueryProcessor
+    query: AggregateQuery
+    plan: InterventionPlan
+    methods: tuple[str, ...]
+    root: tuple[int, ...]
+    setting_index: int
+    trial_indices: tuple[int, ...]
+
+
+def run_method_trials_chunk(
+    chunk: MethodTrialsChunk,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Execute one chunk of seeded method trials (worker entry point)."""
+    rngs = [
+        child_rng(chunk.root, chunk.setting_index, t) for t in chunk.trial_indices
+    ]
+    return _method_trial_arrays(
+        chunk.processor, chunk.query, chunk.plan, chunk.methods, rngs
+    )
+
+
+def run_method_trials_seeded(
+    processor: QueryProcessor,
+    query: AggregateQuery,
+    plan: InterventionPlan,
+    methods: tuple[str, ...],
+    trials: int,
+    root: RootSeed,
+    setting_index: int = 0,
+    executor: ParallelExecutor | None = None,
+) -> dict[str, TrialSummary]:
+    """Like :func:`run_method_trials`, with per-trial seed streams.
+
+    Trial ``t`` draws its sample from ``child_rng(root, setting_index,
+    t)``, so summaries are bit-identical for any worker count.
+
+    Args:
+        processor: The query processor.
+        query: The query.
+        plan: The degradation setting.
+        methods: Estimator names to score (all must fit the aggregate).
+        trials: Number of independent sampling trials.
+        root: Root entropy of the seed stream.
+        setting_index: Distinguishes settings sharing one root (e.g. the
+            fractions of a Figure 4 curve).
+        executor: Execution substrate; defaults to serial.
+
+    Returns:
+        Per-method trial summaries.
+    """
+    executor = executor or ParallelExecutor()
+    methods = tuple(methods)
+    root_t = normalize_root(root)
+    payloads = [
+        MethodTrialsChunk(
+            processor=processor,
+            query=query,
+            plan=plan,
+            methods=methods,
+            root=root_t,
+            setting_index=setting_index,
+            trial_indices=tuple(chunk),
+        )
+        for chunk in trial_chunks(trials, executor.config.workers)
+    ]
+    results = executor.map(run_method_trials_chunk, payloads)
+    merged = {
+        method: (
+            np.concatenate([result[method][0] for result in results]),
+            np.concatenate([result[method][1] for result in results]),
+        )
+        for method in methods
+    }
+    return _summarize_method_trials(methods, merged)
 
 
 @dataclass(frozen=True)
@@ -121,6 +250,24 @@ def run_repair_trials(
     Returns:
         The averaged summary.
     """
+    uncorrected, corrected, error = _repair_trial_arrays(
+        processor, query, plan, correction_values, [rng] * trials
+    )
+    return RepairTrialSummary(
+        uncorrected_bound=float(uncorrected.mean()),
+        corrected_bound=float(corrected.mean()),
+        true_error=float(error.mean()),
+    )
+
+
+def _repair_trial_arrays(
+    processor: QueryProcessor,
+    query: AggregateQuery,
+    plan: InterventionPlan,
+    correction_values: np.ndarray,
+    rngs: list[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-trial (capped uncorrected, capped corrected, error) arrays."""
     from repro.estimators.quantile import SmokescreenQuantileEstimator
     from repro.estimators.repair import ProfileRepair
     from repro.estimators.smokescreen import SmokescreenMeanEstimator
@@ -150,10 +297,10 @@ def run_repair_trials(
             query.aggregate,
         )
 
-    uncorrected_sum = 0.0
-    corrected_sum = 0.0
-    error_sum = 0.0
-    for _ in range(trials):
+    uncorrected_list: list[float] = []
+    corrected_list: list[float] = []
+    error_list: list[float] = []
+    for rng in rngs:
         sample = plan.draw(query.dataset, rng, processor.suite)
         values = processor.values_for_sample(query, sample)
         if query.aggregate.is_mean_family or query.aggregate.is_variance:
@@ -186,13 +333,99 @@ def run_repair_trials(
             )
         if is_random:
             corrected = min(basic.error_bound, corrected)
-        uncorrected_sum += capped(basic.error_bound)
-        corrected_sum += capped(corrected)
-        error_sum += true_error(processor, query, basic.value)
+        uncorrected_list.append(capped(basic.error_bound))
+        corrected_list.append(capped(corrected))
+        error_list.append(true_error(processor, query, basic.value))
+    return (
+        np.array(uncorrected_list),
+        np.array(corrected_list),
+        np.array(error_list),
+    )
+
+
+@dataclass(frozen=True)
+class RepairTrialsChunk:
+    """Picklable work unit: a contiguous run of seeded repair trials.
+
+    Attributes:
+        processor: The query processor.
+        query: The query.
+        plan: The degradation setting.
+        correction_values: The correction set's values.
+        root: Root entropy of the seed stream.
+        setting_index: First spawn-key coordinate of the setting.
+        trial_indices: The trial coordinates this chunk evaluates.
+    """
+
+    processor: QueryProcessor
+    query: AggregateQuery
+    plan: InterventionPlan
+    correction_values: np.ndarray
+    root: tuple[int, ...]
+    setting_index: int
+    trial_indices: tuple[int, ...]
+
+
+def run_repair_trials_chunk(
+    chunk: RepairTrialsChunk,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Execute one chunk of seeded repair trials (worker entry point)."""
+    rngs = [
+        child_rng(chunk.root, chunk.setting_index, t) for t in chunk.trial_indices
+    ]
+    return _repair_trial_arrays(
+        chunk.processor, chunk.query, chunk.plan, chunk.correction_values, rngs
+    )
+
+
+def run_repair_trials_seeded(
+    processor: QueryProcessor,
+    query: AggregateQuery,
+    plan: InterventionPlan,
+    correction_values: np.ndarray,
+    trials: int,
+    root: RootSeed,
+    setting_index: int = 0,
+    executor: ParallelExecutor | None = None,
+) -> RepairTrialSummary:
+    """Like :func:`run_repair_trials`, with per-trial seed streams.
+
+    Args:
+        processor: The query processor.
+        query: The query.
+        plan: The degradation setting.
+        correction_values: The correction set's values (native resolution).
+        trials: Number of independent sampling trials.
+        root: Root entropy of the seed stream.
+        setting_index: Distinguishes settings sharing one root (e.g. the
+            knobs of a Figure 6 row).
+        executor: Execution substrate; defaults to serial.
+
+    Returns:
+        The averaged summary (bit-identical for any worker count).
+    """
+    executor = executor or ParallelExecutor()
+    root_t = normalize_root(root)
+    payloads = [
+        RepairTrialsChunk(
+            processor=processor,
+            query=query,
+            plan=plan,
+            correction_values=correction_values,
+            root=root_t,
+            setting_index=setting_index,
+            trial_indices=tuple(chunk),
+        )
+        for chunk in trial_chunks(trials, executor.config.workers)
+    ]
+    results = executor.map(run_repair_trials_chunk, payloads)
+    uncorrected = np.concatenate([r[0] for r in results])
+    corrected = np.concatenate([r[1] for r in results])
+    error = np.concatenate([r[2] for r in results])
     return RepairTrialSummary(
-        uncorrected_bound=uncorrected_sum / trials,
-        corrected_bound=corrected_sum / trials,
-        true_error=error_sum / trials,
+        uncorrected_bound=float(uncorrected.mean()),
+        corrected_bound=float(corrected.mean()),
+        true_error=float(error.mean()),
     )
 
 

@@ -8,6 +8,7 @@ and every degraded execution just gathers the sampled frames from them.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,24 @@ class QueryProcessor:
                 optional when no plan removes frames.
         """
         self._suite = suite
+        # Per-query memo of predicate-transformed frame values keyed by
+        # (resolution side, quality): detector counts are cached by the
+        # detector itself, but the predicate transform used to be re-applied
+        # on every trial; trial loops now only gather sampled indices.
+        self._values_memo: "weakref.WeakKeyDictionary[AggregateQuery, dict[tuple[int, float], np.ndarray]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the memo (WeakKeyDictionary is unpicklable and
+        worker processes rebuild it lazily anyway)."""
+        state = dict(self.__dict__)
+        state.pop("_values_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._values_memo = weakref.WeakKeyDictionary()
 
     @property
     def suite(self) -> DetectorSuite | None:
@@ -80,10 +99,27 @@ class QueryProcessor:
             quality: Quality factor from extension interventions.
 
         Returns:
-            Per-frame values over all ``N`` frames.
+            Per-frame values over all ``N`` frames (read-only; shared
+            across calls via a per-query memo).
         """
+        side = (resolution or query.dataset.native_resolution).side
+        memo_key = (side, round(quality, 9))
+        try:
+            per_query = self._values_memo.get(query)
+        except TypeError:  # unhashable/unweakrefable query: skip the memo
+            per_query = None
+        if per_query is not None:
+            cached = per_query.get(memo_key)
+            if cached is not None:
+                return cached
         outputs = query.model.run(query.dataset, resolution, quality).counts
-        return query.frame_values(outputs)
+        values = query.frame_values(outputs)
+        values.flags.writeable = False
+        try:
+            self._values_memo.setdefault(query, {})[memo_key] = values
+        except TypeError:
+            pass
+        return values
 
     def true_values(self, query: AggregateQuery) -> np.ndarray:
         """Ground-truth per-frame values: native resolution, full quality."""

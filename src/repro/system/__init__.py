@@ -7,6 +7,8 @@ so examples and benchmarks can express those goals quantitatively:
 
 - :mod:`repro.system.costs` — model-invocation accounting and the analytic
   profile-generation time model of §5.3.1.
+- :mod:`repro.system.executor` — the parallel execution substrate with
+  deterministic per-(setting, trial) seed streams.
 - :mod:`repro.system.network` — bytes/energy of transmitting degraded
   frames (bandwidth and power goals).
 - :mod:`repro.system.privacy` — privacy-exposure metrics of a degradation
@@ -40,6 +42,14 @@ from repro.system.fleet import (
     FleetQueryProcessor,
     FleetReport,
 )
+from repro.system.executor import (
+    ExecutorConfig,
+    ParallelExecutor,
+    child_rng,
+    child_seed,
+    normalize_root,
+    trial_chunks,
+)
 from repro.system.network import TransmissionModel
 from repro.system.privacy import PrivacyReport, privacy_report
 from repro.system.resilience import (
@@ -67,13 +77,19 @@ __all__ = [
     "FleetQueryProcessor",
     "FleetReport",
     "CostModel",
+    "ExecutorConfig",
     "HealthLedger",
     "InvocationLedger",
+    "ParallelExecutor",
     "PrivacyReport",
     "RetryPolicy",
     "TransmissionModel",
+    "child_rng",
+    "child_seed",
+    "normalize_root",
     "privacy_report",
     "transmit_with_retry",
+    "trial_chunks",
 ]
 
 

@@ -1,0 +1,334 @@
+"""Parallel execution substrate with deterministic seed streams.
+
+Profile generation and the paper's 100-trial experiment loops are
+embarrassingly parallel: every ``(setting, trial)`` work unit is
+independent. This module fans those units out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping results
+**bit-identical regardless of worker count** — including ``workers=1`` and
+the serial fallback — which preserves the determinism contract the fleet
+and fault-injection layers already assert.
+
+The trick is seeding: instead of threading one
+:class:`numpy.random.Generator` through a sequential loop (whose state
+depends on execution order), every work unit derives its own child stream
+from the root seed via ``np.random.SeedSequence(root, spawn_key=(setting,
+trial))``. Spawn keys are position-independent, so a unit draws the same
+randomness whether it runs first on one worker or last on sixteen.
+
+Cost accounting stays exact across the process boundary: worker functions
+run against a fresh :class:`~repro.system.costs.InvocationLedger` and
+return its per-resolution counts alongside the result; callers merge them
+in unit order. Detector outputs are shared across workers and runs through
+the persistent cache of :mod:`repro.detection.diskcache`, which the pool
+initializer re-activates inside each worker process.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.correction import CorrectionSet
+from repro.detection import diskcache
+from repro.detection.zoo import DetectorSuite
+from repro.errors import ConfigurationError
+from repro.interventions.plan import InterventionPlan
+from repro.query.query import AggregateQuery
+from repro.system.costs import InvocationLedger
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: Entropy tuples accepted as root seeds.
+RootSeed = int | Sequence[int]
+
+
+def normalize_root(root: RootSeed) -> tuple[int, ...]:
+    """Root entropy as a canonical tuple of Python ints.
+
+    Args:
+        root: An int or a sequence of ints.
+
+    Returns:
+        The entropy tuple (picklable, hashable, numpy-free).
+    """
+    if isinstance(root, (int, np.integer)):
+        return (int(root),)
+    return tuple(int(e) for e in root)
+
+
+def child_seed(root: RootSeed, *key: int) -> np.random.SeedSequence:
+    """The deterministic child seed of one work unit.
+
+    Args:
+        root: Root entropy (an int, or a tuple of ints for derived roots).
+        *key: The unit's coordinates, conventionally ``(setting_index,
+            trial_index)``; any depth works.
+
+    Returns:
+        A seed sequence independent of every differently-keyed unit and of
+        the order units are spawned in.
+    """
+    return np.random.SeedSequence(
+        normalize_root(root), spawn_key=tuple(int(k) for k in key)
+    )
+
+
+def child_rng(root: RootSeed, *key: int) -> np.random.Generator:
+    """A generator over :func:`child_seed`'s stream."""
+    return np.random.default_rng(child_seed(root, *key))
+
+
+def trial_chunks(trials: int, chunk_count: int) -> list[range]:
+    """Split ``range(trials)`` into at most ``chunk_count`` contiguous runs.
+
+    Chunking reduces inter-process traffic without affecting results:
+    every trial keeps its own seed stream, so the chunk boundaries are
+    invisible to the output.
+
+    Args:
+        trials: Total number of trials.
+        chunk_count: Desired number of chunks (clamped to ``trials``).
+
+    Returns:
+        Non-empty, contiguous, disjoint ranges covering ``range(trials)``.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    chunk_count = max(1, min(chunk_count, trials))
+    bounds = np.linspace(0, trials, chunk_count + 1).astype(int)
+    return [
+        range(int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How work units are executed.
+
+    Attributes:
+        workers: Process count; 1 means run serially in-process.
+        cache_dir: Persistent detector-cache directory activated inside
+            workers; None inherits the parent's active cache (if any).
+        cache_limit_bytes: LRU byte budget for ``cache_dir``.
+    """
+
+    workers: int = 1
+    cache_dir: str | None = None
+    cache_limit_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"worker count must be at least 1, got {self.workers}"
+            )
+
+
+def _worker_initializer(cache_dir: str | None, cache_limit: int | None) -> None:
+    """Re-activate the persistent detector cache inside a worker process."""
+    if cache_dir is not None:
+        diskcache.activate(cache_dir, cache_limit)
+
+
+class ParallelExecutor:
+    """Ordered map over independent work units, process-parallel when asked.
+
+    The serial path and the pool path produce identical results for
+    seed-stream work units; infrastructure failures (pool creation denied,
+    unpicklable payloads, broken pool) degrade gracefully to the serial
+    path rather than failing the run.
+    """
+
+    def __init__(self, config: ExecutorConfig | None = None) -> None:
+        """Create an executor.
+
+        Args:
+            config: Execution configuration; defaults to serial.
+        """
+        self._config = config or ExecutorConfig()
+
+    @property
+    def config(self) -> ExecutorConfig:
+        """The execution configuration."""
+        return self._config
+
+    def _cache_initargs(self) -> tuple[str | None, int | None]:
+        if self._config.cache_dir is not None:
+            return (self._config.cache_dir, self._config.cache_limit_bytes)
+        active = diskcache.active_cache()
+        if active is not None:
+            return (str(active.root), active.byte_limit)
+        return (None, None)
+
+    def map(self, fn: Callable[[T], U], payloads: Iterable[T]) -> list[U]:
+        """Apply ``fn`` to every payload, preserving payload order.
+
+        Args:
+            fn: A picklable module-level function.
+            payloads: Picklable work units.
+
+        Returns:
+            Results in payload order.
+        """
+        items = list(payloads)
+        workers = min(self._config.workers, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_initializer,
+                initargs=self._cache_initargs(),
+            ) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, BrokenProcessPool, pickle.PicklingError, AttributeError):
+            # Restricted environments (no fork/spawn) or unpicklable
+            # payloads: seed streams make the serial rerun bit-identical.
+            return [fn(item) for item in items]
+
+
+# ---------------------------------------------------------------------------
+# Profiler work units.
+#
+# These are module-level (picklable) adapters that rebuild a profiler in the
+# worker, run one unit against a fresh ledger, and return the result plus
+# the ledger's counts so the parent can merge cost accounting exactly.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One nested fraction sweep: a ``(resolution, removal)`` setting.
+
+    Attributes:
+        query: The query to profile.
+        fractions: Ascending fraction candidates.
+        resolution: Fixed resolution knob (None = native).
+        removal: Fixed restricted classes.
+        correction: Optional correction set.
+        trials: Trials averaged inside the unit.
+        root: Root entropy of the seed stream.
+        unit_index: The setting's index (first spawn-key coordinate).
+        trial_indices: Trial coordinates (second spawn-key coordinate);
+            defaults to ``range(trials)``.
+        early_stop_tolerance: Early-stop threshold; None disables.
+        suite: Restricted-class detectors for removal plans.
+    """
+
+    query: AggregateQuery
+    fractions: tuple[float, ...]
+    resolution: Resolution | None
+    removal: tuple[ObjectClass, ...]
+    correction: CorrectionSet | None
+    trials: int
+    root: tuple[int, ...]
+    unit_index: int
+    trial_indices: tuple[int, ...] | None = None
+    early_stop_tolerance: float | None = None
+    suite: DetectorSuite | None = None
+
+
+def run_sweep_unit(unit: SweepUnit) -> tuple[list, dict[int, int]]:
+    """Execute one sweep unit (in-process or inside a worker).
+
+    Args:
+        unit: The sweep unit.
+
+    Returns:
+        The swept ``(fraction, PointEstimate)`` pairs and the unit's
+        per-resolution invocation counts.
+    """
+    from repro.core.profiler import DegradationProfiler
+    from repro.query.processor import QueryProcessor
+
+    ledger = InvocationLedger()
+    profiler = DegradationProfiler(
+        QueryProcessor(unit.suite), trials=unit.trials, ledger=ledger
+    )
+    trial_indices = (
+        unit.trial_indices
+        if unit.trial_indices is not None
+        else tuple(range(unit.trials))
+    )
+    swept = profiler.sweep_fractions_seeded(
+        unit.query,
+        unit.fractions,
+        unit.resolution,
+        unit.removal,
+        unit.correction,
+        unit.root,
+        unit.unit_index,
+        trial_indices,
+        unit.early_stop_tolerance,
+    )
+    return swept, ledger.by_resolution()
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One priced degradation setting (trials averaged inside the unit).
+
+    Attributes:
+        query: The query to profile.
+        plan: The degradation setting.
+        correction: Optional correction set.
+        trials: Trials averaged inside the unit.
+        root: Root entropy of the seed stream.
+        unit_index: The setting's index (first spawn-key coordinate).
+        suite: Restricted-class detectors for removal plans.
+    """
+
+    query: AggregateQuery
+    plan: InterventionPlan
+    correction: CorrectionSet | None
+    trials: int
+    root: tuple[int, ...]
+    unit_index: int
+    suite: DetectorSuite | None = None
+
+
+def run_plan_unit(unit: PlanUnit) -> tuple[object, dict[int, int]]:
+    """Execute one plan-pricing unit.
+
+    Args:
+        unit: The plan unit.
+
+    Returns:
+        The setting's :class:`PointEstimate` and the unit's per-resolution
+        invocation counts.
+    """
+    from repro.core.profiler import DegradationProfiler
+    from repro.query.processor import QueryProcessor
+
+    ledger = InvocationLedger()
+    profiler = DegradationProfiler(
+        QueryProcessor(unit.suite), trials=unit.trials, ledger=ledger
+    )
+    point = profiler.estimate_plan_seeded(
+        unit.query, unit.plan, unit.root, unit.unit_index, unit.correction
+    )
+    return point, ledger.by_resolution()
+
+
+def merge_ledger_counts(
+    ledger: InvocationLedger | None, counts: dict[int, int]
+) -> None:
+    """Fold a worker ledger's per-resolution counts into the parent ledger.
+
+    Args:
+        ledger: The parent ledger (None = accounting disabled).
+        counts: Per-resolution counts returned by a work unit.
+    """
+    if ledger is None:
+        return
+    for side, new_frames in sorted(counts.items()):
+        ledger.record(side, new_frames)

@@ -132,6 +132,10 @@ class VideoDataset:
             digest.update(arrays.frame.tobytes())
             digest.update(np.ascontiguousarray(arrays.size).tobytes())
             digest.update(np.ascontiguousarray(arrays.difficulty).tobytes())
+            # Duplicate latents drive detector anomaly terms, so corpora
+            # differing only in them produce different outputs and must
+            # not share a cache entry.
+            digest.update(np.ascontiguousarray(arrays.duplicate_latent).tobytes())
         digest.update(np.ascontiguousarray(self._clutter).tobytes())
         return digest.hexdigest()
 

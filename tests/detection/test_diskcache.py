@@ -1,0 +1,158 @@
+"""Tests for the persistent detector-output cache."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.detection import diskcache
+from repro.detection.diskcache import DetectorDiskCache
+from repro.detection.response import ResolutionResponse
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError
+from repro.video import ua_detrac
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+KEY = ("ua-detrac", 900, "abcd" * 6)
+
+
+def make_cache(tmp_path, byte_limit=None) -> DetectorDiskCache:
+    return DetectorDiskCache(tmp_path / "cache", byte_limit=byte_limit)
+
+
+class TestDigest:
+    def test_stable(self):
+        assert DetectorDiskCache.digest("yolo", KEY, 608, 1.0) == (
+            DetectorDiskCache.digest("yolo", KEY, 608, 1.0)
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ("mtcnn", KEY, 608, 1.0),
+            ("yolo", ("ua-detrac", 900, "ffff" * 6), 608, 1.0),
+            ("yolo", KEY, 304, 1.0),
+            ("yolo", KEY, 608, 0.8),
+        ],
+    )
+    def test_every_field_distinguishes(self, other):
+        assert DetectorDiskCache.digest("yolo", KEY, 608, 1.0) != (
+            DetectorDiskCache.digest(*other)
+        )
+
+
+class TestStoreLoad:
+    def test_roundtrip_preserves_values_and_dtype(self, tmp_path):
+        cache = make_cache(tmp_path)
+        counts = np.arange(50, dtype=float) * 0.5
+        digest = DetectorDiskCache.digest("yolo", KEY, 608, 1.0)
+        cache.store(digest, counts)
+        assert cache.contains(digest)
+        loaded = cache.load(digest)
+        assert loaded.dtype == counts.dtype
+        assert np.array_equal(loaded, counts)
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert make_cache(tmp_path).load("0" * 32) is None
+
+    def test_corrupt_entry_behaves_like_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        digest = DetectorDiskCache.digest("yolo", KEY, 608, 1.0)
+        cache.store(digest, np.ones(10))
+        (cache.root / f"{digest}.npz").write_bytes(b"not a zipfile")
+        assert cache.load(digest) is None
+
+    def test_no_temporaries_left_behind(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for i in range(5):
+            cache.store(f"{i:032x}", np.ones(100))
+        assert not list(cache.root.glob("*.tmp"))
+        assert len(cache.entries()) == 5
+
+    def test_clear_empties_and_counts(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for i in range(3):
+            cache.store(f"{i:032x}", np.ones(10))
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        # Each compressed entry is a few hundred bytes; a 2.5-entry budget
+        # keeps the two most recently used.
+        cache = make_cache(tmp_path)
+        entry_bytes = 0
+        for i in range(4):
+            cache.store(f"{i:032x}", np.full(200, float(i)))
+            if not entry_bytes:
+                entry_bytes = cache.total_bytes()
+        # Give the entries strictly increasing mtimes (filesystem stamps
+        # can collide within one tick), then shrink the budget.
+        for i in range(4):
+            path = cache.root / f"{i:032x}.npz"
+            os.utime(path, (1000 + i, 1000 + i))
+        bounded = DetectorDiskCache(cache.root, byte_limit=int(entry_bytes * 2.5))
+        bounded.store("f" * 32, np.full(200, 9.0))
+        survivors = {path.stem for path in bounded.entries()}
+        assert "f" * 32 in survivors  # newest always kept
+        assert f"{0:032x}" not in survivors  # oldest evicted
+        assert bounded.total_bytes() <= bounded.byte_limit
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for i in range(3):
+            cache.store(f"{i:032x}", np.full(200, float(i)))
+            os.utime(cache.root / f"{i:032x}.npz", (1000 + i, 1000 + i))
+        entry_bytes = cache.total_bytes() // 3
+        cache.load(f"{0:032x}")  # touch the oldest
+        bounded = DetectorDiskCache(cache.root, byte_limit=int(entry_bytes * 2.5))
+        bounded.store("f" * 32, np.full(200, 9.0))
+        survivors = {path.stem for path in bounded.entries()}
+        assert f"{0:032x}" in survivors  # refreshed, so no longer LRU
+        assert f"{1:032x}" not in survivors
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            make_cache(tmp_path, byte_limit=0)
+
+
+class TestActivation:
+    def test_activate_deactivate_roundtrip(self, tmp_path):
+        assert diskcache.active_cache() is None
+        cache = diskcache.activate(tmp_path / "cache", byte_limit=10_000)
+        try:
+            assert diskcache.active_cache() is cache
+            assert cache.byte_limit == 10_000
+        finally:
+            diskcache.deactivate()
+        assert diskcache.active_cache() is None
+
+    def test_detector_serves_outputs_across_instances(self, tmp_path):
+        """A second detector instance (fresh memory cache) must read the
+        first instance's outputs from disk, bit-for-bit."""
+
+        def make_detector():
+            return SimulatedDetector(
+                name="disk-probe",
+                target_class=ObjectClass.CAR,
+                response=ResolutionResponse(midpoint_size=14.0, slope=0.25),
+                threshold=0.7,
+            )
+
+        corpus = ua_detrac(frame_count=400, seed=21)
+        diskcache.activate(tmp_path / "cache")
+        try:
+            first = make_detector().run(corpus, Resolution(304)).counts
+            second_detector = make_detector()
+            second = second_detector.run(corpus, Resolution(304)).counts
+            assert np.array_equal(first, second)
+            assert second_detector.output_was_precomputed(
+                corpus, Resolution(304), 1.0
+            )
+        finally:
+            diskcache.deactivate()

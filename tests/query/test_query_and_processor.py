@@ -125,3 +125,31 @@ class TestQueryProcessor:
         truth = processor.true_answer(query)
         counts = yolo_car.run(detrac_dataset).counts
         assert truth == float((counts >= 1).sum())
+
+
+class TestFrameValuesMemo:
+    def test_repeat_calls_share_one_read_only_array(self, processor, avg_query):
+        first = processor.frame_values(avg_query, Resolution(256))
+        second = processor.frame_values(avg_query, Resolution(256))
+        assert second is first  # memo hit: no predicate re-application
+        assert not first.flags.writeable
+
+    def test_memo_keys_on_resolution_and_quality(self, processor, avg_query):
+        base = processor.frame_values(avg_query, Resolution(256))
+        assert processor.frame_values(avg_query, Resolution(512)) is not base
+        assert processor.frame_values(avg_query, Resolution(256), 0.8) is not base
+
+    def test_memo_is_per_query(self, processor, detrac_dataset, yolo_car):
+        avg = AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+        count = AggregateQuery(detrac_dataset, yolo_car, Aggregate.COUNT)
+        avg_values = processor.frame_values(avg, Resolution(256))
+        count_values = processor.frame_values(count, Resolution(256))
+        assert count_values is not avg_values  # COUNT applies its predicate
+        assert count_values.max() <= 1.0
+
+    def test_memo_survives_pickling_contract(self, processor):
+        """Pickling drops the memo (worker processes rebuild it lazily)."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(processor))
+        assert isinstance(clone, QueryProcessor)

@@ -1,0 +1,272 @@
+"""Tests for the parallel execution substrate.
+
+The contract under test: seeded profile generation and trial loops are a
+pure function of ``(inputs, root)`` — the same bits come back for any
+worker count, including the serial path and the silent fallback — and a
+warm persistent detector cache eliminates model invocations entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateGrid
+from repro.core.profiler import DegradationProfiler
+from repro.detection import diskcache
+from repro.detection.zoo import default_suite, yolo_v4_like
+from repro.errors import ConfigurationError
+from repro.experiments.trials import (
+    run_method_trials_seeded,
+    run_repair_trials_seeded,
+)
+from repro.interventions import InterventionPlan
+from repro.query import Aggregate, AggregateQuery, QueryProcessor
+from repro.query.aggregates import FramePredicate
+from repro.system.costs import InvocationLedger
+from repro.system.executor import (
+    ExecutorConfig,
+    ParallelExecutor,
+    child_rng,
+    child_seed,
+    merge_ledger_counts,
+    normalize_root,
+    trial_chunks,
+)
+from repro.video import ua_detrac
+from repro.video.geometry import Resolution
+
+WORKER_MATRIX = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A small corpus private to this module (keeps caches isolated)."""
+    return ua_detrac(frame_count=900, seed=11)
+
+
+def fresh_query(corpus) -> AggregateQuery:
+    """A query on a fresh detector: empty memory cache every call."""
+    return AggregateQuery(corpus, yolo_v4_like(), Aggregate.AVG)
+
+
+class TestSeedStreams:
+    def test_child_seed_deterministic(self):
+        a = child_seed(7, 3, 5)
+        b = child_seed(7, 3, 5)
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_distinct_keys_distinct_streams(self):
+        base = child_rng(7, 0, 0).random(8)
+        assert not np.array_equal(base, child_rng(7, 0, 1).random(8))
+        assert not np.array_equal(base, child_rng(7, 1, 0).random(8))
+        assert not np.array_equal(base, child_rng(8, 0, 0).random(8))
+
+    def test_normalize_root_int_and_sequence_agree(self):
+        assert normalize_root(42) == normalize_root((42,)) == (42,)
+        assert normalize_root([1, 2]) == (1, 2)
+        assert np.array_equal(
+            child_rng(42, 0, 0).random(4), child_rng((42,), 0, 0).random(4)
+        )
+
+
+class TestTrialChunks:
+    @pytest.mark.parametrize(
+        "trials,workers", [(1, 1), (5, 2), (7, 3), (100, 4), (3, 8)]
+    )
+    def test_partition_properties(self, trials, workers):
+        chunks = trial_chunks(trials, workers)
+        assert all(len(chunk) > 0 for chunk in chunks)
+        flat = [t for chunk in chunks for t in chunk]
+        assert flat == list(range(trials))  # disjoint, contiguous, complete
+        assert len(chunks) == min(trials, workers)
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ConfigurationError):
+            trial_chunks(0, 2)
+
+    def test_chunk_count_clamped_to_at_least_one(self):
+        assert trial_chunks(4, 0) == [range(0, 4)]
+
+
+class TestExecutorConfig:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(workers=0)
+
+    def test_defaults_serial(self):
+        assert ParallelExecutor().config.workers == 1
+
+
+class TestMergeLedgerCounts:
+    def test_folds_counts(self):
+        ledger = InvocationLedger()
+        ledger.record(608, 10)
+        merge_ledger_counts(ledger, {608: 5, 128: 3})
+        assert ledger.by_resolution() == {608: 15, 128: 3}
+        assert ledger.total == 18
+
+    def test_none_ledger_is_noop(self):
+        merge_ledger_counts(None, {608: 5})
+
+
+class TestDeterminismMatrix:
+    """Bit-identity across worker counts (acceptance criterion)."""
+
+    def test_hypercube_identical_for_any_worker_count(self, corpus):
+        grid = CandidateGrid(
+            fractions=(0.05, 0.1, 0.2),
+            resolutions=(Resolution(152), Resolution(608)),
+            removals=((),),
+        )
+        cubes, totals = [], []
+        for workers in WORKER_MATRIX:
+            ledger = InvocationLedger()
+            profiler = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2, ledger=ledger
+            )
+            executor = ParallelExecutor(ExecutorConfig(workers=workers))
+            cubes.append(
+                profiler.generate_hypercube_seeded(
+                    fresh_query(corpus), grid, root=17, executor=executor
+                )
+            )
+            totals.append(ledger.total)
+        for cube in cubes[1:]:
+            assert np.array_equal(cube.bounds, cubes[0].bounds)
+            assert np.array_equal(cube.values, cubes[0].values)
+        assert totals[1:] == totals[:-1]
+
+    def test_sampling_profile_identical_and_matches_trial_count(self, corpus):
+        profiles = []
+        for workers in WORKER_MATRIX:
+            profiler = DegradationProfiler(QueryProcessor(default_suite()), trials=5)
+            profile = profiler.profile_sampling_seeded(
+                fresh_query(corpus),
+                (0.05, 0.1, 0.3),
+                root=(3, 1),
+                executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+            )
+            profiles.append(profile)
+        reference = profiles[0]
+        for profile in profiles[1:]:
+            assert np.array_equal(profile.error_bounds(), reference.error_bounds())
+            assert [p.value for p in profile.points] == [
+                p.value for p in reference.points
+            ]
+
+    def test_method_trials_identical(self, corpus):
+        query = fresh_query(corpus)
+        processor = QueryProcessor(default_suite())
+        plan = InterventionPlan.from_knobs(f=0.1)
+        summaries = [
+            run_method_trials_seeded(
+                processor,
+                query,
+                plan,
+                ("smokescreen", "clt"),
+                trials=6,
+                root=5,
+                executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+            )
+            for workers in WORKER_MATRIX
+        ]
+        assert summaries[1:] == summaries[:-1]
+
+    def test_repair_trials_identical(self, corpus):
+        query = fresh_query(corpus)
+        processor = QueryProcessor(default_suite())
+        plan = InterventionPlan.from_knobs(f=0.2, p=304)
+        correction_values = processor.true_values(query)[:40]
+        summaries = [
+            run_repair_trials_seeded(
+                processor,
+                query,
+                plan,
+                correction_values,
+                trials=6,
+                root=9,
+                executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+            )
+            for workers in WORKER_MATRIX
+        ]
+        assert summaries[1:] == summaries[:-1]
+
+    def test_unpicklable_query_falls_back_to_serial_result(self, corpus):
+        """A lambda predicate cannot cross process boundaries; the pool
+        path must silently fall back and still match the serial bits."""
+        model = yolo_v4_like()
+        predicate = FramePredicate(name="count > 1", fn=lambda counts: counts > 1)
+        query = AggregateQuery(corpus, model, Aggregate.COUNT, predicate=predicate)
+        results = []
+        for workers in (1, 3):
+            profiler = DegradationProfiler(QueryProcessor(default_suite()), trials=3)
+            profile = profiler.profile_sampling_seeded(
+                query,
+                (0.1, 0.2),
+                root=2,
+                executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+            )
+            results.append(profile.error_bounds())
+        assert np.array_equal(results[0], results[1])
+
+
+class TestPersistentCacheIntegration:
+    """Cold vs warm persistent cache (acceptance criterion)."""
+
+    def test_warm_cache_needs_zero_invocations(self, corpus, tmp_path):
+        grid = CandidateGrid(
+            fractions=(0.05, 0.15),
+            resolutions=(Resolution(304), Resolution(608)),
+            removals=((),),
+        )
+        query = fresh_query(corpus)
+        diskcache.activate(tmp_path / "cache")
+        try:
+            cold_ledger = InvocationLedger()
+            cold = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2, ledger=cold_ledger
+            ).generate_hypercube_seeded(query, grid, root=23)
+            assert cold_ledger.total > 0
+            assert diskcache.active_cache().entries()
+
+            # Same corpus and settings, fresh process-like state: the
+            # detector's memory cache is emptied, so every output must
+            # come from disk and the merged ledger stays at zero.
+            query.model.clear_cache()
+            warm_ledger = InvocationLedger()
+            warm = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2, ledger=warm_ledger
+            ).generate_hypercube_seeded(query, grid, root=23)
+            assert warm_ledger.total == 0
+            assert np.array_equal(warm.bounds, cold.bounds)
+            assert np.array_equal(warm.values, cold.values)
+
+            # Parallel warm run: workers re-activate the cache and serve
+            # all outputs from disk too.
+            query.model.clear_cache()
+            parallel_ledger = InvocationLedger()
+            parallel = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2, ledger=parallel_ledger
+            ).generate_hypercube_seeded(
+                query,
+                grid,
+                root=23,
+                executor=ParallelExecutor(ExecutorConfig(workers=4)),
+            )
+            assert parallel_ledger.total == 0
+            assert np.array_equal(parallel.bounds, cold.bounds)
+        finally:
+            diskcache.deactivate()
+
+    def test_results_identical_with_and_without_cache(self, corpus, tmp_path):
+        query = fresh_query(corpus)
+        profiler = DegradationProfiler(QueryProcessor(default_suite()), trials=2)
+        without = profiler.profile_sampling_seeded(query, (0.1, 0.2), root=31)
+        diskcache.activate(tmp_path / "cache")
+        try:
+            query.model.clear_cache()
+            cached = profiler.profile_sampling_seeded(query, (0.1, 0.2), root=31)
+        finally:
+            diskcache.deactivate()
+        assert np.array_equal(cached.error_bounds(), without.error_bounds())

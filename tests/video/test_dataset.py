@@ -114,6 +114,33 @@ class TestVideoDataset:
         )
         assert variant.cache_key != base.cache_key
 
+    def test_cache_key_distinguishes_duplicate_latents(self):
+        """Corpora differing ONLY in duplicate latents must not collide:
+        the latents drive detector anomaly terms, so outputs differ even
+        though frames, sizes and difficulties agree."""
+        base = tiny_dataset()
+        cars = ObjectArrays(
+            frame=np.array([0, 0, 2]),
+            size=np.array([50.0, 30.0, 80.0]),
+            difficulty=np.array([0.1, 0.9, 0.5]),
+            duplicate_latent=np.array([0.2, 0.3, 0.99]),  # only latents differ
+        )
+        persons = ObjectArrays(
+            frame=np.array([1]),
+            size=np.array([25.0]),
+            difficulty=np.array([0.4]),
+            duplicate_latent=np.array([0.6]),
+        )
+        variant = VideoDataset(
+            name="tiny",
+            native_resolution=Resolution(608),
+            frame_count=3,
+            objects={ObjectClass.CAR: cars, ObjectClass.PERSON: persons},
+            clutter=np.array([0.1, 0.5, 0.9]),
+            seed=42,
+        )
+        assert variant.cache_key != base.cache_key
+
     def test_clutter_read_only(self):
         dataset = tiny_dataset()
         with pytest.raises(ValueError):
