@@ -1,19 +1,24 @@
-"""Parallel profile generation and the persistent detector-output cache.
+"""Parallel profile generation, the detector cache, and the batch kernels.
 
-Reruns the §5.3.1 profile sweep under four execution regimes — serial and
-4-worker, each with a cold and a warm persistent cache — verifying that
+Reruns the §5.3.1 profile sweep under several execution regimes — serial
+and 4-worker with a cold and a warm persistent cache, plus warm-cache
+estimation-kernel regimes — verifying that
 
 - the sweep is bit-identical across all regimes (the determinism contract
-  of the parallel executor), and
+  of the parallel executor),
 - a warm cache reruns the sweep with **zero** model invocations (the
-  across-runs extension of the paper's reuse strategy).
+  across-runs extension of the paper's reuse strategy),
+- the vectorized batch-trial kernels price a many-trial sweep faster than
+  the per-(fraction, trial) loops while agreeing on the series, and
+- ``workers="auto"`` never falls behind plain warm serial on this sweep
+  (it resolves to serial: 10 work units sit below the auto threshold).
 
 Measured wall times and invocation counts are written machine-readably to
 ``BENCH_profile.json`` next to the repo root. Note the timing caveat: on a
 single-CPU box the 4-worker cold run pays fork/pickle overhead without
-real parallel speedup, so the headline number here is the warm-cache
-speedup; multi-core speedup scales with the worker count because the
-work units are independent.
+real parallel speedup, so the headline numbers here are the warm-cache
+and kernel speedups; multi-core speedup scales with the worker count
+because the work units are independent.
 """
 
 from __future__ import annotations
@@ -38,26 +43,42 @@ def _clear_model_memory_cache() -> None:
     Workload(UA_DETRAC, Aggregate.AVG, None).query().model.clear_cache()
 
 
-def _timed_sweep(workers: int):
+def _timed_sweep(workers: int | str, trials: int = 1, vectorized: bool = True):
     ledger = InvocationLedger()
     start = time.perf_counter()
-    result = run_timing(workers=workers, ledger=ledger)
+    result = run_timing(
+        workers=workers, ledger=ledger, trials=trials, vectorized=vectorized
+    )
     wall = time.perf_counter() - start
     return result, ledger.total, wall
+
+#: Trials for the kernel regimes: enough that estimation dominates the
+#: (cached) detector lookups, as in the paper's 100-trial experiments.
+KERNEL_TRIALS = 100
 
 
 def test_parallel_profile_and_cache(benchmark, show):
     runs: dict[str, dict] = {}
     series = {}
 
-    def regime(name: str, workers: int, clear_disk: bool) -> None:
+    def regime(
+        name: str,
+        workers: int | str,
+        clear_disk: bool,
+        trials: int = 1,
+        vectorized: bool = True,
+    ) -> None:
         if clear_disk:
             diskcache.active_cache().clear()
         _clear_model_memory_cache()
-        result, invocations, wall = _timed_sweep(workers)
+        result, invocations, wall = _timed_sweep(
+            workers, trials=trials, vectorized=vectorized
+        )
         runs[name] = {
             "workers": workers,
             "cache": "cold" if clear_disk else "warm",
+            "trials": trials,
+            "vectorized": vectorized,
             "wall_seconds": round(wall, 4),
             "model_invocations": invocations,
         }
@@ -68,7 +89,18 @@ def test_parallel_profile_and_cache(benchmark, show):
     def all_regimes() -> None:
         regime("cold_serial", workers=1, clear_disk=True)
         regime("warm_serial", workers=1, clear_disk=False)
+        regime("warm_auto", workers="auto", clear_disk=False)
         regime("warm_parallel", workers=4, clear_disk=False)
+        # Kernel regimes: warm cache, paper-scale trial count, so wall
+        # time is dominated by the estimation stage the kernels collapse.
+        regime(
+            "kernel_loop", workers=1, clear_disk=False,
+            trials=KERNEL_TRIALS, vectorized=False,
+        )
+        regime(
+            "kernel_vectorized", workers=1, clear_disk=False,
+            trials=KERNEL_TRIALS, vectorized=True,
+        )
         regime("cold_parallel", workers=4, clear_disk=True)
 
     with tempfile.TemporaryDirectory(prefix="bench-detector-cache-") as root:
@@ -90,12 +122,21 @@ def test_parallel_profile_and_cache(benchmark, show):
     assert 5000 <= runs["cold_serial"]["model_invocations"] <= 7000
 
     # Warm reruns are free: all outputs come from disk, the merged ledger
-    # records nothing.
-    assert runs["warm_serial"]["model_invocations"] == 0
-    assert runs["warm_parallel"]["model_invocations"] == 0
+    # records nothing — including the kernel regimes, whose extra trials
+    # re-read cached outputs only.
+    for name in ("warm_serial", "warm_auto", "warm_parallel",
+                 "kernel_loop", "kernel_vectorized"):
+        assert runs[name]["model_invocations"] == 0, name
+
+    # Both kernel regimes price the same sweep (same invocation series).
+    assert series["kernel_vectorized"] == series["kernel_loop"]
 
     warm_speedup = (
         runs["cold_serial"]["wall_seconds"] / runs["warm_serial"]["wall_seconds"]
+    )
+    kernel_speedup = (
+        runs["kernel_loop"]["wall_seconds"]
+        / runs["kernel_vectorized"]["wall_seconds"]
     )
     import os
 
@@ -106,7 +147,8 @@ def test_parallel_profile_and_cache(benchmark, show):
         "note": (
             "4-worker wall times include process-pool startup; on a "
             "single-CPU host that overhead is not amortised, so the "
-            "headline is the warm-cache speedup"
+            "headlines are the warm-cache and kernel speedups (kernel "
+            f"regimes: warm cache, {KERNEL_TRIALS} trials)"
         ),
         "runs": runs,
         "speedup_warm_vs_cold_serial": round(warm_speedup, 3),
@@ -115,9 +157,18 @@ def test_parallel_profile_and_cache(benchmark, show):
             / runs["warm_parallel"]["wall_seconds"],
             3,
         ),
+        "speedup_vectorized_vs_loop": round(kernel_speedup, 3),
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {OUTPUT_PATH}")
     print(json.dumps(payload, indent=2))
 
     assert warm_speedup > 1.0, runs
+    # The batch kernels must never lose to the trial loops.
+    assert kernel_speedup > 1.0, runs
+    # "auto" resolves to serial here (10 units < AUTO_MIN_UNITS): allow
+    # measurement noise but no structural regression over warm serial.
+    assert (
+        runs["warm_auto"]["wall_seconds"]
+        <= 1.5 * runs["warm_serial"]["wall_seconds"] + 0.05
+    ), runs

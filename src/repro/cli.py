@@ -41,6 +41,15 @@ from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
 
+def _parse_workers(text: str) -> int | str:
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise SystemExit(f"invalid --workers {text!r}; expected an int or 'auto'")
+
+
 def _parse_aggregate(name: str) -> Aggregate:
     try:
         return Aggregate[name.upper()]
@@ -94,6 +103,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        vectorized=not args.no_vectorized,
     )
     query = system.query(_parse_aggregate(args.aggregate))
 
@@ -278,9 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the correction set (non-random bounds become untrusted)",
     )
     profile.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for profile generation "
-             "(the hypercube is bit-identical for any value)",
+        "--workers", type=_parse_workers, default=1,
+        help="worker processes for profile generation, or 'auto' to defer "
+             "to the host (the hypercube is bit-identical for any value)",
+    )
+    profile.add_argument(
+        "--no-vectorized", action="store_true",
+        help="price trials with the per-trial loops instead of the batch "
+             "kernels (same samples, same decisions; numerics within 1e-9)",
     )
     profile.add_argument(
         "--cache-dir", default=None,

@@ -30,6 +30,18 @@ the trial's maximal prefix sample: because prefix samples are nested,
 ``full[eligible[perm[:n]]]`` equals ``(full[eligible[perm]])[:n]``, so one
 pass of prefix aggregates serves the whole ascending fraction grid.
 
+On top of that reuse, the default ``vectorized=True`` execution stacks the
+per-trial prefix gathers into one ``(trials, max_size)``
+:class:`~repro.stats.prefix_moments.PrefixMoments` matrix and prices every
+fraction with the batch estimator kernels
+(:func:`repro.estimators.dispatch.estimate_batch`'s machinery), collapsing
+the per-setting cost from O(trials × fractions × n) of Python-level
+estimator calls to O(trials × n) of numpy cumulative sums. The
+``vectorized=False`` path keeps the original per-(fraction, trial) loops;
+both paths draw identical samples, record identical ledger totals, make
+identical early-stopping decisions, and agree on values/bounds within the
+repo's 1e-9 numerical-equivalence policy (differential tests pin this).
+
 Bound selection per setting:
 
 - plan with only random interventions: the basic Smokescreen bound; if a
@@ -59,6 +71,7 @@ from repro.estimators.variance import SmokescreenVarianceEstimator
 from repro.interventions.plan import DegradedSample, InterventionPlan
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
+from repro.stats.prefix_moments import PrefixMoments
 from repro.stats.sampling import ProgressiveSampler, SampleDesign
 from repro.system.costs import InvocationLedger
 from repro.system.executor import (
@@ -124,6 +137,7 @@ class DegradationProfiler:
         processor: QueryProcessor,
         trials: int = 1,
         ledger: InvocationLedger | None = None,
+        vectorized: bool = True,
     ) -> None:
         """Create a profiler.
 
@@ -133,12 +147,17 @@ class DegradationProfiler:
                 1 matches production use, larger values smooth the curves
                 as the paper's experiments do (100 trials).
             ledger: Optional invocation ledger for cost accounting.
+            vectorized: Price all trials of a fraction with the batch
+                estimator kernels (the default); False keeps the original
+                per-(fraction, trial) loops, primarily for differential
+                testing of the kernels.
         """
         if trials <= 0:
             raise ConfigurationError(f"trials must be positive, got {trials}")
         self._processor = processor
         self._trials = trials
         self._ledger = ledger
+        self._vectorized = bool(vectorized)
         self._mean_estimator = SmokescreenMeanEstimator()
         self._quantile_estimator = SmokescreenQuantileEstimator()
         self._variance_estimator = SmokescreenVarianceEstimator()
@@ -270,6 +289,84 @@ class DegradationProfiler:
             extras=dict(basic.extras),
         )
 
+    def _estimate_prefix_batch(
+        self,
+        query: AggregateQuery,
+        moments: PrefixMoments,
+        size: int,
+        universe_size: int,
+        plan_is_random: bool,
+        correction: CorrectionSet | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch analogue of :meth:`_estimate_values` over all trials.
+
+        Prices the length-``size`` prefix of every trial row at once with
+        the estimators' batch kernels, applying the same correction-set
+        policy. The correction estimate is computed once per call instead
+        of once per trial — it only depends on the correction set, so the
+        per-trial recomputation of the loop path is pure redundancy.
+
+        Quantile aggregates keep the scalar path per trial (their
+        distinct-value-table estimate has no cumulative form); the batch
+        entry point is still the single place sweeps call.
+
+        Returns:
+            Per-trial ``(values, bounds)`` arrays, aligned with the rows.
+        """
+        population = query.dataset.frame_count
+        if query.aggregate.is_mean_family or query.aggregate.is_variance:
+            if query.aggregate.is_variance:
+                estimator = self._variance_estimator
+                batch = estimator.estimate_batch(
+                    moments, size, universe_size, query.delta
+                )
+            else:
+                estimator = self._mean_estimator
+                batch = estimator.estimate_batch(
+                    moments,
+                    size,
+                    universe_size,
+                    query.delta,
+                    value_range=query.known_value_range,
+                )
+            scale = (
+                population if query.aggregate.name in ("SUM", "COUNT") else 1.0
+            )
+            if scale != 1.0:
+                batch = batch.scaled(scale)
+            if correction is None:
+                return batch.values, batch.error_bounds
+            correction_estimate = estimator.estimate(
+                correction.values,
+                population,
+                query.delta,
+                value_range=query.known_value_range,
+            )
+            if scale != 1.0:
+                correction_estimate = correction_estimate.scaled(scale)
+            corrected = ProfileRepair.corrected_mean_bound_batch(
+                batch.values, correction_estimate
+            )
+            if plan_is_random:
+                bounds = np.minimum(batch.error_bounds, corrected)
+            else:
+                bounds = corrected
+            return batch.values, bounds
+
+        values = np.empty(moments.trials)
+        bounds = np.empty(moments.trials)
+        for t in range(moments.trials):
+            estimate = self._estimate_values(
+                query,
+                moments.row(t)[:size],
+                universe_size,
+                plan_is_random,
+                correction,
+            )
+            values[t] = estimate.value
+            bounds[t] = estimate.error_bound
+        return values, bounds
+
     def _corrected_mean_bound(
         self,
         query: AggregateQuery,
@@ -326,8 +423,22 @@ class DegradationProfiler:
             correction: Optional correction set for repair.
 
         Returns:
-            The averaged value/bound at the setting.
+            The averaged value/bound at the setting. The reported ``n`` is
+            the maximum sample size over trials (trustworthy even if a
+            plan yields trial-varying eligible sets).
         """
+        plan_is_random = self._plan_is_random(query, plan)
+        if self._vectorized:
+            samples = []
+            for _ in range(self._trials):
+                sample = plan.draw(query.dataset, rng, self._processor.suite)
+                self._record_sampled(
+                    query, sample.resolution, sample.quality, sample.size
+                )
+                samples.append(sample)
+            return self._point_from_samples(
+                query, samples, plan_is_random, correction
+            )
         values_sum = 0.0
         bounds_sum = 0.0
         n = 0
@@ -337,14 +448,67 @@ class DegradationProfiler:
                 query, sample.resolution, sample.quality, sample.size
             )
             estimate = self._estimate_sample(
-                query, sample, self._plan_is_random(query, plan), correction
+                query, sample, plan_is_random, correction
             )
             values_sum += estimate.value
             bounds_sum += estimate.error_bound
-            n = estimate.n
+            n = max(n, estimate.n)
         return PointEstimate(
             value=values_sum / self._trials,
             error_bound=bounds_sum / self._trials,
+            n=n,
+        )
+
+    def _point_from_samples(
+        self,
+        query: AggregateQuery,
+        samples: list[DegradedSample],
+        plan_is_random: bool,
+        correction: CorrectionSet | None,
+    ) -> PointEstimate:
+        """Price drawn trial samples together via the batch kernels.
+
+        Trials of one plan share the eligible universe, so their samples
+        have equal sizes and stack into a prefix matrix; if a plan ever
+        yields trial-varying sets, the per-trial scalar path takes over
+        (and the reported ``n`` is the maximum across trials).
+        """
+        values_list = [
+            self._processor.values_for_sample(query, sample)
+            for sample in samples
+        ]
+        sizes = {array.size for array in values_list}
+        universes = {sample.universe_size for sample in samples}
+        if len(sizes) == 1 and len(universes) == 1:
+            n = next(iter(sizes))
+            moments = PrefixMoments(np.stack(values_list))
+            values, bounds = self._estimate_prefix_batch(
+                query,
+                moments,
+                n,
+                next(iter(universes)),
+                plan_is_random,
+                correction,
+            )
+            return PointEstimate(
+                value=float(values.mean()),
+                error_bound=float(bounds.mean()),
+                n=int(n),
+            )
+        values = np.empty(len(samples))
+        bounds = np.empty(len(samples))
+        n = 0
+        for t, sample in enumerate(samples):
+            estimate = self._estimate_values(
+                query, values_list[t], sample.universe_size,
+                plan_is_random, correction,
+            )
+            values[t] = estimate.value
+            bounds[t] = estimate.error_bound
+            n = max(n, estimate.n)
+        return PointEstimate(
+            value=float(values.mean()),
+            error_bound=float(bounds.mean()),
             n=n,
         )
 
@@ -370,12 +534,25 @@ class DegradationProfiler:
             correction: Optional correction set for repair.
 
         Returns:
-            The averaged value/bound at the setting.
+            The averaged value/bound at the setting. The reported ``n`` is
+            the maximum sample size over trials.
         """
+        plan_is_random = self._plan_is_random(query, plan)
+        if self._vectorized:
+            samples = []
+            for t in range(self._trials):
+                rng = child_rng(root, unit_index, t)
+                sample = plan.draw(query.dataset, rng, self._processor.suite)
+                self._record_sampled(
+                    query, sample.resolution, sample.quality, sample.size
+                )
+                samples.append(sample)
+            return self._point_from_samples(
+                query, samples, plan_is_random, correction
+            )
         values = np.empty(self._trials)
         bounds = np.empty(self._trials)
         n = 0
-        plan_is_random = self._plan_is_random(query, plan)
         for t in range(self._trials):
             rng = child_rng(root, unit_index, t)
             sample = plan.draw(query.dataset, rng, self._processor.suite)
@@ -387,7 +564,7 @@ class DegradationProfiler:
             )
             values[t] = estimate.value
             bounds[t] = estimate.error_bound
-            n = estimate.n
+            n = max(n, estimate.n)
         return PointEstimate(
             value=float(values.mean()),
             error_bound=float(bounds.mean()),
@@ -429,9 +606,13 @@ class DegradationProfiler:
         full_values = self._processor.frame_values(
             query, effective_resolution, quality
         )
-        trial_values = [
-            full_values[eligible[sampler.prefix(max_size)]] for sampler in samplers
-        ]
+        # One (trials, max_size) fancy index instead of a gather per trial;
+        # row t is exactly full_values[eligible[samplers[t].prefix(...)]].
+        prefix_matrix = np.stack(
+            [sampler.prefix(max_size) for sampler in samplers]
+        )
+        value_matrix = full_values[eligible[prefix_matrix]]
+        trial_values = list(value_matrix)
         # The fraction knob never changes the randomness classification
         # (frame sampling is always the random intervention), so classify
         # the setting once.
@@ -441,6 +622,19 @@ class DegradationProfiler:
         )
 
         trials = len(samplers)
+        if self._vectorized:
+            return self._sweep_grid_vectorized(
+                query,
+                fractions,
+                sizes,
+                effective_resolution,
+                quality,
+                value_matrix,
+                int(eligible.size),
+                plan_is_random,
+                correction,
+                early_stop_tolerance,
+            )
         processed = [0] * trials
         results: list[SweptFraction] = []
         previous_bound: float | None = None
@@ -478,6 +672,75 @@ class DegradationProfiler:
             previous_bound = mean_bound
         return results
 
+    def _sweep_grid_vectorized(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        sizes: list[int],
+        resolution: Resolution,
+        quality: float,
+        value_matrix: np.ndarray,
+        universe_size: int,
+        plan_is_random: bool,
+        correction: CorrectionSet | None,
+        early_stop_tolerance: float | None,
+    ) -> list[SweptFraction]:
+        """The fraction grid on the prefix-moment kernel.
+
+        One :class:`~repro.stats.prefix_moments.PrefixMoments` pass over
+        the stacked trial matrix serves every fraction as O(trials)
+        slices. Ledger updates are batched per fraction — all trials share
+        the size trajectory, so ``new_frames × trials`` in one record call
+        yields exactly the loop path's totals — and early stopping walks
+        the ascending fractions in the same order with the same mean-bound
+        rule, so the evaluated set matches the loop path's.
+        """
+        moments = PrefixMoments(value_matrix)
+        trials = int(value_matrix.shape[0])
+        processed = 0
+        results: list[SweptFraction] = []
+        previous_bound: float | None = None
+        for fraction, size in zip(fractions, sizes):
+            new_frames = max(0, size - processed)
+            self._record_sampled(query, resolution, quality, new_frames * trials)
+            processed = max(processed, size)
+            values, bounds = self._estimate_prefix_batch(
+                query, moments, size, universe_size, plan_is_random, correction
+            )
+            swept = SweptFraction(
+                fraction=fraction,
+                values=np.asarray(values, dtype=float),
+                bounds=np.asarray(bounds, dtype=float),
+                size=size,
+            )
+            results.append(swept)
+            mean_bound = float(swept.bounds.mean())
+            if (
+                early_stop_tolerance is not None
+                and previous_bound is not None
+                and abs(previous_bound - mean_bound) < early_stop_tolerance
+            ):
+                break
+            previous_bound = mean_bound
+        return results
+
+    @staticmethod
+    def _sweep_max_size(universe: int, fractions: tuple[float, ...]) -> int | None:
+        """The largest design size a fraction sweep will request.
+
+        Passed to :class:`ProgressiveSampler` so each trial draws only the
+        prefix the sweep can actually consume (O(max_size) instead of a
+        full O(universe) permutation). None when the grid is empty or
+        malformed — the sweep core raises its own error then, and the
+        sampler falls back to the full permutation meanwhile.
+        """
+        if not fractions:
+            return None
+        top = max(fractions)
+        if not 0.0 < top <= 1.0:
+            return None
+        return SampleDesign(universe, top).size
+
     def _sweep_fractions(
         self,
         query: AggregateQuery,
@@ -491,8 +754,10 @@ class DegradationProfiler:
         """The sweep over sequential-``rng`` trial samplers (legacy path)."""
         base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
         eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
+        max_size = self._sweep_max_size(int(eligible.size), fractions)
         samplers = [
-            ProgressiveSampler(eligible.size, rng) for _ in range(self._trials)
+            ProgressiveSampler(eligible.size, rng, max_size=max_size)
+            for _ in range(self._trials)
         ]
         swept = self._sweep_core(
             query, fractions, resolution, removal, correction, samplers,
@@ -537,8 +802,11 @@ class DegradationProfiler:
         """
         base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
         eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
+        max_size = self._sweep_max_size(int(eligible.size), fractions)
         samplers = [
-            ProgressiveSampler(eligible.size, child_rng(root, unit_index, t))
+            ProgressiveSampler(
+                eligible.size, child_rng(root, unit_index, t), max_size=max_size
+            )
             for t in trial_indices
         ]
         return self._sweep_core(
@@ -764,7 +1032,7 @@ class DegradationProfiler:
         executor = executor or ParallelExecutor()
         root_t = normalize_root(root)
         fractions = tuple(fractions)
-        chunks = trial_chunks(self._trials, executor.config.workers)
+        chunks = trial_chunks(self._trials, executor.worker_count(self._trials))
         units = [
             SweepUnit(
                 query=query,
@@ -778,6 +1046,7 @@ class DegradationProfiler:
                 trial_indices=tuple(chunk),
                 early_stop_tolerance=None,
                 suite=self._processor.suite,
+                vectorized=self._vectorized,
             )
             for chunk in chunks
         ]
@@ -838,6 +1107,7 @@ class DegradationProfiler:
                 root=root_t,
                 unit_index=i,
                 suite=self._processor.suite,
+                vectorized=self._vectorized,
             )
             for i, plan in enumerate(plans)
         ]
@@ -962,6 +1232,7 @@ class DegradationProfiler:
                 unit_index=ci * resolution_count + ri,
                 early_stop_tolerance=early_stop_tolerance,
                 suite=self._processor.suite,
+                vectorized=self._vectorized,
             )
             for ci, combo in enumerate(candidates.removals)
             for ri, resolution in enumerate(candidates.resolutions)

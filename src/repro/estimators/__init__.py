@@ -26,7 +26,12 @@ Use :func:`~repro.estimators.dispatch.estimate_query` to run any method on
 a degraded execution with the right scaling per aggregate type.
 """
 
-from repro.estimators.base import Estimate, MeanEstimator, QuantileEstimator
+from repro.estimators.base import (
+    BatchEstimate,
+    Estimate,
+    MeanEstimator,
+    QuantileEstimator,
+)
 from repro.estimators.budget import (
     StratumInterval,
     combine_stratum_intervals,
@@ -39,6 +44,7 @@ from repro.estimators.classic import (
     HoeffdingSerflingEstimator,
 )
 from repro.estimators.dispatch import (
+    estimate_batch,
     estimate_query,
     mean_estimator_registry,
     quantile_estimator_registry,
@@ -55,6 +61,7 @@ from repro.estimators.variance import (
 )
 
 __all__ = [
+    "BatchEstimate",
     "CLTEstimator",
     "EBGSEstimator",
     "Estimate",
@@ -72,6 +79,7 @@ __all__ = [
     "StreamingMeanEstimator",
     "SteinEstimator",
     "combine_stratum_intervals",
+    "estimate_batch",
     "estimate_query",
     "mean_estimator_registry",
     "quantile_estimator_registry",

@@ -1,4 +1,13 @@
-"""Estimator interfaces and the estimate container."""
+"""Estimator interfaces and the estimate containers.
+
+Estimators come in two granularities: the scalar :meth:`MeanEstimator.
+estimate` prices one sample, while :meth:`MeanEstimator.estimate_batch`
+prices the same prefix length across *all* trials of a
+:class:`~repro.stats.prefix_moments.PrefixMoments` matrix at once,
+returning per-trial arrays in a :class:`BatchEstimate`. Estimators without
+a vectorized form inherit a per-trial fallback that slices each row and
+delegates to ``estimate``, so the batch API is total over the registry.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +19,7 @@ import numpy as np
 
 from repro.errors import EstimationError
 from repro.query.aggregates import Aggregate
+from repro.stats.prefix_moments import PrefixMoments
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,60 @@ class Estimate:
         )
 
 
+@dataclass(frozen=True)
+class BatchEstimate:
+    """Per-trial estimates at one prefix length, as aligned arrays.
+
+    The batch analogue of :class:`Estimate` for sweeps that price the same
+    sample size across many trials: ``values[t]`` / ``error_bounds[t]`` are
+    exactly the ``value`` / ``error_bound`` the scalar estimator would
+    produce on trial ``t``'s prefix (per-trial ``extras`` are dropped; the
+    profiler's sweeps never read them).
+
+    Attributes:
+        values: Per-trial approximate answers, shape ``(trials,)``.
+        error_bounds: Per-trial relative error bounds, shape ``(trials,)``.
+        method: Estimator name, e.g. ``"smokescreen"``.
+        n: Sample size shared by every trial.
+        universe_size: Eligible-universe size the samples were drawn from.
+    """
+
+    values: np.ndarray
+    error_bounds: np.ndarray
+    method: str
+    n: int
+    universe_size: int
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.error_bounds.shape:
+            raise EstimationError(
+                f"values shape {self.values.shape} does not match error "
+                f"bounds shape {self.error_bounds.shape}"
+            )
+        if np.any(self.error_bounds < 0):
+            raise EstimationError("error bounds must be non-negative")
+
+    def scaled(self, factor: float) -> "BatchEstimate":
+        """The same estimates with values scaled (AVG -> SUM/COUNT)."""
+        return BatchEstimate(
+            values=self.values * factor,
+            error_bounds=self.error_bounds,
+            method=self.method,
+            n=self.n,
+            universe_size=self.universe_size,
+        )
+
+    def trial(self, t: int) -> Estimate:
+        """Trial ``t``'s result as a scalar :class:`Estimate`."""
+        return Estimate(
+            value=float(self.values[t]),
+            error_bound=float(self.error_bounds[t]),
+            method=self.method,
+            n=self.n,
+            universe_size=self.universe_size,
+        )
+
+
 def validate_sample(values: np.ndarray, universe_size: int) -> np.ndarray:
     """Common input validation for estimators.
 
@@ -83,6 +147,32 @@ def validate_sample(values: np.ndarray, universe_size: int) -> np.ndarray:
     if not np.all(np.isfinite(array)):
         raise EstimationError("sample contains non-finite values")
     return array
+
+
+def validate_batch_request(
+    moments: PrefixMoments, n: int, universe_size: int
+) -> None:
+    """Common validation for batch estimation over prefix moments.
+
+    Mirrors :func:`validate_sample` for the batch API: the prefix length
+    plays the role of the sample size (finiteness was already checked by
+    the :class:`~repro.stats.prefix_moments.PrefixMoments` constructor).
+
+    Args:
+        moments: The precomputed prefix moments.
+        n: Requested prefix length.
+        universe_size: Size of the universe the trials sampled from.
+    """
+    if n <= 0:
+        raise EstimationError("cannot estimate from an empty sample")
+    if n > moments.max_size:
+        raise EstimationError(
+            f"prefix length {n} exceeds gathered prefix {moments.max_size}"
+        )
+    if n > universe_size:
+        raise EstimationError(
+            f"sample of size {n} exceeds universe size {universe_size}"
+        )
 
 
 class MeanEstimator(abc.ABC):
@@ -119,6 +209,49 @@ class MeanEstimator(abc.ABC):
             least ``1 - delta`` under random interventions.
         """
 
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Price the length-``n`` prefix of every trial at once.
+
+        The base implementation is the per-trial fallback: slice each
+        row's prefix and delegate to :meth:`estimate`, so every estimator
+        supports the batch API even without a vectorized form. Subclasses
+        with closed-form array versions override this with broadcasted
+        kernels that agree with the scalar path within the repo's 1e-9
+        numerical-equivalence policy.
+
+        Args:
+            moments: Prefix moments of the ``(trials, max_size)`` matrix.
+            n: Prefix length to price (``1 <= n <= max_size``).
+            universe_size: Size of the universe the trials sampled from.
+            delta: Bound failure probability.
+            value_range: A-priori known population range, or None for each
+                trial's sample range.
+
+        Returns:
+            Per-trial values and bounds, aligned with the matrix rows.
+        """
+        validate_batch_request(moments, n, universe_size)
+        estimates = [
+            self.estimate(
+                moments.row(t)[:n], universe_size, delta, value_range=value_range
+            )
+            for t in range(moments.trials)
+        ]
+        return BatchEstimate(
+            values=np.array([e.value for e in estimates]),
+            error_bounds=np.array([e.error_bound for e in estimates]),
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
+        )
+
 
 def effective_range(values: np.ndarray, value_range: float | None) -> float:
     """The range an estimator should use: known if given, else sampled.
@@ -138,6 +271,29 @@ def effective_range(values: np.ndarray, value_range: float | None) -> float:
             )
         return float(value_range)
     return float(values.max() - values.min())
+
+
+def effective_range_batch(
+    moments: PrefixMoments, n: int, value_range: float | None
+) -> float | np.ndarray:
+    """Batch analogue of :func:`effective_range`.
+
+    Args:
+        moments: Prefix moments of the trial matrix.
+        n: Prefix length.
+        value_range: A-priori known population range, or None.
+
+    Returns:
+        The known range as a scalar (broadcasts over trials), else the
+        per-trial sample ranges of the length-``n`` prefixes.
+    """
+    if value_range is not None:
+        if value_range < 0:
+            raise EstimationError(
+                f"known value range must be non-negative, got {value_range}"
+            )
+        return float(value_range)
+    return moments.value_range(n)
 
 
 class QuantileEstimator(abc.ABC):
@@ -166,3 +322,31 @@ class QuantileEstimator(abc.ABC):
         Returns:
             The estimate; ``error_bound`` bounds the relative *rank* error.
         """
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        r: float,
+        delta: float,
+        aggregate: Aggregate,
+    ) -> BatchEstimate:
+        """Per-trial fallback of the batch API for quantile estimators.
+
+        Quantile estimation walks a distinct-value table per sample, which
+        has no cheap prefix-cumulative form, so the batch entry point
+        always delegates row-by-row to :meth:`estimate`.
+        """
+        validate_batch_request(moments, n, universe_size)
+        estimates = [
+            self.estimate(moments.row(t)[:n], universe_size, r, delta, aggregate)
+            for t in range(moments.trials)
+        ]
+        return BatchEstimate(
+            values=np.array([e.value for e in estimates]),
+            error_bounds=np.array([e.error_bound for e in estimates]),
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
+        )

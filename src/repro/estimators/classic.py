@@ -18,16 +18,23 @@ import math
 import numpy as np
 
 from repro.estimators.base import (
+    BatchEstimate,
     Estimate,
     MeanEstimator,
     effective_range,
+    effective_range_batch,
+    validate_batch_request,
     validate_sample,
 )
 from repro.stats.inequalities import (
     clt_radius,
+    clt_radius_batch,
     hoeffding_radius,
+    hoeffding_radius_batch,
     hoeffding_serfling_radius,
+    hoeffding_serfling_radius_batch,
 )
+from repro.stats.prefix_moments import PrefixMoments
 
 
 def _mean_with_ratio_bound(
@@ -44,6 +51,14 @@ def _mean_with_ratio_bound(
         universe_size=universe_size,
         extras={"radius": radius},
     )
+
+
+def _ratio_bound_batch(means: np.ndarray, radii: np.ndarray) -> np.ndarray:
+    """Vectorized radius / lower-bound relative bound (inf when swallowed)."""
+    lower = np.abs(means) - radii
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bounds = radii / lower
+    return np.where(lower > 0, bounds, math.inf)
 
 
 class HoeffdingEstimator(MeanEstimator):
@@ -64,6 +79,29 @@ class HoeffdingEstimator(MeanEstimator):
         radius = hoeffding_radius(array.size, delta, sample_range)
         return _mean_with_ratio_bound(
             float(array.mean()), radius, array.size, universe_size, self.name
+        )
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Vectorized Hoeffding pricing over all trials at one prefix."""
+        validate_batch_request(moments, n, universe_size)
+        means = moments.mean(n)
+        ranges = effective_range_batch(moments, n, value_range)
+        radii = np.broadcast_to(
+            hoeffding_radius_batch(n, delta, ranges), means.shape
+        )
+        return BatchEstimate(
+            values=means,
+            error_bounds=_ratio_bound_batch(means, radii),
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
         )
 
 
@@ -87,6 +125,30 @@ class HoeffdingSerflingEstimator(MeanEstimator):
         )
         return _mean_with_ratio_bound(
             float(array.mean()), radius, array.size, universe_size, self.name
+        )
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Vectorized Hoeffding–Serfling pricing over all trials."""
+        validate_batch_request(moments, n, universe_size)
+        means = moments.mean(n)
+        ranges = effective_range_batch(moments, n, value_range)
+        radii = np.broadcast_to(
+            hoeffding_serfling_radius_batch(n, universe_size, delta, ranges),
+            means.shape,
+        )
+        return BatchEstimate(
+            values=means,
+            error_bounds=_ratio_bound_batch(means, radii),
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
         )
 
 
@@ -123,4 +185,33 @@ class CLTEstimator(MeanEstimator):
         radius = clt_radius(array.size, delta, sample_std)
         return _mean_with_ratio_bound(
             sample_mean, radius, array.size, universe_size, self.name
+        )
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Vectorized CLT pricing over all trials at one prefix."""
+        validate_batch_request(moments, n, universe_size)
+        means = moments.mean(n)
+        if n < 2:
+            return BatchEstimate(
+                values=means,
+                error_bounds=np.full_like(means, math.inf),
+                method=self.name,
+                n=n,
+                universe_size=universe_size,
+            )
+        stds = moments.std(n, ddof=1)
+        radii = clt_radius_batch(n, delta, stds)
+        return BatchEstimate(
+            values=means,
+            error_bounds=_ratio_bound_batch(means, radii),
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
         )

@@ -10,7 +10,12 @@ bookkeeping so experiments can ask for any method by name.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.estimators.base import Estimate, MeanEstimator, QuantileEstimator
+from repro.estimators.base import (
+    BatchEstimate,
+    Estimate,
+    MeanEstimator,
+    QuantileEstimator,
+)
 from repro.estimators.classic import (
     CLTEstimator,
     HoeffdingEstimator,
@@ -26,6 +31,7 @@ from repro.estimators.variance import (
 )
 from repro.query.processor import DegradedExecution
 from repro.query.query import AggregateQuery
+from repro.stats.prefix_moments import PrefixMoments
 
 
 def mean_estimator_registry() -> dict[str, MeanEstimator]:
@@ -115,6 +121,80 @@ def estimate_query(
     return estimator_q.estimate(
         execution.values,
         execution.universe_size,
+        query.effective_quantile,
+        query.delta,
+        query.aggregate,
+    )
+
+
+def estimate_batch(
+    query: AggregateQuery,
+    moments: PrefixMoments,
+    n: int,
+    universe_size: int,
+    population_size: int,
+    method: str = "smokescreen",
+) -> BatchEstimate:
+    """Batch analogue of :func:`estimate_query` over prefix moments.
+
+    Prices the length-``n`` prefix of every trial at once with the same
+    routing and scaling as the scalar path: mean-family methods use their
+    vectorized ``estimate_batch`` kernels, while variance and quantile
+    methods (whose estimators have no closed batch form) fall through the
+    per-trial fallback of :class:`~repro.estimators.base.MeanEstimator` /
+    :class:`~repro.estimators.base.QuantileEstimator`.
+
+    Args:
+        query: The query (selects the aggregate and its parameters).
+        moments: Prefix moments of the ``(trials, max_size)`` value matrix,
+            gathered under this query's degradation setting.
+        n: Prefix length to price.
+        universe_size: Eligible-universe size the trials sampled from.
+        population_size: Total corpus length, for SUM/COUNT scaling.
+        method: Estimator name, as for :func:`estimate_query`.
+
+    Returns:
+        Per-trial values and bounds, SUM/COUNT answers scaled to the
+        corpus length.
+    """
+    if query.aggregate.is_mean_family:
+        registry = mean_estimator_registry()
+        estimator = registry.get(method)
+        if estimator is None:
+            raise ConfigurationError(
+                f"unknown mean estimator {method!r}; valid: {sorted(registry)}"
+            )
+        batch = estimator.estimate_batch(
+            moments,
+            n,
+            universe_size,
+            query.delta,
+            value_range=query.known_value_range,
+        )
+        if query.aggregate.name in ("SUM", "COUNT"):
+            return batch.scaled(population_size)
+        return batch
+
+    if query.aggregate.is_variance:
+        registry_v = variance_estimator_registry()
+        estimator_v = registry_v.get(method)
+        if estimator_v is None:
+            raise ConfigurationError(
+                f"unknown variance estimator {method!r}; valid: "
+                f"{sorted(registry_v)}"
+            )
+        return estimator_v.estimate_batch(moments, n, universe_size, query.delta)
+
+    registry_q = quantile_estimator_registry()
+    estimator_q = registry_q.get(method)
+    if estimator_q is None:
+        raise ConfigurationError(
+            f"unknown quantile estimator {method!r}; valid: {sorted(registry_q)}"
+        )
+    return estimator_q.estimate_batch(
+        moments,
+        n,
+        universe_size,
         query.effective_quantile,
         query.delta,
         query.aggregate,

@@ -20,12 +20,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.estimators.base import (
+    BatchEstimate,
     Estimate,
     MeanEstimator,
     effective_range,
+    effective_range_batch,
+    validate_batch_request,
     validate_sample,
 )
-from repro.estimators.smokescreen import bound_aware_estimate_from_interval
+from repro.estimators.smokescreen import (
+    bound_aware_batch_from_interval,
+    bound_aware_estimate_from_interval,
+)
+from repro.stats.prefix_moments import PrefixMoments
 
 
 class EBGSEstimator(MeanEstimator):
@@ -78,4 +85,53 @@ class EBGSEstimator(MeanEstimator):
         sample_mean = float(prefix_mean[-1])
         return bound_aware_estimate_from_interval(
             sample_mean, upper, lower, n, universe_size, self.name
+        )
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Vectorized EBGS envelope over all trials at one prefix length.
+
+        The ``(trials, n)`` prefix mean/variance matrices come straight
+        from the shared cumulative sums; the per-prefix radii and the
+        max/min envelope reduce along the prefix axis. Row-for-row this
+        performs the same sequential cumulative arithmetic as the scalar
+        path, so the agreement is exact, not merely within tolerance.
+        """
+        validate_batch_request(moments, n, universe_size)
+        t = np.arange(1, n + 1, dtype=float)
+        prefix_mean = moments.prefix_mean_matrix(n)
+        prefix_std = np.sqrt(moments.prefix_variance_matrix(n))
+
+        ranges = np.asarray(effective_range_batch(moments, n, value_range))
+        log_term = np.log(3.0 * t * (t + 1.0) / delta)
+        radii = prefix_std * np.sqrt(2.0 * log_term / t) + (
+            3.0 * ranges.reshape(-1, 1) * log_term / t
+            if ranges.ndim
+            else 3.0 * ranges * log_term / t
+        )
+
+        lower = np.max(np.abs(prefix_mean) - radii, axis=1)
+        upper = np.min(np.abs(prefix_mean) + radii, axis=1)
+        lower = np.maximum(0.0, lower)
+        # Crossed envelopes collapse to their midpoints, per trial.
+        crossed = lower > upper
+        midpoint = (lower + upper) / 2.0
+        lower = np.where(crossed, midpoint, lower)
+        upper = np.where(crossed, midpoint, upper)
+
+        values, bounds = bound_aware_batch_from_interval(
+            prefix_mean[:, -1], upper, lower
+        )
+        return BatchEstimate(
+            values=values,
+            error_bounds=bounds,
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
         )

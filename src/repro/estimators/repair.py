@@ -129,6 +129,30 @@ class ProfileRepair:
         drift = abs(y_approx - correction.value) / abs(correction.value)
         return (1.0 + err_v) * drift + err_v
 
+    @staticmethod
+    def corrected_mean_bound_batch(
+        y_approx: np.ndarray, correction: Estimate
+    ) -> np.ndarray:
+        """Equation (12) broadcast over per-trial degraded answers.
+
+        Elementwise identical to :meth:`corrected_mean_bound`: the
+        correction estimate is shared, only the degraded answer varies by
+        trial.
+
+        Args:
+            y_approx: Per-trial degraded approximate answers.
+            correction: The correction set's estimate.
+
+        Returns:
+            Per-trial corrected bounds (all infinity when the correction
+            answer is 0).
+        """
+        err_v = correction.error_bound
+        if correction.value == 0.0:
+            return np.full(np.shape(y_approx), math.inf)
+        drift = np.abs(y_approx - correction.value) / abs(correction.value)
+        return (1.0 + err_v) * drift + err_v
+
     def repair_quantile(
         self,
         degraded_values: np.ndarray,

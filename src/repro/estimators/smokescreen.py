@@ -20,12 +20,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.estimators.base import (
+    BatchEstimate,
     Estimate,
     MeanEstimator,
     effective_range,
+    effective_range_batch,
+    validate_batch_request,
     validate_sample,
 )
-from repro.stats.inequalities import hoeffding_serfling_radius
+from repro.stats.inequalities import (
+    hoeffding_serfling_radius,
+    hoeffding_serfling_radius_batch,
+)
+from repro.stats.prefix_moments import PrefixMoments
 
 
 def bound_aware_estimate(
@@ -110,6 +117,56 @@ def bound_aware_estimate_from_interval(
     )
 
 
+def bound_aware_batch_from_interval(
+    sample_means: np.ndarray, upper: np.ndarray, lower: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Theorem 3.1 output formulas over trial arrays.
+
+    Elementwise identical to
+    :func:`bound_aware_estimate_from_interval`, including both degenerate
+    cases: ``upper <= 0`` pins the answer to a certain zero (bound 0),
+    ``lower <= 0`` yields answer 0 with bound 1.
+
+    Args:
+        sample_means: Per-trial sample means (only their signs are used).
+        upper: Per-trial upper bounds ``UB`` on ``|mu|``.
+        lower: Per-trial lower bounds ``LB``, clipped at zero by callers.
+
+    Returns:
+        Per-trial ``(values, error_bounds)`` arrays.
+    """
+    sign = np.where(sample_means >= 0, 1.0, -1.0)
+    total = upper + lower
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = sign * 2.0 * upper * lower / total
+        bounds = (upper - lower) / total
+    degenerate_lower = lower <= 0.0
+    values = np.where(degenerate_lower, 0.0, values)
+    bounds = np.where(degenerate_lower, 1.0, bounds)
+    certain_zero = upper <= 0.0
+    values = np.where(certain_zero, 0.0, values)
+    bounds = np.where(certain_zero, 0.0, bounds)
+    return values, bounds
+
+
+def bound_aware_batch(
+    sample_means: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized analogue of :func:`bound_aware_estimate`.
+
+    Args:
+        sample_means: Per-trial sample means.
+        radii: Per-trial two-sided interval radii.
+
+    Returns:
+        Per-trial ``(values, error_bounds)`` arrays.
+    """
+    abs_means = np.abs(sample_means)
+    upper = abs_means + radii
+    lower = np.maximum(0.0, abs_means - radii)
+    return bound_aware_batch_from_interval(sample_means, upper, lower)
+
+
 class SmokescreenMeanEstimator(MeanEstimator):
     """Algorithm 1: Hoeffding–Serfling interval + bound-aware output."""
 
@@ -136,4 +193,31 @@ class SmokescreenMeanEstimator(MeanEstimator):
         )
         return bound_aware_estimate(
             sample_mean, radius, array.size, universe_size, self.name
+        )
+
+    def estimate_batch(
+        self,
+        moments: PrefixMoments,
+        n: int,
+        universe_size: int,
+        delta: float,
+        value_range: float | None = None,
+    ) -> BatchEstimate:
+        """Vectorized Algorithm 1 over all trials at one prefix length.
+
+        See :meth:`repro.estimators.base.MeanEstimator.estimate_batch`;
+        the means, sample ranges, and Hoeffding–Serfling radii are all
+        O(trials) slices of the precomputed prefix moments.
+        """
+        validate_batch_request(moments, n, universe_size)
+        means = moments.mean(n)
+        ranges = effective_range_batch(moments, n, value_range)
+        radii = hoeffding_serfling_radius_batch(n, universe_size, delta, ranges)
+        values, bounds = bound_aware_batch(means, np.broadcast_to(radii, means.shape))
+        return BatchEstimate(
+            values=values,
+            error_bounds=bounds,
+            method=self.name,
+            n=n,
+            universe_size=universe_size,
         )

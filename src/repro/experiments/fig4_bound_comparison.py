@@ -38,7 +38,8 @@ def run_fig4(
     fractions: tuple[float, ...] | None = None,
     seed: int = 0,
     grid_points: int = 8,
-    workers: int = 1,
+    workers: int | str = 1,
+    vectorized: bool = True,
 ) -> ExperimentResult:
     """Regenerate one Figure 4 panel (one dataset x one aggregate).
 
@@ -54,7 +55,10 @@ def run_fig4(
             ending at the paper's per-panel cut-off.
         seed: Trial randomness seed.
         grid_points: Grid size when ``fractions`` is defaulted.
-        workers: Worker processes for the trial loops.
+        workers: Worker processes for the trial loops (``"auto"`` defers
+            to the host and workload size).
+        vectorized: Price trials with the batch estimator kernels (the
+            default); False keeps the per-trial loops.
 
     Returns:
         Series ``<method>_bound`` and ``<method>_err`` per fraction.
@@ -78,6 +82,7 @@ def run_fig4(
         summaries = run_method_trials_seeded(
             processor, query, plan, methods, trials, seed,
             setting_index=setting_index, executor=executor,
+            vectorized=vectorized,
         )
         for method, summary in summaries.items():
             series[f"{method}_bound"].append(summary.mean_bound)

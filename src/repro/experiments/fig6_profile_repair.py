@@ -114,7 +114,8 @@ def run_fig6(
     trials: int = 100,
     frame_count: int | None = None,
     seed: int = 0,
-    workers: int = 1,
+    workers: int | str = 1,
+    vectorized: bool = True,
 ) -> ExperimentResult:
     """Regenerate one Figure 6 row.
 
@@ -129,7 +130,10 @@ def run_fig6(
         trials: Sampling trials per knob (paper: 100).
         frame_count: Optional reduced corpus size.
         seed: Trial randomness seed.
-        workers: Worker processes for the trial loops.
+        workers: Worker processes for the trial loops (``"auto"`` defers
+            to the host and workload size).
+        vectorized: Price trials with the batch estimator kernels (the
+            default); False keeps the per-trial loops.
 
     Returns:
         Series: bound without correction, bound with correction, true error.
@@ -163,7 +167,7 @@ def run_fig6(
         # re-created the same generator per knob for the same reason).
         summary = run_repair_trials_seeded(
             processor, query, plan, correction.values, trials, seed + 1,
-            setting_index=0, executor=executor,
+            setting_index=0, executor=executor, vectorized=vectorized,
         )
         series["bound_no_correction"].append(summary.uncorrected_bound)
         series["bound_with_correction"].append(summary.corrected_bound)

@@ -22,11 +22,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.estimators.base import Estimate
-from repro.estimators.dispatch import estimate_query
+from repro.estimators.dispatch import estimate_batch, estimate_query
 from repro.experiments.metrics import true_error
 from repro.interventions.plan import InterventionPlan
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
+from repro.stats.prefix_moments import PrefixMoments
 from repro.system.executor import (
     ParallelExecutor,
     RootSeed,
@@ -84,12 +85,50 @@ def _method_trial_arrays(
     plan: InterventionPlan,
     methods: tuple[str, ...],
     rngs: list[np.random.Generator],
+    vectorized: bool = False,
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-    """Per-trial (bounds, errors) arrays per method, one trial per rng."""
+    """Per-trial (bounds, errors) arrays per method, one trial per rng.
+
+    With ``vectorized`` the trial executions stack into one prefix-moment
+    matrix and each method is priced once across all trials by
+    :func:`repro.estimators.dispatch.estimate_batch` (estimation consumes
+    no randomness, so executing every trial up front draws the same
+    samples as the interleaved loop). Trials whose executions differ in
+    shape — a plan with trial-varying eligible sets — fall back to the
+    loop.
+    """
+    executions = [processor.execute(query, plan, rng) for rng in rngs]
+    if vectorized and executions:
+        sizes = {execution.values.size for execution in executions}
+        universes = {execution.universe_size for execution in executions}
+        populations = {execution.population_size for execution in executions}
+        if len(sizes) == len(universes) == len(populations) == 1 and 0 not in sizes:
+            moments = PrefixMoments(
+                np.stack([execution.values for execution in executions])
+            )
+            per_method: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+            for method in methods:
+                batch = estimate_batch(
+                    query,
+                    moments,
+                    next(iter(sizes)),
+                    next(iter(universes)),
+                    next(iter(populations)),
+                    method,
+                )
+                per_method[method] = (
+                    batch.error_bounds,
+                    np.array(
+                        [
+                            true_error(processor, query, float(value))
+                            for value in batch.values
+                        ]
+                    ),
+                )
+            return per_method
     bounds: dict[str, list[float]] = {method: [] for method in methods}
     errors: dict[str, list[float]] = {method: [] for method in methods}
-    for rng in rngs:
-        execution = processor.execute(query, plan, rng)
+    for execution in executions:
         for method in methods:
             estimate: Estimate = estimate_query(query, execution, method)
             bounds[method].append(estimate.error_bound)
@@ -129,6 +168,7 @@ class MethodTrialsChunk:
         root: Root entropy of the seed stream.
         setting_index: First spawn-key coordinate of the setting.
         trial_indices: The trial coordinates this chunk evaluates.
+        vectorized: Price the chunk's trials with the batch kernels.
     """
 
     processor: QueryProcessor
@@ -138,6 +178,7 @@ class MethodTrialsChunk:
     root: tuple[int, ...]
     setting_index: int
     trial_indices: tuple[int, ...]
+    vectorized: bool = True
 
 
 def run_method_trials_chunk(
@@ -148,7 +189,12 @@ def run_method_trials_chunk(
         child_rng(chunk.root, chunk.setting_index, t) for t in chunk.trial_indices
     ]
     return _method_trial_arrays(
-        chunk.processor, chunk.query, chunk.plan, chunk.methods, rngs
+        chunk.processor,
+        chunk.query,
+        chunk.plan,
+        chunk.methods,
+        rngs,
+        vectorized=chunk.vectorized,
     )
 
 
@@ -161,6 +207,7 @@ def run_method_trials_seeded(
     root: RootSeed,
     setting_index: int = 0,
     executor: ParallelExecutor | None = None,
+    vectorized: bool = True,
 ) -> dict[str, TrialSummary]:
     """Like :func:`run_method_trials`, with per-trial seed streams.
 
@@ -177,6 +224,8 @@ def run_method_trials_seeded(
         setting_index: Distinguishes settings sharing one root (e.g. the
             fractions of a Figure 4 curve).
         executor: Execution substrate; defaults to serial.
+        vectorized: Price trials with the batch kernels (the default);
+            False keeps the per-trial loop for differential testing.
 
     Returns:
         Per-method trial summaries.
@@ -193,8 +242,9 @@ def run_method_trials_seeded(
             root=root_t,
             setting_index=setting_index,
             trial_indices=tuple(chunk),
+            vectorized=vectorized,
         )
-        for chunk in trial_chunks(trials, executor.config.workers)
+        for chunk in trial_chunks(trials, executor.worker_count(trials))
     ]
     results = executor.map(run_method_trials_chunk, payloads)
     merged = {
@@ -266,8 +316,16 @@ def _repair_trial_arrays(
     plan: InterventionPlan,
     correction_values: np.ndarray,
     rngs: list[np.random.Generator],
+    vectorized: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Per-trial (capped uncorrected, capped corrected, error) arrays."""
+    """Per-trial (capped uncorrected, capped corrected, error) arrays.
+
+    With ``vectorized``, mean-family and variance settings stack the trial
+    samples into a prefix matrix, price every trial's basic estimate with
+    one batch call, and broadcast the Equation (12) correction over the
+    per-trial answers; quantile settings keep the per-trial loop (their
+    estimator and Equation (13) have no batch form).
+    """
     from repro.estimators.quantile import SmokescreenQuantileEstimator
     from repro.estimators.repair import ProfileRepair
     from repro.estimators.smokescreen import SmokescreenMeanEstimator
@@ -297,12 +355,52 @@ def _repair_trial_arrays(
             query.aggregate,
         )
 
+    samples = [plan.draw(query.dataset, rng, processor.suite) for rng in rngs]
+    value_arrays = [
+        processor.values_for_sample(query, sample) for sample in samples
+    ]
+
+    if (
+        vectorized
+        and samples
+        and (query.aggregate.is_mean_family or query.aggregate.is_variance)
+        and len({array.size for array in value_arrays}) == 1
+        and len({sample.universe_size for sample in samples}) == 1
+        and value_arrays[0].size > 0
+    ):
+        estimator = (
+            variance_estimator if query.aggregate.is_variance else mean_estimator
+        )
+        moments = PrefixMoments(np.stack(value_arrays))
+        batch = estimator.estimate_batch(
+            moments,
+            value_arrays[0].size,
+            samples[0].universe_size,
+            query.delta,
+            value_range=query.known_value_range,
+        )
+        corrected = ProfileRepair.corrected_mean_bound_batch(
+            batch.values, correction_estimate
+        )
+        if is_random:
+            corrected = np.minimum(batch.error_bounds, corrected)
+        errors = np.array(
+            [
+                true_error(processor, query, float(value))
+                for value in batch.values
+            ]
+        )
+        return (
+            np.minimum(batch.error_bounds, BOUND_DISPLAY_CAP),
+            np.minimum(corrected, BOUND_DISPLAY_CAP),
+            errors,
+        )
+
     uncorrected_list: list[float] = []
     corrected_list: list[float] = []
     error_list: list[float] = []
-    for rng in rngs:
-        sample = plan.draw(query.dataset, rng, processor.suite)
-        values = processor.values_for_sample(query, sample)
+    for trial, sample in enumerate(samples):
+        values = value_arrays[trial]
         if query.aggregate.is_mean_family or query.aggregate.is_variance:
             estimator = (
                 variance_estimator
@@ -355,6 +453,7 @@ class RepairTrialsChunk:
         root: Root entropy of the seed stream.
         setting_index: First spawn-key coordinate of the setting.
         trial_indices: The trial coordinates this chunk evaluates.
+        vectorized: Price the chunk's trials with the batch kernels.
     """
 
     processor: QueryProcessor
@@ -364,6 +463,7 @@ class RepairTrialsChunk:
     root: tuple[int, ...]
     setting_index: int
     trial_indices: tuple[int, ...]
+    vectorized: bool = True
 
 
 def run_repair_trials_chunk(
@@ -374,7 +474,12 @@ def run_repair_trials_chunk(
         child_rng(chunk.root, chunk.setting_index, t) for t in chunk.trial_indices
     ]
     return _repair_trial_arrays(
-        chunk.processor, chunk.query, chunk.plan, chunk.correction_values, rngs
+        chunk.processor,
+        chunk.query,
+        chunk.plan,
+        chunk.correction_values,
+        rngs,
+        vectorized=chunk.vectorized,
     )
 
 
@@ -387,6 +492,7 @@ def run_repair_trials_seeded(
     root: RootSeed,
     setting_index: int = 0,
     executor: ParallelExecutor | None = None,
+    vectorized: bool = True,
 ) -> RepairTrialSummary:
     """Like :func:`run_repair_trials`, with per-trial seed streams.
 
@@ -400,6 +506,8 @@ def run_repair_trials_seeded(
         setting_index: Distinguishes settings sharing one root (e.g. the
             knobs of a Figure 6 row).
         executor: Execution substrate; defaults to serial.
+        vectorized: Price trials with the batch kernels (the default);
+            False keeps the per-trial loop for differential testing.
 
     Returns:
         The averaged summary (bit-identical for any worker count).
@@ -415,8 +523,9 @@ def run_repair_trials_seeded(
             root=root_t,
             setting_index=setting_index,
             trial_indices=tuple(chunk),
+            vectorized=vectorized,
         )
-        for chunk in trial_chunks(trials, executor.config.workers)
+        for chunk in trial_chunks(trials, executor.worker_count(trials))
     ]
     results = executor.map(run_repair_trials_chunk, payloads)
     uncorrected = np.concatenate([r[0] for r in results])

@@ -5,7 +5,10 @@ estimators (:mod:`repro.estimators`) are built on:
 
 - :mod:`repro.stats.inequalities` — interval radii from Hoeffding,
   Hoeffding–Serfling, empirical Bernstein (single-``n`` and the
-  union-over-time form used by the EBGS stopping algorithm) and the CLT.
+  union-over-time form used by the EBGS stopping algorithm) and the CLT,
+  each in a scalar and an array-broadcasting ``*_batch`` form.
+- :mod:`repro.stats.prefix_moments` — cumulative moments of nested prefix
+  samples, the engine behind the profiler's vectorized fraction sweeps.
 - :mod:`repro.stats.hypergeometric` — moments and the normal approximation of
   the hypergeometric distribution used by the MAX/MIN quantile bound
   (Theorem 3.2 of the paper).
@@ -24,13 +27,21 @@ from repro.stats.hypergeometric import (
 )
 from repro.stats.inequalities import (
     clt_radius,
+    clt_radius_batch,
     empirical_bernstein_radius,
+    empirical_bernstein_radius_batch,
     empirical_bernstein_serfling_radius,
+    empirical_bernstein_serfling_radius_batch,
     empirical_bernstein_union_radius,
+    empirical_bernstein_union_radius_batch,
     hoeffding_radius,
+    hoeffding_radius_batch,
     hoeffding_serfling_radius,
+    hoeffding_serfling_radius_batch,
     hoeffding_serfling_rho,
+    hoeffding_serfling_rho_batch,
 )
+from repro.stats.prefix_moments import PrefixMoments
 from repro.stats.quantiles import (
     DistinctValueTable,
     empirical_quantile,
@@ -47,16 +58,24 @@ from repro.stats.sampling import (
 
 __all__ = [
     "DistinctValueTable",
+    "PrefixMoments",
     "ProgressiveSampler",
     "SampleDesign",
     "clt_radius",
+    "clt_radius_batch",
     "empirical_bernstein_radius",
+    "empirical_bernstein_radius_batch",
     "empirical_bernstein_serfling_radius",
+    "empirical_bernstein_serfling_radius_batch",
     "empirical_bernstein_union_radius",
+    "empirical_bernstein_union_radius_batch",
     "empirical_quantile",
     "hoeffding_radius",
+    "hoeffding_radius_batch",
     "hoeffding_serfling_radius",
+    "hoeffding_serfling_radius_batch",
     "hoeffding_serfling_rho",
+    "hoeffding_serfling_rho_batch",
     "hypergeometric_mean",
     "hypergeometric_variance",
     "normal_approximation_interval",

@@ -17,24 +17,54 @@ References (numbering follows the paper):
   is the one used inside the EBGS stopping algorithm [48].
 - CLT — the normal-approximation radius used by online aggregation [30];
   *not* a guaranteed bound (see Figure 5 of the paper).
+
+Every radius has two forms sharing one argument validator: the scalar
+``*_radius`` functions (``math``-based, one interval at a time) and the
+``*_radius_batch`` variants, which broadcast over ndarray ``n`` /
+``value_range`` / ``sample_std`` and return an ndarray of radii. The batch
+forms are the statistical core of the profiler's vectorized sweep kernel:
+one call prices a whole (trials,) or (trials, fractions) grid of intervals.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
-def _check_common(n: int, delta: float, value_range: float) -> None:
-    """Validate arguments shared by every radius function."""
-    if n <= 0:
+def _check_common(n, delta: float, value_range) -> None:
+    """Validate arguments shared by every radius function.
+
+    Accepts scalars and ndarrays alike (``n`` and ``value_range`` may be
+    arrays in the batch variants); ``delta`` is always a scalar because a
+    single sweep prices every interval at one failure probability.
+    """
+    if np.any(np.asarray(n) <= 0):
         raise ConfigurationError(f"sample size must be positive, got n={n}")
     if not 0.0 < delta < 1.0:
         raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
-    if value_range < 0.0:
+    if np.any(np.asarray(value_range) < 0.0):
         raise ConfigurationError(
             f"value range must be non-negative, got {value_range}"
+        )
+
+
+def _check_std(sample_std) -> None:
+    """Validate an empirical standard deviation (scalar or ndarray)."""
+    if np.any(np.asarray(sample_std) < 0.0):
+        raise ConfigurationError(
+            f"sample standard deviation must be non-negative, got {sample_std}"
+        )
+
+
+def _check_population(n, population: int) -> None:
+    """Validate a finite-population size against the sample size(s)."""
+    if np.any(np.asarray(population) < np.asarray(n)):
+        raise ConfigurationError(
+            f"population {population} smaller than sample size {n}"
         )
 
 
@@ -73,10 +103,7 @@ def hoeffding_serfling_rho(n: int, population: int) -> float:
     """
     if n <= 0:
         raise ConfigurationError(f"sample size must be positive, got n={n}")
-    if population < n:
-        raise ConfigurationError(
-            f"population {population} smaller than sample size {n}"
-        )
+    _check_population(n, population)
     first = 1.0 - (n - 1) / population
     second = (1.0 - n / population) * (1.0 + 1.0 / n)
     return min(first, second)
@@ -125,10 +152,7 @@ def empirical_bernstein_radius(
         The interval half-width ``I``.
     """
     _check_common(n, delta, value_range)
-    if sample_std < 0.0:
-        raise ConfigurationError(
-            f"sample standard deviation must be non-negative, got {sample_std}"
-        )
+    _check_std(sample_std)
     log_term = math.log(3.0 / delta)
     return sample_std * math.sqrt(2.0 * log_term / n) + 3.0 * value_range * log_term / n
 
@@ -187,10 +211,7 @@ def empirical_bernstein_serfling_radius(
         The interval half-width ``I``.
     """
     _check_common(n, delta, value_range)
-    if sample_std < 0.0:
-        raise ConfigurationError(
-            f"sample standard deviation must be non-negative, got {sample_std}"
-        )
+    _check_std(sample_std)
     rho = hoeffding_serfling_rho(n, population)
     log_term = math.log(5.0 / delta)
     kappa = 7.0 / 3.0 + 3.0 / math.sqrt(2.0)
@@ -215,12 +236,177 @@ def clt_radius(n: int, delta: float, sample_std: float) -> float:
         The nominal interval half-width ``I``.
     """
     _check_common(n, delta, value_range=0.0)
-    if sample_std < 0.0:
-        raise ConfigurationError(
-            f"sample standard deviation must be non-negative, got {sample_std}"
-        )
+    _check_std(sample_std)
     # Local import keeps scipy out of the module import path for callers that
     # only need the closed-form inequalities.
     from repro.stats.hypergeometric import z_score
 
     return z_score(delta) * sample_std / math.sqrt(n)
+
+
+# ---------------------------------------------------------------------------
+# Batch (array-broadcasting) variants.
+#
+# Each function accepts ndarray `n` / `value_range` / `sample_std` (any
+# mutually broadcastable shapes; scalars work too) and returns the ndarray
+# of radii that the scalar form would produce elementwise. `delta` and
+# `population` stay scalar: one sweep prices every interval at a single
+# failure probability over a single universe.
+# ---------------------------------------------------------------------------
+
+
+def hoeffding_radius_batch(n, delta: float, value_range) -> np.ndarray:
+    """Broadcasted :func:`hoeffding_radius` over ndarray ``n``/``value_range``.
+
+    Args:
+        n: Sample sizes (scalar or ndarray).
+        delta: Failure probability of the two-sided intervals.
+        value_range: Observation ranges ``R`` (scalar or ndarray).
+
+    Returns:
+        The elementwise interval half-widths.
+    """
+    _check_common(n, delta, value_range)
+    n = np.asarray(n, dtype=float)
+    return np.asarray(value_range) * np.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def hoeffding_serfling_rho_batch(n, population: int) -> np.ndarray:
+    """Broadcasted :func:`hoeffding_serfling_rho` over ndarray ``n``.
+
+    Args:
+        n: Sample sizes (scalar or ndarray); each must satisfy ``n <= N``.
+        population: Finite population size ``N``.
+
+    Returns:
+        The elementwise ``rho_n`` factors in ``[0, 1]``.
+    """
+    if np.any(np.asarray(n) <= 0):
+        raise ConfigurationError(f"sample size must be positive, got n={n}")
+    _check_population(n, population)
+    n = np.asarray(n, dtype=float)
+    first = 1.0 - (n - 1.0) / population
+    second = (1.0 - n / population) * (1.0 + 1.0 / n)
+    return np.minimum(first, second)
+
+
+def hoeffding_serfling_radius_batch(
+    n, population: int, delta: float, value_range
+) -> np.ndarray:
+    """Broadcasted :func:`hoeffding_serfling_radius`.
+
+    Args:
+        n: Sample sizes drawn without replacement (scalar or ndarray).
+        population: Finite population size ``N``.
+        delta: Failure probability of the two-sided intervals.
+        value_range: Observation ranges ``R`` (scalar or ndarray).
+
+    Returns:
+        The elementwise interval half-widths.
+    """
+    _check_common(n, delta, value_range)
+    rho = hoeffding_serfling_rho_batch(n, population)
+    n = np.asarray(n, dtype=float)
+    return np.asarray(value_range) * np.sqrt(
+        rho * math.log(2.0 / delta) / (2.0 * n)
+    )
+
+
+def empirical_bernstein_radius_batch(
+    n, delta, value_range, sample_std
+) -> np.ndarray:
+    """Broadcasted :func:`empirical_bernstein_radius`.
+
+    ``delta`` may itself be an ndarray here (unlike the other batch forms)
+    because the union variant spends a different ``delta_t`` per prefix
+    length; scalar callers are unaffected.
+
+    Args:
+        n: Sample sizes (scalar or ndarray).
+        delta: Failure probabilities (scalar or ndarray in ``(0, 1)``).
+        value_range: Observation ranges ``R`` (scalar or ndarray).
+        sample_std: Empirical standard deviations (scalar or ndarray).
+
+    Returns:
+        The elementwise interval half-widths.
+    """
+    if np.any(np.asarray(n) <= 0):
+        raise ConfigurationError(f"sample size must be positive, got n={n}")
+    delta_arr = np.asarray(delta, dtype=float)
+    if np.any(delta_arr <= 0.0) or np.any(delta_arr >= 1.0):
+        raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+    if np.any(np.asarray(value_range) < 0.0):
+        raise ConfigurationError(
+            f"value range must be non-negative, got {value_range}"
+        )
+    _check_std(sample_std)
+    n = np.asarray(n, dtype=float)
+    log_term = np.log(3.0 / delta_arr)
+    return np.asarray(sample_std) * np.sqrt(2.0 * log_term / n) + (
+        3.0 * np.asarray(value_range) * log_term / n
+    )
+
+
+def empirical_bernstein_union_radius_batch(
+    t, delta: float, value_range, sample_std
+) -> np.ndarray:
+    """Broadcasted :func:`empirical_bernstein_union_radius` over prefixes.
+
+    Args:
+        t: Prefix lengths (scalar or ndarray, 1-based).
+        delta: Total failure probability shared across all steps.
+        value_range: Observation ranges ``R`` (scalar or ndarray).
+        sample_std: Per-prefix empirical standard deviations.
+
+    Returns:
+        The elementwise interval half-widths at each step.
+    """
+    _check_common(t, delta, value_range)
+    t = np.asarray(t, dtype=float)
+    delta_t = delta / (t * (t + 1.0))
+    return empirical_bernstein_radius_batch(t, delta_t, value_range, sample_std)
+
+
+def empirical_bernstein_serfling_radius_batch(
+    n, population: int, delta: float, value_range, sample_std
+) -> np.ndarray:
+    """Broadcasted :func:`empirical_bernstein_serfling_radius`.
+
+    Args:
+        n: Sample sizes drawn without replacement (scalar or ndarray).
+        population: Finite population size ``N``.
+        delta: Failure probability of the two-sided intervals.
+        value_range: Observation ranges ``R`` (scalar or ndarray).
+        sample_std: Empirical standard deviations (scalar or ndarray).
+
+    Returns:
+        The elementwise interval half-widths.
+    """
+    _check_common(n, delta, value_range)
+    _check_std(sample_std)
+    rho = hoeffding_serfling_rho_batch(n, population)
+    n = np.asarray(n, dtype=float)
+    log_term = math.log(5.0 / delta)
+    kappa = 7.0 / 3.0 + 3.0 / math.sqrt(2.0)
+    return np.asarray(sample_std) * np.sqrt(2.0 * rho * log_term / n) + (
+        kappa * np.asarray(value_range) * log_term / n
+    )
+
+
+def clt_radius_batch(n, delta: float, sample_std) -> np.ndarray:
+    """Broadcasted :func:`clt_radius` (nominal, not guaranteed).
+
+    Args:
+        n: Sample sizes (scalar or ndarray).
+        delta: Nominal two-sided failure probability.
+        sample_std: Empirical standard deviations (scalar or ndarray).
+
+    Returns:
+        The elementwise nominal interval half-widths.
+    """
+    _check_common(n, delta, value_range=0.0)
+    _check_std(sample_std)
+    from repro.stats.hypergeometric import z_score
+
+    n = np.asarray(n, dtype=float)
+    return z_score(delta) * np.asarray(sample_std) / np.sqrt(n)

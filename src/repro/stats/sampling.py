@@ -130,46 +130,75 @@ def stratified_time_sample(
 class ProgressiveSampler:
     """Nested without-replacement sampler enabling model-output reuse.
 
-    A single random permutation of the universe is fixed up front; the sample
-    at size ``n`` is simply the first ``n`` entries of that permutation. Any
-    prefix of a uniformly random permutation is itself a uniform
-    without-replacement sample, so every prefix is a valid draw — while being
-    nested, which is what lets profile generation (paper §3.3.2) evaluate
-    sample fractions in ascending order and reuse all previously computed
-    model outputs.
+    A single random ordering of the universe is fixed up front; the sample
+    at size ``n`` is simply its first ``n`` entries. Any prefix of a
+    uniformly random ordering is itself a uniform without-replacement
+    sample, so every prefix is a valid draw — while being nested, which is
+    what lets profile generation (paper §3.3.2) evaluate sample fractions
+    in ascending order and reuse all previously computed model outputs.
+
+    When the caller knows the largest prefix it will ever request (a
+    fraction sweep's top design size), ``max_size`` draws only that many
+    indices — a uniformly *ordered* without-replacement draw, whose
+    prefixes have exactly the same distribution as the full permutation's
+    — for O(max_size) instead of O(population) setup. The two modes
+    consume the generator differently, so a seeded sweep must pick one
+    mode and keep it.
     """
 
-    def __init__(self, population: int, rng: np.random.Generator) -> None:
-        """Fix the permutation.
+    def __init__(
+        self,
+        population: int,
+        rng: np.random.Generator,
+        max_size: int | None = None,
+    ) -> None:
+        """Fix the random ordering.
 
         Args:
             population: Universe size; must be positive.
-            rng: Source of randomness for the permutation.
+            rng: Source of randomness for the ordering.
+            max_size: Largest prefix this sampler must serve; None (the
+                default) keeps the full permutation.
         """
         if population <= 0:
             raise ConfigurationError(
                 f"population must be positive, got {population}"
             )
-        self._permutation = rng.permutation(population)
+        self._population = int(population)
+        if max_size is None:
+            self._permutation = rng.permutation(population)
+        else:
+            if not 1 <= max_size <= population:
+                raise ConfigurationError(
+                    f"max_size {max_size} must lie in [1, {population}]"
+                )
+            self._permutation = rng.choice(
+                population, max_size, replace=False, shuffle=True
+            )
 
     @property
     def population(self) -> int:
-        """The universe size the permutation covers."""
+        """The universe size the ordering covers."""
+        return self._population
+
+    @property
+    def max_size(self) -> int:
+        """Largest prefix this sampler serves (== population by default)."""
         return int(self._permutation.size)
 
     def prefix(self, size: int) -> np.ndarray:
         """The nested sample of the given size.
 
         Args:
-            size: Number of indices; must satisfy ``0 <= size <= population``.
+            size: Number of indices; must satisfy ``0 <= size <= max_size``.
 
         Returns:
-            The first ``size`` entries of the fixed permutation. The returned
+            The first ``size`` entries of the fixed ordering. The returned
             array is a copy, safe to mutate.
         """
-        if not 0 <= size <= self.population:
+        if not 0 <= size <= self.max_size:
             raise ConfigurationError(
-                f"prefix size {size} must lie in [0, {self.population}]"
+                f"prefix size {size} must lie in [0, {self.max_size}]"
             )
         return self._permutation[:size].copy()
 

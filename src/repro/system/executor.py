@@ -25,6 +25,7 @@ initializer re-activates inside each worker process.
 
 from __future__ import annotations
 
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -111,22 +112,61 @@ def trial_chunks(trials: int, chunk_count: int) -> list[range]:
     ]
 
 
+#: Below this many work units, ``workers="auto"`` runs serially: with the
+#: §5.3.1 sweep at ~10 units, pool startup plus per-unit pickling costs more
+#: than the work itself (BENCH_profile.json: 0.29 s cold-parallel vs 0.07 s
+#: cold-serial on one CPU), so small sweeps must not pay for a pool.
+AUTO_MIN_UNITS = 16
+
+
+def resolve_worker_count(workers: int | str, unit_count: int) -> int:
+    """The effective process count for a worker setting and workload size.
+
+    ``"auto"`` is deterministic and conservative: serial when the host has
+    a single CPU (pool overhead cannot be amortised) or when there are
+    fewer than :data:`AUTO_MIN_UNITS` work units (startup dominates), else
+    one worker per CPU, capped at the unit count.
+
+    Args:
+        workers: An explicit positive count, or ``"auto"``.
+        unit_count: Number of independent work units to execute.
+
+    Returns:
+        The resolved worker count (>= 1).
+    """
+    if workers == "auto":
+        cpus = os.cpu_count() or 1
+        if cpus <= 1 or unit_count < AUTO_MIN_UNITS:
+            return 1
+        return max(1, min(cpus, unit_count))
+    return int(workers)
+
+
 @dataclass(frozen=True)
 class ExecutorConfig:
     """How work units are executed.
 
     Attributes:
-        workers: Process count; 1 means run serially in-process.
+        workers: Process count; 1 means run serially in-process, and the
+            string ``"auto"`` defers to :func:`resolve_worker_count` per
+            workload (serial on single-CPU hosts and small sweeps).
         cache_dir: Persistent detector-cache directory activated inside
             workers; None inherits the parent's active cache (if any).
         cache_limit_bytes: LRU byte budget for ``cache_dir``.
     """
 
-    workers: int = 1
+    workers: int | str = 1
     cache_dir: str | None = None
     cache_limit_bytes: int | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ConfigurationError(
+                    f"worker count must be a positive int or 'auto', "
+                    f"got {self.workers!r}"
+                )
+            return
         if self.workers < 1:
             raise ConfigurationError(
                 f"worker count must be at least 1, got {self.workers}"
@@ -169,6 +209,22 @@ class ParallelExecutor:
             return (str(active.root), active.byte_limit)
         return (None, None)
 
+    def worker_count(self, unit_count: int) -> int:
+        """The effective process count for ``unit_count`` work units.
+
+        Resolves ``"auto"`` against the host and workload (see
+        :func:`resolve_worker_count`); explicit counts pass through capped
+        at the unit count.
+
+        Args:
+            unit_count: Number of independent work units.
+
+        Returns:
+            The resolved worker count (>= 1).
+        """
+        resolved = resolve_worker_count(self._config.workers, unit_count)
+        return max(1, min(resolved, unit_count))
+
     def map(self, fn: Callable[[T], U], payloads: Iterable[T]) -> list[U]:
         """Apply ``fn`` to every payload, preserving payload order.
 
@@ -180,16 +236,19 @@ class ParallelExecutor:
             Results in payload order.
         """
         items = list(payloads)
-        workers = min(self._config.workers, len(items))
+        workers = self.worker_count(len(items))
         if workers <= 1:
             return [fn(item) for item in items]
+        # Ship several units per pool task: one pickle round-trip then
+        # amortises over the chunk instead of being paid per unit.
+        chunksize = max(1, len(items) // (workers * 4))
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_initializer,
                 initargs=self._cache_initargs(),
             ) as pool:
-                return list(pool.map(fn, items))
+                return list(pool.map(fn, items, chunksize=chunksize))
         except (OSError, BrokenProcessPool, pickle.PicklingError, AttributeError):
             # Restricted environments (no fork/spawn) or unpicklable
             # payloads: seed streams make the serial rerun bit-identical.
@@ -222,6 +281,7 @@ class SweepUnit:
             defaults to ``range(trials)``.
         early_stop_tolerance: Early-stop threshold; None disables.
         suite: Restricted-class detectors for removal plans.
+        vectorized: Execution style of the rebuilt in-worker profiler.
     """
 
     query: AggregateQuery
@@ -235,6 +295,7 @@ class SweepUnit:
     trial_indices: tuple[int, ...] | None = None
     early_stop_tolerance: float | None = None
     suite: DetectorSuite | None = None
+    vectorized: bool = True
 
 
 def run_sweep_unit(unit: SweepUnit) -> tuple[list, dict[int, int]]:
@@ -252,7 +313,10 @@ def run_sweep_unit(unit: SweepUnit) -> tuple[list, dict[int, int]]:
 
     ledger = InvocationLedger()
     profiler = DegradationProfiler(
-        QueryProcessor(unit.suite), trials=unit.trials, ledger=ledger
+        QueryProcessor(unit.suite),
+        trials=unit.trials,
+        ledger=ledger,
+        vectorized=unit.vectorized,
     )
     trial_indices = (
         unit.trial_indices
@@ -285,6 +349,7 @@ class PlanUnit:
         root: Root entropy of the seed stream.
         unit_index: The setting's index (first spawn-key coordinate).
         suite: Restricted-class detectors for removal plans.
+        vectorized: Execution style of the rebuilt in-worker profiler.
     """
 
     query: AggregateQuery
@@ -294,6 +359,7 @@ class PlanUnit:
     root: tuple[int, ...]
     unit_index: int
     suite: DetectorSuite | None = None
+    vectorized: bool = True
 
 
 def run_plan_unit(unit: PlanUnit) -> tuple[object, dict[int, int]]:
@@ -311,7 +377,10 @@ def run_plan_unit(unit: PlanUnit) -> tuple[object, dict[int, int]]:
 
     ledger = InvocationLedger()
     profiler = DegradationProfiler(
-        QueryProcessor(unit.suite), trials=unit.trials, ledger=ledger
+        QueryProcessor(unit.suite),
+        trials=unit.trials,
+        ledger=ledger,
+        vectorized=unit.vectorized,
     )
     point = profiler.estimate_plan_seeded(
         unit.query, unit.plan, unit.root, unit.unit_index, unit.correction

@@ -1,0 +1,154 @@
+"""Differential tests: the vectorized profiler path vs the trial loops.
+
+The vectorized kernels carry PR 2's determinism contract: both paths draw
+the same samples, record the same ledger totals, keep the same early-stop
+selections, and agree on every value and bound within 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateGrid
+from repro.core.correction import determine_correction_set
+from repro.core.profiler import DegradationProfiler
+from repro.interventions import InterventionPlan
+from repro.query import Aggregate, AggregateQuery
+from repro.system.costs import InvocationLedger
+from repro.video.geometry import Resolution, resolution_grid
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+FRACTIONS = (0.02, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture
+def avg_query(detrac_dataset, yolo_car):
+    return AggregateQuery(detrac_dataset, yolo_car, Aggregate.AVG)
+
+
+@pytest.fixture
+def max_query(detrac_dataset, yolo_car):
+    return AggregateQuery(detrac_dataset, yolo_car, Aggregate.MAX)
+
+
+def paired_profilers(processor, trials, ledgers=False):
+    """One vectorized and one loop profiler, optionally with own ledgers."""
+    kwargs_v = {"ledger": InvocationLedger()} if ledgers else {}
+    kwargs_l = {"ledger": InvocationLedger()} if ledgers else {}
+    vec = DegradationProfiler(processor, trials=trials, vectorized=True, **kwargs_v)
+    loop = DegradationProfiler(processor, trials=trials, vectorized=False, **kwargs_l)
+    return vec, loop
+
+
+class TestHypercubeDifferential:
+    def test_bounds_ledger_and_nan_mask_agree(self, processor, avg_query):
+        grid = CandidateGrid(
+            fractions=FRACTIONS,
+            resolutions=tuple(
+                resolution_grid(avg_query.dataset.native_resolution, 3)
+            ),
+            removals=((),),
+        )
+        vec, loop = paired_profilers(processor, trials=3, ledgers=True)
+        cube_vec = vec.generate_hypercube_seeded(
+            avg_query, grid, root=5, early_stop_tolerance=0.05
+        )
+        cube_loop = loop.generate_hypercube_seeded(
+            avg_query, grid, root=5, early_stop_tolerance=0.05
+        )
+        # Identical early-stop decisions: the NaN masks match exactly.
+        np.testing.assert_array_equal(
+            np.isnan(cube_vec.bounds), np.isnan(cube_loop.bounds)
+        )
+        np.testing.assert_allclose(
+            cube_vec.bounds, cube_loop.bounds, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            cube_vec.values, cube_loop.values, rtol=RTOL, atol=ATOL
+        )
+        # Identical samples drawn: the ledgers fold to the same counts.
+        assert vec._ledger.by_resolution() == loop._ledger.by_resolution()
+        assert vec._ledger.total == loop._ledger.total
+
+    def test_max_aggregate_uses_quantile_fallback(self, processor, max_query):
+        vec, loop = paired_profilers(processor, trials=2)
+        profile_vec = vec.profile_sampling_seeded(max_query, FRACTIONS, root=3)
+        profile_loop = loop.profile_sampling_seeded(max_query, FRACTIONS, root=3)
+        np.testing.assert_allclose(
+            profile_vec.error_bounds(), profile_loop.error_bounds(),
+            rtol=RTOL, atol=ATOL,
+        )
+
+
+class TestSamplingSweepDifferential:
+    def test_with_correction_set(self, processor, avg_query, rng):
+        correction = determine_correction_set(processor, avg_query, rng)
+        vec, loop = paired_profilers(processor, trials=3)
+        profile_vec = vec.profile_sampling_seeded(
+            avg_query, FRACTIONS, root=11,
+            resolution=Resolution(160), correction=correction,
+        )
+        profile_loop = loop.profile_sampling_seeded(
+            avg_query, FRACTIONS, root=11,
+            resolution=Resolution(160), correction=correction,
+        )
+        assert profile_vec.knob_values() == profile_loop.knob_values()
+        np.testing.assert_allclose(
+            profile_vec.error_bounds(), profile_loop.error_bounds(),
+            rtol=RTOL, atol=ATOL,
+        )
+
+    def test_early_stop_keeps_same_points(self, processor, avg_query):
+        vec, loop = paired_profilers(processor, trials=2)
+        fractions = (0.05, 0.1, 0.2, 0.4, 0.8)
+        profile_vec = vec.profile_sampling_seeded(
+            avg_query, fractions, root=2, early_stop_tolerance=0.5
+        )
+        profile_loop = loop.profile_sampling_seeded(
+            avg_query, fractions, root=2, early_stop_tolerance=0.5
+        )
+        assert profile_vec.knob_values() == profile_loop.knob_values()
+        assert len(profile_vec.points) < len(fractions)
+
+
+class TestPointEstimates:
+    @pytest.mark.parametrize("aggregate", [Aggregate.AVG, Aggregate.SUM])
+    def test_estimate_plan_matches_loop(
+        self, processor, detrac_dataset, yolo_car, aggregate
+    ):
+        query = AggregateQuery(detrac_dataset, yolo_car, aggregate)
+        plan = InterventionPlan.from_knobs(f=0.1)
+        vec, loop = paired_profilers(processor, trials=3)
+        point_vec = vec.estimate_plan(
+            query, plan, np.random.default_rng(9)
+        )
+        point_loop = loop.estimate_plan(
+            query, plan, np.random.default_rng(9)
+        )
+        assert point_vec.value == pytest.approx(point_loop.value, rel=RTOL)
+        assert point_vec.error_bound == pytest.approx(
+            point_loop.error_bound, rel=RTOL
+        )
+        assert point_vec.n == point_loop.n
+
+    def test_estimate_plan_seeded_matches_loop(self, processor, avg_query):
+        plan = InterventionPlan.from_knobs(f=0.08, p=160)
+        vec, loop = paired_profilers(processor, trials=4)
+        point_vec = vec.estimate_plan_seeded(avg_query, plan, root=17, unit_index=0)
+        point_loop = loop.estimate_plan_seeded(avg_query, plan, root=17, unit_index=0)
+        assert point_vec.value == pytest.approx(point_loop.value, rel=RTOL)
+        assert point_vec.error_bound == pytest.approx(
+            point_loop.error_bound, rel=RTOL
+        )
+        assert point_vec.n == point_loop.n
+
+    def test_n_is_max_across_trials(self, processor, avg_query):
+        # Every trial samples the same count here, so n must equal it —
+        # the regression was reporting only the *last* trial's n.
+        profiler = DegradationProfiler(processor, trials=3, vectorized=False)
+        plan = InterventionPlan.from_knobs(f=0.1)
+        point = profiler.estimate_plan(avg_query, plan, np.random.default_rng(1))
+        assert point.n == round(avg_query.dataset.frame_count * 0.1)

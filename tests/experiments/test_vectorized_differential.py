@@ -1,0 +1,71 @@
+"""Differential runs of the seeded experiment drivers: kernels vs loops.
+
+The acceptance contract for the batch-trial kernels: every seeded driver
+produces the same series with ``vectorized=True`` and ``vectorized=False``
+within 1e-9 — same samples drawn, same decisions, only the arithmetic
+pipeline differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4_bound_comparison import run_fig4
+from repro.experiments.fig6_profile_repair import run_fig6
+from repro.experiments.timing import run_timing
+from repro.query.aggregates import Aggregate
+from repro.system.costs import InvocationLedger
+
+FRAMES = 2500
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def assert_series_close(vec, loop):
+    assert set(vec.series) == set(loop.series)
+    for name, values in vec.series.items():
+        np.testing.assert_allclose(
+            np.asarray(values, dtype=float),
+            np.asarray(loop.series[name], dtype=float),
+            rtol=RTOL, atol=ATOL, err_msg=name,
+        )
+
+
+class TestFig4Differential:
+    @pytest.mark.parametrize("aggregate", [Aggregate.AVG, Aggregate.MAX])
+    def test_panel_matches_loop(self, aggregate):
+        common = dict(
+            trials=6, frame_count=FRAMES, grid_points=3, seed=7
+        )
+        vec = run_fig4("ua-detrac", aggregate, vectorized=True, **common)
+        loop = run_fig4("ua-detrac", aggregate, vectorized=False, **common)
+        assert vec.knobs == loop.knobs
+        assert_series_close(vec, loop)
+
+
+class TestFig6Differential:
+    @pytest.mark.parametrize("axis", ["sampling", "resolution"])
+    def test_row_matches_loop(self, axis):
+        common = dict(trials=6, frame_count=FRAMES, seed=3)
+        vec = run_fig6("ua-detrac", Aggregate.AVG, axis, vectorized=True, **common)
+        loop = run_fig6("ua-detrac", Aggregate.AVG, axis, vectorized=False, **common)
+        assert vec.knobs == loop.knobs
+        assert_series_close(vec, loop)
+
+
+class TestTimingDifferential:
+    def test_sweep_matches_loop_and_ledger(self):
+        ledger_vec = InvocationLedger()
+        ledger_loop = InvocationLedger()
+        vec = run_timing(
+            frame_count=FRAMES, trials=3, vectorized=True, ledger=ledger_vec
+        )
+        loop = run_timing(
+            frame_count=FRAMES, trials=3, vectorized=False, ledger=ledger_loop
+        )
+        assert vec.knobs == loop.knobs
+        assert_series_close(vec, loop)
+        # Identical samples drawn: the invocation accounting folds equal.
+        assert ledger_vec.by_resolution() == ledger_loop.by_resolution()
+        assert ledger_vec.total == ledger_loop.total

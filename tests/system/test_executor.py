@@ -25,12 +25,14 @@ from repro.query import Aggregate, AggregateQuery, QueryProcessor
 from repro.query.aggregates import FramePredicate
 from repro.system.costs import InvocationLedger
 from repro.system.executor import (
+    AUTO_MIN_UNITS,
     ExecutorConfig,
     ParallelExecutor,
     child_rng,
     child_seed,
     merge_ledger_counts,
     normalize_root,
+    resolve_worker_count,
     trial_chunks,
 )
 from repro.video import ua_detrac
@@ -96,6 +98,58 @@ class TestExecutorConfig:
 
     def test_defaults_serial(self):
         assert ParallelExecutor().config.workers == 1
+
+    def test_accepts_auto(self):
+        assert ExecutorConfig(workers="auto").workers == "auto"
+
+    def test_rejects_other_strings(self):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(workers="fast")
+
+
+class TestAutoWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_worker_count(3, unit_count=100) == 3
+
+    def test_auto_serial_on_single_cpu(self, monkeypatch):
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 1)
+        assert resolve_worker_count("auto", unit_count=1000) == 1
+
+    def test_auto_serial_below_unit_threshold(self, monkeypatch):
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 8)
+        assert resolve_worker_count("auto", unit_count=AUTO_MIN_UNITS - 1) == 1
+
+    def test_auto_uses_cpus_capped_at_units(self, monkeypatch):
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 8)
+        assert resolve_worker_count("auto", unit_count=AUTO_MIN_UNITS) == 8
+        assert resolve_worker_count("auto", unit_count=200) == 8
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 64)
+        assert resolve_worker_count("auto", unit_count=20) == 20
+
+    def test_auto_handles_unknown_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: None)
+        assert resolve_worker_count("auto", unit_count=1000) == 1
+
+    def test_worker_count_caps_explicit_at_units(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=8))
+        assert executor.worker_count(3) == 3
+        assert executor.worker_count(0) == 1
+
+    def test_sweep_identical_under_auto(self, corpus, monkeypatch):
+        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 2)
+        query = fresh_query(corpus)
+        grid = CandidateGrid(
+            fractions=(0.05, 0.1), resolutions=(Resolution(152),), removals=((),)
+        )
+        profiler = DegradationProfiler(QueryProcessor(default_suite()), trials=2)
+        serial = profiler.generate_hypercube_seeded(
+            query, grid, root=4, executor=ParallelExecutor(ExecutorConfig(workers=1))
+        )
+        auto = profiler.generate_hypercube_seeded(
+            query, grid, root=4,
+            executor=ParallelExecutor(ExecutorConfig(workers="auto")),
+        )
+        np.testing.assert_array_equal(serial.bounds, auto.bounds)
 
 
 class TestMergeLedgerCounts:
