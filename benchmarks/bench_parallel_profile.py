@@ -32,9 +32,48 @@ from repro.detection import diskcache
 from repro.experiments.timing import run_timing
 from repro.experiments.workloads import UA_DETRAC, Workload
 from repro.query.aggregates import Aggregate
+from repro.system import telemetry
 from repro.system.costs import InvocationLedger
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profile.json"
+
+
+class _OpCountingRegistry(telemetry.MetricsRegistry):
+    """A collecting registry that also counts instrumentation API calls,
+    so the bench can price what the same call volume costs when no-op."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ops = 0
+
+    def count(self, name, value=1.0):
+        self.ops += 1
+        return super().count(name, value)
+
+    def gauge(self, name, value):
+        self.ops += 1
+        return super().gauge(name, value)
+
+    def observe(self, name, value):
+        self.ops += 1
+        return super().observe(name, value)
+
+    def span(self, name, **attributes):
+        self.ops += 1
+        return super().span(name, **attributes)
+
+    def timer(self, name):
+        self.ops += 1
+        return super().timer(name)
+
+
+def _noop_call_seconds(calls: int = 200_000) -> float:
+    """Measured per-call cost of the disabled (no-op) telemetry path."""
+    assert not telemetry.enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        telemetry.count("bench.noop")
+    return (time.perf_counter() - start) / calls
 
 
 def _clear_model_memory_cache() -> None:
@@ -60,6 +99,7 @@ KERNEL_TRIALS = 100
 def test_parallel_profile_and_cache(benchmark, show):
     runs: dict[str, dict] = {}
     series = {}
+    telemetry_registry = _OpCountingRegistry()
 
     def regime(
         name: str,
@@ -101,6 +141,17 @@ def test_parallel_profile_and_cache(benchmark, show):
             "kernel_vectorized", workers=1, clear_disk=False,
             trials=KERNEL_TRIALS, vectorized=True,
         )
+        # Same regime with telemetry collecting: outputs must not move
+        # (telemetry is written, never read) and the run's metrics land
+        # in the snapshot recorded below.
+        previous = telemetry.install(telemetry_registry)
+        try:
+            regime(
+                "kernel_vectorized_telemetry", workers=1, clear_disk=False,
+                trials=KERNEL_TRIALS, vectorized=True,
+            )
+        finally:
+            telemetry.install(previous)
         regime("cold_parallel", workers=4, clear_disk=True)
 
     with tempfile.TemporaryDirectory(prefix="bench-detector-cache-") as root:
@@ -131,6 +182,33 @@ def test_parallel_profile_and_cache(benchmark, show):
     # Both kernel regimes price the same sweep (same invocation series).
     assert series["kernel_vectorized"] == series["kernel_loop"]
 
+    # Determinism: collecting telemetry must not move the sweep's outputs.
+    assert series["kernel_vectorized_telemetry"] == series["kernel_vectorized"]
+    assert runs["kernel_vectorized_telemetry"]["model_invocations"] == 0
+
+    # The telemetry-on run observed itself: on this warm-cache sweep every
+    # detector consultation is a cache hit, and nothing degraded.
+    snapshot = telemetry_registry.snapshot()
+    counters = snapshot.counters
+    assert counters["cache.hit"] > 0
+    assert counters["cache.hit"] == counters.get("detector.consultations")
+    assert counters.get("cache.corrupt", 0) == 0
+    assert counters.get("executor.fallback", 0) == 0
+    assert any(record.name == "profiler.sweep"
+               for record in telemetry.iter_spans(snapshot))
+
+    # Price the disabled path: the same instrumentation call volume at the
+    # measured no-op per-call cost must stay under 2% of the regime's wall.
+    noop_seconds = _noop_call_seconds()
+    noop_overhead_fraction = (
+        telemetry_registry.ops * noop_seconds
+        / runs["kernel_vectorized"]["wall_seconds"]
+    )
+    telemetry_overhead = (
+        runs["kernel_vectorized_telemetry"]["wall_seconds"]
+        / runs["kernel_vectorized"]["wall_seconds"]
+    )
+
     warm_speedup = (
         runs["cold_serial"]["wall_seconds"] / runs["warm_serial"]["wall_seconds"]
     )
@@ -158,6 +236,16 @@ def test_parallel_profile_and_cache(benchmark, show):
             3,
         ),
         "speedup_vectorized_vs_loop": round(kernel_speedup, 3),
+        "telemetry": {
+            "series_identical_enabled_vs_disabled": True,  # asserted above
+            "overhead_enabled_vs_disabled": round(telemetry_overhead, 3),
+            "instrumentation_ops": telemetry_registry.ops,
+            "noop_call_seconds": round(noop_seconds, 9),
+            "noop_overhead_fraction_of_kernel_vectorized": round(
+                noop_overhead_fraction, 6
+            ),
+            "snapshot_counters": snapshot.to_dict()["counters"],
+        },
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {OUTPUT_PATH}")
@@ -166,6 +254,9 @@ def test_parallel_profile_and_cache(benchmark, show):
     assert warm_speedup > 1.0, runs
     # The batch kernels must never lose to the trial loops.
     assert kernel_speedup > 1.0, runs
+    # The off-by-default path is cheap: the whole instrumentation call
+    # volume, priced at the measured no-op cost, is <2% of the regime.
+    assert noop_overhead_fraction < 0.02, payload["telemetry"]
     # "auto" resolves to serial here (10 units < AUTO_MIN_UNITS): allow
     # measurement noise but no structural regression over warm serial.
     assert (

@@ -16,6 +16,7 @@ Every subcommand accepts ``--frames`` to run on a reduced corpus and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -37,6 +38,7 @@ from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
+from repro.system import telemetry
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
@@ -75,6 +77,44 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--frames", type=int, default=None, help="reduced corpus size (default: full)"
     )
     parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+
+
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="threshold of the repro.* structured loggers",
+    )
+    parser.add_argument(
+        "--log-format", default="human", choices=("human", "json"),
+        help="log line format (human key=value, or one JSON object per line)",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="collect metrics/spans and write the snapshot JSON here on exit "
+             "(collection is off without this flag)",
+    )
+
+
+def _write_telemetry_snapshot(
+    registry: telemetry.MetricsRegistry, path: str
+) -> None:
+    snapshot = registry.snapshot()
+    payload = snapshot.to_dict() if snapshot is not None else {}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    counters = payload.get("counters", {})
+    interesting = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("cache.", "executor.", "fleet.", "breaker."))
+    }
+    summary = ", ".join(
+        f"{name}={value:g}" for name, value in sorted(interesting.items())
+    )
+    print(f"telemetry snapshot written to {path}"
+          + (f" ({summary})" if summary else ""))
 
 
 def _build_query(args: argparse.Namespace) -> tuple[AggregateQuery, QueryProcessor]:
@@ -310,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="empty --cache-dir before profiling",
     )
+    _add_telemetry(profile)
     profile.set_defaults(handler=cmd_profile)
 
     choose = subparsers.add_parser("choose", help="pick a tradeoff from a hypercube")
@@ -323,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     choose.add_argument(
         "--require-removed", default=None, help="comma list, e.g. person,face"
     )
+    _add_telemetry(choose)
     choose.set_defaults(handler=cmd_choose)
 
     estimate = subparsers.add_parser("estimate", help="run one degraded query")
@@ -331,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--resolution", type=int, default=None)
     estimate.add_argument("--remove", default=None, help="comma list, e.g. person")
     estimate.add_argument("--method", default="smokescreen")
+    _add_telemetry(estimate)
     estimate.set_defaults(handler=cmd_estimate)
 
     experiment = subparsers.add_parser(
@@ -348,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--chart", action="store_true", help="render an ASCII chart too"
     )
+    _add_telemetry(experiment)
     experiment.set_defaults(handler=cmd_experiment)
 
     chaos = subparsers.add_parser(
@@ -370,10 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--chart", action="store_true", help="render an ASCII chart too"
     )
+    _add_telemetry(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
     info = subparsers.add_parser("info", help="corpus calibration summary")
     _add_common(info)
+    _add_telemetry(info)
     info.set_defaults(handler=cmd_info)
 
     report = subparsers.add_parser(
@@ -387,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", default=None,
         help="comma list of experiment names (default: all)",
     )
+    _add_telemetry(report)
     report.set_defaults(handler=cmd_report)
 
     return parser
@@ -403,12 +450,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry.setup_logging(
+        level=getattr(args, "log_level", "warning"),
+        fmt=getattr(args, "log_format", "human"),
+    )
+    snapshot_path = getattr(args, "telemetry", None)
+    registry = telemetry.enable() if snapshot_path else None
+    # ``--cache-dir`` handlers install the process-global detector cache;
+    # an in-process caller (tests, notebooks) must not inherit it after
+    # main() returns, so restore the no-cache state unless the caller had
+    # activated one itself.
+    entry_cache = diskcache.active_cache()
     handler: Callable[[argparse.Namespace], int] = args.handler
     try:
         return handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if entry_cache is None and diskcache.active_cache() is not None:
+            diskcache.deactivate()
+        if registry is not None:
+            _write_telemetry_snapshot(registry, snapshot_path)
+            telemetry.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -73,6 +73,7 @@ from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.stats.prefix_moments import PrefixMoments
 from repro.stats.sampling import ProgressiveSampler, SampleDesign
+from repro.system import telemetry
 from repro.system.costs import InvocationLedger
 from repro.system.executor import (
     ParallelExecutor,
@@ -539,17 +540,21 @@ class DegradationProfiler:
         """
         plan_is_random = self._plan_is_random(query, plan)
         if self._vectorized:
-            samples = []
-            for t in range(self._trials):
-                rng = child_rng(root, unit_index, t)
-                sample = plan.draw(query.dataset, rng, self._processor.suite)
-                self._record_sampled(
-                    query, sample.resolution, sample.quality, sample.size
+            with telemetry.span(
+                "profiler.plan", unit=unit_index, trials=self._trials
+            ):
+                samples = []
+                for t in range(self._trials):
+                    rng = child_rng(root, unit_index, t)
+                    sample = plan.draw(query.dataset, rng, self._processor.suite)
+                    self._record_sampled(
+                        query, sample.resolution, sample.quality, sample.size
+                    )
+                    samples.append(sample)
+                telemetry.count("profiler.trials_priced", self._trials)
+                return self._point_from_samples(
+                    query, samples, plan_is_random, correction
                 )
-                samples.append(sample)
-            return self._point_from_samples(
-                query, samples, plan_is_random, correction
-            )
         values = np.empty(self._trials)
         bounds = np.empty(self._trials)
         n = 0
@@ -565,6 +570,7 @@ class DegradationProfiler:
             values[t] = estimate.value
             bounds[t] = estimate.error_bound
             n = max(n, estimate.n)
+        telemetry.count("profiler.trials_priced", self._trials)
         return PointEstimate(
             value=float(values.mean()),
             error_bound=float(bounds.mean()),
@@ -596,6 +602,29 @@ class DegradationProfiler:
             raise ConfigurationError("fractions must be ascending for reuse")
         if not fractions:
             return []
+        with telemetry.span(
+            "profiler.sweep",
+            resolution=resolution.side if resolution is not None else "native",
+            removal=len(removal),
+            fractions=len(fractions),
+            trials=len(samplers),
+        ):
+            return self._sweep_core_timed(
+                query, fractions, resolution, removal, correction, samplers,
+                early_stop_tolerance,
+            )
+
+    def _sweep_core_timed(
+        self,
+        query: AggregateQuery,
+        fractions: tuple[float, ...],
+        resolution: Resolution | None,
+        removal: tuple[ObjectClass, ...],
+        correction: CorrectionSet | None,
+        samplers: list[ProgressiveSampler],
+        early_stop_tolerance: float | None,
+    ) -> list[SweptFraction]:
+        """:meth:`_sweep_core`'s body, inside its telemetry span."""
         base_plan = InterventionPlan.from_knobs(p=resolution, c=removal)
         eligible = base_plan.eligible_indices(query.dataset, self._processor.suite)
         effective_resolution = base_plan.effective_resolution(query.dataset)
@@ -662,12 +691,14 @@ class DegradationProfiler:
                 fraction=fraction, values=values, bounds=bounds, size=size
             )
             results.append(swept)
+            telemetry.count("profiler.trials_priced", trials)
             mean_bound = float(bounds.mean())
             if (
                 early_stop_tolerance is not None
                 and previous_bound is not None
                 and abs(previous_bound - mean_bound) < early_stop_tolerance
             ):
+                telemetry.count("profiler.early_stop")
                 break
             previous_bound = mean_bound
         return results
@@ -714,12 +745,14 @@ class DegradationProfiler:
                 size=size,
             )
             results.append(swept)
+            telemetry.count("profiler.trials_priced", trials)
             mean_bound = float(swept.bounds.mean())
             if (
                 early_stop_tolerance is not None
                 and previous_bound is not None
                 and abs(previous_bound - mean_bound) < early_stop_tolerance
             ):
+                telemetry.count("profiler.early_stop")
                 break
             previous_bound = mean_bound
         return results
@@ -1050,7 +1083,10 @@ class DegradationProfiler:
             )
             for chunk in chunks
         ]
-        outcomes = executor.map(run_sweep_unit, units)
+        with telemetry.span(
+            "profiler.profile_sampling", units=len(units), trials=self._trials
+        ):
+            outcomes = executor.map(run_sweep_unit, units)
         for _, counts in outcomes:
             merge_ledger_counts(self._ledger, counts)
         swept_chunks = [swept for swept, _ in outcomes]
@@ -1080,6 +1116,7 @@ class DegradationProfiler:
                 and previous_bound is not None
                 and abs(previous_bound - bound) < early_stop_tolerance
             ):
+                telemetry.count("profiler.early_stop")
                 break
             previous_bound = bound
         return Profile(
@@ -1237,7 +1274,10 @@ class DegradationProfiler:
             for ci, combo in enumerate(candidates.removals)
             for ri, resolution in enumerate(candidates.resolutions)
         ]
-        outcomes = executor.map(run_sweep_unit, units)
+        with telemetry.span(
+            "profiler.hypercube", units=len(units), trials=self._trials
+        ):
+            outcomes = executor.map(run_sweep_unit, units)
 
         shape = (
             len(candidates.fractions),

@@ -12,9 +12,11 @@ detection.
 Design:
 
 - **Key**: BLAKE2 digest of (dataset content fingerprint, dataset name and
-  length, model name, resolution side, quality). The dataset fingerprint
-  hashes every ground-truth array (including duplicate latents), so two
-  corpora that would produce different outputs can never share an entry.
+  length, model configuration identity, resolution side, quality). The
+  dataset fingerprint hashes every ground-truth array (including duplicate
+  latents), and the model identity covers the detector's class and tuning
+  (names are reused across configurations in the zoo), so two runs that
+  could produce different outputs can never share an entry.
 - **Payload**: one ``.npz`` file per entry holding the per-frame counts.
 - **Atomicity**: writes go to a process-unique temporary file in the cache
   directory and are published with :func:`os.replace`, so readers never
@@ -31,15 +33,34 @@ parallel executor re-activates it inside worker processes.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.system import telemetry
 
 _PAYLOAD_FIELD = "counts"
+
+_LOG = telemetry.get_logger("detection.diskcache")
+
+#: Failures of ``np.load`` that mean the entry bytes are damaged rather
+#: than absent: a truncated/garbage ``.npz`` raises ``zipfile.BadZipFile``
+#: (not an OSError), a bad deflate stream raises ``zlib.error``, and the
+#: remaining types cover header/pickle/field damage inside a readable file.
+_CORRUPT_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+)
 
 
 class DetectorDiskCache:
@@ -72,7 +93,7 @@ class DetectorDiskCache:
 
     @staticmethod
     def digest(
-        model_name: str,
+        model_identity: str,
         dataset_key: tuple,
         resolution_side: int,
         quality: float,
@@ -80,7 +101,11 @@ class DetectorDiskCache:
         """The content-addressed key of one (model, corpus, setting) entry.
 
         Args:
-            model_name: The detector's name.
+            model_identity: A string identifying the detector's *full*
+                configuration, not just its name — the zoo reuses names
+                across target classes (``yolo-v4-like`` detects both cars
+                and persons), and two detectors that can disagree on any
+                corpus must never share an entry.
             dataset_key: The dataset's :attr:`~repro.video.dataset.VideoDataset.cache_key`
                 (name, frame count, content fingerprint).
             resolution_side: Processing resolution side length.
@@ -91,7 +116,9 @@ class DetectorDiskCache:
             A hex digest naming the cache entry.
         """
         hasher = hashlib.blake2b(digest_size=16)
-        hasher.update(repr((model_name, dataset_key, resolution_side, quality)).encode())
+        hasher.update(
+            repr((model_identity, dataset_key, resolution_side, quality)).encode()
+        )
         return hasher.hexdigest()
 
     def _path(self, digest: str) -> Path:
@@ -115,13 +142,34 @@ class DetectorDiskCache:
         try:
             with np.load(path) as payload:
                 counts = np.ascontiguousarray(payload[_PAYLOAD_FIELD])
-        except (OSError, ValueError, KeyError, EOFError):
+        except FileNotFoundError:
+            telemetry.count("cache.miss")
+            return None
+        except _CORRUPT_ERRORS as error:
+            self._discard_corrupt(path, error)
             return None
         try:
             os.utime(path)
         except OSError:
             pass  # entry may have been evicted between read and touch
+        telemetry.count("cache.hit")
         return counts
+
+    def _discard_corrupt(self, path: Path, error: Exception) -> None:
+        """Delete a poisoned entry so it cannot fail every future load."""
+        telemetry.count("cache.corrupt")
+        telemetry.count("cache.miss")
+        telemetry.log_event(
+            _LOG,
+            logging.WARNING,
+            "cache.corrupt",
+            path=str(path),
+            error=f"{type(error).__name__}: {error}",
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already evicted (or unwritable); the miss stands
 
     def store(self, digest: str, counts: np.ndarray) -> None:
         """Write one entry atomically and enforce the byte budget.
@@ -144,7 +192,12 @@ class DetectorDiskCache:
             except OSError:
                 pass
             raise
-        self._evict_to_budget()
+        telemetry.count("cache.store")
+        try:
+            telemetry.count("cache.stored_bytes", path.stat().st_size)
+        except OSError:
+            pass  # concurrent eviction; the store still happened
+        self._evict_to_budget(protect=digest)
 
     def entries(self) -> list[Path]:
         """All current entry files (excluding in-flight temporaries)."""
@@ -160,9 +213,19 @@ class DetectorDiskCache:
                 continue
         return total
 
-    def _evict_to_budget(self) -> None:
+    def _evict_to_budget(self, protect: str | None = None) -> None:
+        """Evict least-recently-used entries until under the byte budget.
+
+        Args:
+            protect: Digest exempt from this pass — the entry ``store``
+                just wrote. Without the exemption, a single entry larger
+                than the budget (or one tying the oldest mtime, where the
+                sort falls through to size/path) could evict *itself*,
+                silently turning every subsequent load into a miss.
+        """
         if self._byte_limit is None:
             return
+        protected = self._path(protect) if protect is not None else None
         stats = []
         for path in self.entries():
             try:
@@ -174,10 +237,14 @@ class DetectorDiskCache:
         if total <= self._byte_limit:
             return
         for _, size, path in sorted(stats):  # oldest first
+            if protected is not None and path == protected:
+                continue
             try:
                 path.unlink()
             except OSError:
                 continue
+            telemetry.count("cache.evicted_bytes", size)
+            telemetry.count("cache.evicted")
             total -= size
             if total <= self._byte_limit:
                 return

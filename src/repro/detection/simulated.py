@@ -19,6 +19,7 @@ from repro.detection.response import (
     ResolutionResponse,
 )
 from repro.errors import ConfigurationError
+from repro.system import telemetry
 from repro.video.dataset import VideoDataset
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
@@ -66,6 +67,21 @@ class SimulatedDetector:
         self._anomalies = anomalies
         self._false_positives = false_positives or FalsePositiveModel(base_rate=0.0)
         self._cache: dict[tuple, np.ndarray] = {}
+        #: Full configuration identity for the persistent cache. The zoo
+        #: reuses names across configurations (``yolo-v4-like`` detects
+        #: both cars and persons in the default suite), so the name alone
+        #: would let two different detectors share — and poison — an
+        #: entry. Every parameter that changes outputs participates; the
+        #: response/anomaly/false-positive models are frozen dataclasses,
+        #: so their reprs are stable and parameter-complete.
+        self._cache_identity = repr((
+            name,
+            target_class.name,
+            round(threshold, 9),
+            self._response,
+            self._anomalies,
+            self._false_positives,
+        ))
         #: Keys whose outputs were loaded from the persistent cache rather
         #: than evaluated in this process; cost accounting treats them as
         #: already paid for (see :meth:`output_was_precomputed`).
@@ -153,7 +169,7 @@ class SimulatedDetector:
     def _digest(self, key: tuple) -> str:
         dataset_key, side, quality = key
         return diskcache.DetectorDiskCache.digest(
-            self._name, dataset_key, side, quality
+            self._cache_identity, dataset_key, side, quality
         )
 
     def run(
@@ -198,6 +214,7 @@ class SimulatedDetector:
 
         disk = diskcache.active_cache()
         if disk is not None:
+            telemetry.count("detector.consultations")
             loaded = disk.load(self._digest(key))
             if loaded is not None and loaded.size == dataset.frame_count:
                 loaded.flags.writeable = False
@@ -205,7 +222,9 @@ class SimulatedDetector:
                 self._disk_hits.add(key)
                 return DetectorOutputs(counts=loaded, resolution=chosen)
 
-        counts = self._evaluate(dataset, chosen, quality)
+        telemetry.count("detector.evaluations")
+        with telemetry.timer("detector.evaluate_seconds"):
+            counts = self._evaluate(dataset, chosen, quality)
         counts.flags.writeable = False
         self._cache[key] = counts
         if disk is not None:

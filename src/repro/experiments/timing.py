@@ -24,6 +24,7 @@ from repro.experiments.reporting import ExperimentResult
 from repro.experiments.workloads import UA_DETRAC, Workload, shared_suite
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
+from repro.system import telemetry
 from repro.system.costs import CostModel, InvocationLedger
 from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.video.geometry import resolution_grid
@@ -78,12 +79,18 @@ def run_timing(
     )
 
     start = time.perf_counter()
-    cube = profiler.generate_hypercube_seeded(
-        query,
-        grid,
-        root=seed,
-        executor=ParallelExecutor(ExecutorConfig(workers=workers)),
-    )
+    with telemetry.span(
+        "experiment.timing",
+        frames=query.dataset.frame_count,
+        resolutions=len(resolutions),
+        trials=trials,
+    ):
+        cube = profiler.generate_hypercube_seeded(
+            query,
+            grid,
+            root=seed,
+            executor=ParallelExecutor(ExecutorConfig(workers=workers)),
+        )
     estimation_wall_seconds = time.perf_counter() - start
 
     settings = int(np.isfinite(cube.bounds).sum())

@@ -23,8 +23,11 @@ so examples and benchmarks can express those goals quantitatively:
   :class:`FleetQueryProcessor` that degrades gracefully under faults.
 - :mod:`repro.system.administrator` — the administrator persona tying
   preferences to profile-driven choices.
+- :mod:`repro.system.telemetry` — process-local metrics, spans, and
+  structured logging (off by default; the CLI's ``--telemetry`` enables).
 """
 
+from repro.system import telemetry
 from repro.system.camera import Camera
 from repro.system.costs import CostModel, InvocationLedger
 from repro.system.faults import (
@@ -59,6 +62,13 @@ from repro.system.resilience import (
     HealthLedger,
     RetryPolicy,
 )
+from repro.system.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    merge_snapshots,
+    setup_logging,
+)
 
 __all__ = [
     "Administrator",
@@ -80,14 +90,20 @@ __all__ = [
     "ExecutorConfig",
     "HealthLedger",
     "InvocationLedger",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
     "ParallelExecutor",
     "PrivacyReport",
     "RetryPolicy",
     "TransmissionModel",
     "child_rng",
     "child_seed",
+    "merge_snapshots",
     "normalize_root",
     "privacy_report",
+    "setup_logging",
+    "telemetry",
     "transmit_with_retry",
     "trial_chunks",
 ]

@@ -25,11 +25,13 @@ initializer re-activates inside each worker process.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -40,12 +42,15 @@ from repro.detection.zoo import DetectorSuite
 from repro.errors import ConfigurationError
 from repro.interventions.plan import InterventionPlan
 from repro.query.query import AggregateQuery
+from repro.system import telemetry
 from repro.system.costs import InvocationLedger
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+_LOG = telemetry.get_logger("system.executor")
 
 #: Entropy tuples accepted as root seeds.
 RootSeed = int | Sequence[int]
@@ -114,8 +119,9 @@ def trial_chunks(trials: int, chunk_count: int) -> list[range]:
 
 #: Below this many work units, ``workers="auto"`` runs serially: with the
 #: §5.3.1 sweep at ~10 units, pool startup plus per-unit pickling costs more
-#: than the work itself (BENCH_profile.json: 0.29 s cold-parallel vs 0.07 s
-#: cold-serial on one CPU), so small sweeps must not pay for a pool.
+#: than the work itself (compare the ``runs.cold_parallel`` and
+#: ``runs.cold_serial`` ``wall_seconds`` in BENCH_profile.json, measured on
+#: one CPU), so small sweeps must not pay for a pool.
 AUTO_MIN_UNITS = 16
 
 
@@ -173,10 +179,55 @@ class ExecutorConfig:
             )
 
 
-def _worker_initializer(cache_dir: str | None, cache_limit: int | None) -> None:
-    """Re-activate the persistent detector cache inside a worker process."""
+def _worker_initializer(
+    cache_dir: str | None, cache_limit: int | None, telemetry_on: bool
+) -> None:
+    """Prepare a worker process: persistent cache and telemetry state."""
     if cache_dir is not None:
         diskcache.activate(cache_dir, cache_limit)
+    if telemetry_on:
+        telemetry.enable()
+
+
+@dataclass(frozen=True)
+class _UnitOutcome:
+    """What one work unit produced inside a worker, shipped back whole.
+
+    Wrapping the call keeps two channels out of band of the result type:
+
+    - ``error``: an exception ``fn`` raised *in the worker*. Returning it
+      (instead of letting it propagate through ``pool.map``) lets the
+      parent distinguish a genuine work-unit failure — which must re-raise
+      as is — from pool infrastructure failures, which alone may fall back
+      to the serial path.
+    - ``snapshot``: the unit's telemetry, collected into a private
+      registry and merged by the parent like worker ledger counts.
+    """
+
+    result: object = None
+    error: BaseException | None = None
+    snapshot: telemetry.MetricsSnapshot | None = None
+
+
+def _call_unit(fn: Callable[[T], U], item: T) -> _UnitOutcome:
+    """Run one unit in a worker, capturing its error and telemetry."""
+    local = telemetry.MetricsRegistry() if telemetry.enabled() else None
+    previous = telemetry.install(local) if local is not None else None
+    try:
+        try:
+            result = fn(item)
+        except Exception as error:
+            return _UnitOutcome(
+                error=error,
+                snapshot=local.snapshot() if local is not None else None,
+            )
+        return _UnitOutcome(
+            result=result,
+            snapshot=local.snapshot() if local is not None else None,
+        )
+    finally:
+        if previous is not None:
+            telemetry.install(previous)
 
 
 class ParallelExecutor:
@@ -228,6 +279,12 @@ class ParallelExecutor:
     def map(self, fn: Callable[[T], U], payloads: Iterable[T]) -> list[U]:
         """Apply ``fn`` to every payload, preserving payload order.
 
+        Exceptions ``fn`` raises propagate unchanged from the pool path —
+        without a serial re-run — exactly as they would serially. Only
+        *infrastructure* failures (pool creation denied, unpicklable
+        payloads, a broken pool) degrade to the serial path; seed streams
+        make that rerun bit-identical.
+
         Args:
             fn: A picklable module-level function.
             payloads: Picklable work units.
@@ -242,17 +299,55 @@ class ParallelExecutor:
         # Ship several units per pool task: one pickle round-trip then
         # amortises over the chunk instead of being paid per unit.
         chunksize = max(1, len(items) // (workers * 4))
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_initializer,
-                initargs=self._cache_initargs(),
-            ) as pool:
-                return list(pool.map(fn, items, chunksize=chunksize))
-        except (OSError, BrokenProcessPool, pickle.PicklingError, AttributeError):
-            # Restricted environments (no fork/spawn) or unpicklable
-            # payloads: seed streams make the serial rerun bit-identical.
-            return [fn(item) for item in items]
+        telemetry.gauge("executor.workers", workers)
+        telemetry.gauge("executor.chunk_size", chunksize)
+        telemetry.count("executor.units", len(items))
+        with telemetry.span("executor.map", units=len(items), workers=workers):
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_initializer,
+                    initargs=(*self._cache_initargs(), telemetry.enabled()),
+                ) as pool:
+                    outcomes = list(
+                        pool.map(partial(_call_unit, fn), items, chunksize=chunksize)
+                    )
+            except (OSError, BrokenProcessPool, pickle.PicklingError,
+                    AttributeError, TypeError) as error:
+                # _call_unit confines fn's own exceptions to outcome
+                # records, so anything escaping pool.map is infrastructure:
+                # a restricted environment (no fork/spawn), a died worker,
+                # or payload/callable pickling (unpicklable local functions
+                # surface as AttributeError/TypeError from pickle itself).
+                self._log_fallback(error)
+                return [fn(item) for item in items]
+        return self._unpack_outcomes(outcomes)
+
+    @staticmethod
+    def _log_fallback(error: BaseException) -> None:
+        telemetry.count("executor.fallback")
+        telemetry.log_event(
+            _LOG,
+            logging.WARNING,
+            "executor.fallback",
+            reason=type(error).__name__,
+            error=str(error),
+        )
+
+    @staticmethod
+    def _unpack_outcomes(outcomes: list[_UnitOutcome]) -> list:
+        """Merge worker telemetry, then surface results or the first error."""
+        active = telemetry.registry()
+        failure: BaseException | None = None
+        results = []
+        for outcome in outcomes:
+            active.merge_snapshot(outcome.snapshot)
+            if failure is None and outcome.error is not None:
+                failure = outcome.error
+            results.append(outcome.result)
+        if failure is not None:
+            raise failure
+        return results
 
 
 # ---------------------------------------------------------------------------

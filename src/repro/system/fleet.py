@@ -33,6 +33,7 @@ Two executors share that combination:
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,12 +63,15 @@ from repro.system.faults import (
     FaultModel,
     transmit_with_retry,
 )
+from repro.system import telemetry
 from repro.system.resilience import (
     BreakerState,
     CircuitBreaker,
     HealthLedger,
     RetryPolicy,
 )
+
+_LOG = telemetry.get_logger("system.fleet")
 
 
 def _validate_cameras(cameras: list[Camera]) -> None:
@@ -431,6 +435,18 @@ class FleetQueryProcessor:
         """
         if not 0.0 < delta < 1.0:
             raise EstimationError(f"delta must lie in (0, 1), got {delta}")
+        with telemetry.span(
+            "fleet.execute", cameras=len(self._cameras), seed=int(seed)
+        ):
+            return self._execute_timed(model_for_camera, delta, seed)
+
+    def _execute_timed(
+        self,
+        model_for_camera,
+        delta: float,
+        seed: int,
+    ) -> FleetReport:
+        """The span-timed body of :meth:`execute`."""
         root = np.random.SeedSequence(int(seed))
         camera_sequences = root.spawn(len(self._cameras))
 
@@ -517,6 +533,8 @@ class FleetQueryProcessor:
             camera.name for camera in self._cameras
             if camera.name not in deliveries
         )
+        if lost:
+            telemetry.count("fleet.cameras_lost", len(lost))
         return FleetReport(
             combined=combined,
             per_camera=reports,
@@ -547,6 +565,14 @@ class FleetQueryProcessor:
         }
         if not breaker.allow(self._clock):
             health.skipped_queries += 1
+            telemetry.count("fleet.skipped_queries")
+            telemetry.log_event(
+                _LOG,
+                logging.WARNING,
+                "fleet.camera_skipped",
+                camera=camera.name,
+                reason="circuit breaker open",
+            )
             return {**base, "reason": "circuit breaker open"}
 
         sample_sequence, retry_sequence = sequence.spawn(2)
@@ -566,6 +592,15 @@ class FleetQueryProcessor:
             health.failures += 1
             health.last_error = str(error)
             breaker.record_failure(self._clock)
+            telemetry.count("fleet.attempts")
+            telemetry.count("fleet.failures")
+            telemetry.log_event(
+                _LOG,
+                logging.WARNING,
+                "fleet.camera_lost",
+                camera=camera.name,
+                reason=str(error),
+            )
             return {**base, "attempts": 1, "reason": str(error)}
         except TransmissionError as error:
             attempts = getattr(error, "attempts", self._policy.max_attempts)
@@ -579,6 +614,16 @@ class FleetQueryProcessor:
             for _ in range(attempts):
                 breaker.record_failure(self._clock)
             self._clock += backoff
+            telemetry.count("fleet.attempts", attempts)
+            telemetry.count("fleet.failures", attempts)
+            telemetry.count("fleet.retries", retries)
+            telemetry.log_event(
+                _LOG,
+                logging.WARNING,
+                "fleet.camera_lost",
+                camera=camera.name,
+                reason=str(error),
+            )
             return {
                 **base,
                 "attempts": attempts,
@@ -600,6 +645,12 @@ class FleetQueryProcessor:
             breaker.record_failure(self._clock)
         breaker.record_success(self._clock)
         self._clock += latency
+        telemetry.count("fleet.attempts", outcome.attempts)
+        telemetry.count("fleet.retries", outcome.retries)
+        if delivery.dropped:
+            telemetry.count("fleet.frames_dropped", delivery.dropped)
+        if delivery.corrupted:
+            telemetry.count("fleet.frames_corrupted", delivery.corrupted)
 
         clean = (
             outcome.retries == 0

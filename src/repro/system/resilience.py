@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.system import telemetry
 
 
 @dataclass(frozen=True)
@@ -138,11 +139,15 @@ class CircuitBreaker:
         """
         state = self.state(now)
         if state is BreakerState.HALF_OPEN:
+            if self._state is not BreakerState.HALF_OPEN:
+                telemetry.count("breaker.half_open")
             self._state = BreakerState.HALF_OPEN
         return state is not BreakerState.OPEN
 
     def record_success(self, now: float) -> None:
         """A successful attempt closes the breaker and clears the run."""
+        if self._state is not BreakerState.CLOSED:
+            telemetry.count("breaker.close")
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
 
@@ -157,6 +162,8 @@ class CircuitBreaker:
             self._state is BreakerState.HALF_OPEN
             or self._consecutive_failures >= self._threshold
         ):
+            if self._state is not BreakerState.OPEN:
+                telemetry.count("breaker.open")
             self._state = BreakerState.OPEN
             self._opened_at = now
 

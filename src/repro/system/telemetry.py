@@ -1,0 +1,570 @@
+"""Process-local observability: metrics, spans, and structured logging.
+
+The fleet/cache/executor substrate built in the preceding PRs is invisible
+at runtime: cache hits, pool fallbacks, breaker trips, and sweep timings
+all happen silently. This module is the observability layer production
+video-analytics systems treat as first class — AQuA steers its pipeline off
+monitored quality signals, and Boggart's amortization story depends on
+knowing exactly what was reused versus recomputed.
+
+Three cooperating pieces, all dependency-free (stdlib only, so every layer
+of the package can import this module without cycles):
+
+- :class:`MetricsRegistry` — counters, gauges, and histograms keyed by
+  dotted metric names (``cache.hit``, ``executor.fallback``). Timers use
+  the monotonic clock (:func:`time.perf_counter`). A registry produces
+  picklable, **mergeable** :class:`MetricsSnapshot` objects, so worker
+  processes fold their metrics into the parent exactly like
+  :class:`~repro.system.costs.InvocationLedger` counts cross the pool
+  boundary.
+- **Spans** — lightweight wall-time scopes (``with telemetry.span(
+  "profiler.sweep", resolution=304)``) recording a parent/child trace tree
+  for profile generation.
+- **Structured logging** — ``repro.*`` namespaced loggers with a JSON or
+  human formatter (:func:`setup_logging`), and :func:`log_event` for
+  key=value event records.
+
+Telemetry is **off by default and cheap when off**: the process-global
+registry starts as a shared :class:`NullRegistry` whose methods are no-ops
+and whose ``span``/``timer`` return a reusable null context manager, so
+instrumented hot paths cost a delegating call and nothing else. Enable it
+with :func:`enable` (the CLI's ``--telemetry`` flag does).
+
+Telemetry is **never consulted by estimation code** — metrics and spans
+are written, not read, so sweep outputs are bit-identical with telemetry
+enabled or disabled (the benchmark asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "HistogramStat",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "SpanRecord",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "install",
+    "log_event",
+    "merge_snapshots",
+    "observe",
+    "registry",
+    "setup_logging",
+    "span",
+    "timer",
+]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot data model (picklable, mergeable).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HistogramStat:
+    """Summary statistics of one histogram metric.
+
+    Full value lists would not merge cheaply across processes; the summary
+    (count, total, min, max) does, and it is what the snapshot carries.
+
+    Attributes:
+        count: Number of observations.
+        total: Sum of observed values.
+        minimum: Smallest observed value.
+        maximum: Largest observed value.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def merged(self, other: "HistogramStat") -> "HistogramStat":
+        """The summary of both histograms' observations combined."""
+        return HistogramStat(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean if self.count else None,
+        }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span in a trace tree.
+
+    Attributes:
+        name: Dotted span name (``profiler.sweep``).
+        duration: Wall time in seconds (monotonic clock).
+        attributes: The keyword attributes the span was opened with.
+        children: Spans that completed while this one was open.
+    """
+
+    name: str
+    duration: float
+    attributes: tuple[tuple[str, object], ...] = ()
+    children: tuple["SpanRecord", ...] = ()
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation of the subtree."""
+        return {
+            "name": self.name,
+            "duration_s": round(self.duration, 6),
+            "attributes": {key: value for key, value in self.attributes},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable view of a registry's state.
+
+    Snapshots merge associatively: ``(a + b) + c`` equals ``a + (b + c)``
+    on counters and histograms (sums) and concatenates span forests in
+    argument order, so worker snapshots can be folded into the parent in
+    any grouping. Gauges are last-write-wins in merge order.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramStat] = field(default_factory=dict)
+    spans: tuple[SpanRecord, ...] = ()
+
+    def merged(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """This snapshot with another folded in (see class docstring)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        histograms = dict(self.histograms)
+        for name, stat in other.histograms.items():
+            existing = histograms.get(name)
+            histograms[name] = stat if existing is None else existing.merged(stat)
+        return MetricsSnapshot(
+            counters=counters,
+            gauges={**self.gauges, **other.gauges},
+            histograms=histograms,
+            spans=self.spans + other.spans,
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (``json.dumps``-able as is)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: stat.to_dict()
+                for name, stat in sorted(self.histograms.items())
+            },
+            "spans": [record.to_dict() for record in self.spans],
+        }
+
+
+def merge_snapshots(*snapshots: MetricsSnapshot | None) -> MetricsSnapshot:
+    """Fold any number of snapshots (None entries are skipped)."""
+    merged = MetricsSnapshot()
+    for snapshot in snapshots:
+        if snapshot is not None:
+            merged = merged.merged(snapshot)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Registries.
+# ---------------------------------------------------------------------------
+
+
+class _SpanHandle:
+    """Context manager recording one span into its registry."""
+
+    __slots__ = ("_registry", "name", "attributes", "_children", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, attributes: tuple):
+        self._registry = registry
+        self.name = name
+        self.attributes = attributes
+        self._children: list[SpanRecord] = []
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._registry._open_span(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        duration = time.perf_counter() - self._start
+        self._registry._close_span(self, duration)
+
+
+class _NullSpan:
+    """The shared no-op span/timer: entering and exiting does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _TimerHandle:
+    """Context manager observing its wall time into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and spans for one process.
+
+    Process-local and single-threaded by design (the substrate parallelises
+    with processes, not threads); worker processes run their own registry
+    and return snapshots for the parent to merge.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramStat] = {}
+        self._roots: list[SpanRecord] = []
+        self._stack: list[_SpanHandle] = []
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add to a monotonically increasing counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into a histogram."""
+        stat = self._histograms.get(name, HistogramStat())
+        self._histograms[name] = stat.merged(
+            HistogramStat(count=1, total=value, minimum=value, maximum=value)
+        )
+
+    def span(self, name: str, **attributes):
+        """A context manager recording a wall-time span under this name.
+
+        Spans opened while another span is active become its children in
+        the trace tree; the tree is part of :meth:`snapshot`.
+        """
+        return _SpanHandle(self, name, tuple(sorted(attributes.items())))
+
+    def timer(self, name: str):
+        """A context manager observing its wall time into histogram ``name``."""
+        return _TimerHandle(self, name)
+
+    def _open_span(self, handle: _SpanHandle) -> None:
+        self._stack.append(handle)
+
+    def _close_span(self, handle: _SpanHandle, duration: float) -> None:
+        record = SpanRecord(
+            name=handle.name,
+            duration=duration,
+            attributes=handle.attributes,
+            children=tuple(handle._children),
+        )
+        # Tolerate out-of-order exits (generators suspended mid-span):
+        # attach to the nearest surviving ancestor instead of crashing.
+        while self._stack and self._stack[-1] is not handle:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1]._children.append(record)
+        else:
+            self._roots.append(record)
+        self.observe(f"span.{handle.name}", duration)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The registry's current state as a mergeable snapshot."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=dict(self._histograms),
+            spans=tuple(self._roots),
+        )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot | None) -> None:
+        """Fold a (worker) snapshot into this registry."""
+        if snapshot is None:
+            return
+        for name, value in snapshot.counters.items():
+            self.count(name, value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name, value)
+        for name, stat in snapshot.histograms.items():
+            existing = self._histograms.get(name, HistogramStat())
+            self._histograms[name] = existing.merged(stat)
+        self._roots.extend(snapshot.spans)
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._roots.clear()
+        self._stack.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """The off-by-default registry: every operation is a no-op.
+
+    Instrumented hot paths pay one delegating call; ``span``/``timer``
+    hand back a shared null context manager, so no objects are allocated.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN
+
+    def timer(self, name: str):
+        return _NULL_SPAN
+
+    def snapshot(self) -> MetricsSnapshot | None:
+        return None
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot | None) -> None:
+        pass
+
+
+_NULL_REGISTRY = NullRegistry()
+_active: MetricsRegistry = _NULL_REGISTRY
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry instrumented code writes to."""
+    return _active
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is currently on in this process."""
+    return _active.enabled
+
+
+def enable() -> MetricsRegistry:
+    """Install a fresh collecting registry and return it."""
+    global _active
+    _active = MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Return to the shared no-op registry (collection off)."""
+    global _active
+    _active = _NULL_REGISTRY
+
+
+def install(target: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry, returning the previous one.
+
+    Used by the executor's worker shim to collect one work unit's metrics
+    into a private registry whose snapshot crosses the pool boundary.
+    """
+    global _active
+    previous = _active
+    _active = target
+    return previous
+
+
+# Delegating conveniences: instrumented modules call ``telemetry.count``
+# etc. so the active registry is looked up per call (cheap, and workers
+# that re-install a registry are picked up immediately).
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Add to a counter on the active registry."""
+    _active.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry."""
+    _active.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active registry."""
+    _active.observe(name, value)
+
+
+def span(name: str, **attributes):
+    """Open a span on the active registry (no-op context when disabled)."""
+    return _active.span(name, **attributes)
+
+
+def timer(name: str):
+    """Open a timer on the active registry (no-op context when disabled)."""
+    return _active.timer(name)
+
+
+# ---------------------------------------------------------------------------
+# Structured logging.
+# ---------------------------------------------------------------------------
+
+_ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro.*`` namespace.
+
+    Args:
+        name: Suffix under the ``repro`` root (``"system.executor"``), or a
+            full ``repro.*`` name, which is used as is.
+
+    Returns:
+        The namespaced logger.
+    """
+    if name == _ROOT_LOGGER_NAME or name.startswith(_ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields
+) -> None:
+    """Emit one structured event record.
+
+    The event name becomes the message; ``fields`` ride on the record as
+    ``record.fields`` so both formatters can render them (human as
+    ``key=value`` suffixes, JSON as top-level keys).
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+def _record_fields(record: logging.LogRecord) -> Mapping[str, object]:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, Mapping) else {}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in _record_fields(record).items():
+            payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``LEVEL logger: event key=value ...`` for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        suffix = "".join(
+            f" {key}={value}" for key, value in _record_fields(record).items()
+        )
+        base = (
+            f"{record.levelname.lower():<7} {record.name}: "
+            f"{record.getMessage()}{suffix}"
+        )
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def setup_logging(
+    level: str = "warning", fmt: str = "human", stream=None
+) -> logging.Logger:
+    """Wire the ``repro`` root logger to a stream handler.
+
+    Idempotent per process: an existing handler installed by this function
+    is replaced, not duplicated.
+
+    Args:
+        level: Threshold name (``debug``/``info``/``warning``/``error``).
+        fmt: ``"human"`` or ``"json"``.
+        stream: Destination; defaults to ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if fmt not in ("human", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; use 'human' or 'json'")
+    root = logging.getLogger(_ROOT_LOGGER_NAME)
+    root.setLevel(numeric)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else HumanFormatter())
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root
+
+
+def iter_spans(snapshot: MetricsSnapshot) -> Iterator[SpanRecord]:
+    """Depth-first walk over every span in a snapshot's forest."""
+    stack = list(reversed(snapshot.spans))
+    while stack:
+        record = stack.pop()
+        yield record
+        stack.extend(reversed(record.children))

@@ -66,6 +66,25 @@ class TestCacheKeys:
             detector.run(stream).counts, detector.run(window).counts
         )
 
+    def test_same_name_different_class_never_shares_disk_entries(self, tmp_path):
+        """The default suite runs ``yolo-v4-like`` for both cars and
+        persons; with a persistent cache active, the person run must not
+        satisfy (and so poison) the car run's lookup."""
+        from repro.detection import diskcache
+        from repro.detection.zoo import yolo_v4_like
+
+        corpus = ua_detrac(frame_count=600, seed=11)
+        expected = yolo_v4_like().run(corpus).counts  # no disk cache
+        diskcache.activate(tmp_path / "cache")
+        try:
+            person = yolo_v4_like(target_class=ObjectClass.PERSON)
+            person_counts = person.run(corpus).counts  # stores its entry
+            car_counts = yolo_v4_like().run(corpus).counts
+        finally:
+            diskcache.deactivate()
+        assert not np.array_equal(car_counts, person_counts)
+        assert np.array_equal(car_counts, expected)
+
     def test_regenerated_corpus_reuses_cache(self):
         """Same (scene, size, seed) regenerated from scratch hits the
         same cache entry (deterministic generation, stable fingerprint)."""

@@ -12,6 +12,7 @@ from repro.detection.diskcache import DetectorDiskCache
 from repro.detection.response import ResolutionResponse
 from repro.detection.simulated import SimulatedDetector
 from repro.errors import ConfigurationError
+from repro.system import telemetry
 from repro.video import ua_detrac
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
@@ -64,6 +65,40 @@ class TestStoreLoad:
         cache.store(digest, np.ones(10))
         (cache.root / f"{digest}.npz").write_bytes(b"not a zipfile")
         assert cache.load(digest) is None
+
+    def test_truncated_npz_is_a_miss_and_is_removed(self, tmp_path):
+        """A truncated entry keeps the PK zip magic, so ``np.load`` raises
+        ``zipfile.BadZipFile`` rather than ``ValueError`` — it must still
+        behave like a miss and the poisoned file must be deleted."""
+        cache = make_cache(tmp_path)
+        digest = DetectorDiskCache.digest("yolo", KEY, 608, 1.0)
+        cache.store(digest, np.arange(500, dtype=float))
+        path = cache.root / f"{digest}.npz"
+        payload = path.read_bytes()
+        assert payload[:2] == b"PK"
+        path.write_bytes(payload[: len(payload) // 2])
+        assert cache.load(digest) is None
+        assert not path.exists()  # cannot fail every future load
+
+    def test_corrupt_load_counts_telemetry_and_store_heals(self, tmp_path):
+        cache = make_cache(tmp_path)
+        digest = DetectorDiskCache.digest("yolo", KEY, 304, 1.0)
+        cache.store(digest, np.ones(20))
+        payload = (cache.root / f"{digest}.npz").read_bytes()
+        (cache.root / f"{digest}.npz").write_bytes(payload[:40])
+        registry = telemetry.enable()
+        try:
+            assert cache.load(digest) is None
+            counters = registry.snapshot().counters
+            assert counters["cache.corrupt"] == 1.0
+            assert counters["cache.miss"] == 1.0
+            assert "cache.hit" not in counters
+            # A re-store after the discard serves loads again.
+            cache.store(digest, np.ones(20))
+            assert np.array_equal(cache.load(digest), np.ones(20))
+            assert registry.snapshot().counters["cache.hit"] == 1.0
+        finally:
+            telemetry.disable()
 
     def test_no_temporaries_left_behind(self, tmp_path):
         cache = make_cache(tmp_path)
@@ -119,6 +154,44 @@ class TestEviction:
     def test_rejects_nonpositive_budget(self, tmp_path):
         with pytest.raises(ConfigurationError):
             make_cache(tmp_path, byte_limit=0)
+
+    def test_oversized_entry_survives_its_own_store(self, tmp_path):
+        """A single entry above the budget must not evict itself: the
+        store would otherwise silently turn every later load into a miss."""
+        cache = make_cache(tmp_path, byte_limit=64)
+        digest = "a" * 32
+        counts = np.arange(2000, dtype=float)
+        cache.store(digest, counts)
+        assert cache.contains(digest)
+        assert np.array_equal(cache.load(digest), counts)
+
+    def test_oversized_store_still_evicts_older_entries(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("b" * 32, np.full(200, 1.0))
+        os.utime(cache.root / ("b" * 32 + ".npz"), (1000, 1000))
+        bounded = DetectorDiskCache(cache.root, byte_limit=64)
+        bounded.store("a" * 32, np.arange(2000, dtype=float))
+        survivors = {path.stem for path in bounded.entries()}
+        assert survivors == {"a" * 32}  # old entry went, new one stayed
+
+    def test_eviction_counts_evicted_bytes(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for i in range(3):
+            cache.store(f"{i:032x}", np.full(200, float(i)))
+            os.utime(cache.root / f"{i:032x}.npz", (1000 + i, 1000 + i))
+        entry_bytes = cache.total_bytes() // 3
+        registry = telemetry.enable()
+        try:
+            bounded = DetectorDiskCache(
+                cache.root, byte_limit=int(entry_bytes * 2.5)
+            )
+            bounded.store("f" * 32, np.full(200, 9.0))
+            counters = registry.snapshot().counters
+            assert counters["cache.evicted"] >= 1.0
+            assert counters["cache.evicted_bytes"] > 0.0
+            assert counters["cache.store"] == 1.0
+        finally:
+            telemetry.disable()
 
 
 class TestActivation:

@@ -23,6 +23,7 @@ from repro.experiments.trials import (
 from repro.interventions import InterventionPlan
 from repro.query import Aggregate, AggregateQuery, QueryProcessor
 from repro.query.aggregates import FramePredicate
+from repro.system import telemetry
 from repro.system.costs import InvocationLedger
 from repro.system.executor import (
     AUTO_MIN_UNITS,
@@ -39,6 +40,29 @@ from repro.video import ua_detrac
 from repro.video.geometry import Resolution
 
 WORKER_MATRIX = (1, 2, 4)
+
+
+def _record_then_fail(item: tuple) -> None:
+    """Picklable unit: append its id to a shared file, then blow up."""
+    path, value = item
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    raise AttributeError(f"worker bug on unit {value}")
+
+
+def _record_call(item: tuple) -> int:
+    """Picklable unit: append its id to a shared file, return doubled."""
+    path, value = item
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    return value * 2
+
+
+def _count_and_double(value: int) -> int:
+    """Picklable unit that writes telemetry inside the worker."""
+    telemetry.count("test.unit")
+    telemetry.observe("test.value", float(value))
+    return value * 2
 
 
 @pytest.fixture(scope="module")
@@ -263,6 +287,68 @@ class TestDeterminismMatrix:
             )
             results.append(profile.error_bounds())
         assert np.array_equal(results[0], results[1])
+
+
+class TestWorkerErrorConfinement:
+    """Worker ``fn`` failures must propagate without a serial re-run."""
+
+    def test_worker_attribute_error_propagates_without_rerun(self, tmp_path):
+        log = tmp_path / "calls.log"
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        items = [(str(log), i) for i in range(6)]
+        with pytest.raises(AttributeError, match="worker bug"):
+            executor.map(_record_then_fail, items)
+        lines = log.read_text(encoding="utf-8").splitlines()
+        # The over-broad fallback used to re-run every unit serially
+        # (masking the bug and duplicating side effects).
+        assert len(lines) == len(set(lines))
+
+    def test_successful_pool_run_executes_each_unit_once(self, tmp_path):
+        log = tmp_path / "calls.log"
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        items = [(str(log), i) for i in range(8)]
+        results = executor.map(_record_call, items)
+        assert results == [i * 2 for i in range(8)]
+        lines = sorted(log.read_text(encoding="utf-8").splitlines(), key=int)
+        assert lines == [str(i) for i in range(8)]
+
+    def test_unpicklable_fn_falls_back_and_counts_the_event(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        registry = telemetry.enable()
+        try:
+            results = executor.map(lambda x: x + 1, [1, 2, 3])
+            counters = registry.snapshot().counters
+        finally:
+            telemetry.disable()
+        assert results == [2, 3, 4]
+        assert counters["executor.fallback"] == 1.0
+
+    def test_worker_telemetry_folds_into_parent(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        registry = telemetry.enable()
+        try:
+            results = executor.map(_count_and_double, list(range(10)))
+            snapshot = registry.snapshot()
+        finally:
+            telemetry.disable()
+        assert results == [i * 2 for i in range(10)]
+        assert snapshot.counters["test.unit"] == 10.0
+        assert snapshot.counters["executor.units"] == 10.0
+        assert snapshot.histograms["test.value"].count == 10
+        assert snapshot.histograms["test.value"].maximum == 9.0
+        assert snapshot.gauges["executor.workers"] == 2.0
+
+    def test_serial_path_has_no_pool_metrics(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=1))
+        registry = telemetry.enable()
+        try:
+            results = executor.map(_count_and_double, [1, 2])
+            counters = registry.snapshot().counters
+        finally:
+            telemetry.disable()
+        assert results == [2, 4]
+        assert counters["test.unit"] == 2.0
+        assert "executor.units" not in counters
 
 
 class TestPersistentCacheIntegration:

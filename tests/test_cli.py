@@ -8,6 +8,8 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments.registry import experiment_names
+from repro.experiments.workloads import model_for
+from repro.system import telemetry
 
 
 class TestParser:
@@ -24,6 +26,24 @@ class TestParser:
     def test_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["info", "--dataset", "city-walk"])
+
+    def test_every_subcommand_accepts_telemetry_flags(self):
+        for argv in (
+            ["profile", "--dataset", "ua-detrac"],
+            ["choose", "--cube", "c.json", "--max-error", "0.5"],
+            ["estimate", "--dataset", "ua-detrac"],
+            ["experiment", "fig8"],
+            ["chaos"],
+            ["info", "--dataset", "ua-detrac"],
+            ["report"],
+        ):
+            args = build_parser().parse_args(
+                argv + ["--telemetry", "t.json", "--log-level", "info",
+                        "--log-format", "json"]
+            )
+            assert args.telemetry == "t.json"
+            assert args.log_level == "info"
+            assert args.log_format == "json"
 
     def test_experiment_names_cover_every_figure(self):
         names = experiment_names()
@@ -124,6 +144,73 @@ class TestProfileAndChoose:
         ])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetrySnapshot:
+    def test_warm_profile_reports_all_hits_and_no_degradation(
+        self, tmp_path, capsys
+    ):
+        """Acceptance criterion: a warm-cache ``profile --telemetry`` run
+        reports cache hits == detector consultations and zero
+        ``cache.corrupt``/``executor.fallback`` events."""
+        cache_dir = tmp_path / "cache"
+        base = [
+            "profile", "--dataset", "ua-detrac", "--frames", "1500",
+            "--fraction-step", "0.25", "--resolution-count", "3",
+            "--trials", "1", "--cache-dir", str(cache_dir),
+        ]
+        # Cold run populates the persistent cache.
+        assert main(base + ["--output", str(tmp_path / "cold.json")]) == 0
+        # Empty the shared detector's in-process cache so the warm run
+        # behaves like a fresh process: every output must come from disk.
+        model_for("ua-detrac").clear_cache()
+        snapshot_path = tmp_path / "telemetry.json"
+        capsys.readouterr()
+        code = main(base + [
+            "--output", str(tmp_path / "warm.json"),
+            "--telemetry", str(snapshot_path),
+        ])
+        assert code == 0
+        assert not telemetry.enabled()  # main() restored the no-op registry
+        assert "telemetry snapshot written" in capsys.readouterr().out
+        snapshot = json.loads(snapshot_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["cache.hit"] > 0
+        assert counters["cache.hit"] == counters["detector.consultations"]
+        assert "cache.corrupt" not in counters
+        assert "executor.fallback" not in counters
+        assert snapshot["spans"], "profile generation records spans"
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        assert warm["bounds"] == cold["bounds"]  # telemetry never read
+
+    def test_cache_dir_does_not_leak_past_main(self, tmp_path):
+        """An in-process ``profile --cache-dir`` run must not leave the
+        process-global detector cache active: later detector work in the
+        same process (other tests, notebooks) would silently read from and
+        write to a directory it never asked for."""
+        from repro.detection import diskcache
+
+        assert diskcache.active_cache() is None
+        code = main([
+            "profile", "--dataset", "ua-detrac", "--frames", "1500",
+            "--fraction-step", "0.5", "--resolution-count", "2",
+            "--trials", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(tmp_path / "cube.json"),
+        ])
+        assert code == 0
+        assert diskcache.active_cache() is None
+
+    def test_snapshot_written_even_when_command_fails(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "telemetry.json"
+        code = main([
+            "estimate", "--dataset", "ua-detrac", "--frames", "1500",
+            "--fraction", "0.1", "--method", "bootstrap",
+            "--telemetry", str(snapshot_path),
+        ])
+        assert code == 1
+        assert snapshot_path.exists()
+        assert not telemetry.enabled()
 
 
 class TestExperimentCommand:
