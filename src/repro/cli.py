@@ -16,8 +16,11 @@ Every subcommand accepts ``--frames`` to run on a reduced corpus and
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -39,6 +42,7 @@ from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system import telemetry
+from repro.system import observe
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
@@ -94,16 +98,55 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         help="collect metrics/spans and write the snapshot JSON here on exit "
              "(collection is off without this flag)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also export the span forest as Chrome trace-event JSON "
+             "(open in ui.perfetto.dev); implies telemetry collection",
+    )
+    parser.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="also export counters/gauges/histograms in the Prometheus "
+             "text exposition format; implies telemetry collection",
+    )
+    parser.add_argument(
+        "--run-ledger", default=None, metavar="PATH",
+        help="append a run record (config fingerprint, wall seconds, "
+             "invocations, cache hit ratio, bound widths) to this JSONL "
+             "ledger; inspect with 'repro runs'",
+    )
 
 
 def _write_telemetry_snapshot(
-    registry: telemetry.MetricsRegistry, path: str
+    snapshot: telemetry.MetricsSnapshot | None, path: str, run_id: str
 ) -> None:
-    snapshot = registry.snapshot()
+    """Write the snapshot JSON atomically, without clobbering a peer.
+
+    The payload lands in a run-id-suffixed temporary file first and is
+    renamed into place, so a reader never sees a partial snapshot. If
+    another run is mid-write to the same path (its temporary marker is
+    visible), this run diverts its snapshot to a run-id-suffixed final
+    path instead of racing for the shared one.
+    """
     payload = snapshot.to_dict() if snapshot is not None else {}
-    with open(path, "w", encoding="utf-8") as handle:
+    destination = Path(path)
+    if destination.parent != Path(""):
+        destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = destination.with_name(f".{destination.name}.{run_id}.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    peers = [
+        marker
+        for marker in glob.glob(
+            str(destination.with_name(f".{destination.name}.*.tmp"))
+        )
+        if Path(marker) != tmp_path
+    ]
+    if peers:
+        destination = destination.with_name(
+            f"{destination.stem}.{run_id}{destination.suffix}"
+        )
+    os.replace(tmp_path, destination)
     counters = payload.get("counters", {})
     interesting = {
         name: value
@@ -113,7 +156,7 @@ def _write_telemetry_snapshot(
     summary = ", ".join(
         f"{name}={value:g}" for name, value in sorted(interesting.items())
     )
-    print(f"telemetry snapshot written to {path}"
+    print(f"telemetry snapshot written to {destination}"
           + (f" ({summary})" if summary else ""))
 
 
@@ -309,6 +352,136 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_baseline(path: str) -> dict:
+    """A pinned baseline record: a single-record JSON file, or the
+    newest record of a ledger JSONL."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ReproError(f"baseline not found: {path}")
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "run_id" in payload:
+        return payload
+    return observe.latest_run(path)
+
+
+def _candidate_run(args: argparse.Namespace) -> dict:
+    return observe.latest_run(
+        args.ledger,
+        command=getattr(args, "filter_command", None),
+        run_id=getattr(args, "run", None),
+    )
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    """List ledger records, oldest first."""
+    records = observe.read_runs(args.ledger)
+    if args.filter_command:
+        records = [
+            r for r in records if r.get("command") == args.filter_command
+        ]
+    if args.limit:
+        records = records[-args.limit:]
+    if not records:
+        print("no runs recorded")
+        return 0
+    header = (
+        f"{'run_id':<22} {'command':<10} {'status':<6} "
+        f"{'wall_s':>9} {'invocations':>11} {'hit_ratio':>9}"
+    )
+    print(header)
+    for record in records:
+        metrics = record.get("metrics", {})
+        print(
+            f"{record.get('run_id', '?'):<22} "
+            f"{record.get('command', '?'):<10} "
+            f"{record.get('status', '?'):<6} "
+            f"{_format_cell(record.get('wall_seconds')):>9} "
+            f"{_format_cell(metrics.get('model_invocations')):>11} "
+            f"{_format_cell(metrics.get('cache_hit_ratio')):>9}"
+        )
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    """Print one full ledger record as JSON (latest by default)."""
+    record = _candidate_run(args)
+    json.dump(record, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Compare the latest run against the pinned baseline, field by field."""
+    baseline = _load_baseline(args.baseline)
+    candidate = _candidate_run(args)
+    rows = observe.diff_runs(baseline, candidate)
+    print(
+        f"baseline {baseline.get('run_id', '?')} vs "
+        f"candidate {candidate.get('run_id', '?')}"
+    )
+    print(
+        f"{'metric':<20} {'baseline':>12} {'candidate':>12} "
+        f"{'delta':>12} {'ratio':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['metric']:<20} "
+            f"{_format_cell(row['baseline']):>12} "
+            f"{_format_cell(row['candidate']):>12} "
+            f"{_format_cell(row['delta']):>12} "
+            f"{_format_cell(row['ratio']):>8}"
+        )
+    return 0
+
+
+def cmd_runs_check(args: argparse.Namespace) -> int:
+    """Gate the latest run against the baseline; non-zero on regression."""
+    baseline = _load_baseline(args.baseline)
+    candidate = _candidate_run(args)
+    thresholds = observe.GateThresholds(
+        max_wall_ratio=args.max_wall_ratio,
+        max_invocation_ratio=args.max_invocation_ratio,
+        min_cache_hit_ratio=args.min_cache_hit_ratio,
+        max_bound_ratio=args.max_bound_ratio,
+    )
+    result = observe.check_run(baseline, candidate, thresholds)
+    print(
+        f"checked {candidate.get('run_id', '?')} against baseline "
+        f"{baseline.get('run_id', '?')} "
+        f"({', '.join(result.checked) or 'nothing comparable'})"
+    )
+    if result.passed:
+        print("regression gate: PASS")
+        return 0
+    for violation in result.violations:
+        print(f"regression gate: FAIL - {violation.message}")
+    return 1
+
+
+def cmd_runs_pin(args: argparse.Namespace) -> int:
+    """Write one ledger record out as a pinned baseline JSON file."""
+    record = _candidate_run(args)
+    output = Path(args.output)
+    if output.parent != Path(""):
+        output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline pinned to {output} (run {record.get('run_id', '?')})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -436,6 +609,85 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(report)
     report.set_defaults(handler=cmd_report)
 
+    runs = subparsers.add_parser(
+        "runs", help="inspect the run ledger and gate regressions"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ledger", default="runs.jsonl", metavar="PATH",
+            help="run ledger JSONL (written by --run-ledger)",
+        )
+        sub.add_argument(
+            "--command", dest="filter_command", default=None,
+            help="only consider runs of this subcommand",
+        )
+        sub.add_argument(
+            "--run", default=None, metavar="ID",
+            help="select a run by id (or unique id prefix) instead of "
+                 "the latest",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    _add_runs_common(runs_list)
+    runs_list.add_argument(
+        "--limit", type=int, default=None, help="show only the newest N"
+    )
+    runs_list.set_defaults(handler=cmd_runs_list)
+
+    runs_show = runs_sub.add_parser("show", help="print one run record")
+    _add_runs_common(runs_show)
+    runs_show.set_defaults(handler=cmd_runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare a run against a pinned baseline"
+    )
+    _add_runs_common(runs_diff)
+    runs_diff.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="pinned baseline record JSON (or another ledger JSONL)",
+    )
+    runs_diff.set_defaults(handler=cmd_runs_diff)
+
+    runs_check = runs_sub.add_parser(
+        "check", help="regression-gate a run against a pinned baseline"
+    )
+    _add_runs_common(runs_check)
+    runs_check.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="pinned baseline record JSON (or another ledger JSONL)",
+    )
+    runs_check.add_argument(
+        "--max-wall-ratio", type=float, default=10.0,
+        help="fail if wall seconds exceed this multiple of the baseline",
+    )
+    runs_check.add_argument(
+        "--max-invocation-ratio", type=float, default=1.0,
+        help="fail if model invocations exceed this multiple of the "
+             "baseline (profiling is seed-deterministic, so 1.0 is safe)",
+    )
+    runs_check.add_argument(
+        "--min-cache-hit-ratio", type=float, default=None,
+        help="absolute cache hit-ratio floor (default: baseline - 0.02)",
+    )
+    runs_check.add_argument(
+        "--max-bound-ratio", type=float, default=1.001,
+        help="fail if the max bound width exceeds this multiple of the "
+             "baseline",
+    )
+    runs_check.set_defaults(handler=cmd_runs_check)
+
+    runs_pin = runs_sub.add_parser(
+        "pin", help="write a run record out as the pinned baseline"
+    )
+    _add_runs_common(runs_pin)
+    runs_pin.add_argument(
+        "--output", required=True, metavar="PATH",
+        help="baseline JSON file to write",
+    )
+    runs_pin.set_defaults(handler=cmd_runs_pin)
+
     return parser
 
 
@@ -455,23 +707,62 @@ def main(argv: Sequence[str] | None = None) -> int:
         fmt=getattr(args, "log_format", "human"),
     )
     snapshot_path = getattr(args, "telemetry", None)
-    registry = telemetry.enable() if snapshot_path else None
+    trace_path = getattr(args, "trace", None)
+    prometheus_path = getattr(args, "prometheus", None)
+    collect = bool(snapshot_path or trace_path or prometheus_path)
+    registry = telemetry.enable() if collect else None
+    # Every working subcommand records a ledger run (the ``runs``
+    # inspection commands do not run anything worth recording). The run
+    # handle exists even without --run-ledger: its id also keys the
+    # snapshot temporary files so concurrent runs never collide.
+    run = None
+    if args.command != "runs":
+        config = {
+            key: value
+            for key, value in vars(args).items()
+            if key not in (
+                "handler", "command", "runs_command", "telemetry",
+                "trace", "prometheus", "run_ledger", "log_level",
+                "log_format",
+            )
+        }
+        run = observe.begin_run(
+            args.command, config, getattr(args, "run_ledger", None)
+        )
     # ``--cache-dir`` handlers install the process-global detector cache;
     # an in-process caller (tests, notebooks) must not inherit it after
     # main() returns, so restore the no-cache state unless the caller had
     # activated one itself.
     entry_cache = diskcache.active_cache()
     handler: Callable[[argparse.Namespace], int] = args.handler
+    exit_code = 1
     try:
-        return handler(args)
+        with telemetry.span(f"cli.{args.command}"):
+            exit_code = handler(args)
+        return exit_code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
         if entry_cache is None and diskcache.active_cache() is not None:
             diskcache.deactivate()
+        snapshot = registry.snapshot() if registry is not None else None
+        if run is not None:
+            observe.finish_run(
+                status="ok" if exit_code == 0 else "error",
+                exit_code=exit_code,
+                snapshot=snapshot,
+            )
         if registry is not None:
-            _write_telemetry_snapshot(registry, snapshot_path)
+            run_id = run.run_id if run is not None else observe.new_run_id()
+            if snapshot_path:
+                _write_telemetry_snapshot(snapshot, snapshot_path, run_id)
+            if trace_path:
+                observe.export_chrome_trace(snapshot, trace_path)
+                print(f"chrome trace written to {trace_path}")
+            if prometheus_path:
+                observe.export_prometheus(snapshot, prometheus_path)
+                print(f"prometheus metrics written to {prometheus_path}")
             telemetry.disable()
 
 

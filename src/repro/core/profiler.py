@@ -183,6 +183,7 @@ class DegradationProfiler:
             return
         if self._setting_precomputed(query, resolution, quality):
             return
+        telemetry.count("profiler.frames_invoked", new_frames)
         self._ledger.record(resolution.side, new_frames)
 
     @staticmethod
@@ -632,15 +633,19 @@ class DegradationProfiler:
         sizes = [SampleDesign(eligible.size, f).size for f in fractions]
         max_size = max(sizes)
 
-        full_values = self._processor.frame_values(
-            query, effective_resolution, quality
-        )
-        # One (trials, max_size) fancy index instead of a gather per trial;
-        # row t is exactly full_values[eligible[samplers[t].prefix(...)]].
-        prefix_matrix = np.stack(
-            [sampler.prefix(max_size) for sampler in samplers]
-        )
-        value_matrix = full_values[eligible[prefix_matrix]]
+        with telemetry.span(
+            "profiler.gather", eligible=int(eligible.size), max_size=max_size
+        ):
+            full_values = self._processor.frame_values(
+                query, effective_resolution, quality
+            )
+            # One (trials, max_size) fancy index instead of a gather per
+            # trial; row t is exactly
+            # full_values[eligible[samplers[t].prefix(...)]].
+            prefix_matrix = np.stack(
+                [sampler.prefix(max_size) for sampler in samplers]
+            )
+            value_matrix = full_values[eligible[prefix_matrix]]
         trial_values = list(value_matrix)
         # The fraction knob never changes the randomness classification
         # (frame sampling is always the random intervention), so classify
@@ -651,57 +656,63 @@ class DegradationProfiler:
         )
 
         trials = len(samplers)
-        if self._vectorized:
-            return self._sweep_grid_vectorized(
-                query,
-                fractions,
-                sizes,
-                effective_resolution,
-                quality,
-                value_matrix,
-                int(eligible.size),
-                plan_is_random,
-                correction,
-                early_stop_tolerance,
-            )
-        processed = [0] * trials
-        results: list[SweptFraction] = []
-        previous_bound: float | None = None
-        for fraction, size in zip(fractions, sizes):
-            values = np.empty(trials)
-            bounds = np.empty(trials)
-            for t in range(trials):
-                self._record_sampled(
+        with telemetry.span(
+            "profiler.price",
+            trials=trials,
+            fractions=len(fractions),
+            vectorized=self._vectorized,
+        ):
+            if self._vectorized:
+                return self._sweep_grid_vectorized(
                     query,
+                    fractions,
+                    sizes,
                     effective_resolution,
                     quality,
-                    max(0, size - processed[t]),
-                )
-                processed[t] = max(processed[t], size)
-                estimate = self._estimate_values(
-                    query,
-                    trial_values[t][:size],
+                    value_matrix,
                     int(eligible.size),
                     plan_is_random,
                     correction,
+                    early_stop_tolerance,
                 )
-                values[t] = estimate.value
-                bounds[t] = estimate.error_bound
-            swept = SweptFraction(
-                fraction=fraction, values=values, bounds=bounds, size=size
-            )
-            results.append(swept)
-            telemetry.count("profiler.trials_priced", trials)
-            mean_bound = float(bounds.mean())
-            if (
-                early_stop_tolerance is not None
-                and previous_bound is not None
-                and abs(previous_bound - mean_bound) < early_stop_tolerance
-            ):
-                telemetry.count("profiler.early_stop")
-                break
-            previous_bound = mean_bound
-        return results
+            processed = [0] * trials
+            results: list[SweptFraction] = []
+            previous_bound: float | None = None
+            for fraction, size in zip(fractions, sizes):
+                values = np.empty(trials)
+                bounds = np.empty(trials)
+                for t in range(trials):
+                    self._record_sampled(
+                        query,
+                        effective_resolution,
+                        quality,
+                        max(0, size - processed[t]),
+                    )
+                    processed[t] = max(processed[t], size)
+                    estimate = self._estimate_values(
+                        query,
+                        trial_values[t][:size],
+                        int(eligible.size),
+                        plan_is_random,
+                        correction,
+                    )
+                    values[t] = estimate.value
+                    bounds[t] = estimate.error_bound
+                swept = SweptFraction(
+                    fraction=fraction, values=values, bounds=bounds, size=size
+                )
+                results.append(swept)
+                telemetry.count("profiler.trials_priced", trials)
+                mean_bound = float(bounds.mean())
+                if (
+                    early_stop_tolerance is not None
+                    and previous_bound is not None
+                    and abs(previous_bound - mean_bound) < early_stop_tolerance
+                ):
+                    telemetry.count("profiler.early_stop")
+                    break
+                previous_bound = mean_bound
+            return results
 
     def _sweep_grid_vectorized(
         self,

@@ -27,6 +27,7 @@ from repro.query.aggregates import Aggregate, FramePredicate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system.costs import InvocationLedger
+from repro.system.observe import ledger as run_ledger
 from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.video.dataset import VideoDataset
 
@@ -179,7 +180,7 @@ class Smokescreen:
         # independent of the worker count and of other RNG consumers.
         root = (self._seed, self._profile_calls)
         self._profile_calls += 1
-        return self._profiler.generate_hypercube_seeded(
+        cube = self._profiler.generate_hypercube_seeded(
             query,
             candidates,
             root,
@@ -187,6 +188,23 @@ class Smokescreen:
             early_stop_tolerance=early_stop_tolerance,
             executor=self._executor,
         )
+        finite = cube.bounds[np.isfinite(cube.bounds)]
+        run_ledger.annotate(
+            model_invocations=self._ledger.total,
+            dataset=self._dataset.name,
+            detector=self._model.name,
+            bounds={
+                "max_width": (
+                    round(float(finite.max()), 6) if finite.size else None
+                ),
+                "mean_width": (
+                    round(float(finite.mean()), 6) if finite.size else None
+                ),
+                "cells": int(cube.bounds.size),
+                "priced_cells": int(finite.size),
+            },
+        )
+        return cube
 
     def choose(
         self, profile: Profile, preferences: PublicPreferences

@@ -23,6 +23,7 @@ from repro.query.processor import QueryProcessor
 from repro.system.camera import Camera
 from repro.system.faults import FaultModel
 from repro.system.fleet import FleetQueryProcessor
+from repro.system.observe import ledger as run_ledger
 
 DEFAULT_OUTAGE_RATES = (0.0, 0.1, 0.2, 0.3, 0.5)
 
@@ -146,6 +147,22 @@ def run_chaos(
             violations / answered if answered else float("nan")
         )
         unavailable_counts.append(float(unavailable))
+
+    finite_widths = [w for w in bound_widths if np.isfinite(w)]
+    run_ledger.annotate(
+        bounds={
+            "max_width": (
+                round(max(finite_widths), 6) if finite_widths else None
+            ),
+            "mean_width": (
+                round(float(np.mean(finite_widths)), 6)
+                if finite_widths
+                else None
+            ),
+        },
+        chaos_rates=list(outage_rates),
+        chaos_unavailable=int(sum(unavailable_counts)),
+    )
 
     return ExperimentResult(
         title=(

@@ -25,6 +25,7 @@ from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.system.executor import ExecutorConfig, ParallelExecutor
+from repro.system.observe import ledger as run_ledger
 
 MEAN_METHODS = ("smokescreen", "ebgs", "hoeffding", "hoeffding-serfling", "clt")
 QUANTILE_METHODS = ("smokescreen", "stein")
@@ -87,6 +88,17 @@ def run_fig4(
         for method, summary in summaries.items():
             series[f"{method}_bound"].append(summary.mean_bound)
             series[f"{method}_err"].append(summary.mean_true_error)
+
+    run_ledger.annotate(dataset=dataset_name)
+    run_ledger.record_event(
+        "fig4.panel",
+        dataset=dataset_name,
+        aggregate=aggregate.name,
+        fractions=len(fractions),
+        smokescreen_tightest_bound=round(
+            min(series["smokescreen_bound"]), 6
+        ),
+    )
 
     return ExperimentResult(
         title=(

@@ -35,6 +35,7 @@ from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.stats.sampling import ProgressiveSampler
+from repro.system.observe import ledger as run_ledger
 from repro.video.frame import ObjectClass
 from repro.video.geometry import resolution_grid
 
@@ -172,6 +173,16 @@ def run_fig6(
         series["bound_no_correction"].append(summary.uncorrected_bound)
         series["bound_with_correction"].append(summary.corrected_bound)
         series["true_error"].append(summary.true_error)
+
+    run_ledger.annotate(dataset=dataset_name)
+    run_ledger.record_event(
+        "fig6.row",
+        dataset=dataset_name,
+        aggregate=aggregate.name,
+        axis=axis,
+        correction_fraction=CORRECTION_FRACTIONS[(dataset_name, aggregate)],
+        corrected_bound_max=round(max(series["bound_with_correction"]), 6),
+    )
 
     return ExperimentResult(
         title=(

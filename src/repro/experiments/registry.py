@@ -11,9 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import math
+
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import ExperimentResult
 from repro.query.aggregates import Aggregate
+from repro.system import telemetry
+from repro.system.observe import ledger as run_ledger
 
 
 @dataclass(frozen=True)
@@ -157,4 +161,32 @@ def run_experiment(name: str, request: ExperimentRequest) -> ExperimentResult:
         raise ConfigurationError(
             f"unknown experiment {name!r}; valid: {sorted(runners)}"
         )
-    return runner(request)
+    with telemetry.span(
+        "experiment.run", experiment=name, dataset=request.dataset,
+        trials=request.trials,
+    ):
+        result = runner(request)
+    bound_values = [
+        value
+        for label, values in result.series.items()
+        if "bound" in label and "violation" not in label
+        for value in values
+        if isinstance(value, (int, float)) and math.isfinite(value)
+    ]
+    run_ledger.annotate(experiment=name)
+    if bound_values:
+        run_ledger.annotate(
+            bounds={
+                "max_width": round(max(bound_values), 6),
+                "mean_width": round(
+                    sum(bound_values) / len(bound_values), 6
+                ),
+            }
+        )
+    run_ledger.record_event(
+        "experiment.complete",
+        name=name,
+        knobs=len(result.knobs),
+        series=len(result.series),
+    )
+    return result

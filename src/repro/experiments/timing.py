@@ -26,6 +26,7 @@ from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.system import telemetry
 from repro.system.costs import CostModel, InvocationLedger
+from repro.system.observe import ledger as run_ledger
 from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.video.geometry import resolution_grid
 
@@ -110,6 +111,14 @@ def run_timing(
     }
     total_model_seconds = cost_model.model_seconds(ledger)
     estimation_seconds = settings * cost_model.estimation_seconds_per_setting
+
+    run_ledger.annotate(
+        model_invocations=ledger.total,
+        dataset=query.dataset.name,
+        settings_priced=settings,
+        simulated_model_seconds=round(total_model_seconds, 3),
+        estimation_wall_seconds=round(estimation_wall_seconds, 6),
+    )
 
     return ExperimentResult(
         title="§5.3.1: profile generation time accounting (YOLOv4-like, UA-DETRAC)",

@@ -64,6 +64,7 @@ from repro.system.faults import (
     transmit_with_retry,
 )
 from repro.system import telemetry
+from repro.system.observe import ledger as run_ledger
 from repro.system.resilience import (
     BreakerState,
     CircuitBreaker,
@@ -535,6 +536,14 @@ class FleetQueryProcessor:
         )
         if lost:
             telemetry.count("fleet.cameras_lost", len(lost))
+        run_ledger.record_event(
+            "fleet.execute",
+            cameras=len(self._cameras),
+            lost=len(lost),
+            coverage=round(surviving_frames / total_frames, 6),
+            bound=round(float(combined.error_bound), 6),
+            retries=sum(meta["retries"] for meta in partial.values()),
+        )
         return FleetReport(
             combined=combined,
             per_camera=reports,

@@ -1,0 +1,250 @@
+"""Perf-regression gate over run-ledger records.
+
+``repro runs check`` compares the latest ledger record against a pinned
+baseline record under configurable thresholds and exits non-zero on any
+violation, so CI catches cost regressions — wall-time blowups, extra
+model invocations, cache hit-rate collapses, bound-width inflation —
+the moment they land rather than releases later.
+
+Threshold philosophy: the profiler is deterministic under a pinned seed,
+so invocation counts and bound widths get *tight* ratios (1.0 and ~1.0);
+wall time depends on the machine, so its default ratio is generous and
+CI overrides it per-runner class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Metrics ``diff_runs`` surfaces, in display order: (label, path into
+#: the record).
+_DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("wall_seconds", ("wall_seconds",)),
+    ("model_invocations", ("metrics", "model_invocations")),
+    ("cache_hit_ratio", ("metrics", "cache_hit_ratio")),
+    ("cache_hits", ("metrics", "cache_hits")),
+    ("cache_misses", ("metrics", "cache_misses")),
+    ("trials_priced", ("metrics", "trials_priced")),
+    ("executor_fallbacks", ("metrics", "executor_fallbacks")),
+    ("max_bound_width", ("bounds", "max_width")),
+    ("mean_bound_width", ("bounds", "mean_width")),
+)
+
+
+def _lookup(record: Mapping, path: tuple[str, ...]) -> float | None:
+    """The numeric value at ``path`` in a record, else None."""
+    node: object = record
+    for key in path:
+        if not isinstance(node, Mapping):
+            return None
+        node = node.get(key)
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Limits ``check_run`` enforces (None disables that check).
+
+    Attributes:
+        max_wall_ratio: Candidate wall seconds may be at most this many
+            times the baseline's. Generous by default — wall time is the
+            one machine-dependent metric.
+        max_invocation_ratio: Candidate model invocations may be at most
+            this many times the baseline's; 1.0 because the profiler is
+            seed-deterministic.
+        min_cache_hit_ratio: Absolute floor on the candidate's cache hit
+            ratio. None derives it from the baseline (baseline minus
+            :data:`CACHE_HIT_SLACK`); only enforced when the baseline
+            recorded a ratio.
+        max_bound_ratio: Candidate max bound width may be at most this
+            many times the baseline's; near-1 because bounds are
+            deterministic, with float-printing slack.
+    """
+
+    max_wall_ratio: float | None = 10.0
+    max_invocation_ratio: float | None = 1.0
+    min_cache_hit_ratio: float | None = None
+    max_bound_ratio: float | None = 1.001
+
+
+#: Slack subtracted from the baseline cache hit ratio when no explicit
+#: floor is configured.
+CACHE_HIT_SLACK = 0.02
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One threshold breach.
+
+    Attributes:
+        metric: Which metric breached (``"wall_seconds"``, ...).
+        baseline: Baseline value.
+        candidate: Candidate value.
+        limit: The effective limit the candidate crossed.
+        message: Human-readable one-liner.
+    """
+
+    metric: str
+    baseline: float | None
+    candidate: float | None
+    limit: float
+    message: str
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of :func:`check_run`.
+
+    Attributes:
+        violations: Every breach found (empty means the gate passed).
+        checked: Names of the metrics that were actually compared
+            (a check is skipped when either record lacks the value).
+    """
+
+    violations: tuple[GateViolation, ...] = ()
+    checked: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def check_run(
+    baseline: Mapping,
+    candidate: Mapping,
+    thresholds: GateThresholds | None = None,
+) -> GateResult:
+    """Compare a candidate ledger record against a baseline record.
+
+    Args:
+        baseline: The pinned known-good record.
+        candidate: The record under test (typically the ledger's latest).
+        thresholds: Limits to enforce; defaults to :class:`GateThresholds`.
+
+    Returns:
+        A :class:`GateResult`; ``passed`` is False iff any enforced
+        threshold was breached. Checks whose inputs are missing from
+        either record are skipped, not failed — the gate guards
+        regressions, not record completeness.
+    """
+    limits = thresholds or GateThresholds()
+    violations: list[GateViolation] = []
+    checked: list[str] = []
+
+    def ratio_check(
+        metric: str,
+        path: tuple[str, ...],
+        max_ratio: float | None,
+    ) -> None:
+        if max_ratio is None:
+            return
+        base = _lookup(baseline, path)
+        cand = _lookup(candidate, path)
+        if base is None or cand is None:
+            return
+        checked.append(metric)
+        if base <= 0:
+            # No baseline magnitude to scale: any positive candidate on
+            # a zero baseline is growth the ratio cannot express.
+            if cand > 0:
+                violations.append(
+                    GateViolation(
+                        metric=metric,
+                        baseline=base,
+                        candidate=cand,
+                        limit=0.0,
+                        message=(
+                            f"{metric}: baseline is {base:g} but "
+                            f"candidate is {cand:g}"
+                        ),
+                    )
+                )
+            return
+        if cand > base * max_ratio:
+            violations.append(
+                GateViolation(
+                    metric=metric,
+                    baseline=base,
+                    candidate=cand,
+                    limit=base * max_ratio,
+                    message=(
+                        f"{metric}: {cand:g} exceeds {max_ratio:g}x "
+                        f"baseline ({base:g})"
+                    ),
+                )
+            )
+
+    ratio_check("wall_seconds", ("wall_seconds",), limits.max_wall_ratio)
+    ratio_check(
+        "model_invocations",
+        ("metrics", "model_invocations"),
+        limits.max_invocation_ratio,
+    )
+    ratio_check(
+        "max_bound_width", ("bounds", "max_width"), limits.max_bound_ratio
+    )
+
+    base_hit = _lookup(baseline, ("metrics", "cache_hit_ratio"))
+    cand_hit = _lookup(candidate, ("metrics", "cache_hit_ratio"))
+    floor = limits.min_cache_hit_ratio
+    if floor is None and base_hit is not None:
+        floor = max(base_hit - CACHE_HIT_SLACK, 0.0)
+    if floor is not None and cand_hit is not None:
+        checked.append("cache_hit_ratio")
+        if cand_hit < floor:
+            violations.append(
+                GateViolation(
+                    metric="cache_hit_ratio",
+                    baseline=base_hit,
+                    candidate=cand_hit,
+                    limit=floor,
+                    message=(
+                        f"cache_hit_ratio: {cand_hit:g} below floor "
+                        f"{floor:g}"
+                    ),
+                )
+            )
+
+    return GateResult(
+        violations=tuple(violations), checked=tuple(checked)
+    )
+
+
+def diff_runs(baseline: Mapping, candidate: Mapping) -> list[dict]:
+    """A field-by-field comparison of two ledger records.
+
+    Args:
+        baseline: The reference record.
+        candidate: The record to compare against it.
+
+    Returns:
+        One row per known metric present in either record:
+        ``{"metric", "baseline", "candidate", "delta", "ratio"}`` (delta
+        and ratio are None when either side is missing, ratio also when
+        the baseline is zero).
+    """
+    rows: list[dict] = []
+    for label, path in _DIFF_FIELDS:
+        base = _lookup(baseline, path)
+        cand = _lookup(candidate, path)
+        if base is None and cand is None:
+            continue
+        delta = cand - base if base is not None and cand is not None else None
+        ratio = (
+            cand / base
+            if base not in (None, 0.0) and cand is not None
+            else None
+        )
+        rows.append(
+            {
+                "metric": label,
+                "baseline": base,
+                "candidate": cand,
+                "delta": delta,
+                "ratio": ratio,
+            }
+        )
+    return rows

@@ -1,0 +1,130 @@
+"""Prometheus text-exposition exporter for telemetry snapshots.
+
+Renders a :class:`~repro.system.telemetry.MetricsSnapshot` in the
+Prometheus text format (version 0.0.4): counters as ``*_total``
+monotonic families, gauges as point-in-time families, and histograms as
+full ``_bucket``/``_sum``/``_count`` families with **cumulative** bucket
+lines over the fixed layout in
+:data:`~repro.system.telemetry.HISTOGRAM_BUCKET_BOUNDS` — not just
+min/max summaries, so quantiles can be computed server-side with
+``histogram_quantile``.
+
+The exposition is a plain string; write it to a file for the node
+exporter's textfile collector, or serve it at ``/metrics`` with any HTTP
+server for a scrape target (examples in ``docs/SUBSTRATE.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import tempfile
+from pathlib import Path
+
+from repro.system.telemetry import (
+    HISTOGRAM_BUCKET_BOUNDS,
+    HistogramStat,
+    MetricsSnapshot,
+)
+
+_NAME_PREFIX = "repro_"
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(dotted: str, suffix: str = "") -> str:
+    """A dotted telemetry name as a valid Prometheus metric name.
+
+    ``cache.hit`` becomes ``repro_cache_hit`` (plus an optional suffix
+    such as ``_total``); any character outside ``[a-zA-Z0-9_:]`` maps to
+    an underscore.
+    """
+    return _NAME_PREFIX + _INVALID_CHARS.sub("_", dotted) + suffix
+
+
+def _fmt(value: float) -> str:
+    """A sample value in exposition syntax (integers without the dot)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(dotted: str, stat: HistogramStat) -> list[str]:
+    """One histogram family: cumulative buckets, then sum and count."""
+    name = metric_name(dotted)
+    lines = [
+        f"# HELP {name} Histogram of {dotted} (repro telemetry).",
+        f"# TYPE {name} histogram",
+    ]
+    cumulative = 0
+    buckets = stat.bucket_counts or (0,) * len(HISTOGRAM_BUCKET_BOUNDS)
+    for bound, bucket in zip(HISTOGRAM_BUCKET_BOUNDS, buckets):
+        cumulative += bucket
+        lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {stat.count}')
+    lines.append(f"{name}_sum {_fmt(stat.total)}")
+    lines.append(f"{name}_count {stat.count}")
+    return lines
+
+
+def prometheus_exposition(snapshot: MetricsSnapshot | None) -> str:
+    """The snapshot in the Prometheus text exposition format.
+
+    Args:
+        snapshot: The telemetry snapshot (None yields an empty exposition).
+
+    Returns:
+        The exposition text, newline-terminated.
+    """
+    if snapshot is None:
+        return "# repro: no telemetry collected\n"
+    lines: list[str] = []
+    for dotted, value in sorted(snapshot.counters.items()):
+        name = metric_name(dotted, "_total")
+        lines.append(f"# HELP {name} Counter {dotted} (repro telemetry).")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for dotted, value in sorted(snapshot.gauges.items()):
+        name = metric_name(dotted)
+        lines.append(f"# HELP {name} Gauge {dotted} (repro telemetry).")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for dotted, stat in sorted(snapshot.histograms.items()):
+        lines.extend(_histogram_lines(dotted, stat))
+    return "\n".join(lines) + "\n"
+
+
+def export_prometheus(
+    snapshot: MetricsSnapshot | None, path: str | Path
+) -> str:
+    """Write the exposition to a file atomically (tmp + rename).
+
+    Args:
+        snapshot: The telemetry snapshot.
+        path: Destination path (conventionally ``*.prom``).
+
+    Returns:
+        The exposition text written.
+    """
+    text = prometheus_exposition(snapshot)
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{destination.name}.", suffix=".tmp", dir=destination.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return text

@@ -37,6 +37,7 @@ enabled or disabled (the benchmark asserts this).
 
 from __future__ import annotations
 
+import bisect
 import json
 import logging
 import math
@@ -46,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 __all__ = [
+    "HISTOGRAM_BUCKET_BOUNDS",
     "HistogramStat",
     "JsonFormatter",
     "MetricsRegistry",
@@ -73,25 +75,73 @@ __all__ = [
 # Snapshot data model (picklable, mergeable).
 # ---------------------------------------------------------------------------
 
+#: Upper bounds (``le``) of the fixed histogram buckets, in ascending
+#: order; observations above the last bound land in the implicit ``+Inf``
+#: bucket. The bounds span sub-millisecond span timings up to multi-minute
+#: sweeps — histograms here overwhelmingly observe wall seconds. A fixed,
+#: shared layout keeps bucket vectors associative under merge (elementwise
+#: sums) exactly like the scalar summary fields.
+HISTOGRAM_BUCKET_BOUNDS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0
+)
+
+
+def _bucket_vector(value: float) -> tuple[int, ...]:
+    """A one-observation bucket vector for ``value``."""
+    counts = [0] * len(HISTOGRAM_BUCKET_BOUNDS)
+    index = bisect.bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)
+    if index < len(counts):
+        counts[index] = 1
+    return tuple(counts)
+
+
+def _sum_buckets(
+    a: tuple[int, ...], b: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Elementwise sum, treating a missing (empty) vector as zeros."""
+    if not a:
+        return b
+    if not b:
+        return a
+    return tuple(x + y for x, y in zip(a, b))
+
 
 @dataclass(frozen=True)
 class HistogramStat:
     """Summary statistics of one histogram metric.
 
     Full value lists would not merge cheaply across processes; the summary
-    (count, total, min, max) does, and it is what the snapshot carries.
+    (count, total, min, max, fixed-layout bucket counts) does, and it is
+    what the snapshot carries.
 
     Attributes:
         count: Number of observations.
         total: Sum of observed values.
         minimum: Smallest observed value.
         maximum: Largest observed value.
+        bucket_counts: Per-bucket observation counts aligned with
+            :data:`HISTOGRAM_BUCKET_BOUNDS` (non-cumulative; observations
+            above the last bound are implicit: ``count - sum(buckets)``).
+            Empty means "no bucket data" (a hand-built summary) and merges
+            as all zeros.
     """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    bucket_counts: tuple[int, ...] = ()
+
+    @classmethod
+    def single(cls, value: float) -> "HistogramStat":
+        """The summary of exactly one observation."""
+        return cls(
+            count=1,
+            total=value,
+            minimum=value,
+            maximum=value,
+            bucket_counts=_bucket_vector(value),
+        )
 
     @property
     def mean(self) -> float:
@@ -105,7 +155,58 @@ class HistogramStat:
             total=self.total + other.total,
             minimum=min(self.minimum, other.minimum),
             maximum=max(self.maximum, other.maximum),
+            bucket_counts=_sum_buckets(self.bucket_counts, other.bucket_counts),
         )
+
+    def quantile(self, q: float) -> float:
+        """An estimated ``q``-quantile of the observed values.
+
+        NaN policy: an **empty** series has no quantiles — every ``q``
+        returns NaN (mirroring :attr:`mean`). A **single** observation (or
+        a degenerate series with ``minimum == maximum``) returns that
+        exact value for every ``q`` — no interpolation, no division by the
+        zero-width range. Otherwise the estimate interpolates linearly
+        within the fixed bucket layout (clamped to ``[minimum, maximum]``);
+        summaries without bucket data fall back to linear interpolation
+        between the extremes.
+
+        Args:
+            q: Quantile level in ``[0, 1]``.
+
+        Returns:
+            The estimated value, or NaN for an empty series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if self.count == 1 or self.minimum == self.maximum:
+            return self.minimum
+        if not self.bucket_counts:
+            return self.minimum + (self.maximum - self.minimum) * q
+        target = q * self.count
+        cumulative = 0
+        lower = self.minimum
+        for bound, bucket in zip(HISTOGRAM_BUCKET_BOUNDS, self.bucket_counts):
+            if bucket <= 0:
+                continue
+            if cumulative + bucket >= target:
+                within = (target - cumulative) / bucket
+                upper = min(bound, self.maximum)
+                low = max(lower, self.minimum)
+                if upper <= low:
+                    return min(max(upper, self.minimum), self.maximum)
+                return low + (upper - low) * within
+            cumulative += bucket
+            lower = bound
+        # Remaining mass sits in the implicit +Inf bucket.
+        overflow = self.count - cumulative
+        if overflow <= 0:
+            return self.maximum
+        within = (target - cumulative) / overflow
+        low = max(lower, self.minimum)
+        return min(low + (self.maximum - low) * max(0.0, min(1.0, within)),
+                   self.maximum)
 
     def to_dict(self) -> dict:
         """A JSON-ready representation."""
@@ -115,7 +216,62 @@ class HistogramStat:
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean if self.count else None,
+            "bucket_counts": list(self.bucket_counts),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HistogramStat":
+        """The inverse of :meth:`to_dict` (exact round-trip)."""
+        count = int(payload.get("count", 0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        return cls(
+            count=count,
+            total=float(payload.get("total", 0.0)),
+            minimum=math.inf if minimum is None else float(minimum),
+            maximum=-math.inf if maximum is None else float(maximum),
+            bucket_counts=tuple(
+                int(c) for c in payload.get("bucket_counts", ())
+            ),
+        )
+
+
+def _normalize_attribute(value: object) -> object:
+    """A span attribute as a JSON-compatible, round-trippable value.
+
+    Ints, floats, bools, strings and None pass through unchanged; tuples
+    and lists normalise elementwise to tuples (rendered as JSON arrays and
+    restored as tuples on :meth:`SpanRecord.from_dict`); numpy scalars
+    unwrap via ``.item()``. Only values outside those families — arbitrary
+    objects a caller happened to pass — fall back to ``str``; the numeric
+    and sequence types the instrumentation actually uses are never
+    stringified.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_normalize_attribute(item) for item in value)
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _normalize_attribute(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def _attribute_to_json(value: object) -> object:
+    """Normalized attribute value with tuples rendered as lists."""
+    if isinstance(value, tuple):
+        return [_attribute_to_json(item) for item in value]
+    return value
+
+
+def _attribute_from_json(value: object) -> object:
+    """The inverse of :func:`_attribute_to_json` (lists back to tuples)."""
+    if isinstance(value, list):
+        return tuple(_attribute_from_json(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -125,7 +281,9 @@ class SpanRecord:
     Attributes:
         name: Dotted span name (``profiler.sweep``).
         duration: Wall time in seconds (monotonic clock).
-        attributes: The keyword attributes the span was opened with.
+        attributes: The keyword attributes the span was opened with,
+            normalized by :func:`_normalize_attribute` (always
+            JSON-compatible).
         children: Spans that completed while this one was open.
     """
 
@@ -139,9 +297,36 @@ class SpanRecord:
         return {
             "name": self.name,
             "duration_s": round(self.duration, 6),
-            "attributes": {key: value for key, value in self.attributes},
+            "attributes": {
+                key: _attribute_to_json(value)
+                for key, value in self.attributes
+            },
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SpanRecord":
+        """The inverse of :meth:`to_dict`.
+
+        Attribute values survive the JSON round-trip structurally: ints
+        stay ints, floats stay floats, and tuples (serialized as JSON
+        arrays) come back as tuples.
+        """
+        return cls(
+            name=str(payload["name"]),
+            duration=float(payload.get("duration_s", 0.0)),
+            attributes=tuple(
+                sorted(
+                    (str(key), _attribute_from_json(value))
+                    for key, value in dict(
+                        payload.get("attributes", {})
+                    ).items()
+                )
+            ),
+            children=tuple(
+                cls.from_dict(child) for child in payload.get("children", ())
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -180,12 +365,40 @@ class MetricsSnapshot:
         return {
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
+            "histogram_bucket_bounds": list(HISTOGRAM_BUCKET_BOUNDS),
             "histograms": {
                 name: stat.to_dict()
                 for name, stat in sorted(self.histograms.items())
             },
             "spans": [record.to_dict() for record in self.spans],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsSnapshot":
+        """The inverse of :meth:`to_dict` (structural round-trip).
+
+        Counter/gauge values, histogram summaries and span attributes come
+        back with their original types (span durations are rounded to the
+        microsecond ``to_dict`` serialized).
+        """
+        return cls(
+            counters={
+                str(k): float(v)
+                for k, v in dict(payload.get("counters", {})).items()
+            },
+            gauges={
+                str(k): float(v)
+                for k, v in dict(payload.get("gauges", {})).items()
+            },
+            histograms={
+                str(k): HistogramStat.from_dict(v)
+                for k, v in dict(payload.get("histograms", {})).items()
+            },
+            spans=tuple(
+                SpanRecord.from_dict(record)
+                for record in payload.get("spans", ())
+            ),
+        )
 
 
 def merge_snapshots(*snapshots: MetricsSnapshot | None) -> MetricsSnapshot:
@@ -285,17 +498,27 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Record one observation into a histogram."""
         stat = self._histograms.get(name, HistogramStat())
-        self._histograms[name] = stat.merged(
-            HistogramStat(count=1, total=value, minimum=value, maximum=value)
-        )
+        self._histograms[name] = stat.merged(HistogramStat.single(value))
 
     def span(self, name: str, **attributes):
         """A context manager recording a wall-time span under this name.
 
         Spans opened while another span is active become its children in
-        the trace tree; the tree is part of :meth:`snapshot`.
+        the trace tree; the tree is part of :meth:`snapshot`. Attribute
+        values are normalized to JSON-compatible types up front (ints,
+        floats, strings and tuples survive export structurally; arbitrary
+        objects become strings).
         """
-        return _SpanHandle(self, name, tuple(sorted(attributes.items())))
+        return _SpanHandle(
+            self,
+            name,
+            tuple(
+                sorted(
+                    (key, _normalize_attribute(value))
+                    for key, value in attributes.items()
+                )
+            ),
+        )
 
     def timer(self, name: str):
         """A context manager observing its wall time into histogram ``name``."""

@@ -9,7 +9,7 @@ import pytest
 from repro.cli import build_parser, main
 from repro.experiments.registry import experiment_names
 from repro.experiments.workloads import model_for
-from repro.system import telemetry
+from repro.system import observe, telemetry
 
 
 class TestParser:
@@ -39,11 +39,16 @@ class TestParser:
         ):
             args = build_parser().parse_args(
                 argv + ["--telemetry", "t.json", "--log-level", "info",
-                        "--log-format", "json"]
+                        "--log-format", "json", "--trace", "t.trace.json",
+                        "--prometheus", "t.prom",
+                        "--run-ledger", "runs.jsonl"]
             )
             assert args.telemetry == "t.json"
             assert args.log_level == "info"
             assert args.log_format == "json"
+            assert args.trace == "t.trace.json"
+            assert args.prometheus == "t.prom"
+            assert args.run_ledger == "runs.jsonl"
 
     def test_experiment_names_cover_every_figure(self):
         names = experiment_names()
@@ -211,6 +216,226 @@ class TestTelemetrySnapshot:
         assert code == 1
         assert snapshot_path.exists()
         assert not telemetry.enabled()
+
+
+# A quick profile invocation (8 cells, 1 trial) shared by the exporter
+# and runs-ledger tests below.
+FAST_PROFILE = [
+    "profile", "--dataset", "ua-detrac", "--frames", "1500",
+    "--fraction-step", "0.5", "--resolution-count", "2", "--trials", "1",
+]
+
+
+class TestExporterFlags:
+    def test_trace_and_prometheus_files_written(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        snapshot_path = tmp_path / "telemetry.json"
+        # Other tests may have warmed the shared model's in-process cache;
+        # empty it so this run actually invokes the detector.
+        model_for("ua-detrac").clear_cache()
+        code = main(FAST_PROFILE + [
+            "--output", str(tmp_path / "cube.json"),
+            "--telemetry", str(snapshot_path),
+            "--trace", str(trace_path),
+            "--prometheus", str(prom_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chrome trace written to" in out
+        assert "prometheus metrics written to" in out
+
+        # Acceptance: the trace captures the layered span structure
+        # (cli -> profiler -> sweep -> gather), not a flat list.
+        snapshot = telemetry.MetricsSnapshot.from_dict(
+            json.loads(snapshot_path.read_text())
+        )
+        assert observe.trace_depth(snapshot) >= 3
+        payload = json.loads(trace_path.read_text())
+        names = {
+            event["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert {"cli.profile", "profiler.sweep", "profiler.gather"} <= names
+
+        prom = prom_path.read_text()
+        assert "# TYPE repro_profiler_frames_invoked_total counter" in prom
+        assert "# TYPE repro_span_cli_profile histogram" in prom
+        assert 'le="+Inf"' in prom
+
+    def test_trace_alone_enables_collection(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "info", "--dataset", "ua-detrac", "--frames", "1500",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+        assert not telemetry.enabled()
+        payload = json.loads(trace_path.read_text())
+        assert any(
+            event["name"] == "cli.info"
+            for event in payload["traceEvents"]
+            if event["ph"] == "X"
+        )
+
+
+class TestSnapshotConcurrency:
+    def test_write_leaves_no_temporary_behind(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "telemetry.json"
+        code = main([
+            "info", "--dataset", "ua-detrac", "--frames", "1500",
+            "--telemetry", str(snapshot_path),
+        ])
+        assert code == 0
+        assert snapshot_path.exists()
+        assert list(tmp_path.glob(".telemetry.json.*.tmp")) == []
+
+    def test_peer_marker_diverts_instead_of_clobbering(self, tmp_path, capsys):
+        """S2: if another run's temporary marker is visible next to the
+        destination, this run writes its snapshot to a run-id-suffixed
+        path instead of racing the peer for the shared one."""
+        snapshot_path = tmp_path / "telemetry.json"
+        snapshot_path.write_text('{"sentinel": true}\n')
+        marker = tmp_path / ".telemetry.json.deadbeef.tmp"
+        marker.write_text("{}")
+        code = main([
+            "info", "--dataset", "ua-detrac", "--frames", "1500",
+            "--telemetry", str(snapshot_path),
+        ])
+        assert code == 0
+        # The pre-existing destination was not overwritten...
+        assert json.loads(snapshot_path.read_text()) == {"sentinel": True}
+        # ...the snapshot landed on a diverted, run-id-suffixed path...
+        diverted = list(tmp_path.glob("telemetry.*.json"))
+        assert len(diverted) == 1
+        assert "counters" in json.loads(diverted[0].read_text())
+        out = capsys.readouterr().out
+        assert f"telemetry snapshot written to {diverted[0]}" in out
+        # ...and the peer's marker was left alone.
+        assert marker.exists()
+
+
+class TestRunsCLI:
+    def _record_profile_run(self, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        # Start from a cold in-process model cache so the recorded run has
+        # a non-zero invocation count to gate on.
+        model_for("ua-detrac").clear_cache()
+        code = main(FAST_PROFILE + [
+            "--output", str(tmp_path / "cube.json"),
+            "--run-ledger", str(ledger),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return ledger
+
+    def test_list_shows_recorded_run(self, tmp_path, capsys):
+        ledger = self._record_profile_run(tmp_path, capsys)
+        assert main(["runs", "list", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert "ok" in out
+
+    def test_show_prints_full_record(self, tmp_path, capsys):
+        ledger = self._record_profile_run(tmp_path, capsys)
+        assert main(["runs", "show", "--ledger", str(ledger)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "profile"
+        assert record["status"] == "ok"
+        assert record["dataset"] == "ua-detrac"
+        assert record["metrics"]["model_invocations"] > 0
+        assert record["bounds"]["max_width"] is not None
+        assert record["wall_seconds"] > 0
+
+    def test_pin_diff_check_roundtrip_passes(self, tmp_path, capsys):
+        ledger = self._record_profile_run(tmp_path, capsys)
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "runs", "pin", "--ledger", str(ledger),
+            "--output", str(baseline),
+        ]) == 0
+        assert "baseline pinned" in capsys.readouterr().out
+
+        assert main([
+            "runs", "diff", "--ledger", str(ledger),
+            "--baseline", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out
+        assert "model_invocations" in out
+
+        # A run checked against its own pin passes the gate.
+        assert main([
+            "runs", "check", "--ledger", str(ledger),
+            "--baseline", str(baseline),
+        ]) == 0
+        assert "regression gate: PASS" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_wall_breach(self, tmp_path, capsys):
+        """Acceptance: an injected 10x wall-time breach makes
+        ``repro runs check`` exit non-zero."""
+        ledger = self._record_profile_run(tmp_path, capsys)
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            "runs", "pin", "--ledger", str(ledger),
+            "--output", str(baseline_path),
+        ]) == 0
+        baseline = json.loads(baseline_path.read_text())
+        baseline["wall_seconds"] = baseline["wall_seconds"] / 100.0
+        baseline_path.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        code = main([
+            "runs", "check", "--ledger", str(ledger),
+            "--baseline", str(baseline_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "regression gate: FAIL" in out
+        assert "wall_seconds" in out
+
+    def test_check_fails_on_extra_invocations(self, tmp_path, capsys):
+        ledger = self._record_profile_run(tmp_path, capsys)
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            "runs", "pin", "--ledger", str(ledger),
+            "--output", str(baseline_path),
+        ]) == 0
+        baseline = json.loads(baseline_path.read_text())
+        baseline["metrics"]["model_invocations"] -= 1
+        baseline_path.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        code = main([
+            "runs", "check", "--ledger", str(ledger),
+            "--baseline", str(baseline_path),
+        ])
+        assert code == 1
+        assert "model_invocations" in capsys.readouterr().out
+
+    def test_command_filter_and_limit(self, tmp_path, capsys):
+        ledger = self._record_profile_run(tmp_path, capsys)
+        assert main([
+            "info", "--dataset", "ua-detrac", "--frames", "1500",
+            "--run-ledger", str(ledger),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "runs", "show", "--ledger", str(ledger), "--command", "profile",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["command"] == "profile"
+
+        assert main([
+            "runs", "list", "--ledger", str(ledger), "--limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "info" in out
+        assert "profile" not in out
+
+    def test_missing_ledger_reports_error(self, tmp_path, capsys):
+        code = main(["runs", "list", "--ledger", str(tmp_path / "no.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
