@@ -1,0 +1,121 @@
+"""The scenario zoo vs the bound-violation sentinel, end to end.
+
+Runs every scenario in the chaos zoo — both adversarial families
+(targeted frame corruption, adversarial compression) and all physical
+families (occlusion, misalignment, weather/exposure) — against a small
+seeded fleet with an armed :class:`FleetSentinel`, and tabulates the
+three robustness questions of the zoo per scenario:
+
+- do the profiled bounds still hold (ground-truth violation rate),
+- does the sentinel catch the violation and trigger automatic
+  Algorithm 3 repair (recall / repair catch rate),
+- can the fleet localize the culprit camera (localization accuracy)?
+
+Results are written machine-readably to ``BENCH_chaos.json`` next to the
+repo root, in the shape the ``repro runs check`` perf gate consumes
+(per-scenario recall / FPR / localization / verdict). The hard floor
+asserted here matches the gate's: at the top severity every scenario's
+violation must be detected (recall 1.0) with zero false flags on the
+clean cameras (pooled FPR 0.0).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.experiments.chaos_sweep import SCENARIOS, run_scenario_chaos
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+#: Small-but-sufficient sweep: three seeded trials per severity over a
+#: three-camera fleet keeps the full five-scenario zoo in CI budget while
+#: every severity level still exercises arming, auditing, and repair.
+TRIALS = 3
+FRAME_COUNT = 1000
+CAMERA_COUNT = 3
+
+
+def _scenario_payload(name: str, result) -> dict:
+    """Flatten one sweep's defense metrics for the JSON report."""
+    recalls = result.series["sentinel recall"]
+    fp_rates = result.series["sentinel false-positive rate"]
+    repairs = result.series["repair catch rate"]
+    top_recall = recalls[-1]
+    # Equal trials and fleet size per severity, so the pooled FPR over
+    # every clean-camera audit is the plain mean of the per-severity rates.
+    pooled_fpr = sum(fp_rates) / len(fp_rates)
+    return {
+        "kind": SCENARIOS[name].kind,
+        "severities": list(result.knobs),
+        "violation_rate": result.series["bound violation rate"],
+        "recall": [None if math.isnan(r) else r for r in recalls],
+        "false_positive_rate": fp_rates,
+        "repair_catch_rate": [None if math.isnan(r) else r for r in repairs],
+        "localization": result.series["localization accuracy"],
+        "top_severity_recall": (
+            None if math.isnan(top_recall) else top_recall
+        ),
+        "pooled_fpr": pooled_fpr,
+        "top_severity_localization": (
+            result.series["localization accuracy"][-1]
+        ),
+    }
+
+
+def test_chaos_scenario_zoo(benchmark, show):
+    scenarios: dict[str, dict] = {}
+    walls: dict[str, float] = {}
+
+    def all_scenarios() -> None:
+        for name in sorted(SCENARIOS):
+            start = time.perf_counter()
+            result = run_scenario_chaos(
+                name,
+                trials=TRIALS,
+                frame_count=FRAME_COUNT,
+                camera_count=CAMERA_COUNT,
+                seed=0,
+            )
+            walls[name] = round(time.perf_counter() - start, 4)
+            scenarios[name] = _scenario_payload(name, result)
+            show(result)
+
+    benchmark.pedantic(all_scenarios, rounds=1, iterations=1)
+
+    payload = {
+        "benchmark": "chaos_scenarios",
+        "config": {
+            "trials": TRIALS,
+            "frame_count": FRAME_COUNT,
+            "camera_count": CAMERA_COUNT,
+            "seed": 0,
+        },
+        "note": (
+            "per-scenario sentinel defense metrics; the gate floor is "
+            "top-severity recall 1.0 and pooled clean-camera FPR 0.0"
+        ),
+        "scenarios": scenarios,
+        "wall_seconds": walls,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    print(json.dumps(payload, indent=2))
+
+    # The zoo covers both attack surfaces the issue names.
+    kinds = {entry["kind"] for entry in scenarios.values()}
+    assert kinds == {"adversarial", "physical"}, scenarios
+
+    for name, entry in scenarios.items():
+        # Top severity must actually break the profiled bound — a
+        # scenario that never violates is testing nothing.
+        assert entry["violation_rate"][-1] == 1.0, (name, entry)
+        # ... and the sentinel must catch every one of those violations
+        # while never flagging a healthy camera at any severity.
+        assert entry["top_severity_recall"] == 1.0, (name, entry)
+        assert entry["pooled_fpr"] == 0.0, (name, entry)
+        # Flagging exactly the victim is what makes the alarm actionable
+        # at fleet scale.
+        assert entry["top_severity_localization"] == 1.0, (name, entry)

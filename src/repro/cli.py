@@ -248,6 +248,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         f=args.fraction,
         p=args.resolution,
         c=_parse_classes(args.remove),
+        suite=processor.suite,
     )
     rng = np.random.default_rng(args.seed)
     execution = processor.execute(query, plan, rng)
@@ -309,9 +310,49 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_names() -> tuple[str, ...]:
+    """Zoo scenario names for the ``--scenario`` choices (lazy import)."""
+    from repro.experiments.chaos_sweep import SCENARIOS
+
+    return tuple(SCENARIOS)
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Sweep outage rates and print the bound-width degradation table."""
-    from repro.experiments.chaos_sweep import run_chaos
+    """Sweep outage rates (or a zoo scenario) and print the defense table."""
+    from repro.experiments.chaos_sweep import run_chaos, run_scenario_chaos
+
+    # Scenario mode defaults to a denser sample: the streaming bound must
+    # be tight enough that mid-severity drifts are detectable at all.
+    fraction = args.fraction
+    if fraction is None:
+        fraction = 0.5 if args.scenario is not None else 0.2
+
+    if args.scenario is not None:
+        severities = None
+        if args.severities:
+            try:
+                severities = tuple(
+                    float(part)
+                    for part in args.severities.split(",")
+                    if part.strip()
+                )
+            except ValueError:
+                raise SystemExit(
+                    f"invalid --severities list: {args.severities!r}"
+                )
+        result = run_scenario_chaos(
+            args.scenario,
+            trials=args.trials,
+            frame_count=args.frames,
+            seed=args.seed,
+            severities=severities,
+            camera_count=args.cameras,
+            fraction=fraction,
+            delta=args.delta,
+            victim_index=args.victim,
+        )
+        result.print(chart=args.chart)
+        return 0
 
     try:
         rates = tuple(
@@ -327,7 +368,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         outage_rates=rates,
         camera_count=args.cameras,
-        fraction=args.fraction,
+        fraction=fraction,
         delta=args.delta,
     )
     result.print(chart=args.chart)
@@ -454,6 +495,8 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         max_invocation_ratio=args.max_invocation_ratio,
         min_cache_hit_ratio=args.min_cache_hit_ratio,
         max_bound_ratio=args.max_bound_ratio,
+        min_sentinel_recall=args.min_sentinel_recall,
+        max_sentinel_fpr=args.max_sentinel_fpr,
     )
     result = observe.check_run(baseline, candidate, thresholds)
     print(
@@ -568,15 +611,37 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.set_defaults(handler=cmd_experiment)
 
     chaos = subparsers.add_parser(
-        "chaos", help="sweep outage rates -> bound-width degradation table"
+        "chaos",
+        help=(
+            "sweep outage rates -> bound-width table, or with --scenario "
+            "hit one camera with a zoo scenario and audit the sentinel"
+        ),
     )
     chaos.add_argument(
         "--rates", default="0,0.1,0.2,0.3,0.5",
         help="comma list of per-query camera outage probabilities",
     )
+    chaos.add_argument(
+        "--scenario",
+        default=None,
+        choices=sorted(_scenario_names()),
+        help="run the scenario zoo sweep instead of the outage sweep",
+    )
+    chaos.add_argument(
+        "--severities", default=None,
+        help="comma list of scenario severities (default: the zoo's)",
+    )
+    chaos.add_argument(
+        "--victim", type=int, default=0,
+        help="index of the camera the scenario hits",
+    )
     chaos.add_argument("--cameras", type=int, default=5, help="fleet size")
     chaos.add_argument(
-        "--fraction", type=float, default=0.2, help="per-camera sampling fraction"
+        "--fraction", type=float, default=None,
+        help=(
+            "per-camera sampling fraction (default 0.2 for the outage "
+            "sweep, 0.5 for scenario mode)"
+        ),
     )
     chaos.add_argument(
         "--delta", type=float, default=0.05, help="total failure probability"
@@ -675,6 +740,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bound-ratio", type=float, default=1.001,
         help="fail if the max bound width exceeds this multiple of the "
              "baseline",
+    )
+    runs_check.add_argument(
+        "--min-sentinel-recall", type=float, default=None,
+        help="absolute floor on chaos-run sentinel recall "
+             "(default: the baseline's recall)",
+    )
+    runs_check.add_argument(
+        "--max-sentinel-fpr", type=float, default=None,
+        help="absolute ceiling on chaos-run sentinel false-positive "
+             "rate (default: the baseline's FPR)",
     )
     runs_check.set_defaults(handler=cmd_runs_check)
 

@@ -24,6 +24,15 @@ from repro.detection.response import (
     FalsePositiveModel,
     ResolutionResponse,
 )
+from repro.detection.scenario import (
+    CompressionAttackResponse,
+    MisalignmentResponse,
+    OcclusionResponse,
+    ScenarioDetector,
+    ScenarioResponse,
+    TargetedCorruptionResponse,
+    WeatherExposureResponse,
+)
 from repro.detection.simulated import SimulatedDetector
 from repro.detection.zoo import (
     DetectorSuite,
@@ -35,13 +44,20 @@ from repro.detection.zoo import (
 
 __all__ = [
     "AnomalyTerm",
+    "CompressionAttackResponse",
     "Detector",
     "DetectorDiskCache",
     "DetectorOutputs",
     "DetectorSuite",
     "FalsePositiveModel",
+    "MisalignmentResponse",
+    "OcclusionResponse",
     "ResolutionResponse",
+    "ScenarioDetector",
+    "ScenarioResponse",
     "SimulatedDetector",
+    "TargetedCorruptionResponse",
+    "WeatherExposureResponse",
     "activate",
     "active_cache",
     "deactivate",

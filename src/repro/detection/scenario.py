@@ -1,0 +1,372 @@
+"""Detector-response models for hostile and physical-world scenarios.
+
+The paper's interventions degrade video *by design* — the detector response
+to sampling, resolution, and removal is what the profile measures. Real
+deployments also face degradations nobody chose: adversarially corrupted
+frames ("Attacking Automatic Video Analysis Algorithms"), occlusion, camera
+misalignment, weather and exposure shifts ("Towards Causal Physical Error
+Discovery in Video Analytics Systems"). These do not act like a uniform
+quality multiplier, so each scenario here perturbs the specific stage of
+detection it corresponds to:
+
+* occlusion / misalignment remove or shrink *specific objects* (selected by
+  position in the frame),
+* weather and exposure shift scale apparent sizes non-uniformly (hard
+  objects suffer more) and introduce extra phantoms,
+* adversarial compression pushes borderline-confidence objects just under
+  the detection threshold,
+* targeted frame corruption zeroes the highest-value frames outright.
+
+Spatial position is not stored explicitly in :class:`ObjectArrays`, so the
+scenarios reuse the per-object ``duplicate_latent`` — a fixed uniform
+``[0, 1)`` draw — as a normalized horizontal position coordinate. It is
+deterministic per object, independent of size and difficulty, and unused
+except at anomaly resolutions, which makes it a faithful stand-in for "where
+in the frame the object happens to sit".
+
+A :class:`ScenarioDetector` wraps a base :class:`SimulatedDetector` and
+routes the scenario's perturbations through the evaluation hooks the base
+class exposes. A scenario at zero severity is an exact identity: the wrapped
+detector's outputs match the base detector bit for bit (the differential
+tests in ``tests/detection/test_scenario.py`` pin this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError
+from repro.video.dataset import ObjectArrays, VideoDataset
+from repro.video.geometry import Resolution
+
+
+class ScenarioResponse:
+    """Base class for scenario perturbations of detector evaluation.
+
+    Subclasses override the hooks relevant to their failure mode; the
+    defaults are exact no-ops. All concrete scenarios are frozen
+    dataclasses, so their ``repr`` is parameter-complete and participates
+    in the detector's persistent-cache identity.
+    """
+
+    @property
+    def tag(self) -> str:
+        """Short identity string, part of the wrapped detector's name."""
+        raise NotImplementedError
+
+    def size_scale(
+        self, dataset: VideoDataset, arrays: ObjectArrays
+    ) -> np.ndarray | None:
+        """Per-object multiplier on apparent sizes; None means unchanged."""
+        return None
+
+    def visibility(
+        self,
+        dataset: VideoDataset,
+        arrays: ObjectArrays,
+        confidence: np.ndarray,
+        threshold: float,
+    ) -> np.ndarray | None:
+        """Per-object visibility mask; None keeps every object visible."""
+        return None
+
+    def extra_phantoms(
+        self, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray | None:
+        """Additional per-frame phantom counts; None adds nothing."""
+        return None
+
+    def transform_counts(
+        self, counts: np.ndarray, dataset: VideoDataset
+    ) -> np.ndarray:
+        """Final transform on per-frame counts; identity by default."""
+        return counts
+
+
+@dataclass(frozen=True)
+class OcclusionResponse(ScenarioResponse):
+    """A static obstruction covering part of the field of view.
+
+    Objects whose position latent falls inside the covered band are never
+    detected, whatever their size — the physical-error analogue of a
+    spider web, a parked truck, or foliage growing over the lens.
+
+    Attributes:
+        coverage: Fraction of the field of view obstructed, in ``[0, 1]``.
+    """
+
+    coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError(
+                f"occlusion coverage must lie in [0, 1], got {self.coverage}"
+            )
+
+    @property
+    def tag(self) -> str:
+        return f"occlusion-{self.coverage:g}"
+
+    def visibility(
+        self,
+        dataset: VideoDataset,
+        arrays: ObjectArrays,
+        confidence: np.ndarray,
+        threshold: float,
+    ) -> np.ndarray | None:
+        if self.coverage == 0.0:
+            return None
+        return arrays.duplicate_latent >= self.coverage
+
+
+@dataclass(frozen=True)
+class MisalignmentResponse(ScenarioResponse):
+    """The camera drifted, cropping one edge of the scene.
+
+    Objects beyond the new edge leave the frame entirely; objects inside a
+    boundary band are partially cropped, which halves their apparent size
+    (and so can push them under the detection threshold).
+
+    Attributes:
+        shift: Fraction of the field of view lost to the drift, ``[0, 1]``.
+        edge_band: Width of the partially-cropped band next to the new
+            edge, as a fraction of the field of view.
+    """
+
+    shift: float
+    edge_band: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.shift <= 1.0:
+            raise ConfigurationError(
+                f"misalignment shift must lie in [0, 1], got {self.shift}"
+            )
+        if not 0.0 <= self.edge_band <= 1.0:
+            raise ConfigurationError(
+                f"edge band must lie in [0, 1], got {self.edge_band}"
+            )
+
+    @property
+    def tag(self) -> str:
+        return f"misalignment-{self.shift:g}"
+
+    def size_scale(
+        self, dataset: VideoDataset, arrays: ObjectArrays
+    ) -> np.ndarray | None:
+        if self.shift == 0.0 or self.edge_band == 0.0:
+            return None
+        position = arrays.duplicate_latent
+        edge = 1.0 - self.shift
+        cropped = (position >= edge - self.edge_band) & (position < edge)
+        if not cropped.any():
+            return None
+        scale = np.ones(arrays.count, dtype=float)
+        scale[cropped] = 0.5
+        return scale
+
+    def visibility(
+        self,
+        dataset: VideoDataset,
+        arrays: ObjectArrays,
+        confidence: np.ndarray,
+        threshold: float,
+    ) -> np.ndarray | None:
+        if self.shift == 0.0:
+            return None
+        return arrays.duplicate_latent < 1.0 - self.shift
+
+
+@dataclass(frozen=True)
+class WeatherExposureResponse(ScenarioResponse):
+    """Rain, fog, or an exposure shift degrading the whole scene.
+
+    Apparent sizes shrink non-uniformly — already-hard objects lose the
+    most contrast — and droplets/flare occasionally read as phantom
+    detections on otherwise calm frames. The phantom trigger region
+    (``clutter`` *above* ``1 - severity * phantom_rate``) is disjoint from
+    the base :class:`FalsePositiveModel` trigger (``clutter`` *below* its
+    rate), so weather phantoms add to rather than shadow the base model's.
+
+    Attributes:
+        severity: Degradation strength in ``[0, 1]``.
+        phantom_rate: Per-frame phantom probability at full severity.
+    """
+
+    severity: float
+    phantom_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigurationError(
+                f"weather severity must lie in [0, 1], got {self.severity}"
+            )
+        if not 0.0 <= self.phantom_rate <= 1.0:
+            raise ConfigurationError(
+                f"phantom rate must lie in [0, 1], got {self.phantom_rate}"
+            )
+
+    @property
+    def tag(self) -> str:
+        return f"weather-{self.severity:g}"
+
+    def size_scale(
+        self, dataset: VideoDataset, arrays: ObjectArrays
+    ) -> np.ndarray | None:
+        if self.severity == 0.0:
+            return None
+        return 1.0 - self.severity * (0.4 + 0.6 * arrays.difficulty)
+
+    def extra_phantoms(
+        self, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray | None:
+        if self.severity == 0.0 or self.phantom_rate == 0.0:
+            return None
+        cutoff = 1.0 - self.severity * self.phantom_rate
+        return (dataset.clutter >= cutoff).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TargetedCorruptionResponse(ScenarioResponse):
+    """Adversarial corruption concentrated on the highest-value frames.
+
+    An attacker with a per-frame perturbation budget spends it where it
+    hurts the analytics most: the frames with the largest detected counts
+    are zeroed outright. Ties break by frame index (stable sort), so the
+    attack is deterministic.
+
+    Attributes:
+        budget: Fraction of frames the attacker can corrupt, ``[0, 1]``.
+    """
+
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.budget <= 1.0:
+            raise ConfigurationError(
+                f"corruption budget must lie in [0, 1], got {self.budget}"
+            )
+
+    @property
+    def tag(self) -> str:
+        return f"targeted-corruption-{self.budget:g}"
+
+    def transform_counts(
+        self, counts: np.ndarray, dataset: VideoDataset
+    ) -> np.ndarray:
+        if self.budget == 0.0:
+            return counts
+        corrupted = math.ceil(self.budget * counts.size)
+        if corrupted == 0:
+            return counts
+        order = np.argsort(-counts, kind="stable")
+        attacked = counts.copy()
+        attacked[order[:corrupted]] = 0
+        return attacked
+
+
+@dataclass(frozen=True)
+class CompressionAttackResponse(ScenarioResponse):
+    """Adversarial compression tuned to the detector's threshold.
+
+    The attack re-encodes frames so that objects the detector was *barely*
+    confident about — confidence in ``[threshold, threshold + margin)`` —
+    fall just under the threshold, while comfortable detections survive.
+    This is the quality-space analogue of the few-pixel attacks in
+    "Attacking Automatic Video Analysis Algorithms": a small, targeted
+    perturbation with an outsized effect on counts.
+
+    Attributes:
+        margin: Confidence margin above the threshold that the attack can
+            erase, in ``[0, 1]``.
+    """
+
+    margin: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.margin <= 1.0:
+            raise ConfigurationError(
+                f"compression-attack margin must lie in [0, 1], got {self.margin}"
+            )
+
+    @property
+    def tag(self) -> str:
+        return f"compression-attack-{self.margin:g}"
+
+    def visibility(
+        self,
+        dataset: VideoDataset,
+        arrays: ObjectArrays,
+        confidence: np.ndarray,
+        threshold: float,
+    ) -> np.ndarray | None:
+        if self.margin == 0.0:
+            return None
+        return ~(
+            (confidence >= threshold) & (confidence < threshold + self.margin)
+        )
+
+
+class ScenarioDetector(SimulatedDetector):
+    """A base detector perturbed by one :class:`ScenarioResponse`.
+
+    The wrapper inherits the base detector's full configuration (response
+    curve, threshold, anomaly terms, false-positive model) and overrides
+    the evaluation hooks to route through the scenario. Its persistent
+    cache identity extends the base identity with the scenario's repr, so
+    scenario outputs never collide with clean outputs on disk.
+    """
+
+    def __init__(self, base: SimulatedDetector, scenario: ScenarioResponse) -> None:
+        """Wrap a detector with a scenario.
+
+        Args:
+            base: The clean detector being degraded.
+            scenario: The perturbation to apply.
+        """
+        super().__init__(
+            name=f"{base.name}+{scenario.tag}",
+            target_class=base.target_class,
+            response=base.response,
+            threshold=base.threshold,
+            anomalies=base.anomalies,
+            false_positives=base.false_positive_model,
+        )
+        self._scenario = scenario
+        self._cache_identity = repr((self._cache_identity, scenario))
+
+    @property
+    def scenario(self) -> ScenarioResponse:
+        """The perturbation applied on top of the base detector."""
+        return self._scenario
+
+    def _apparent_size_scale(
+        self, dataset: VideoDataset, arrays: ObjectArrays
+    ) -> np.ndarray | None:
+        return self._scenario.size_scale(dataset, arrays)
+
+    def _object_visibility(
+        self, dataset: VideoDataset, arrays: ObjectArrays, confidence: np.ndarray
+    ) -> np.ndarray | None:
+        return self._scenario.visibility(
+            dataset, arrays, confidence, self._threshold
+        )
+
+    def _extra_phantoms(
+        self, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray | None:
+        return self._scenario.extra_phantoms(dataset, resolution)
+
+    def _transform_counts(
+        self, counts: np.ndarray, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray:
+        return self._scenario.transform_counts(counts, dataset)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioDetector(name={self._name!r}, "
+            f"scenario={self._scenario!r})"
+        )

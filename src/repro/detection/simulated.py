@@ -107,6 +107,18 @@ class SimulatedDetector:
         """The confidence curve (exposed for calibration and tests)."""
         return self._response
 
+    @property
+    def anomalies(self) -> tuple[AnomalyTerm, ...]:
+        """Resolution-specific artifact terms (exposed so wrappers such as
+        :class:`~repro.detection.scenario.ScenarioDetector` can inherit the
+        base model's full configuration)."""
+        return self._anomalies
+
+    @property
+    def false_positive_model(self) -> FalsePositiveModel:
+        """The phantom-detection model (exposed for wrappers and tests)."""
+        return self._false_positives
+
     def clear_cache(self) -> None:
         """Drop all in-memory cached outputs and disk-hit bookkeeping.
 
@@ -234,7 +246,15 @@ class SimulatedDetector:
     def _evaluate(
         self, dataset: VideoDataset, resolution: Resolution, quality: float
     ) -> np.ndarray:
-        """Vectorised evaluation of the whole corpus at one setting."""
+        """Vectorised evaluation of the whole corpus at one setting.
+
+        The evaluation is decomposed into overridable steps so scenario
+        wrappers (:mod:`repro.detection.scenario`) can perturb individual
+        stages — apparent sizes, per-object visibility, phantom counts,
+        final per-frame counts — instead of rescaling outputs uniformly.
+        The base implementations are exact no-ops, so the base detector's
+        outputs (and cache digests) are untouched by the decomposition.
+        """
         arrays = dataset.objects_of(self._target_class)
         native = dataset.native_resolution
         frame_count = dataset.frame_count
@@ -243,8 +263,14 @@ class SimulatedDetector:
             detected_counts = np.zeros(frame_count, dtype=np.int64)
         else:
             apparent = resolution.apparent_size(arrays.size * quality, native)
+            scale = self._apparent_size_scale(dataset, arrays)
+            if scale is not None:
+                apparent = apparent * scale
             confidence = self._response.confidence(apparent, arrays.difficulty)
             detected = confidence >= self._threshold
+            visible = self._object_visibility(dataset, arrays, confidence)
+            if visible is not None:
+                detected = detected & visible
             detected_counts = np.bincount(
                 arrays.frame[detected], minlength=frame_count
             )
@@ -260,7 +286,35 @@ class SimulatedDetector:
         phantom = self._false_positives.counts(
             dataset.clutter, resolution.side, native.side
         )
-        return (detected_counts + phantom).astype(np.int64)
+        extra = self._extra_phantoms(dataset, resolution)
+        if extra is not None:
+            phantom = phantom + extra
+        counts = (detected_counts + phantom).astype(np.int64)
+        return self._transform_counts(counts, dataset, resolution)
+
+    def _apparent_size_scale(
+        self, dataset: VideoDataset, arrays
+    ) -> np.ndarray | None:
+        """Per-object multiplier on apparent sizes; None means no change."""
+        return None
+
+    def _object_visibility(
+        self, dataset: VideoDataset, arrays, confidence: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-object visibility mask ANDed into detections; None keeps all."""
+        return None
+
+    def _extra_phantoms(
+        self, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray | None:
+        """Additional per-frame phantom counts; None adds nothing."""
+        return None
+
+    def _transform_counts(
+        self, counts: np.ndarray, dataset: VideoDataset, resolution: Resolution
+    ) -> np.ndarray:
+        """Final per-frame count transform (e.g. targeted corruption)."""
+        return counts
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,9 @@ Smokescreen's own algorithms:
   approximation; Theorem 3.2).
 - :class:`~repro.estimators.repair.ProfileRepair` — Algorithm 3, correcting
   bounds under non-random interventions with a correction set.
+- :class:`~repro.estimators.sentinel.BoundSentinel` — online monitor that
+  detects profiled-bound violations (adversarial / physical scenarios) on
+  the streaming path and triggers Algorithm 3 repair automatically.
 
 Baselines evaluated in the paper's §5.2.1:
 
@@ -52,6 +55,11 @@ from repro.estimators.dispatch import (
 from repro.estimators.ebgs import EBGSEstimator
 from repro.estimators.quantile import SmokescreenQuantileEstimator
 from repro.estimators.repair import ProfileRepair, RepairedEstimate
+from repro.estimators.sentinel import (
+    BoundSentinel,
+    SentinelCheck,
+    SentinelVerdict,
+)
 from repro.estimators.smokescreen import SmokescreenMeanEstimator
 from repro.estimators.streaming import StreamingMeanEstimator
 from repro.estimators.stein import SteinEstimator
@@ -62,6 +70,7 @@ from repro.estimators.variance import (
 
 __all__ = [
     "BatchEstimate",
+    "BoundSentinel",
     "CLTEstimator",
     "EBGSEstimator",
     "Estimate",
@@ -71,6 +80,8 @@ __all__ = [
     "ProfileRepair",
     "QuantileEstimator",
     "RepairedEstimate",
+    "SentinelCheck",
+    "SentinelVerdict",
     "CLTVarianceEstimator",
     "SmokescreenMeanEstimator",
     "SmokescreenQuantileEstimator",

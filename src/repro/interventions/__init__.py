@@ -13,6 +13,15 @@ goals, at some cost to analytical accuracy. The paper's taxonomy:
   :class:`~repro.interventions.quality.Compression` the paper mentions as
   further degradation methods.
 
+Beyond the operator-chosen families, two *unchosen* families model hostile
+and real-world degradations: :mod:`~repro.interventions.adversarial`
+(targeted frame corruption, adversarial compression) and
+:mod:`~repro.interventions.physical` (occlusion, camera misalignment,
+weather/exposure shift). Their ``attach`` methods wrap a clean detector
+with the matching response model from :mod:`repro.detection.scenario`; the
+bound-violation sentinel (:mod:`repro.estimators.sentinel`) exists to
+notice when one of them silently invalidates a profiled bound.
+
 A full degradation setting is an
 :class:`~repro.interventions.plan.InterventionPlan` — the paper's
 ``(f, p, c)`` triple (plus optional extension operators) — which knows how
@@ -20,7 +29,16 @@ to derive the eligible frame universe and draw a degraded sample from a
 dataset.
 """
 
+from repro.interventions.adversarial import (
+    AdversarialCompression,
+    TargetedFrameCorruption,
+)
 from repro.interventions.base import Intervention
+from repro.interventions.physical import (
+    CameraMisalignment,
+    Occlusion,
+    WeatherExposure,
+)
 from repro.interventions.plan import DegradedSample, InterventionPlan
 from repro.interventions.quality import Compression, NoiseAddition
 from repro.interventions.removal import ImageRemoval
@@ -28,6 +46,8 @@ from repro.interventions.resolution import ResolutionReduction
 from repro.interventions.sampling import FrameSampling
 
 __all__ = [
+    "AdversarialCompression",
+    "CameraMisalignment",
     "Compression",
     "DegradedSample",
     "FrameSampling",
@@ -35,5 +55,8 @@ __all__ = [
     "Intervention",
     "InterventionPlan",
     "NoiseAddition",
+    "Occlusion",
     "ResolutionReduction",
+    "TargetedFrameCorruption",
+    "WeatherExposure",
 ]

@@ -1,0 +1,99 @@
+"""Adversarial interventions: hostile degradations nobody chose.
+
+"Attacking Automatic Video Analysis Algorithms" (PAPERS.md) shows that a
+handful of adversarially placed perturbations can flip detector output.
+Unlike the paper's own interventions, these are *attacks*: they are applied
+by an adversary, not the system operator, so the profiled bounds were never
+measured under them. The matching detector-response models live in
+:mod:`repro.detection.scenario`; :meth:`attach` wires an attack onto a
+clean detector so the chaos sweep can simulate a compromised camera.
+
+Both attacks are non-random — they systematically remove detections — which
+is exactly the regime the bound-violation sentinel
+(:mod:`repro.estimators.sentinel`) exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.scenario import (
+    CompressionAttackResponse,
+    ScenarioDetector,
+    ScenarioResponse,
+    TargetedCorruptionResponse,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError
+from repro.interventions.base import Intervention
+
+
+@dataclass(frozen=True)
+class TargetedFrameCorruption(Intervention):
+    """Corruption concentrated on the highest-value frames.
+
+    An attacker with a bounded perturbation budget zeroes the frames
+    carrying the largest detected counts — the worst case for count
+    aggregates, since the loss is maximally concentrated.
+
+    Attributes:
+        budget: Fraction of frames the attacker can corrupt, ``[0, 1]``.
+    """
+
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.budget <= 1.0:
+            raise ConfigurationError(
+                f"corruption budget must lie in [0, 1], got {self.budget}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"targeted corruption {self.budget:g}"
+
+    def response(self) -> ScenarioResponse:
+        """The matching detector-response model."""
+        return TargetedCorruptionResponse(self.budget)
+
+    def attach(self, detector: SimulatedDetector) -> ScenarioDetector:
+        """Wrap a clean detector with this attack's response model."""
+        return ScenarioDetector(detector, self.response())
+
+
+@dataclass(frozen=True)
+class AdversarialCompression(Intervention):
+    """Re-encoding tuned to erase borderline-confidence detections.
+
+    Attributes:
+        margin: Confidence margin above the detector threshold the attack
+            can push under it, in ``[0, 1]``.
+    """
+
+    margin: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.margin <= 1.0:
+            raise ConfigurationError(
+                f"compression-attack margin must lie in [0, 1], got {self.margin}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"adversarial compression {self.margin:g}"
+
+    def response(self) -> ScenarioResponse:
+        """The matching detector-response model."""
+        return CompressionAttackResponse(self.margin)
+
+    def attach(self, detector: SimulatedDetector) -> ScenarioDetector:
+        """Wrap a clean detector with this attack's response model."""
+        return ScenarioDetector(detector, self.response())

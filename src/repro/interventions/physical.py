@@ -1,0 +1,141 @@
+"""Physical-error interventions: real-world failure modes.
+
+"Towards Causal Physical Error Discovery in Video Analytics Systems"
+(PAPERS.md) catalogs the physical failures that silently violate profiled
+regimes: occlusion, camera misalignment, weather and exposure shifts. Like
+the adversarial family (:mod:`repro.interventions.adversarial`) these are
+not operator-chosen degradations — the profile was measured on a healthy
+camera, so their onset invalidates the Smokescreen bound. Each intervention
+pairs with a detector-response model in :mod:`repro.detection.scenario`
+that perturbs the specific detection stage the failure affects, rather than
+scaling quality uniformly.
+
+All three are non-random (systematic detection loss, plus phantom gain for
+weather), the regime :mod:`repro.estimators.sentinel` monitors for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.scenario import (
+    MisalignmentResponse,
+    OcclusionResponse,
+    ScenarioDetector,
+    ScenarioResponse,
+    WeatherExposureResponse,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.errors import ConfigurationError
+from repro.interventions.base import Intervention
+
+
+@dataclass(frozen=True)
+class Occlusion(Intervention):
+    """A static obstruction covering part of the field of view.
+
+    Attributes:
+        coverage: Fraction of the field of view obstructed, ``[0, 1]``.
+    """
+
+    coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError(
+                f"occlusion coverage must lie in [0, 1], got {self.coverage}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"occlusion {self.coverage:g}"
+
+    def response(self) -> ScenarioResponse:
+        """The matching detector-response model."""
+        return OcclusionResponse(self.coverage)
+
+    def attach(self, detector: SimulatedDetector) -> ScenarioDetector:
+        """Wrap a clean detector with this failure's response model."""
+        return ScenarioDetector(detector, self.response())
+
+
+@dataclass(frozen=True)
+class CameraMisalignment(Intervention):
+    """The camera drifted, cropping one edge of the scene.
+
+    Attributes:
+        shift: Fraction of the field of view lost, ``[0, 1]``.
+        edge_band: Width of the partially-cropped boundary band.
+    """
+
+    shift: float
+    edge_band: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.shift <= 1.0:
+            raise ConfigurationError(
+                f"misalignment shift must lie in [0, 1], got {self.shift}"
+            )
+        if not 0.0 <= self.edge_band <= 1.0:
+            raise ConfigurationError(
+                f"edge band must lie in [0, 1], got {self.edge_band}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"misalignment {self.shift:g}"
+
+    def response(self) -> ScenarioResponse:
+        """The matching detector-response model."""
+        return MisalignmentResponse(self.shift, self.edge_band)
+
+    def attach(self, detector: SimulatedDetector) -> ScenarioDetector:
+        """Wrap a clean detector with this failure's response model."""
+        return ScenarioDetector(detector, self.response())
+
+
+@dataclass(frozen=True)
+class WeatherExposure(Intervention):
+    """Rain, fog, or an exposure shift degrading the whole scene.
+
+    Attributes:
+        severity: Degradation strength in ``[0, 1]``.
+        phantom_rate: Per-frame phantom probability at full severity.
+    """
+
+    severity: float
+    phantom_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigurationError(
+                f"weather severity must lie in [0, 1], got {self.severity}"
+            )
+        if not 0.0 <= self.phantom_rate <= 1.0:
+            raise ConfigurationError(
+                f"phantom rate must lie in [0, 1], got {self.phantom_rate}"
+            )
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return f"weather {self.severity:g}"
+
+    def response(self) -> ScenarioResponse:
+        """The matching detector-response model."""
+        return WeatherExposureResponse(self.severity, self.phantom_rate)
+
+    def attach(self, detector: SimulatedDetector) -> ScenarioDetector:
+        """Wrap a clean detector with this failure's response model."""
+        return ScenarioDetector(detector, self.response())

@@ -25,6 +25,11 @@ from repro.video.dataset import VideoDataset
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
+#: Distinguishes "caller did not mention a suite" (legacy, validated late
+#: in :meth:`InterventionPlan.eligible_indices`) from an explicit
+#: ``suite=None`` (validated eagerly at construction).
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class DegradedSample:
@@ -78,6 +83,7 @@ class InterventionPlan:
         f: float | None = None,
         p: int | Resolution | None = None,
         c: tuple[ObjectClass, ...] | list[ObjectClass] = (),
+        suite: DetectorSuite | None | object = _UNSET,
     ) -> "InterventionPlan":
         """Build a plan from raw knob values, the paper's notation.
 
@@ -86,10 +92,28 @@ class InterventionPlan:
             p: Resolution side (or a :class:`Resolution`), or None for
                 native resolution.
             c: Restricted classes; empty for no removal.
+            suite: The restricted-class detector suite that will execute
+                any removal intervention. Pass it (even when it is None)
+                to fail *at construction* when ``c`` requires a suite
+                that is missing, instead of deep inside
+                :meth:`eligible_indices` at draw time. Omitting the
+                argument keeps the legacy late check for callers that
+                resolve the suite later.
 
         Returns:
             The composed plan.
+
+        Raises:
+            InterventionError: Restricted classes were requested with an
+                explicit ``suite=None``.
         """
+        removal = ImageRemoval(tuple(c)) if c else None
+        if removal is not None and suite is None:
+            raise InterventionError(
+                f"removal of {removal.label!r} requires a DetectorSuite "
+                "for restricted-class flags, but none is configured — "
+                "drop the removed classes or supply a suite"
+            )
         sampling = FrameSampling(f) if f is not None else None
         if p is None:
             resolution = None
@@ -97,7 +121,6 @@ class InterventionPlan:
             resolution = ResolutionReduction(p)
         else:
             resolution = ResolutionReduction(Resolution(p))
-        removal = ImageRemoval(tuple(c)) if c else None
         return cls(sampling=sampling, resolution=resolution, removal=removal)
 
     @property

@@ -44,6 +44,8 @@ from repro.system.fleet import (
     FleetEstimate,
     FleetQueryProcessor,
     FleetReport,
+    FleetSentinel,
+    FleetSentinelAudit,
 )
 from repro.system.executor import (
     ExecutorConfig,
@@ -86,6 +88,8 @@ __all__ = [
     "FleetEstimate",
     "FleetQueryProcessor",
     "FleetReport",
+    "FleetSentinel",
+    "FleetSentinelAudit",
     "CostModel",
     "ExecutorConfig",
     "HealthLedger",

@@ -85,7 +85,7 @@ class Camera:
             The new plan.
         """
         self._plan = InterventionPlan.from_knobs(
-            f=fraction, p=resolution, c=removed_classes
+            f=fraction, p=resolution, c=removed_classes, suite=self._suite
         )
         # Validate the resolution against this camera's corpus eagerly.
         self._plan.effective_resolution(self._dataset)

@@ -51,6 +51,7 @@ from repro.estimators.budget import (
     resplit_delta,
     split_delta,
 )
+from repro.estimators.sentinel import BoundSentinel, SentinelVerdict
 from repro.estimators.smokescreen import SmokescreenMeanEstimator
 from repro.interventions.plan import InterventionPlan
 from repro.query.aggregates import Aggregate
@@ -253,6 +254,115 @@ class CameraReport:
 
 
 @dataclass(frozen=True)
+class FleetSentinelAudit:
+    """Per-camera bound-violation verdicts for one fleet query.
+
+    Attributes:
+        verdicts: Each audited camera's :class:`SentinelVerdict`, keyed by
+            camera name (cameras the sentinel was not armed for, or that
+            were lost this query, are absent).
+        flagged: Names of cameras whose profiled bound was confirmed
+            violated, in fleet order — the localization answer.
+    """
+
+    verdicts: dict[str, SentinelVerdict]
+    flagged: tuple[str, ...]
+
+    @property
+    def clean(self) -> tuple[str, ...]:
+        """Audited cameras whose profile held."""
+        return tuple(
+            name for name in self.verdicts if name not in self.flagged
+        )
+
+
+class FleetSentinel:
+    """Per-camera bound monitoring at fleet scale.
+
+    Armed once per deployment with each camera's profiling-time reference
+    answer and profiled bound, the sentinel audits every surviving
+    camera's delivered values during a fleet query: a fresh
+    :class:`~repro.estimators.sentinel.BoundSentinel` replays the
+    camera's stream, and the per-camera verdicts localize *which* camera
+    broke its profile — the fleet-level question the combined bound alone
+    cannot answer (a single hostile camera hides inside the stratified
+    average).
+    """
+
+    def __init__(
+        self,
+        references: dict[str, Estimate],
+        profiled_bounds: dict[str, float],
+        corrections: dict[str, Estimate] | None = None,
+        min_count: int = 30,
+        patience: int = 2,
+    ) -> None:
+        """Arm the fleet sentinel.
+
+        Args:
+            references: Trusted per-camera answers (profiling-time means),
+                keyed by camera name.
+            profiled_bounds: The profile's promised error bound per
+                camera; must cover the same cameras as ``references``.
+            corrections: Optional per-camera correction-set estimates;
+                cameras present here get automatic Algorithm 3 repair on
+                a confirmed violation.
+            min_count: Warm-up floor per camera stream.
+            patience: Consecutive breaches required to confirm.
+        """
+        if set(references) != set(profiled_bounds):
+            raise ConfigurationError(
+                "sentinel references and profiled bounds must cover the "
+                f"same cameras, got {sorted(references)} vs "
+                f"{sorted(profiled_bounds)}"
+            )
+        self._references = dict(references)
+        self._profiled_bounds = dict(profiled_bounds)
+        self._corrections = dict(corrections or {})
+        self._min_count = min_count
+        self._patience = patience
+
+    def armed_for(self, camera_name: str) -> bool:
+        """Whether this camera has a reference to audit against."""
+        return camera_name in self._references
+
+    def audit_camera(
+        self,
+        camera_name: str,
+        values: np.ndarray,
+        universe_size: int,
+        delta: float,
+    ) -> SentinelVerdict | None:
+        """Replay one camera's delivered stream through a fresh sentinel.
+
+        Args:
+            camera_name: The camera whose values arrived.
+            values: The delivered per-frame values, in arrival order.
+            universe_size: The camera's eligible-universe size.
+            delta: Per-read failure probability for the stream bound.
+
+        Returns:
+            The camera's verdict, or None when the sentinel is not armed
+            for it.
+        """
+        if not self.armed_for(camera_name):
+            return None
+        sentinel = BoundSentinel(
+            reference=self._references[camera_name],
+            profiled_bound=self._profiled_bounds[camera_name],
+            universe_size=universe_size,
+            delta=delta,
+            min_count=self._min_count,
+            patience=self._patience,
+            correction=self._corrections.get(camera_name),
+            label=camera_name,
+        )
+        for value in values:
+            sentinel.observe(float(value))
+        return sentinel.verdict()
+
+
+@dataclass(frozen=True)
 class FleetReport:
     """The structured outcome of one resilient fleet query.
 
@@ -270,6 +380,8 @@ class FleetReport:
             covers (1.0 when nothing was lost).
         total_retries: Retry cycles across the whole fleet this query.
         elapsed: Simulated seconds the query took (transfers + backoff).
+        sentinel: Per-camera bound-violation audit, or None when the
+            processor ran without a :class:`FleetSentinel`.
     """
 
     combined: Estimate
@@ -281,6 +393,7 @@ class FleetReport:
     coverage: float
     total_retries: int
     elapsed: float
+    sentinel: FleetSentinelAudit | None = None
 
     @property
     def degraded(self) -> tuple[str, ...]:
@@ -325,6 +438,19 @@ class FleetReport:
             f"(bounded error {self.combined.error_bound:.3f} "
             f"at {1 - self.delta:.0%})"
         )
+        if self.sentinel is not None:
+            if self.sentinel.flagged:
+                names = ", ".join(self.sentinel.flagged)
+                lines.append(
+                    f"sentinel: profiled bound VIOLATED at {names} "
+                    f"({len(self.sentinel.flagged)}/"
+                    f"{len(self.sentinel.verdicts)} audited cameras)"
+                )
+            else:
+                lines.append(
+                    f"sentinel: profiled bounds held at all "
+                    f"{len(self.sentinel.verdicts)} audited cameras"
+                )
         return lines
 
 
@@ -354,6 +480,7 @@ class FleetQueryProcessor:
         retry_policy: RetryPolicy | None = None,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
+        sentinel: FleetSentinel | None = None,
     ) -> None:
         """Assemble the resilient executor.
 
@@ -368,6 +495,9 @@ class FleetQueryProcessor:
                 circuit breaker.
             breaker_cooldown: Simulated seconds before an open breaker
                 half-opens for a probe.
+            sentinel: Optional armed :class:`FleetSentinel`; every
+                surviving camera's delivered stream is audited against
+                its profiled bound and the verdicts land in the report.
         """
         _validate_cameras(cameras)
         self._cameras = list(cameras)
@@ -381,6 +511,7 @@ class FleetQueryProcessor:
             for camera in self._cameras
         }
         self._ledger = HealthLedger()
+        self._sentinel = sentinel
         self._clock = 0.0
 
     @property
@@ -479,6 +610,7 @@ class FleetQueryProcessor:
 
         strata: list[StratumInterval] = []
         reports: dict[str, CameraReport] = {}
+        verdicts: dict[str, SentinelVerdict] = {}
         for camera in self._cameras:
             meta = partial[camera.name]
             weight = camera.dataset.frame_count / total_frames
@@ -495,6 +627,13 @@ class FleetQueryProcessor:
                 estimate = estimator.estimate(
                     values, delivery.sample.universe_size, share
                 )
+                if self._sentinel is not None:
+                    verdict = self._sentinel.audit_camera(
+                        camera.name, values,
+                        delivery.sample.universe_size, share,
+                    )
+                    if verdict is not None:
+                        verdicts[camera.name] = verdict
                 strata.append(
                     StratumInterval(
                         weight=camera.dataset.frame_count / surviving_frames,
@@ -536,14 +675,25 @@ class FleetQueryProcessor:
         )
         if lost:
             telemetry.count("fleet.cameras_lost", len(lost))
-        run_ledger.record_event(
-            "fleet.execute",
-            cameras=len(self._cameras),
-            lost=len(lost),
-            coverage=round(surviving_frames / total_frames, 6),
-            bound=round(float(combined.error_bound), 6),
-            retries=sum(meta["retries"] for meta in partial.values()),
-        )
+        audit = None
+        if self._sentinel is not None:
+            flagged = tuple(
+                camera.name for camera in self._cameras
+                if verdicts.get(camera.name) is not None
+                and verdicts[camera.name].tripped
+            )
+            audit = FleetSentinelAudit(verdicts=verdicts, flagged=flagged)
+        event_fields = {
+            "cameras": len(self._cameras),
+            "lost": len(lost),
+            "coverage": round(surviving_frames / total_frames, 6),
+            "bound": round(float(combined.error_bound), 6),
+            "retries": sum(meta["retries"] for meta in partial.values()),
+        }
+        if audit is not None:
+            event_fields["sentinel_audited"] = len(audit.verdicts)
+            event_fields["sentinel_flagged"] = list(audit.flagged)
+        run_ledger.record_event("fleet.execute", **event_fields)
         return FleetReport(
             combined=combined,
             per_camera=reports,
@@ -554,6 +704,7 @@ class FleetQueryProcessor:
             coverage=surviving_frames / total_frames,
             total_retries=sum(meta["retries"] for meta in partial.values()),
             elapsed=self._clock - started,
+            sentinel=audit,
         )
 
     def _transmit_one(

@@ -29,6 +29,9 @@ _DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("executor_fallbacks", ("metrics", "executor_fallbacks")),
     ("max_bound_width", ("bounds", "max_width")),
     ("mean_bound_width", ("bounds", "mean_width")),
+    ("sentinel_recall", ("facts", "sentinel", "recall")),
+    ("sentinel_fpr", ("facts", "sentinel", "fpr")),
+    ("sentinel_localization", ("facts", "sentinel", "localization")),
 )
 
 
@@ -62,12 +65,23 @@ class GateThresholds:
         max_bound_ratio: Candidate max bound width may be at most this
             many times the baseline's; near-1 because bounds are
             deterministic, with float-printing slack.
+        min_sentinel_recall: Absolute floor on the candidate's sentinel
+            violation-detection recall (chaos runs record it under
+            ``facts.sentinel.recall``). None derives it from the
+            baseline's recall; only enforced when both records carry
+            the value.
+        max_sentinel_fpr: Absolute ceiling on the candidate's sentinel
+            false-positive rate over clean cameras. None derives it
+            from the baseline's FPR — chaos runs are seed-
+            deterministic, so a baseline of 0 stays 0.
     """
 
     max_wall_ratio: float | None = 10.0
     max_invocation_ratio: float | None = 1.0
     min_cache_hit_ratio: float | None = None
     max_bound_ratio: float | None = 1.001
+    min_sentinel_recall: float | None = None
+    max_sentinel_fpr: float | None = None
 
 
 #: Slack subtracted from the baseline cache hit ratio when no explicit
@@ -204,6 +218,48 @@ def check_run(
                     message=(
                         f"cache_hit_ratio: {cand_hit:g} below floor "
                         f"{floor:g}"
+                    ),
+                )
+            )
+
+    base_recall = _lookup(baseline, ("facts", "sentinel", "recall"))
+    cand_recall = _lookup(candidate, ("facts", "sentinel", "recall"))
+    recall_floor = limits.min_sentinel_recall
+    if recall_floor is None and base_recall is not None:
+        recall_floor = base_recall
+    if recall_floor is not None and cand_recall is not None:
+        checked.append("sentinel_recall")
+        if cand_recall < recall_floor:
+            violations.append(
+                GateViolation(
+                    metric="sentinel_recall",
+                    baseline=base_recall,
+                    candidate=cand_recall,
+                    limit=recall_floor,
+                    message=(
+                        f"sentinel_recall: {cand_recall:g} below floor "
+                        f"{recall_floor:g}"
+                    ),
+                )
+            )
+
+    base_fpr = _lookup(baseline, ("facts", "sentinel", "fpr"))
+    cand_fpr = _lookup(candidate, ("facts", "sentinel", "fpr"))
+    fpr_ceiling = limits.max_sentinel_fpr
+    if fpr_ceiling is None and base_fpr is not None:
+        fpr_ceiling = base_fpr
+    if fpr_ceiling is not None and cand_fpr is not None:
+        checked.append("sentinel_fpr")
+        if cand_fpr > fpr_ceiling:
+            violations.append(
+                GateViolation(
+                    metric="sentinel_fpr",
+                    baseline=base_fpr,
+                    candidate=cand_fpr,
+                    limit=fpr_ceiling,
+                    message=(
+                        f"sentinel_fpr: {cand_fpr:g} above ceiling "
+                        f"{fpr_ceiling:g}"
                     ),
                 )
             )

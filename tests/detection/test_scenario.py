@@ -1,0 +1,150 @@
+"""Differential tests for scenario detector-response models.
+
+Every scenario must (a) be an exact identity at zero severity, (b) be
+deterministic, (c) actually move detector outputs at non-zero severity, and
+(d) keep a distinct persistent-cache identity from the clean detector — so
+hostile outputs can never poison clean cache entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.scenario import (
+    CompressionAttackResponse,
+    MisalignmentResponse,
+    OcclusionResponse,
+    ScenarioDetector,
+    TargetedCorruptionResponse,
+    WeatherExposureResponse,
+)
+from repro.detection.zoo import mask_rcnn_like, yolo_v4_like
+from repro.errors import ConfigurationError
+from repro.video.geometry import Resolution
+
+SCENARIO_TYPES = [
+    OcclusionResponse,
+    MisalignmentResponse,
+    WeatherExposureResponse,
+    TargetedCorruptionResponse,
+    CompressionAttackResponse,
+]
+
+
+@pytest.fixture(scope="module")
+def base_detector():
+    return yolo_v4_like()
+
+
+class TestZeroSeverityIdentity:
+    @pytest.mark.parametrize("scenario_type", SCENARIO_TYPES)
+    def test_zero_severity_matches_base(
+        self, scenario_type, base_detector, detrac_dataset
+    ):
+        wrapped = ScenarioDetector(base_detector, scenario_type(0.0))
+        for resolution in (None, Resolution(384), Resolution(256)):
+            clean = base_detector.run(detrac_dataset, resolution).counts
+            perturbed = wrapped.run(detrac_dataset, resolution).counts
+            assert np.array_equal(clean, perturbed)
+
+
+class TestPerturbation:
+    @pytest.mark.parametrize("scenario_type", SCENARIO_TYPES)
+    def test_full_severity_changes_outputs(
+        self, scenario_type, base_detector, detrac_dataset
+    ):
+        wrapped = ScenarioDetector(base_detector, scenario_type(0.9))
+        clean = base_detector.run(detrac_dataset).counts
+        perturbed = wrapped.run(detrac_dataset).counts
+        assert not np.array_equal(clean, perturbed)
+
+    @pytest.mark.parametrize("scenario_type", SCENARIO_TYPES)
+    def test_deterministic(self, scenario_type, base_detector, detrac_dataset):
+        first = ScenarioDetector(base_detector, scenario_type(0.5))
+        second = ScenarioDetector(base_detector, scenario_type(0.5))
+        assert np.array_equal(
+            first.run(detrac_dataset).counts, second.run(detrac_dataset).counts
+        )
+
+    def test_occlusion_monotone_in_coverage(self, base_detector, detrac_dataset):
+        totals = [
+            ScenarioDetector(base_detector, OcclusionResponse(coverage))
+            .run(detrac_dataset)
+            .counts.sum()
+            for coverage in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert totals == sorted(totals, reverse=True)
+        assert totals[0] > totals[-1]
+
+    def test_misalignment_loses_out_of_view_objects(
+        self, base_detector, detrac_dataset
+    ):
+        mild = ScenarioDetector(base_detector, MisalignmentResponse(0.2))
+        severe = ScenarioDetector(base_detector, MisalignmentResponse(0.8))
+        clean_total = base_detector.run(detrac_dataset).counts.sum()
+        assert mild.run(detrac_dataset).counts.sum() < clean_total
+        assert severe.run(detrac_dataset).counts.sum() < (
+            mild.run(detrac_dataset).counts.sum()
+        )
+
+    def test_weather_adds_phantoms_on_calm_frames(
+        self, base_detector, detrac_dataset
+    ):
+        """Weather phantoms fire where clutter is *high*, a region the base
+        false-positive model (clutter *low*) never touches."""
+        scenario = WeatherExposureResponse(severity=1.0, phantom_rate=0.2)
+        phantoms = scenario.extra_phantoms(detrac_dataset, Resolution(736))
+        assert phantoms is not None
+        fired = phantoms.astype(bool)
+        assert fired.any()
+        assert (detrac_dataset.clutter[fired] >= 0.8).all()
+
+    def test_targeted_corruption_hits_highest_value_frames(
+        self, base_detector, detrac_dataset
+    ):
+        budget = 0.1
+        wrapped = ScenarioDetector(base_detector, TargetedCorruptionResponse(budget))
+        clean = base_detector.run(detrac_dataset).counts
+        attacked = wrapped.run(detrac_dataset).counts
+        corrupted = int(np.ceil(budget * clean.size))
+        zeroed = np.flatnonzero((attacked == 0) & (clean > 0))
+        assert zeroed.size >= 1
+        # Every surviving frame's count is <= the smallest corrupted count.
+        threshold = np.sort(clean)[-corrupted]
+        assert (attacked[clean < threshold] == clean[clean < threshold]).all()
+
+    def test_compression_attack_only_drops_borderline(
+        self, base_detector, detrac_dataset
+    ):
+        wrapped = ScenarioDetector(base_detector, CompressionAttackResponse(0.1))
+        clean = base_detector.run(detrac_dataset).counts
+        attacked = wrapped.run(detrac_dataset).counts
+        assert (attacked <= clean).all()
+        assert attacked.sum() < clean.sum()
+
+
+class TestIdentityAndValidation:
+    def test_cache_identity_distinct_from_base(self, base_detector):
+        wrapped = ScenarioDetector(base_detector, OcclusionResponse(0.5))
+        assert wrapped._cache_identity != base_detector._cache_identity
+
+    def test_cache_identity_distinct_across_severities(self, base_detector):
+        low = ScenarioDetector(base_detector, OcclusionResponse(0.2))
+        high = ScenarioDetector(base_detector, OcclusionResponse(0.8))
+        assert low._cache_identity != high._cache_identity
+
+    def test_wrapper_inherits_base_configuration(self):
+        base = mask_rcnn_like()
+        wrapped = ScenarioDetector(base, WeatherExposureResponse(0.5))
+        assert wrapped.target_class is base.target_class
+        assert wrapped.threshold == base.threshold
+        assert wrapped.response == base.response
+        assert wrapped.name == f"{base.name}+weather-0.5"
+
+    @pytest.mark.parametrize("scenario_type", SCENARIO_TYPES)
+    def test_rejects_out_of_range_severity(self, scenario_type):
+        with pytest.raises(ConfigurationError):
+            scenario_type(-0.1)
+        with pytest.raises(ConfigurationError):
+            scenario_type(1.5)

@@ -151,3 +151,83 @@ class TestQuantileRepair:
         dummy = Estimate(value=1.0, error_bound=0.1, method="x", n=1, universe_size=10)
         with pytest.raises(EstimationError):
             ProfileRepair.corrected_quantile_bound(1.0, 1.0, np.array([]), 0.99, dummy)
+
+
+class TestRepairEdgeCases:
+    """Degenerate inputs Equation (12)/(13) must handle without NaNs."""
+
+    def _exact(self, value: float):
+        from repro.estimators.base import Estimate
+
+        return Estimate(
+            value=value, error_bound=0.0, method="exact",
+            n=100, universe_size=100,
+        )
+
+    def test_zero_width_correction_reduces_to_pure_drift(self):
+        """With err_v == 0 (exhaustive correction) Equation (12) collapses
+        to the relative drift itself — no inflation term left."""
+        correction = self._exact(4.0)
+        assert ProfileRepair.corrected_mean_bound(5.0, correction) == (
+            pytest.approx(abs(5.0 - 4.0) / 4.0)
+        )
+        assert ProfileRepair.corrected_mean_bound(4.0, correction) == 0.0
+
+    def test_zero_width_quantile_correction_is_rank_gap_only(self, population):
+        correction = np.sort(population[:500])
+        exact = self._exact(float(correction[-1]))
+        bound = ProfileRepair.corrected_quantile_bound(
+            float(correction[-1]), float(correction[-1]), correction, 0.99, exact
+        )
+        assert bound == 0.0
+
+    def test_batch_matches_scalar_elementwise(self, population):
+        rng = np.random.default_rng(8)
+        correction = SmokescreenMeanEstimator().estimate(
+            rng.choice(population, size=300, replace=False), population.size, 0.05
+        )
+        y_approx = np.array([0.0, 1.5, correction.value, 12.0])
+        batch = ProfileRepair.corrected_mean_bound_batch(y_approx, correction)
+        scalars = [
+            ProfileRepair.corrected_mean_bound(float(y), correction)
+            for y in y_approx
+        ]
+        assert batch.tolist() == pytest.approx(scalars)
+
+    def test_batch_on_empty_input_is_empty_not_nan(self):
+        correction = self._exact(4.0)
+        out = ProfileRepair.corrected_mean_bound_batch(np.array([]), correction)
+        assert out.shape == (0,)
+
+    def test_batch_zero_correction_value_all_infinite(self):
+        correction = self._exact(0.0)
+        out = ProfileRepair.corrected_mean_bound_batch(
+            np.array([0.0, 1.0, 2.0]), correction
+        )
+        assert np.all(np.isinf(out))
+
+    def test_batch_never_produces_nan_on_finite_inputs(self, population):
+        rng = np.random.default_rng(9)
+        correction = SmokescreenMeanEstimator().estimate(
+            rng.choice(population, size=200, replace=False), population.size, 0.05
+        )
+        y_approx = rng.uniform(-50.0, 50.0, size=1000)
+        out = ProfileRepair.corrected_mean_bound_batch(y_approx, correction)
+        assert not np.any(np.isnan(out))
+        assert np.all(out >= correction.error_bound)
+
+    def test_quantile_bound_extreme_rank_gap(self, population):
+        """Worst case: the degraded answer ranks below every correction
+        value while the correction answer ranks above — the gap term hits
+        its 1/r ceiling and stays finite."""
+        correction_values = np.sort(population[:400])
+        estimate = self._exact(float(correction_values[-1]))
+        bound = ProfileRepair.corrected_quantile_bound(
+            float(correction_values[0]) - 1.0,
+            float(correction_values[-1]),
+            correction_values,
+            0.5,
+            estimate,
+        )
+        assert np.isfinite(bound)
+        assert bound <= 1.0 / 0.5 + estimate.error_bound

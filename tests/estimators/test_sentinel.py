@@ -1,0 +1,191 @@
+"""Tests for the online bound-violation sentinel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.sentinel import BoundSentinel, SentinelVerdict
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.system import telemetry
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(47)
+    return rng.poisson(5.0, size=2000).astype(float)
+
+
+def exact_reference(population) -> Estimate:
+    """The profiling-time answer: exact on clean video, zero bound."""
+    return Estimate(
+        value=float(population.mean()),
+        error_bound=0.0,
+        method="exact",
+        n=population.size,
+        universe_size=population.size,
+    )
+
+
+def armed(population, profiled_bound=0.1, **kwargs) -> BoundSentinel:
+    return BoundSentinel(
+        reference=exact_reference(population),
+        profiled_bound=profiled_bound,
+        universe_size=population.size,
+        **kwargs,
+    )
+
+
+class TestBenignStream:
+    def test_clean_stream_never_trips(self, population):
+        """Zero false positives on a clean seeded run: the drift of an
+        unbiased sample stays inside its own streaming bound."""
+        rng = np.random.default_rng(1)
+        sentinel = armed(population)
+        for value in rng.choice(population, size=1000, replace=False):
+            sentinel.observe(float(value))
+        verdict = sentinel.verdict()
+        assert not verdict.tripped
+        assert verdict.breaches == 0
+        assert verdict.repair is None
+
+    def test_clean_stream_many_seeds_zero_fp(self, population):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            sentinel = armed(population)
+            sentinel.extend(rng.choice(population, size=800, replace=False))
+            assert not sentinel.tripped, f"false positive at seed {seed}"
+
+    def test_warm_up_floor_blocks_early_checks(self, population):
+        sentinel = armed(population, min_count=50)
+        for value in population[:49]:
+            assert sentinel.observe(float(value)) is None
+        assert sentinel.observe(float(population[49])) is not None
+
+
+class TestViolationDetection:
+    def test_systematic_drift_trips(self, population):
+        """A non-random degradation (values systematically shrunk) drives
+        drift past the allowance and the sentinel confirms it."""
+        rng = np.random.default_rng(2)
+        sentinel = armed(population, patience=2)
+        hostile = np.floor(rng.choice(population, 800, replace=False) * 0.5)
+        for value in hostile:
+            sentinel.observe(float(value))
+        verdict = sentinel.verdict()
+        assert verdict.tripped
+        assert verdict.first_breach_count is not None
+        assert verdict.drift > verdict.allowance
+
+    def test_patience_requires_consecutive_breaches(self, population):
+        rng = np.random.default_rng(3)
+        tolerant = armed(population, patience=10_000)
+        hostile = np.floor(rng.choice(population, 500, replace=False) * 0.5)
+        for value in hostile:
+            tolerant.observe(float(value))
+        assert tolerant.verdict().breaches > 0
+        assert not tolerant.tripped
+
+    def test_trip_triggers_automatic_repair(self, population):
+        rng = np.random.default_rng(4)
+        correction = SmokescreenMeanEstimator().estimate(
+            rng.choice(population, size=400, replace=False),
+            population.size,
+            0.05,
+        )
+        sentinel = armed(population, correction=correction)
+        hostile = np.floor(rng.choice(population, 800, replace=False) * 0.5)
+        for value in hostile:
+            sentinel.observe(float(value))
+        assert sentinel.tripped
+        repair = sentinel.repair
+        assert repair is not None
+        # The repaired bound actually covers the realized error.
+        realized = abs(repair.value - population.mean()) / population.mean()
+        assert realized <= repair.error_bound
+        assert sentinel.verdict().repair is repair
+
+    def test_trip_emits_telemetry_counters(self, population):
+        rng = np.random.default_rng(5)
+        correction = SmokescreenMeanEstimator().estimate(
+            rng.choice(population, size=400, replace=False),
+            population.size,
+            0.05,
+        )
+        registry = telemetry.enable()
+        try:
+            sentinel = armed(population, correction=correction)
+            hostile = np.floor(rng.choice(population, 600, replace=False) * 0.4)
+            for value in hostile:
+                sentinel.observe(float(value))
+            counters = registry.snapshot().counters
+        finally:
+            telemetry.disable()
+        assert counters.get("sentinel.violations") == 1
+        assert counters.get("sentinel.repairs_triggered") == 1
+
+    def test_trips_at_most_once(self, population):
+        rng = np.random.default_rng(6)
+        registry = telemetry.enable()
+        try:
+            sentinel = armed(population)
+            hostile = np.floor(rng.choice(population, 1200, replace=False) * 0.4)
+            for value in hostile:
+                sentinel.observe(float(value))
+            counters = registry.snapshot().counters
+        finally:
+            telemetry.disable()
+        assert counters.get("sentinel.violations") == 1
+
+    def test_zero_reference_drift(self):
+        reference = Estimate(
+            value=0.0, error_bound=0.0, method="exact", n=10, universe_size=10
+        )
+        silent = BoundSentinel(
+            reference, profiled_bound=0.1, universe_size=100, min_count=1
+        )
+        check = silent.observe(0.0)
+        assert check is not None and check.drift == 0.0
+        loud = BoundSentinel(
+            reference, profiled_bound=0.1, universe_size=100, min_count=1
+        )
+        check = loud.observe(3.0)
+        assert check is not None and np.isinf(check.drift)
+
+
+class TestBatchedStream:
+    def test_extend_checks_once_per_batch(self, population):
+        sentinel = armed(population)
+        sentinel.extend(population[:400])
+        verdict = sentinel.verdict()
+        assert verdict.checks == 1
+
+    def test_extend_empty_batch_is_noop(self, population):
+        sentinel = armed(population)
+        assert sentinel.extend([]) is None
+        assert sentinel.verdict().checks == 0
+
+
+class TestValidationAndPayload:
+    def test_rejects_bad_configuration(self, population):
+        reference = exact_reference(population)
+        with pytest.raises(EstimationError):
+            BoundSentinel(reference, -0.1, population.size)
+        with pytest.raises(EstimationError):
+            BoundSentinel(reference, float("inf"), population.size)
+        with pytest.raises(EstimationError):
+            BoundSentinel(reference, 0.1, population.size, min_count=0)
+        with pytest.raises(EstimationError):
+            BoundSentinel(reference, 0.1, population.size, patience=0)
+
+    def test_payload_is_json_friendly(self, population):
+        import json
+
+        rng = np.random.default_rng(7)
+        sentinel = armed(population, label="cam3")
+        sentinel.extend(rng.choice(population, size=200, replace=False))
+        payload = sentinel.verdict().as_payload()
+        assert payload["label"] == "cam3"
+        assert json.loads(json.dumps(payload)) == payload

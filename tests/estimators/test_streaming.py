@@ -8,6 +8,7 @@ import pytest
 from repro.errors import EstimationError
 from repro.estimators.smokescreen import SmokescreenMeanEstimator
 from repro.estimators.streaming import StreamingMeanEstimator
+from repro.stats.inequalities import hoeffding_serfling_radius
 
 
 @pytest.fixture(scope="module")
@@ -133,3 +134,102 @@ class TestValidation:
         streaming.update(6.0)
         assert streaming.estimate().error_bound == 0.0
         assert streaming.estimate_when_below(0.2) is None
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: Finite, well-scaled frame values (counts live in this range too).
+_values = st.lists(
+    st.floats(
+        min_value=0.0, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestStreamingProperties:
+    """Hypothesis invariants over arbitrary finite streams."""
+
+    @given(values=_values)
+    @settings(max_examples=50, deadline=None)
+    def test_stream_agrees_with_batch_on_identical_prefix(self, values):
+        """Property: after any prefix, the O(1) stream reports exactly the
+        batch Algorithm 1 estimate over that prefix."""
+        universe = len(values) + 100
+        streaming = StreamingMeanEstimator(universe)
+        streaming.extend(values)
+        incremental = streaming.estimate()
+        reference = SmokescreenMeanEstimator().estimate(
+            np.asarray(values), universe, 0.05
+        )
+        assert incremental.value == pytest.approx(reference.value)
+        assert incremental.error_bound == pytest.approx(reference.error_bound)
+        assert incremental.n == reference.n
+
+    @given(values=_values)
+    @settings(max_examples=50, deadline=None)
+    def test_extend_equals_sequential_updates(self, values):
+        universe = len(values) + 1
+        batched = StreamingMeanEstimator(universe)
+        batched.extend(values)
+        sequential = StreamingMeanEstimator(universe)
+        for value in values:
+            sequential.update(float(value))
+        assert batched.estimate() == sequential.estimate()
+
+    @given(
+        universe=st.integers(min_value=2, max_value=500),
+        delta=st.floats(min_value=0.001, max_value=0.5),
+        value_range=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_radius_shrinks_monotonically(
+        self, universe, delta, value_range
+    ):
+        """Property: at a fixed sample range the Hoeffding–Serfling radius
+        the stream feeds Theorem 3.1 only ever tightens as n grows. (The
+        *reported* relative bound need not be monotone — the theorem's
+        clipping interacts with the moving mean — but the interval the
+        stream maintains must be.)"""
+        radii = [
+            hoeffding_serfling_radius(n, universe, delta, value_range)
+            for n in range(1, universe + 1)
+        ]
+        for earlier, later in zip(radii, radii[1:]):
+            assert later <= earlier + 1e-12
+        assert radii[-1] == pytest.approx(0.0, abs=1e-9)
+
+    @given(values=_values)
+    @settings(max_examples=50, deadline=None)
+    def test_exhausted_universe_is_certain(self, values):
+        """Property: at count == universe_size the sample IS the
+        population — zero bound, exact mean."""
+        streaming = StreamingMeanEstimator(len(values))
+        streaming.extend(values)
+        estimate = streaming.estimate()
+        assert estimate.error_bound == 0.0
+        assert estimate.value == pytest.approx(
+            sum(values) / len(values)
+        )
+        with pytest.raises(EstimationError):
+            streaming.update(0.0)
+
+    @given(values=_values, target=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_when_below_honours_floor_and_target(self, values, target):
+        """Property: a stop only ever happens past the warm-up floor with
+        the bound actually at or under the target."""
+        streaming = StreamingMeanEstimator(len(values) + 5)
+        stopped = None
+        for value in values:
+            streaming.update(float(value))
+            stopped = streaming.estimate_when_below(target, min_count=10)
+            if stopped is not None:
+                break
+        if stopped is not None:
+            assert streaming.count >= 10
+            assert stopped.error_bound <= target

@@ -38,6 +38,33 @@ class TestFromKnobs:
         plan = InterventionPlan.from_knobs(f=0.5, p=128)
         assert plan.label() == "sampling f=0.5, resolution 128x128"
 
+    def test_removal_with_explicit_missing_suite_fails_eagerly(self):
+        """Regression: removal without a DetectorSuite used to surface only
+        at draw time, deep inside eligible_indices; an explicit
+        ``suite=None`` now fails at construction with a clear message."""
+        with pytest.raises(InterventionError, match="DetectorSuite"):
+            InterventionPlan.from_knobs(c=(ObjectClass.PERSON,), suite=None)
+
+    def test_removal_with_suite_builds(self, suite):
+        plan = InterventionPlan.from_knobs(c=(ObjectClass.PERSON,), suite=suite)
+        assert plan.removal is not None
+
+    def test_explicit_none_suite_fine_without_removal(self):
+        plan = InterventionPlan.from_knobs(f=0.2, suite=None)
+        assert plan.removal is None
+
+    def test_omitted_suite_keeps_late_check(self, detrac_dataset):
+        plan = InterventionPlan.from_knobs(c=(ObjectClass.PERSON,))
+        with pytest.raises(InterventionError, match="DetectorSuite"):
+            plan.eligible_indices(detrac_dataset, None)
+
+    def test_camera_configure_fails_eagerly_without_suite(self, detrac_dataset):
+        from repro.system.camera import Camera
+
+        camera = Camera("edge", detrac_dataset, suite=None)
+        with pytest.raises(InterventionError, match="DetectorSuite"):
+            camera.configure(fraction=0.5, removed_classes=(ObjectClass.FACE,))
+
 
 class TestRandomness:
     def test_sampling_only_is_random(self):

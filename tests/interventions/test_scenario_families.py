@@ -1,0 +1,60 @@
+"""Tests for the adversarial and physical intervention families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.scenario import ScenarioDetector
+from repro.detection.zoo import yolo_v4_like
+from repro.errors import ConfigurationError
+from repro.interventions import (
+    AdversarialCompression,
+    CameraMisalignment,
+    Intervention,
+    Occlusion,
+    TargetedFrameCorruption,
+    WeatherExposure,
+)
+
+FAMILIES = [
+    TargetedFrameCorruption,
+    AdversarialCompression,
+    Occlusion,
+    CameraMisalignment,
+    WeatherExposure,
+]
+
+
+class TestInterventionContract:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_is_proper_non_random_intervention(self, family):
+        intervention = family(0.4)
+        assert isinstance(intervention, Intervention)
+        assert intervention.is_random is False
+        assert "0.4" in intervention.label
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_rejects_out_of_range_severity(self, family):
+        with pytest.raises(ConfigurationError):
+            family(-0.01)
+        with pytest.raises(ConfigurationError):
+            family(1.01)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_attach_wraps_and_perturbs(self, family, detrac_dataset):
+        base = yolo_v4_like()
+        wrapped = family(0.9).attach(base)
+        assert isinstance(wrapped, ScenarioDetector)
+        assert wrapped.scenario == family(0.9).response()
+        clean = base.run(detrac_dataset).counts
+        hostile = wrapped.run(detrac_dataset).counts
+        assert not np.array_equal(clean, hostile)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_zero_severity_attach_is_identity(self, family, detrac_dataset):
+        base = yolo_v4_like()
+        wrapped = family(0.0).attach(base)
+        assert np.array_equal(
+            base.run(detrac_dataset).counts, wrapped.run(detrac_dataset).counts
+        )

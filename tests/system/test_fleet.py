@@ -393,3 +393,105 @@ class TestBernsteinSerflingRadius:
             empirical_bernstein_serfling_radius(0, 10, 0.05, 1.0, 0.5)
         with pytest.raises(ConfigurationError):
             empirical_bernstein_serfling_radius(5, 10, 0.05, 1.0, -1.0)
+
+
+class TestFleetSentinelLocalization:
+    """The fleet sentinel names the camera whose profile broke."""
+
+    @pytest.fixture(scope="class")
+    def sentinel_cameras(self, suite):
+        cameras = [
+            Camera("plaza", ua_detrac(frame_count=2000), suite),
+            Camera("bridge", night_street(frame_count=2000), suite),
+            Camera("depot", ua_detrac(frame_count=2000, seed=9), suite),
+        ]
+        for camera in cameras:
+            camera.configure(fraction=0.5)
+        return cameras
+
+    @staticmethod
+    def _armed_sentinel(cameras, processor):
+        from repro.estimators.base import Estimate
+        from repro.query.aggregates import Aggregate
+        from repro.query.query import AggregateQuery
+        from repro.system.fleet import FleetSentinel
+
+        references = {}
+        for camera in cameras:
+            query = AggregateQuery(camera.dataset, model_for(camera), Aggregate.AVG)
+            truth = processor.true_answer(query)
+            references[camera.name] = Estimate(
+                value=truth,
+                error_bound=0.0,
+                method="exact",
+                n=camera.dataset.frame_count,
+                universe_size=camera.dataset.frame_count,
+            )
+        bounds = {name: 0.1 for name in references}
+        return FleetSentinel(references, bounds, patience=2)
+
+    def test_clean_fleet_flags_nothing(self, sentinel_cameras, processor):
+        fleet = FleetQueryProcessor(
+            sentinel_cameras,
+            processor,
+            sentinel=self._armed_sentinel(sentinel_cameras, processor),
+        )
+        report = fleet.execute(model_for, seed=11)
+        assert report.sentinel is not None
+        assert report.sentinel.flagged == ()
+        assert set(report.sentinel.verdicts) == {"plaza", "bridge", "depot"}
+        assert any("bounds held" in line for line in report.summary_lines())
+
+    def test_occluded_camera_is_localized(self, sentinel_cameras, processor):
+        from repro.interventions import Occlusion
+
+        def hostile_model_for(camera):
+            model = model_for(camera)
+            if camera.name == "bridge":
+                return Occlusion(0.7).attach(model)
+            return model
+
+        fleet = FleetQueryProcessor(
+            sentinel_cameras,
+            processor,
+            sentinel=self._armed_sentinel(sentinel_cameras, processor),
+        )
+        report = fleet.execute(hostile_model_for, seed=11)
+        assert report.sentinel is not None
+        assert report.sentinel.flagged == ("bridge",)
+        assert report.sentinel.verdicts["bridge"].tripped
+        assert not report.sentinel.verdicts["plaza"].tripped
+        assert not report.sentinel.verdicts["depot"].tripped
+        assert any(
+            "VIOLATED" in line and "bridge" in line
+            for line in report.summary_lines()
+        )
+
+    def test_localization_is_deterministic(self, sentinel_cameras, processor):
+        from repro.interventions import TargetedFrameCorruption
+
+        def hostile_model_for(camera):
+            model = model_for(camera)
+            if camera.name == "depot":
+                return TargetedFrameCorruption(0.4).attach(model)
+            return model
+
+        flagged = []
+        for _ in range(2):
+            fleet = FleetQueryProcessor(
+                sentinel_cameras,
+                processor,
+                sentinel=self._armed_sentinel(sentinel_cameras, processor),
+            )
+            flagged.append(fleet.execute(hostile_model_for, seed=5).sentinel.flagged)
+        assert flagged[0] == flagged[1] == ("depot",)
+
+    def test_sentinel_rejects_mismatched_arming(self):
+        from repro.estimators.base import Estimate
+        from repro.system.fleet import FleetSentinel
+
+        reference = Estimate(
+            value=1.0, error_bound=0.0, method="exact", n=1, universe_size=1
+        )
+        with pytest.raises(ConfigurationError):
+            FleetSentinel({"a": reference}, {"b": 0.1})

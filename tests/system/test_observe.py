@@ -434,6 +434,64 @@ class TestGate:
         assert rows["model_invocations"]["delta"] == 0
 
 
+def sentinel_record(recall=1.0, fpr=0.0, **overrides) -> dict:
+    record = baseline_record(**overrides)
+    record["facts"] = {
+        "sentinel": {"recall": recall, "fpr": fpr, "localization": 1.0}
+    }
+    return record
+
+
+class TestSentinelGate:
+    """Chaos-run sentinel metrics flow through the same perf gate."""
+
+    def test_identical_sentinel_records_pass(self):
+        result = check_run(sentinel_record(), sentinel_record(run_id="cand"))
+        assert result.passed
+        assert "sentinel_recall" in result.checked
+        assert "sentinel_fpr" in result.checked
+
+    def test_recall_floor_defaults_to_baseline(self):
+        result = check_run(
+            sentinel_record(recall=1.0),
+            sentinel_record(recall=0.5, run_id="cand"),
+        )
+        assert not result.passed
+        assert [v.metric for v in result.violations] == ["sentinel_recall"]
+
+    def test_fpr_ceiling_defaults_to_baseline(self):
+        result = check_run(
+            sentinel_record(fpr=0.0),
+            sentinel_record(fpr=0.25, run_id="cand"),
+        )
+        assert not result.passed
+        assert [v.metric for v in result.violations] == ["sentinel_fpr"]
+
+    def test_explicit_thresholds_override_baseline(self):
+        lenient = GateThresholds(
+            min_sentinel_recall=0.4, max_sentinel_fpr=0.5
+        )
+        result = check_run(
+            sentinel_record(recall=1.0, fpr=0.0),
+            sentinel_record(recall=0.5, fpr=0.25, run_id="cand"),
+            lenient,
+        )
+        assert result.passed
+
+    def test_non_chaos_records_skip_sentinel_checks(self):
+        result = check_run(baseline_record(), candidate_record())
+        assert result.passed
+        assert "sentinel_recall" not in result.checked
+        assert "sentinel_fpr" not in result.checked
+
+    def test_diff_surfaces_sentinel_rows(self):
+        rows = {row["metric"]: row for row in diff_runs(
+            sentinel_record(), sentinel_record(recall=0.5, run_id="cand")
+        )}
+        assert rows["sentinel_recall"]["delta"] == pytest.approx(-0.5)
+        assert rows["sentinel_localization"]["ratio"] == pytest.approx(1.0)
+
+
 def _traced_unit(index: int) -> int:
     """Module-level (picklable) work unit that records a nested span."""
     with telemetry.span("unit.outer", index=index):

@@ -478,3 +478,36 @@ class TestChaos:
             main(["chaos", "--rates", "0,banana"])
         with pytest.raises(SystemExit):
             main(["chaos", "--rates", ","])
+
+    def test_scenario_mode_emits_sentinel_table(self, capsys):
+        code = main([
+            "chaos", "--scenario", "occlusion", "--frames", "1000",
+            "--trials", "2", "--cameras", "3", "--severities", "0.7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario chaos: occlusion" in out
+        assert "sentinel recall" in out
+        assert "localization accuracy" in out
+        assert "sentinel verdict: detected" in out
+
+    def test_scenario_mode_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "volcano"])
+
+    def test_scenario_ledger_records_verdict(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        code = main([
+            "chaos", "--scenario", "compression-attack", "--frames", "1000",
+            "--trials", "2", "--cameras", "3", "--severities", "0.3",
+            "--run-ledger", str(ledger),
+        ])
+        assert code == 0
+        from repro.system.observe import latest_run
+
+        record = latest_run(ledger)
+        assert record["facts"]["scenario"] == "compression-attack"
+        assert record["facts"]["sentinel"]["verdict"] == "detected"
+        assert record["facts"]["sentinel"]["fpr"] == 0.0
+        events = [e for e in record["events"] if e["event"] == "chaos.scenario"]
+        assert events and events[0]["scenario"] == "compression-attack"
