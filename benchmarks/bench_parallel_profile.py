@@ -1,29 +1,32 @@
-"""Parallel profile generation, the detector cache, and the batch kernels.
+"""Parallel profile generation, the persistent pool, and the batch kernels.
 
 Reruns the §5.3.1 profile sweep under several execution regimes — serial
-and 4-worker with a cold and a warm persistent cache, plus warm-cache
-estimation-kernel regimes — verifying that
+and 4-worker with cold/warm persistent caches, cold/warm worker pools,
+the shared-memory data plane on and off, plus warm-cache estimation-kernel
+regimes — verifying that
 
 - the sweep is bit-identical across all regimes (the determinism contract
-  of the parallel executor),
+  of the parallel executor and the shared-memory data plane),
 - a warm cache reruns the sweep with **zero** model invocations (the
   across-runs extension of the paper's reuse strategy),
+- reusing the persistent pool removes the pool-per-call spawn tax
+  (``warm_pool_reuse`` vs ``warm_parallel_cold_pool``),
 - the vectorized batch-trial kernels price a many-trial sweep faster than
   the per-(fraction, trial) loops while agreeing on the series, and
 - ``workers="auto"`` never falls behind plain warm serial on this sweep
-  (it resolves to serial: 10 work units sit below the auto threshold).
+  (the cost model keeps small workloads serial when the pool can't pay).
 
 Measured wall times and invocation counts are written machine-readably to
-``BENCH_profile.json`` next to the repo root. Note the timing caveat: on a
-single-CPU box the 4-worker cold run pays fork/pickle overhead without
-real parallel speedup, so the headline numbers here are the warm-cache
-and kernel speedups; multi-core speedup scales with the worker count
-because the work units are independent.
+``BENCH_profile.json`` next to the repo root. The strict multi-core
+claims (parallel beats serial, pool reuse >= 5x over pool-per-call) are
+asserted only when ``os.cpu_count() > 1``; single-CPU hosts record a
+skip reason in the payload instead.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -32,8 +35,9 @@ from repro.detection import diskcache
 from repro.experiments.timing import run_timing
 from repro.experiments.workloads import UA_DETRAC, Workload
 from repro.query.aggregates import Aggregate
-from repro.system import telemetry
+from repro.system import shm, telemetry
 from repro.system.costs import InvocationLedger
+from repro.system.executor import pool_diagnostics, shutdown_pool
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profile.json"
 
@@ -130,7 +134,21 @@ def test_parallel_profile_and_cache(benchmark, show):
         regime("cold_serial", workers=1, clear_disk=True)
         regime("warm_serial", workers=1, clear_disk=False)
         regime("warm_auto", workers="auto", clear_disk=False)
+        # Pool-per-call baseline: every map call used to spawn (and tear
+        # down) its own ProcessPoolExecutor; shutting the persistent pool
+        # down first reproduces that cost exactly.
+        shutdown_pool()
+        regime("warm_parallel_cold_pool", workers=4, clear_disk=False)
+        # The pool spawned above is now warm and gets reused.
         regime("warm_parallel", workers=4, clear_disk=False)
+        regime("warm_pool_reuse", workers=4, clear_disk=False)
+        # Same warm pool with the shared-memory data plane disabled:
+        # payloads pickle the full corpus again (series must not move).
+        shm.set_enabled(False)
+        try:
+            regime("warm_parallel_no_shm", workers=4, clear_disk=False)
+        finally:
+            shm.set_enabled(None)
         # Kernel regimes: warm cache, paper-scale trial count, so wall
         # time is dominated by the estimation stage the kernels collapse.
         regime(
@@ -158,7 +176,9 @@ def test_parallel_profile_and_cache(benchmark, show):
         diskcache.activate(root)
         try:
             benchmark.pedantic(all_regimes, rounds=1, iterations=1)
+            diagnostics = pool_diagnostics()
         finally:
+            shutdown_pool()
             diskcache.deactivate()
             _clear_model_memory_cache()
 
@@ -175,9 +195,15 @@ def test_parallel_profile_and_cache(benchmark, show):
     # Warm reruns are free: all outputs come from disk, the merged ledger
     # records nothing — including the kernel regimes, whose extra trials
     # re-read cached outputs only.
-    for name in ("warm_serial", "warm_auto", "warm_parallel",
+    for name in ("warm_serial", "warm_auto", "warm_parallel_cold_pool",
+                 "warm_parallel", "warm_pool_reuse", "warm_parallel_no_shm",
                  "kernel_loop", "kernel_vectorized"):
         assert runs[name]["model_invocations"] == 0, name
+
+    # The shared-memory data plane never moves the series: pool runs with
+    # shm on and off price the identical sweep.
+    assert series["warm_parallel_no_shm"] == series["warm_parallel"]
+    assert series["warm_pool_reuse"] == series["warm_parallel"]
 
     # Both kernel regimes price the same sweep (same invocation series).
     assert series["kernel_vectorized"] == series["kernel_loop"]
@@ -216,25 +242,36 @@ def test_parallel_profile_and_cache(benchmark, show):
         runs["kernel_loop"]["wall_seconds"]
         / runs["kernel_vectorized"]["wall_seconds"]
     )
-    import os
+    pool_reuse_speedup = (
+        runs["warm_parallel_cold_pool"]["wall_seconds"]
+        / runs["warm_pool_reuse"]["wall_seconds"]
+    )
+    multicore = (os.cpu_count() or 1) > 1
 
     payload = {
         "benchmark": "parallel_profile",
         "sweep": "§5.3.1 hypercube (UA-DETRAC AVG, 10 resolutions, ≤4%)",
         "cpu_count": os.cpu_count(),
         "note": (
-            "4-worker wall times include process-pool startup; on a "
-            "single-CPU host that overhead is not amortised, so the "
-            "headlines are the warm-cache and kernel speedups (kernel "
-            f"regimes: warm cache, {KERNEL_TRIALS} trials)"
+            "warm_parallel_cold_pool reproduces the retired pool-per-call "
+            "behaviour (spawn + calibrate per map); warm_parallel and "
+            "warm_pool_reuse ride the persistent pool; kernel regimes: "
+            f"warm cache, {KERNEL_TRIALS} trials"
         ),
         "runs": runs,
+        "pool": diagnostics,
+        "multicore_assertions": (
+            "enforced" if multicore
+            else "skipped: single-CPU host (os.cpu_count() <= 1), parallel "
+                 "wall times cannot beat serial without real cores"
+        ),
         "speedup_warm_vs_cold_serial": round(warm_speedup, 3),
         "speedup_warm_parallel_vs_cold_serial": round(
             runs["cold_serial"]["wall_seconds"]
             / runs["warm_parallel"]["wall_seconds"],
             3,
         ),
+        "speedup_pool_reuse_vs_cold_pool": round(pool_reuse_speedup, 3),
         "speedup_vectorized_vs_loop": round(kernel_speedup, 3),
         "telemetry": {
             "series_identical_enabled_vs_disabled": True,  # asserted above
@@ -257,9 +294,33 @@ def test_parallel_profile_and_cache(benchmark, show):
     # The off-by-default path is cheap: the whole instrumentation call
     # volume, priced at the measured no-op cost, is <2% of the regime.
     assert noop_overhead_fraction < 0.02, payload["telemetry"]
-    # "auto" resolves to serial here (10 units < AUTO_MIN_UNITS): allow
-    # measurement noise but no structural regression over warm serial.
+    # "auto" must never regress over warm serial: the cost model keeps
+    # this sweep serial unless the warm pool is predicted to pay for
+    # itself. Allow measurement noise but no structural regression.
     assert (
         runs["warm_auto"]["wall_seconds"]
         <= 1.5 * runs["warm_serial"]["wall_seconds"] + 0.05
     ), runs
+    # Reusing the persistent pool always beats respawning it per call.
+    assert (
+        runs["warm_pool_reuse"]["wall_seconds"]
+        < runs["warm_parallel_cold_pool"]["wall_seconds"]
+    ), runs
+    if multicore:
+        # The tentpole's success metric: with a persistent pool and the
+        # shared-memory data plane, the parallel path wins outright on
+        # real cores, and pool reuse amortises the spawn tax >= 5x.
+        assert (
+            runs["warm_parallel"]["wall_seconds"]
+            < runs["warm_serial"]["wall_seconds"]
+        ), runs
+        assert (
+            runs["cold_parallel"]["wall_seconds"]
+            < runs["cold_serial"]["wall_seconds"]
+        ), runs
+        assert pool_reuse_speedup >= 5.0, runs
+    else:
+        print(
+            "\nskipping multi-core assertions: os.cpu_count() <= 1 "
+            "(recorded in payload)"
+        )

@@ -350,6 +350,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fraction=fraction,
             delta=args.delta,
             victim_index=args.victim,
+            workers=args.workers,
         )
         result.print(chart=args.chart)
         return 0
@@ -370,6 +371,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         camera_count=args.cameras,
         fraction=fraction,
         delta=args.delta,
+        workers=args.workers,
     )
     result.print(chart=args.chart)
     return 0
@@ -497,6 +499,7 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         max_bound_ratio=args.max_bound_ratio,
         min_sentinel_recall=args.min_sentinel_recall,
         max_sentinel_fpr=args.max_sentinel_fpr,
+        max_executor_fallbacks=args.max_executor_fallbacks,
     )
     result = observe.check_run(baseline, candidate, thresholds)
     print(
@@ -650,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trials", type=int, default=10)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
+        "--workers", type=_parse_workers, default=1,
+        help="worker processes for the per-camera values stage, or 'auto' "
+             "(results are identical for any value)",
+    )
+    chaos.add_argument(
         "--chart", action="store_true", help="render an ASCII chart too"
     )
     _add_telemetry(chaos)
@@ -750,6 +758,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-sentinel-fpr", type=float, default=None,
         help="absolute ceiling on chaos-run sentinel false-positive "
              "rate (default: the baseline's FPR)",
+    )
+    runs_check.add_argument(
+        "--max-executor-fallbacks", type=float, default=None,
+        help="absolute ceiling on executor serial fallbacks "
+             "(default: the baseline's count)",
     )
     runs_check.set_defaults(handler=cmd_runs_check)
 

@@ -46,6 +46,7 @@ from repro.interventions.physical import (
 from repro.query.processor import QueryProcessor
 from repro.system.camera import Camera
 from repro.system.faults import FaultModel
+from repro.system.executor import ExecutorConfig, ParallelExecutor
 from repro.system.fleet import FleetQueryProcessor, FleetSentinel
 from repro.system.observe import ledger as run_ledger
 
@@ -154,6 +155,7 @@ def run_chaos(
     camera_count: int = 5,
     fraction: float = 0.2,
     delta: float = 0.05,
+    workers: int | str = 1,
 ) -> ExperimentResult:
     """Sweep outage rates and tabulate graceful-degradation metrics.
 
@@ -171,12 +173,20 @@ def run_chaos(
         camera_count: Fleet size.
         fraction: Per-camera sampling fraction.
         delta: Total failure probability per query.
+        workers: Worker processes for the per-camera values stage, or
+            ``"auto"``; 1 keeps every query in-process. Results are
+            identical for any value.
 
     Returns:
         The outage-rate → bound-width table.
     """
     cameras = _build_cameras(camera_count, frame_count, fraction)
     processor = QueryProcessor(shared_suite())
+    executor = (
+        ParallelExecutor(ExecutorConfig(workers=workers))
+        if workers != 1
+        else None
+    )
 
     bound_widths: list[float] = []
     lost_means: list[float] = []
@@ -203,6 +213,7 @@ def run_chaos(
                 processor,
                 faults=faults,
                 fault_seed=seed + 1000 * rate_index,
+                executor=executor,
             )
             try:
                 report = fleet.execute(
@@ -338,6 +349,7 @@ def run_scenario_chaos(
     fraction: float = 0.5,
     delta: float = 0.05,
     victim_index: int = 0,
+    workers: int | str = 1,
 ) -> ExperimentResult:
     """Hit one camera with a zoo scenario and audit the fleet's defenses.
 
@@ -369,6 +381,9 @@ def run_scenario_chaos(
             that mid-severity drifts are detectable at all.
         delta: Total failure probability per query.
         victim_index: Which camera the scenario hits.
+        workers: Worker processes for the per-camera values stage, or
+            ``"auto"``; 1 keeps every query in-process. Results are
+            identical for any value.
 
     Returns:
         The severity → defense-metrics table.
@@ -387,6 +402,11 @@ def run_scenario_chaos(
     victim = cameras[victim_index % len(cameras)].name
     truths = _clean_truths(cameras)
     sentinel, profiled = _arm_sentinel(cameras, processor, truths, delta, seed)
+    executor = (
+        ParallelExecutor(ExecutorConfig(workers=workers))
+        if workers != 1
+        else None
+    )
 
     violation_rates: list[float] = []
     recalls: list[float] = []
@@ -410,7 +430,9 @@ def run_scenario_chaos(
         repaired = 0
         localized = 0
         for trial in range(trials):
-            fleet = FleetQueryProcessor(cameras, processor, sentinel=sentinel)
+            fleet = FleetQueryProcessor(
+                cameras, processor, sentinel=sentinel, executor=executor
+            )
             report = fleet.execute(
                 lambda camera: models[camera.name],
                 delta=delta,

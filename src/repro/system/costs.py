@@ -12,6 +12,7 @@ minutes for its YOLOv4 workload, i.e. ~30 ms per frame).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -126,3 +127,119 @@ class CostModel:
         if settings < 0:
             raise ConfigurationError(f"settings must be non-negative, got {settings}")
         return self.model_seconds(ledger) + settings * self.estimation_seconds_per_setting
+
+
+@dataclass(frozen=True)
+class DispatchCostModel:
+    """Measured dispatch economics of the persistent worker pool.
+
+    The executor calibrates one instance per pool lifetime (spawn time
+    from pool construction, per-task overhead from a no-op round trip on
+    the warm pool) and costs every ``map`` call against it: serial wins
+    whenever its predicted wall time beats the pool's, and chunk sizes
+    are chosen so per-chunk dispatch overhead stays a bounded fraction of
+    per-chunk work. This replaces the old fixed ``AUTO_MIN_UNITS`` /
+    ``units // (workers * 4)`` heuristics with the measured quantities
+    BENCH_profile.json records.
+
+    Attributes:
+        spawn_seconds: One-time cost of spawning and calibrating the pool
+            (paid only when no matching pool is alive).
+        dispatch_seconds_per_task: Steady-state overhead of shipping one
+            pool task (pickle both ways plus queue round trip).
+        overhead_fraction: Ceiling on dispatch overhead as a fraction of
+            a chunk's useful work; chunks grow until they clear it.
+        min_chunks_per_worker: Lower bound on chunks per worker (load
+            balancing); chunk size is capped so at least this many tasks
+            exist per worker when the unit count allows.
+    """
+
+    spawn_seconds: float = 0.15
+    dispatch_seconds_per_task: float = 0.001
+    overhead_fraction: float = 0.1
+    min_chunks_per_worker: int = 2
+
+    def __post_init__(self) -> None:
+        if self.spawn_seconds < 0 or self.dispatch_seconds_per_task < 0:
+            raise ConfigurationError("dispatch costs must be non-negative")
+        if not 0 < self.overhead_fraction <= 1:
+            raise ConfigurationError(
+                f"overhead fraction must lie in (0, 1], got {self.overhead_fraction}"
+            )
+        if self.min_chunks_per_worker < 1:
+            raise ConfigurationError("min chunks per worker must be >= 1")
+
+    def chunk_size(self, units: int, unit_seconds: float, workers: int) -> int:
+        """Units per pool task for a workload of measured per-unit cost.
+
+        Args:
+            units: Work units to dispatch.
+            unit_seconds: Measured seconds per unit (>= 0).
+            workers: Pool worker count.
+
+        Returns:
+            A chunk size in ``[1, ceil(units / workers)]``: large enough
+            that per-chunk dispatch overhead is at most
+            :attr:`overhead_fraction` of the chunk's work, small enough
+            to keep :attr:`min_chunks_per_worker` tasks per worker.
+        """
+        if units <= 0:
+            return 1
+        workers = max(1, workers)
+        balance_cap = max(
+            1, math.ceil(units / (workers * self.min_chunks_per_worker))
+        )
+        if unit_seconds <= 0 or self.dispatch_seconds_per_task <= 0:
+            return balance_cap
+        amortized = math.ceil(
+            self.dispatch_seconds_per_task
+            / (self.overhead_fraction * unit_seconds)
+        )
+        return max(1, min(balance_cap, amortized))
+
+    def serial_seconds(self, units: int, unit_seconds: float) -> float:
+        """Predicted wall time of running ``units`` in-process."""
+        return max(units, 0) * max(unit_seconds, 0.0)
+
+    def parallel_seconds(
+        self,
+        units: int,
+        unit_seconds: float,
+        workers: int,
+        pool_warm: bool,
+    ) -> float:
+        """Predicted wall time of dispatching ``units`` through the pool.
+
+        Args:
+            units: Work units to dispatch.
+            unit_seconds: Measured seconds per unit.
+            workers: Pool worker count.
+            pool_warm: Whether a matching pool is already alive (its
+                spawn cost is sunk).
+
+        Returns:
+            Spawn (when cold) plus per-task dispatch plus the critical
+            path of evenly divided work.
+        """
+        if units <= 0:
+            return 0.0
+        workers = max(1, workers)
+        chunk = self.chunk_size(units, unit_seconds, workers)
+        tasks = math.ceil(units / chunk)
+        spawn = 0.0 if pool_warm else self.spawn_seconds
+        critical_path = math.ceil(units / workers) * max(unit_seconds, 0.0)
+        return spawn + tasks * self.dispatch_seconds_per_task + critical_path
+
+    def parallel_pays(
+        self,
+        units: int,
+        unit_seconds: float,
+        workers: int,
+        pool_warm: bool,
+    ) -> bool:
+        """Whether the pool path is predicted to beat the serial path."""
+        if workers <= 1 or units <= 1:
+            return False
+        return self.parallel_seconds(
+            units, unit_seconds, workers, pool_warm
+        ) < self.serial_seconds(units, unit_seconds)

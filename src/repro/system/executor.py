@@ -21,16 +21,36 @@ return its per-resolution counts alongside the result; callers merge them
 in unit order. Detector outputs are shared across workers and runs through
 the persistent cache of :mod:`repro.detection.diskcache`, which the pool
 initializer re-activates inside each worker process.
+
+Three mechanisms kill the parallelism tax the first-generation executor
+paid per call:
+
+- a **persistent pool** (:class:`WorkerPool`) survives across ``map``
+  calls, sweeps and CLI drivers, reused while its ``(workers, cache_dir,
+  cache_limit, telemetry_on)`` key matches and rebuilt transparently on
+  config change or a broken pool (shut down via ``atexit`` or
+  :func:`shutdown_pool`);
+- the **shared-memory data plane** (:mod:`repro.system.shm`) publishes
+  each corpus once and ships tiny handles inside :class:`SweepUnit` /
+  :class:`PlanUnit` pickles instead of whole ground-truth arrays;
+- **cost-modeled dispatch**: every pool lifetime calibrates a
+  :class:`~repro.system.costs.DispatchCostModel` (measured spawn and
+  per-task overhead), each ``map`` probes its first unit in-process to
+  measure per-unit kernel time, and ``workers="auto"`` compares the two
+  before committing to the pool — so auto never regresses a single-core
+  host and no fixed unit-count threshold is involved.
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -42,8 +62,10 @@ from repro.detection.zoo import DetectorSuite
 from repro.errors import ConfigurationError
 from repro.interventions.plan import InterventionPlan
 from repro.query.query import AggregateQuery
-from repro.system import telemetry
-from repro.system.costs import InvocationLedger
+from repro.system import shm, telemetry
+from repro.system.costs import DispatchCostModel, InvocationLedger
+from repro.system.observe import ledger as run_ledger
+from repro.video.dataset import VideoDataset
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
 
@@ -117,21 +139,15 @@ def trial_chunks(trials: int, chunk_count: int) -> list[range]:
     ]
 
 
-#: Below this many work units, ``workers="auto"`` runs serially: with the
-#: §5.3.1 sweep at ~10 units, pool startup plus per-unit pickling costs more
-#: than the work itself (compare the ``runs.cold_parallel`` and
-#: ``runs.cold_serial`` ``wall_seconds`` in BENCH_profile.json, measured on
-#: one CPU), so small sweeps must not pay for a pool.
-AUTO_MIN_UNITS = 16
-
-
 def resolve_worker_count(workers: int | str, unit_count: int) -> int:
-    """The effective process count for a worker setting and workload size.
+    """The structurally available process count for a worker setting.
 
-    ``"auto"`` is deterministic and conservative: serial when the host has
-    a single CPU (pool overhead cannot be amortised) or when there are
-    fewer than :data:`AUTO_MIN_UNITS` work units (startup dominates), else
-    one worker per CPU, capped at the unit count.
+    ``"auto"`` resolves to 1 on a single-CPU host (a pool can never pay
+    for itself there) and otherwise to one worker per CPU capped at the
+    unit count. Whether a multi-worker resolution actually *uses* the
+    pool is decided per ``map`` call by the calibrated
+    :class:`~repro.system.costs.DispatchCostModel` — the old fixed
+    ``AUTO_MIN_UNITS`` threshold is gone.
 
     Args:
         workers: An explicit positive count, or ``"auto"``.
@@ -139,13 +155,26 @@ def resolve_worker_count(workers: int | str, unit_count: int) -> int:
 
     Returns:
         The resolved worker count (>= 1).
+
+    Raises:
+        ConfigurationError: ``workers`` is a non-positive int or an
+            unrecognised string.
     """
-    if workers == "auto":
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ConfigurationError(
+                f"worker count must be a positive int or 'auto', got {workers!r}"
+            )
         cpus = os.cpu_count() or 1
-        if cpus <= 1 or unit_count < AUTO_MIN_UNITS:
+        if cpus <= 1:
             return 1
         return max(1, min(cpus, unit_count))
-    return int(workers)
+    count = int(workers)
+    if count < 1:
+        raise ConfigurationError(
+            f"worker count must be at least 1, got {workers}"
+        )
+    return count
 
 
 @dataclass(frozen=True)
@@ -187,6 +216,159 @@ def _worker_initializer(
         diskcache.activate(cache_dir, cache_limit)
     if telemetry_on:
         telemetry.enable()
+
+
+# ---------------------------------------------------------------------------
+# The module-managed persistent pool.
+#
+# One ProcessPoolExecutor survives across map calls, sweeps and CLI
+# drivers; it is reused whenever the initargs key matches, transparently
+# rebuilt on config change or a broken pool, and shut down via atexit or
+# an explicit shutdown_pool()/ParallelExecutor.close(). Spawn and
+# per-task dispatch costs are measured once per pool lifetime and drive
+# the DispatchCostModel decisions in ParallelExecutor.map.
+# ---------------------------------------------------------------------------
+
+#: No-op tasks per calibration round (two rounds: spawn, then dispatch).
+_CALIBRATION_TASKS = 16
+
+
+def _calibration_task(index: int) -> int:
+    """No-op unit used to time the pool's per-task dispatch overhead."""
+    return index
+
+
+@dataclass(frozen=True)
+class _PoolKey:
+    """The initargs identity a pool can be reused under."""
+
+    workers: int
+    cache_dir: str | None
+    cache_limit: int | None
+    telemetry_on: bool
+
+
+@dataclass
+class WorkerPool:
+    """A live pool plus its measured dispatch economics.
+
+    Attributes:
+        pool: The underlying executor.
+        key: Reuse identity (worker count + worker initargs).
+        costs: Calibrated dispatch cost model for this pool's lifetime.
+        generation: 1-based spawn ordinal within this process.
+        map_calls: Completed ``map`` dispatches through this pool.
+    """
+
+    pool: ProcessPoolExecutor = field(repr=False)
+    key: _PoolKey
+    costs: DispatchCostModel
+    generation: int
+    map_calls: int = 0
+
+
+_pool: WorkerPool | None = None
+_pool_generations = 0
+_last_costs: DispatchCostModel | None = None
+_atexit_installed = False
+
+
+def _ensure_pool(key: _PoolKey) -> WorkerPool:
+    """The persistent pool for ``key`` — reused, else (re)spawned.
+
+    Spawning forces all workers up with one chunked no-op round, then
+    times a second round on the warm pool to split total cost into
+    ``spawn_seconds`` and ``dispatch_seconds_per_task`` for the
+    calibrated :class:`DispatchCostModel` (recorded in telemetry).
+    """
+    global _pool, _pool_generations, _last_costs, _atexit_installed
+    if _pool is not None and _pool.key == key:
+        return _pool
+    shutdown_pool()
+    shm.ensure_tracker_shared()
+    started = time.perf_counter()
+    pool = ProcessPoolExecutor(
+        max_workers=key.workers,
+        initializer=_worker_initializer,
+        initargs=(key.cache_dir, key.cache_limit, key.telemetry_on),
+    )
+    list(pool.map(_calibration_task, range(_CALIBRATION_TASKS), chunksize=1))
+    warm_started = time.perf_counter()
+    list(pool.map(_calibration_task, range(_CALIBRATION_TASKS), chunksize=1))
+    dispatch = max(
+        (time.perf_counter() - warm_started) / _CALIBRATION_TASKS, 1e-7
+    )
+    spawn = max(
+        warm_started - started - _CALIBRATION_TASKS * dispatch, 0.0
+    )
+    costs = DispatchCostModel(
+        spawn_seconds=spawn, dispatch_seconds_per_task=dispatch
+    )
+    _pool_generations += 1
+    _pool = WorkerPool(
+        pool=pool, key=key, costs=costs, generation=_pool_generations
+    )
+    _last_costs = costs
+    telemetry.count("executor.pool.spawns")
+    telemetry.gauge("executor.pool.spawn_seconds", spawn)
+    telemetry.gauge("executor.pool.dispatch_seconds_per_task", dispatch)
+    telemetry.log_event(
+        _LOG,
+        logging.INFO,
+        "executor.pool.spawn",
+        workers=key.workers,
+        generation=_pool_generations,
+        spawn_seconds=round(spawn, 6),
+        dispatch_seconds_per_task=round(dispatch, 6),
+    )
+    if not _atexit_installed:
+        atexit.register(shutdown_pool)
+        _atexit_installed = True
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Shut down the shared pool (if any) and release shared memory.
+
+    Safe to call repeatedly; the next pool-path ``map`` respawns lazily.
+    The last pool's calibration survives as the cost prior for cold
+    serial-vs-parallel decisions.
+    """
+    global _pool
+    record = _pool
+    _pool = None
+    if record is not None:
+        try:
+            record.pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - teardown is best effort
+            pass
+    shm.release_all()
+
+
+def active_pool() -> WorkerPool | None:
+    """The live persistent pool, or None (diagnostics/tests)."""
+    return _pool
+
+
+def pool_generation() -> int:
+    """How many pools this process has spawned (0 = never)."""
+    return _pool_generations
+
+
+def pool_diagnostics() -> dict | None:
+    """Machine-readable state of the live pool for benchmarks, or None."""
+    if _pool is None:
+        return None
+    return {
+        "workers": _pool.key.workers,
+        "generation": _pool.generation,
+        "map_calls": _pool.map_calls,
+        "spawn_seconds": round(_pool.costs.spawn_seconds, 6),
+        "dispatch_seconds_per_task": round(
+            _pool.costs.dispatch_seconds_per_task, 9
+        ),
+        "published_bytes": shm.published_bytes(),
+    }
 
 
 @dataclass(frozen=True)
@@ -276,14 +458,38 @@ class ParallelExecutor:
         resolved = resolve_worker_count(self._config.workers, unit_count)
         return max(1, min(resolved, unit_count))
 
+    def _pool_key(self, workers: int) -> _PoolKey:
+        cache_dir, cache_limit = self._cache_initargs()
+        return _PoolKey(
+            workers=workers,
+            cache_dir=cache_dir,
+            cache_limit=cache_limit,
+            telemetry_on=telemetry.enabled(),
+        )
+
+    def close(self) -> None:
+        """Shut down the shared persistent pool (:func:`shutdown_pool`).
+
+        The next pool-path ``map`` — from any executor — respawns it.
+        """
+        shutdown_pool()
+
     def map(self, fn: Callable[[T], U], payloads: Iterable[T]) -> list[U]:
         """Apply ``fn`` to every payload, preserving payload order.
+
+        The first unit always runs in-process: spawn-keyed seed streams
+        make results position-independent, so the probe is invisible to
+        output while measuring the per-unit kernel time the calibrated
+        :class:`DispatchCostModel` weighs against dispatch overhead.
+        Under ``workers="auto"`` the remaining units go to the persistent
+        pool only when the model predicts a win; explicit multi-worker
+        configs always dispatch.
 
         Exceptions ``fn`` raises propagate unchanged from the pool path —
         without a serial re-run — exactly as they would serially. Only
         *infrastructure* failures (pool creation denied, unpicklable
-        payloads, a broken pool) degrade to the serial path; seed streams
-        make that rerun bit-identical.
+        payloads, a pool broken twice) degrade to the serial path; seed
+        streams make that rerun bit-identical.
 
         Args:
             fn: A picklable module-level function.
@@ -293,39 +499,136 @@ class ParallelExecutor:
             Results in payload order.
         """
         items = list(payloads)
+        if not items:
+            return []
         workers = self.worker_count(len(items))
         if workers <= 1:
+            if self._config.workers == "auto":
+                reason = "single_unit" if len(items) <= 1 else "single_cpu"
+            else:
+                reason = "explicit"
+            self._note_dispatch(
+                mode="serial",
+                units=len(items),
+                workers=1,
+                chunk_size=1,
+                reason=reason,
+            )
             return [fn(item) for item in items]
-        # Ship several units per pool task: one pickle round-trip then
-        # amortises over the chunk instead of being paid per unit.
-        chunksize = max(1, len(items) // (workers * 4))
-        telemetry.gauge("executor.workers", workers)
-        telemetry.gauge("executor.chunk_size", chunksize)
-        telemetry.count("executor.units", len(items))
-        with telemetry.span("executor.map", units=len(items), workers=workers):
+        probe_started = time.perf_counter()
+        first = fn(items[0])
+        unit_seconds = time.perf_counter() - probe_started
+        rest = items[1:]
+        key = self._pool_key(workers)
+        reusable = _pool is not None and _pool.key == key
+        costs = (_pool.costs if reusable else _last_costs) or DispatchCostModel()
+        if self._config.workers == "auto" and not costs.parallel_pays(
+            len(rest), unit_seconds, workers, pool_warm=reusable
+        ):
+            self._note_dispatch(
+                mode="serial_costed",
+                units=len(items),
+                workers=1,
+                chunk_size=1,
+                unit_seconds=unit_seconds,
+                costs=costs,
+                pool_reused=reusable,
+            )
+            return [first] + [fn(item) for item in rest]
+        return [first] + self._pool_map(
+            fn, rest, workers, key, unit_seconds, len(items)
+        )
+
+    def _pool_map(
+        self,
+        fn: Callable[[T], U],
+        rest: list[T],
+        workers: int,
+        key: _PoolKey,
+        unit_seconds: float,
+        total_units: int,
+    ) -> list[U]:
+        """Dispatch the post-probe units through the persistent pool."""
+        rebuilt = False
+        while True:
             try:
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_initializer,
-                    initargs=(*self._cache_initargs(), telemetry.enabled()),
-                ) as pool:
+                record = _ensure_pool(key)
+            except OSError as error:
+                self._fallback(error, total_units)
+                return [fn(item) for item in rest]
+            self._publish_payloads(rest)
+            chunk = record.costs.chunk_size(len(rest), unit_seconds, workers)
+            try:
+                with telemetry.span(
+                    "executor.map", units=total_units, workers=workers
+                ):
                     outcomes = list(
-                        pool.map(partial(_call_unit, fn), items, chunksize=chunksize)
+                        record.pool.map(
+                            partial(_call_unit, fn), rest, chunksize=chunk
+                        )
                     )
-            except (OSError, BrokenProcessPool, pickle.PicklingError,
+            except BrokenProcessPool as error:
+                # A worker died mid-flight (crash, OOM kill). Rebuild the
+                # pool once and retry; a second break falls back to the
+                # serial path. Either way the broken pool and its shared
+                # segments are torn down immediately.
+                shutdown_pool()
+                if not rebuilt:
+                    rebuilt = True
+                    telemetry.count("executor.pool.rebuilds")
+                    telemetry.log_event(
+                        _LOG,
+                        logging.WARNING,
+                        "executor.pool.rebuild",
+                        reason=type(error).__name__,
+                        error=str(error),
+                    )
+                    continue
+                self._fallback(error, total_units)
+                return [fn(item) for item in rest]
+            except (OSError, pickle.PicklingError,
                     AttributeError, TypeError) as error:
                 # _call_unit confines fn's own exceptions to outcome
-                # records, so anything escaping pool.map is infrastructure:
-                # a restricted environment (no fork/spawn), a died worker,
-                # or payload/callable pickling (unpicklable local functions
+                # records, so anything else escaping pool.map is
+                # infrastructure: a restricted environment (no fork), or
+                # payload/callable pickling (unpicklable local functions
                 # surface as AttributeError/TypeError from pickle itself).
-                self._log_fallback(error)
-                return [fn(item) for item in items]
-        return self._unpack_outcomes(outcomes)
+                self._fallback(error, total_units)
+                return [fn(item) for item in rest]
+            record.map_calls += 1
+            # Only a committed, completed pool run reports itself as
+            # parallel; fallback runs are tagged serial_fallback instead
+            # of masquerading through pre-emitted gauges.
+            telemetry.gauge("executor.workers", workers)
+            telemetry.gauge("executor.chunk_size", chunk)
+            telemetry.count("executor.units", total_units)
+            self._note_dispatch(
+                mode="parallel",
+                units=total_units,
+                workers=workers,
+                chunk_size=chunk,
+                unit_seconds=unit_seconds,
+                costs=record.costs,
+                pool_reused=record.map_calls > 1,
+            )
+            return self._unpack_outcomes(outcomes)
 
     @staticmethod
-    def _log_fallback(error: BaseException) -> None:
+    def _publish_payloads(items: Sequence) -> None:
+        """Publish every dataset reachable from the payloads, so units
+        pickle down to shared-memory handles instead of whole corpora."""
+        if not shm.enabled():
+            return
+        for item in items:
+            dataset = getattr(item, "dataset", None)
+            if dataset is None:
+                dataset = getattr(getattr(item, "query", None), "dataset", None)
+            if isinstance(dataset, VideoDataset):
+                shm.publish_dataset(dataset)
+
+    def _fallback(self, error: BaseException, total_units: int) -> None:
         telemetry.count("executor.fallback")
+        telemetry.gauge("executor.workers", 1)
         telemetry.log_event(
             _LOG,
             logging.WARNING,
@@ -333,6 +636,48 @@ class ParallelExecutor:
             reason=type(error).__name__,
             error=str(error),
         )
+        self._note_dispatch(
+            mode="serial_fallback",
+            units=total_units,
+            workers=1,
+            chunk_size=1,
+            reason=type(error).__name__,
+        )
+
+    def _note_dispatch(
+        self,
+        *,
+        mode: str,
+        units: int,
+        workers: int,
+        chunk_size: int,
+        unit_seconds: float | None = None,
+        costs: DispatchCostModel | None = None,
+        pool_reused: bool = False,
+        reason: str | None = None,
+    ) -> None:
+        """Record the dispatch decision in telemetry and the run ledger."""
+        facts: dict = {
+            "mode": mode,
+            "units": units,
+            "workers": workers,
+            "chunk_size": chunk_size,
+            "pool_reused": bool(pool_reused),
+            "pool_generation": _pool_generations,
+            "shm_enabled": shm.enabled(),
+        }
+        if unit_seconds is not None:
+            facts["unit_seconds"] = round(unit_seconds, 6)
+        if costs is not None:
+            facts["spawn_seconds"] = round(costs.spawn_seconds, 6)
+            facts["dispatch_seconds_per_task"] = round(
+                costs.dispatch_seconds_per_task, 9
+            )
+        if reason is not None:
+            facts["reason"] = reason
+        telemetry.log_event(_LOG, logging.DEBUG, "executor.dispatch", **facts)
+        run_ledger.record_event("executor.dispatch", **facts)
+        run_ledger.annotate(executor=facts)
 
     @staticmethod
     def _unpack_outcomes(outcomes: list[_UnitOutcome]) -> list:

@@ -53,11 +53,12 @@ from repro.estimators.budget import (
 )
 from repro.estimators.sentinel import BoundSentinel, SentinelVerdict
 from repro.estimators.smokescreen import SmokescreenMeanEstimator
-from repro.interventions.plan import InterventionPlan
+from repro.interventions.plan import DegradedSample, InterventionPlan
 from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system.camera import Camera
+from repro.system.executor import ParallelExecutor
 from repro.system.faults import (
     ChannelDelivery,
     FaultInjector,
@@ -90,6 +91,34 @@ def _validate_cameras(cameras: list[Camera]) -> None:
                 f"({camera.dataset.frame_count} frames); every fleet camera "
                 "needs a non-empty corpus"
             )
+
+
+@dataclass(frozen=True)
+class CameraValuesUnit:
+    """One camera's sampled-values computation, shipped to a pool worker.
+
+    Carries exactly what :meth:`QueryProcessor.values_for_sample` needs:
+    the camera's query (whose dataset pickles down to a shared-memory
+    handle when published), the delivered sample, and the restricted-class
+    suite. Workers rebuild a fresh :class:`QueryProcessor` — its per-query
+    memo is process-local anyway — so results are bit-identical to the
+    parent calling ``values_for_sample`` directly.
+
+    Attributes:
+        query: The per-camera AVG query at its ``delta`` share.
+        sample: The degraded sample the channel actually delivered.
+        suite: The processor's restricted-class detector suite (or None).
+    """
+
+    query: AggregateQuery
+    sample: DegradedSample
+    suite: object | None
+
+
+def run_camera_values_unit(unit: CameraValuesUnit) -> np.ndarray:
+    """Evaluate one camera's sampled values (pool-worker entry point)."""
+    processor = QueryProcessor(unit.suite)
+    return processor.values_for_sample(unit.query, unit.sample)
 
 
 @dataclass(frozen=True)
@@ -481,6 +510,7 @@ class FleetQueryProcessor:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
         sentinel: FleetSentinel | None = None,
+        executor: ParallelExecutor | None = None,
     ) -> None:
         """Assemble the resilient executor.
 
@@ -498,6 +528,11 @@ class FleetQueryProcessor:
             sentinel: Optional armed :class:`FleetSentinel`; every
                 surviving camera's delivered stream is audited against
                 its profiled bound and the verdicts land in the report.
+            executor: Optional :class:`ParallelExecutor`; when set, the
+                per-camera sampled-values stage fans out through the
+                persistent worker pool (transmission, estimation, and
+                the sentinel stay sequential in the parent). Results are
+                bit-identical to the serial path.
         """
         _validate_cameras(cameras)
         self._cameras = list(cameras)
@@ -512,6 +547,7 @@ class FleetQueryProcessor:
         }
         self._ledger = HealthLedger()
         self._sentinel = sentinel
+        self._executor = executor
         self._clock = 0.0
 
     @property
@@ -572,6 +608,48 @@ class FleetQueryProcessor:
         ):
             return self._execute_timed(model_for_camera, delta, seed)
 
+    def _camera_values(
+        self,
+        model_for_camera,
+        deliveries: dict[str, ChannelDelivery],
+        share: float,
+    ) -> dict[str, np.ndarray]:
+        """Sampled values for every delivered camera, keyed by name.
+
+        When an executor is configured and more than one camera delivered,
+        the per-camera computations fan out through the persistent worker
+        pool (each camera's corpus rides the shared-memory data plane when
+        published); otherwise they run in-process. Both paths evaluate the
+        same pure function, so results are bit-identical.
+        """
+        delivered = [
+            camera for camera in self._cameras if camera.name in deliveries
+        ]
+        units = [
+            CameraValuesUnit(
+                query=AggregateQuery(
+                    camera.dataset,
+                    model_for_camera(camera),
+                    Aggregate.AVG,
+                    delta=share,
+                ),
+                sample=deliveries[camera.name].sample,
+                suite=self._processor.suite,
+            )
+            for camera in delivered
+        ]
+        if self._executor is not None and len(units) > 1:
+            values = self._executor.map(run_camera_values_unit, units)
+        else:
+            values = [
+                self._processor.values_for_sample(unit.query, unit.sample)
+                for unit in units
+            ]
+        return {
+            camera.name: camera_values
+            for camera, camera_values in zip(delivered, values)
+        }
+
     def _execute_timed(
         self,
         model_for_camera,
@@ -608,6 +686,10 @@ class FleetQueryProcessor:
         )
         total_frames = float(self.total_frames)
 
+        values_by_camera = self._camera_values(
+            model_for_camera, deliveries, share
+        )
+
         strata: list[StratumInterval] = []
         reports: dict[str, CameraReport] = {}
         verdicts: dict[str, SentinelVerdict] = {}
@@ -617,13 +699,7 @@ class FleetQueryProcessor:
             delivery = meta["delivery"]
             estimate = None
             if delivery is not None:
-                query = AggregateQuery(
-                    camera.dataset, model_for_camera(camera), Aggregate.AVG,
-                    delta=share,
-                )
-                values = self._processor.values_for_sample(
-                    query, delivery.sample
-                )
+                values = values_by_camera[camera.name]
                 estimate = estimator.estimate(
                     values, delivery.sample.universe_size, share
                 )

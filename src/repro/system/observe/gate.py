@@ -27,6 +27,15 @@ _DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("cache_misses", ("metrics", "cache_misses")),
     ("trials_priced", ("metrics", "trials_priced")),
     ("executor_fallbacks", ("metrics", "executor_fallbacks")),
+    ("executor_units", ("facts", "executor", "units")),
+    ("executor_workers", ("facts", "executor", "workers")),
+    ("executor_chunk_size", ("facts", "executor", "chunk_size")),
+    ("executor_pool_generation", ("facts", "executor", "pool_generation")),
+    ("executor_spawn_seconds", ("facts", "executor", "spawn_seconds")),
+    (
+        "executor_dispatch_seconds_per_task",
+        ("facts", "executor", "dispatch_seconds_per_task"),
+    ),
     ("max_bound_width", ("bounds", "max_width")),
     ("mean_bound_width", ("bounds", "mean_width")),
     ("sentinel_recall", ("facts", "sentinel", "recall")),
@@ -74,6 +83,11 @@ class GateThresholds:
             false-positive rate over clean cameras. None derives it
             from the baseline's FPR — chaos runs are seed-
             deterministic, so a baseline of 0 stays 0.
+        max_executor_fallbacks: Absolute ceiling on the candidate's
+            serial-fallback count (``metrics.executor_fallbacks``) — a
+            fallback means the pool path silently degraded. None derives
+            it from the baseline's count, so a clean baseline pins it
+            at 0.
     """
 
     max_wall_ratio: float | None = 10.0
@@ -82,6 +96,7 @@ class GateThresholds:
     max_bound_ratio: float | None = 1.001
     min_sentinel_recall: float | None = None
     max_sentinel_fpr: float | None = None
+    max_executor_fallbacks: float | None = None
 
 
 #: Slack subtracted from the baseline cache hit ratio when no explicit
@@ -260,6 +275,28 @@ def check_run(
                     message=(
                         f"sentinel_fpr: {cand_fpr:g} above ceiling "
                         f"{fpr_ceiling:g}"
+                    ),
+                )
+            )
+
+    base_fallbacks = _lookup(baseline, ("metrics", "executor_fallbacks"))
+    cand_fallbacks = _lookup(candidate, ("metrics", "executor_fallbacks"))
+    fallback_ceiling = limits.max_executor_fallbacks
+    if fallback_ceiling is None and base_fallbacks is not None:
+        fallback_ceiling = base_fallbacks
+    if fallback_ceiling is not None and cand_fallbacks is not None:
+        checked.append("executor_fallbacks")
+        if cand_fallbacks > fallback_ceiling:
+            violations.append(
+                GateViolation(
+                    metric="executor_fallbacks",
+                    baseline=base_fallbacks,
+                    candidate=cand_fallbacks,
+                    limit=fallback_ceiling,
+                    message=(
+                        f"executor_fallbacks: {cand_fallbacks:g} above "
+                        f"ceiling {fallback_ceiling:g} (the pool path "
+                        "silently degraded to serial)"
                     ),
                 )
             )

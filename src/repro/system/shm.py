@@ -1,0 +1,396 @@
+"""Shared-memory data plane for the persistent worker pool.
+
+Profile sweeps fan out work units whose dominant pickle payload is the
+corpus itself: every :class:`~repro.video.dataset.VideoDataset` carries
+flat ground-truth arrays for the whole video, and shipping them through
+``ProcessPoolExecutor``'s pipes once *per unit* is the bulk of the
+parallelism tax BENCH_profile.json measures. This module publishes each
+dataset **once per run** into a :class:`multiprocessing.shared_memory`
+segment; work units then pickle down to a tiny
+:class:`DatasetHandle` — ``(segment, fingerprint, per-array
+offset/shape/dtype)`` — and workers attach the segment read-only,
+rebuilding a zero-copy :class:`VideoDataset` over the shared buffer.
+
+Contracts:
+
+- **Bit-identity.** Attached datasets expose byte-for-byte the arrays the
+  parent published (same buffers, read-only views), so worker results are
+  identical to the serial path's; the SeedSequence determinism contract
+  of :mod:`repro.system.executor` is untouched.
+- **Ownership.** Only the publishing process unlinks segments. Workers
+  (fork children) inherit the publication registry at fork time; every
+  registry access first checks ``os.getpid()`` and drops inherited
+  entries, so a child can never double-unlink its parent's segments.
+- **Lifecycle.** ``release_all()`` runs on pool shutdown and via
+  ``atexit``, so normal completion, worker crashes (the executor tears
+  the broken pool down) and ``KeyboardInterrupt`` all leave ``/dev/shm``
+  clean. Linux pools fork, so parent and children share one
+  ``resource_tracker`` process: the parent's ``unlink`` clears the
+  tracker entry and no spurious leak warnings are emitted at exit.
+
+Disable with ``REPRO_SHM=0`` (or :func:`set_enabled`); the executor then
+falls back to pickling datasets whole, which stays correct, just slower.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.system import telemetry
+from repro.video.dataset import ObjectArrays, VideoDataset
+from repro.video.frame import ObjectClass
+from repro.video.geometry import Resolution
+
+_LOG = telemetry.get_logger("system.shm")
+
+#: Prefix of every segment this process creates; tests and the CI leak
+#: check glob ``/dev/shm/repro_shm_*`` to assert nothing survives a run.
+SEGMENT_PREFIX = "repro_shm"
+
+#: Byte alignment of each array inside a segment.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one array lives inside a published segment.
+
+    Attributes:
+        offset: Byte offset of the array's first element.
+        shape: Array shape.
+        dtype: ``numpy`` dtype string, e.g. ``"float64"``.
+    """
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class DatasetHandle:
+    """A picklable stand-in for a published :class:`VideoDataset`.
+
+    Everything a worker needs to rebuild the dataset zero-copy: the
+    segment name, the trusted content fingerprint (workers skip
+    re-hashing), scalar metadata, and per-array specs.
+
+    Attributes:
+        segment: Shared-memory segment name.
+        fingerprint: The dataset's content fingerprint (cache identity).
+        name: Corpus name.
+        native_side: Side of the native :class:`Resolution`.
+        frame_count: Number of frames.
+        frame_rate: Frames per second.
+        seed: Generator seed recorded on the dataset.
+        objects: ``(class_name, (frame, size, difficulty,
+            duplicate_latent))`` spec tuples, one per object class.
+        clutter: Spec of the per-frame clutter array.
+        nbytes: Total published bytes (diagnostics).
+    """
+
+    segment: str
+    fingerprint: str
+    name: str
+    native_side: int
+    frame_count: int
+    frame_rate: float
+    seed: int | None
+    objects: tuple[tuple[str, tuple[ArraySpec, ArraySpec, ArraySpec, ArraySpec]], ...]
+    clutter: ArraySpec
+    nbytes: int
+
+
+@dataclass
+class _Publication:
+    """One owned segment: the handle shipped to workers plus the memory."""
+
+    handle: DatasetHandle
+    memory: shared_memory.SharedMemory
+
+
+# Publication registry (owner side) and attachment caches (worker side).
+# ``_owner_pid`` guards both against fork inheritance: a forked child sees
+# the parent's dicts but must treat them as foreign.
+_publications: dict[str, _Publication] = {}
+_attachments: dict[str, shared_memory.SharedMemory] = {}
+_attached_datasets: dict[str, VideoDataset] = {}
+_owner_pid: int | None = None
+_sequence = 0
+_override: bool | None = None
+_atexit_installed = False
+
+
+def _reset_if_forked() -> None:
+    """Drop state inherited across a ``fork`` so children never act as
+    owners of the parent's segments (or reuse its attachment cache)."""
+    global _owner_pid, _sequence, _atexit_installed
+    pid = os.getpid()
+    if _owner_pid is None:
+        _owner_pid = pid
+        return
+    if _owner_pid != pid:
+        _publications.clear()
+        _attachments.clear()
+        _attached_datasets.clear()
+        _owner_pid = pid
+        _sequence = 0
+        _atexit_installed = False
+
+
+def enabled() -> bool:
+    """Whether datasets are published through shared memory.
+
+    ``REPRO_SHM=0`` in the environment or ``set_enabled(False)`` turns
+    the data plane off; the executor then pickles datasets whole.
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get("REPRO_SHM", "1") != "0"
+
+
+def set_enabled(value: bool | None) -> None:
+    """Override the environment switch (None restores it).
+
+    Args:
+        value: True/False forces the data plane on/off; None defers to
+            the ``REPRO_SHM`` environment variable again.
+    """
+    global _override
+    _override = value
+
+
+def published_handle(fingerprint: str) -> DatasetHandle | None:
+    """The handle of a published dataset, or None.
+
+    Args:
+        fingerprint: The dataset's content fingerprint.
+
+    Returns:
+        The handle if this process published the dataset (and shared
+        memory is enabled), else None.
+    """
+    if not enabled():
+        return None
+    _reset_if_forked()
+    publication = _publications.get(fingerprint)
+    return publication.handle if publication is not None else None
+
+
+def published_bytes() -> int:
+    """Total bytes currently published by this process."""
+    _reset_if_forked()
+    return sum(p.handle.nbytes for p in _publications.values())
+
+
+def _spec_of(array: np.ndarray, offset: int) -> ArraySpec:
+    return ArraySpec(
+        offset=offset, shape=tuple(array.shape), dtype=str(array.dtype)
+    )
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def publish_dataset(dataset: VideoDataset) -> DatasetHandle | None:
+    """Publish a dataset's arrays into one shared-memory segment.
+
+    Idempotent per content fingerprint: re-publishing an already-shared
+    corpus returns the existing handle without copying.
+
+    Args:
+        dataset: The corpus to share.
+
+    Returns:
+        The dataset's handle, or None when shared memory is disabled or
+        the segment cannot be created (the caller falls back to pickle).
+    """
+    global _sequence, _atexit_installed
+    if not enabled():
+        return None
+    _reset_if_forked()
+    fingerprint = dataset.fingerprint
+    existing = _publications.get(fingerprint)
+    if existing is not None:
+        return existing.handle
+
+    arrays: list[np.ndarray] = []
+    for object_class in ObjectClass:
+        columns = dataset.objects_of(object_class)
+        arrays.extend(
+            (columns.frame, columns.size, columns.difficulty,
+             columns.duplicate_latent)
+        )
+    arrays.append(dataset.clutter)
+
+    offsets: list[int] = []
+    cursor = 0
+    for array in arrays:
+        cursor = _aligned(cursor)
+        offsets.append(cursor)
+        cursor += int(array.nbytes)
+    total = max(cursor, 1)
+
+    _sequence += 1
+    name = f"{SEGMENT_PREFIX}_{os.getpid()}_{_sequence}_{fingerprint[:8]}"
+    try:
+        memory = shared_memory.SharedMemory(name=name, create=True, size=total)
+    except OSError as error:
+        telemetry.count("shm.publish_failed")
+        telemetry.log_event(
+            _LOG, logging.WARNING, "shm.publish_failed",
+            reason=type(error).__name__, error=str(error),
+        )
+        return None
+
+    for array, offset in zip(arrays, offsets):
+        flat = np.ascontiguousarray(array)
+        target = np.ndarray(
+            flat.shape, dtype=flat.dtype, buffer=memory.buf, offset=offset
+        )
+        target[...] = flat
+
+    specs = iter(
+        _spec_of(array, offset) for array, offset in zip(arrays, offsets)
+    )
+    object_specs = tuple(
+        (object_class.name, (next(specs), next(specs), next(specs), next(specs)))
+        for object_class in ObjectClass
+    )
+    clutter_spec = next(specs)
+
+    handle = DatasetHandle(
+        segment=name,
+        fingerprint=fingerprint,
+        name=dataset.name,
+        native_side=dataset.native_resolution.side,
+        frame_count=dataset.frame_count,
+        frame_rate=dataset.frame_rate,
+        seed=dataset.seed,
+        objects=object_specs,
+        clutter=clutter_spec,
+        nbytes=total,
+    )
+    _publications[fingerprint] = _Publication(handle=handle, memory=memory)
+    if not _atexit_installed:
+        atexit.register(release_all)
+        _atexit_installed = True
+    telemetry.count("shm.published")
+    telemetry.gauge("shm.published_bytes", float(published_bytes()))
+    telemetry.log_event(
+        _LOG, logging.DEBUG, "shm.publish",
+        segment=name, dataset=dataset.name, bytes=total,
+    )
+    return handle
+
+
+def _attach(handle: DatasetHandle) -> shared_memory.SharedMemory:
+    """The shared memory behind a handle — the owned segment in the
+    publisher, an attached (and cached) one everywhere else."""
+    _reset_if_forked()
+    publication = _publications.get(handle.fingerprint)
+    if publication is not None:
+        return publication.memory
+    memory = _attachments.get(handle.segment)
+    if memory is None:
+        memory = shared_memory.SharedMemory(name=handle.segment)
+        _attachments[handle.segment] = memory
+    return memory
+
+
+def ensure_tracker_shared() -> None:
+    """Start this process's resource tracker before workers fork.
+
+    Attaching a segment registers it with the attacher's tracker as if it
+    owned it (pre-3.13 behaviour). When pool workers fork *after* the
+    publisher's tracker is running they inherit its pipe, so those
+    registrations dedupe against the publisher's own and the single
+    ``unlink`` balances the books — no spurious "leaked shared_memory"
+    warnings at exit. Workers forked before any tracker exists would each
+    spawn a private one that believes it owns the attachment; the
+    executor calls this before every pool spawn to rule that out.
+    """
+    resource_tracker.ensure_running()
+
+
+def dataset_from_handle(handle: DatasetHandle) -> VideoDataset:
+    """Rebuild a zero-copy, read-only dataset from a published handle.
+
+    Worker-side entry point (it is the reconstructor
+    ``VideoDataset.__reduce__`` emits for published corpora). Attached
+    datasets are cached per fingerprint, so every unit in a worker shares
+    one instance — and one frame-values memo — per corpus.
+
+    Args:
+        handle: A handle published by :func:`publish_dataset`.
+
+    Returns:
+        The reconstructed dataset, bit-identical to the published one.
+    """
+    _reset_if_forked()
+    cached = _attached_datasets.get(handle.fingerprint)
+    if cached is not None:
+        return cached
+    memory = _attach(handle)
+
+    def view(spec: ArraySpec) -> np.ndarray:
+        array = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=memory.buf,
+            offset=spec.offset,
+        )
+        array.flags.writeable = False
+        return array
+
+    objects = {
+        ObjectClass[class_name]: ObjectArrays(
+            frame=view(frame),
+            size=view(size),
+            difficulty=view(difficulty),
+            duplicate_latent=view(duplicate),
+        )
+        for class_name, (frame, size, difficulty, duplicate) in handle.objects
+    }
+    dataset = VideoDataset(
+        name=handle.name,
+        native_resolution=Resolution(handle.native_side),
+        frame_count=handle.frame_count,
+        objects=objects,
+        clutter=view(handle.clutter),
+        frame_rate=handle.frame_rate,
+        seed=handle.seed,
+        fingerprint=handle.fingerprint,
+    )
+    _attached_datasets[handle.fingerprint] = dataset
+    return dataset
+
+
+def release(fingerprint: str) -> None:
+    """Unlink one published segment (owner side; no-op otherwise)."""
+    _reset_if_forked()
+    publication = _publications.pop(fingerprint, None)
+    if publication is None:
+        return
+    try:
+        publication.memory.close()
+        publication.memory.unlink()
+    except OSError:  # pragma: no cover - teardown is best effort
+        pass
+
+
+def release_all() -> None:
+    """Unlink every segment this process published.
+
+    Safe to call repeatedly and from ``atexit``; forked children resolve
+    to a no-op because the registry is owner-guarded.
+    """
+    _reset_if_forked()
+    for fingerprint in list(_publications):
+        release(fingerprint)

@@ -81,6 +81,7 @@ class VideoDataset:
         clutter: np.ndarray,
         frame_rate: float = 30.0,
         seed: int | None = None,
+        fingerprint: str | None = None,
     ) -> None:
         """Build a dataset from pre-generated arrays.
 
@@ -98,6 +99,11 @@ class VideoDataset:
                 false positives; length must equal ``frame_count``.
             frame_rate: Frames per second (metadata only).
             seed: The generator seed, recorded for the cache key.
+            fingerprint: Pre-computed content fingerprint, trusted as is.
+                Only pass a value obtained from an identical corpus's
+                :attr:`fingerprint` (the shared-memory data plane does,
+                so workers skip re-hashing arrays they attached
+                read-only); None hashes the arrays here.
         """
         if frame_count <= 0:
             raise DatasetError(f"frame count must be positive, got {frame_count}")
@@ -121,7 +127,9 @@ class VideoDataset:
         self._clutter = clutter
         self._frame_rate = frame_rate
         self._seed = seed
-        self._fingerprint = self._compute_fingerprint()
+        self._fingerprint = (
+            fingerprint if fingerprint is not None else self._compute_fingerprint()
+        )
 
     def _compute_fingerprint(self) -> str:
         """Content hash so differently-generated corpora never share a
@@ -165,6 +173,16 @@ class VideoDataset:
         view = self._clutter.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def seed(self) -> int | None:
+        """The generator seed recorded at construction (metadata)."""
+        return self._seed
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of all ground-truth arrays (cache identity)."""
+        return self._fingerprint
 
     @property
     def cache_key(self) -> tuple[str, int, str]:
@@ -282,8 +300,32 @@ class VideoDataset:
             seed=self._seed,
         )
 
+    def __reduce__(self):
+        """Pickle via the shared-memory data plane when published.
+
+        A dataset the current process has published (see
+        :mod:`repro.system.shm`) pickles down to its handle — workers
+        attach the segment instead of copying megabytes of arrays per
+        work unit. Unpublished datasets pickle their state dict as the
+        default protocol would.
+        """
+        from repro.system import shm
+
+        handle = shm.published_handle(self._fingerprint)
+        if handle is not None:
+            return (shm.dataset_from_handle, (handle,))
+        return (_restore_dataset, (dict(self.__dict__),))
+
     def __repr__(self) -> str:
         return (
             f"VideoDataset(name={self._name!r}, frames={self._frame_count}, "
             f"native={self._native_resolution})"
         )
+
+
+def _restore_dataset(state: dict) -> VideoDataset:
+    """Rebuild a pickled (unpublished) dataset from its state dict,
+    bypassing ``__init__`` exactly like default pickling did."""
+    dataset = VideoDataset.__new__(VideoDataset)
+    dataset.__dict__.update(state)
+    return dataset

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.system.costs import CostModel, InvocationLedger
+from repro.system.costs import CostModel, DispatchCostModel, InvocationLedger
 
 
 class TestInvocationLedger:
@@ -86,3 +86,84 @@ class TestCostModel:
             CostModel().seconds_per_frame(0)
         with pytest.raises(ConfigurationError):
             CostModel().profile_seconds(InvocationLedger(), settings=-1)
+
+
+class TestDispatchCostModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DispatchCostModel(spawn_seconds=-0.1)
+        with pytest.raises(ConfigurationError):
+            DispatchCostModel(dispatch_seconds_per_task=-1e-6)
+        with pytest.raises(ConfigurationError):
+            DispatchCostModel(overhead_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            DispatchCostModel(overhead_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DispatchCostModel(min_chunks_per_worker=0)
+
+    def test_chunk_size_amortizes_dispatch_overhead(self):
+        model = DispatchCostModel(
+            dispatch_seconds_per_task=0.01, overhead_fraction=0.1
+        )
+        # Cheap units need big chunks: 0.01s dispatch must be <= 10% of
+        # the chunk's work, so 1ms units need chunks of >= 100 units.
+        assert model.chunk_size(10_000, unit_seconds=0.001, workers=4) == 100
+        # Expensive units dispatch singly.
+        assert model.chunk_size(10_000, unit_seconds=1.0, workers=4) == 1
+
+    def test_chunk_size_keeps_chunks_per_worker(self):
+        model = DispatchCostModel(
+            dispatch_seconds_per_task=0.01,
+            overhead_fraction=0.1,
+            min_chunks_per_worker=2,
+        )
+        # 16 units over 4 workers: the balance cap (2 chunks per worker)
+        # wins over the amortization target of 100.
+        assert model.chunk_size(16, unit_seconds=0.001, workers=4) == 2
+
+    def test_chunk_size_degenerate_inputs(self):
+        model = DispatchCostModel()
+        assert model.chunk_size(0, unit_seconds=0.1, workers=4) == 1
+        assert model.chunk_size(5, unit_seconds=0.0, workers=4) >= 1
+        assert model.chunk_size(5, unit_seconds=0.1, workers=0) >= 1
+
+    def test_parallel_pays_needs_enough_work(self):
+        model = DispatchCostModel(
+            spawn_seconds=0.2, dispatch_seconds_per_task=0.001
+        )
+        # Two tiny units never justify a pool, warm or cold.
+        assert not model.parallel_pays(
+            2, unit_seconds=1e-5, workers=4, pool_warm=True
+        )
+        # Heavy units across many workers always do once the pool is warm.
+        assert model.parallel_pays(
+            64, unit_seconds=0.5, workers=4, pool_warm=True
+        )
+
+    def test_warm_pool_lowers_the_bar(self):
+        model = DispatchCostModel(
+            spawn_seconds=1.0, dispatch_seconds_per_task=0.0001
+        )
+        # 8 units of 100ms: saves ~600ms of wall, beats dispatch but not
+        # a 1s spawn -- parallel pays only when the spawn cost is sunk.
+        units, unit_seconds, workers = 8, 0.1, 4
+        assert model.parallel_pays(units, unit_seconds, workers, pool_warm=True)
+        assert not model.parallel_pays(
+            units, unit_seconds, workers, pool_warm=False
+        )
+
+    def test_single_worker_or_unit_never_pays(self):
+        model = DispatchCostModel()
+        assert not model.parallel_pays(100, 1.0, workers=1, pool_warm=True)
+        assert not model.parallel_pays(1, 1.0, workers=8, pool_warm=True)
+
+    def test_predicted_walls_are_consistent(self):
+        model = DispatchCostModel(
+            spawn_seconds=0.5, dispatch_seconds_per_task=0.001
+        )
+        serial = model.serial_seconds(100, 0.01)
+        cold = model.parallel_seconds(100, 0.01, workers=4, pool_warm=False)
+        warm = model.parallel_seconds(100, 0.01, workers=4, pool_warm=True)
+        assert serial == pytest.approx(1.0)
+        assert cold == pytest.approx(warm + 0.5)
+        assert warm < serial

@@ -26,14 +26,16 @@ from repro.query.aggregates import FramePredicate
 from repro.system import telemetry
 from repro.system.costs import InvocationLedger
 from repro.system.executor import (
-    AUTO_MIN_UNITS,
     ExecutorConfig,
     ParallelExecutor,
+    active_pool,
     child_rng,
     child_seed,
     merge_ledger_counts,
     normalize_root,
+    pool_generation,
     resolve_worker_count,
+    shutdown_pool,
     trial_chunks,
 )
 from repro.video import ua_detrac
@@ -135,17 +137,26 @@ class TestAutoWorkers:
     def test_explicit_count_passes_through(self):
         assert resolve_worker_count(3, unit_count=100) == 3
 
+    def test_rejects_zero_and_negative_workers(self):
+        # Regression: validation used to live only in ExecutorConfig, so
+        # direct callers could smuggle workers=0 through to the pool.
+        for bad in (0, -1, -8):
+            with pytest.raises(ConfigurationError):
+                resolve_worker_count(bad, unit_count=10)
+
+    def test_rejects_unknown_strings(self):
+        with pytest.raises(ConfigurationError):
+            resolve_worker_count("fast", unit_count=10)
+
     def test_auto_serial_on_single_cpu(self, monkeypatch):
         monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 1)
         assert resolve_worker_count("auto", unit_count=1000) == 1
 
-    def test_auto_serial_below_unit_threshold(self, monkeypatch):
-        monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 8)
-        assert resolve_worker_count("auto", unit_count=AUTO_MIN_UNITS - 1) == 1
-
     def test_auto_uses_cpus_capped_at_units(self, monkeypatch):
+        # No fixed unit floor anymore: the serial/parallel decision is
+        # costed per map call, so auto resolves to the host's full width.
         monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 8)
-        assert resolve_worker_count("auto", unit_count=AUTO_MIN_UNITS) == 8
+        assert resolve_worker_count("auto", unit_count=4) == 4
         assert resolve_worker_count("auto", unit_count=200) == 8
         monkeypatch.setattr("repro.system.executor.os.cpu_count", lambda: 64)
         assert resolve_worker_count("auto", unit_count=20) == 20
@@ -317,11 +328,16 @@ class TestWorkerErrorConfinement:
         registry = telemetry.enable()
         try:
             results = executor.map(lambda x: x + 1, [1, 2, 3])
-            counters = registry.snapshot().counters
+            snapshot = registry.snapshot()
         finally:
             telemetry.disable()
         assert results == [2, 3, 4]
-        assert counters["executor.fallback"] == 1.0
+        assert snapshot.counters["executor.fallback"] == 1.0
+        # Regression: gauges used to be emitted before pool creation, so
+        # a degraded run still advertised itself as parallel. The fallback
+        # must report the serial truth and never claim a chunk size.
+        assert snapshot.gauges["executor.workers"] == 1.0
+        assert "executor.chunk_size" not in snapshot.gauges
 
     def test_worker_telemetry_folds_into_parent(self):
         executor = ParallelExecutor(ExecutorConfig(workers=2))
@@ -349,6 +365,102 @@ class TestWorkerErrorConfinement:
         assert results == [2, 4]
         assert counters["test.unit"] == 2.0
         assert "executor.units" not in counters
+
+    def test_serial_path_still_records_the_dispatch_decision(self):
+        """Every run ledgers its dispatch mode, even an explicit serial
+        one — the regression gate diffs ``facts.executor`` across runs."""
+        from repro.system.observe import ledger as run_ledger
+
+        executor = ParallelExecutor(ExecutorConfig(workers=1))
+        run_ledger.begin_run("test-serial", path=None)
+        try:
+            executor.map(_count_and_double, [1, 2])
+            run = run_ledger.active_run()
+            assert run is not None
+            facts = run.facts["executor"]
+        finally:
+            run_ledger.finish_run()
+        assert facts["mode"] == "serial"
+        assert facts["reason"] == "explicit"
+        assert facts["units"] == 2
+        assert facts["workers"] == 1
+
+
+def _triple(value: int) -> int:
+    """Picklable unit for pool-lifecycle tests."""
+    return value * 3
+
+
+class TestPersistentPool:
+    """The module-managed pool survives map calls and rebuilds on change."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_pool_state(self):
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    def test_pool_reused_across_map_calls(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        items = list(range(24))
+        first = executor.map(_triple, items)
+        pool = active_pool()
+        assert pool is not None
+        generation = pool_generation()
+        second = executor.map(_triple, items)
+        assert second == first == [i * 3 for i in items]
+        assert active_pool() is pool
+        assert pool_generation() == generation
+        assert pool.map_calls == 2
+
+    def test_config_change_rebuilds_pool(self):
+        items = list(range(24))
+        ParallelExecutor(ExecutorConfig(workers=2)).map(_triple, items)
+        first = active_pool()
+        ParallelExecutor(ExecutorConfig(workers=3)).map(_triple, items)
+        second = active_pool()
+        assert second is not None and second is not first
+        assert second.key.workers == 3
+        assert second.generation > first.generation
+
+    def test_shutdown_then_fresh_spawn(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        items = list(range(24))
+        before = executor.map(_triple, items)
+        shutdown_pool()
+        assert active_pool() is None
+        after = executor.map(_triple, items)
+        assert after == before
+
+    def test_close_shuts_the_shared_pool_down(self):
+        executor = ParallelExecutor(ExecutorConfig(workers=2))
+        executor.map(_triple, list(range(24)))
+        assert active_pool() is not None
+        executor.close()
+        assert active_pool() is None
+
+    def test_results_identical_across_pool_lifetimes(self, corpus):
+        grid = CandidateGrid(
+            fractions=(0.05, 0.1), resolutions=(Resolution(152),), removals=((),)
+        )
+
+        def one_run():
+            profiler = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2
+            )
+            return profiler.generate_hypercube_seeded(
+                fresh_query(corpus), grid, root=29,
+                executor=ParallelExecutor(ExecutorConfig(workers=2)),
+            )
+
+        cold = one_run()       # fresh pool
+        warm = one_run()       # reused pool
+        shutdown_pool()
+        respawned = one_run()  # second pool lifetime
+        assert np.array_equal(warm.bounds, cold.bounds)
+        assert np.array_equal(respawned.bounds, cold.bounds)
+        assert np.array_equal(warm.values, cold.values)
+        assert np.array_equal(respawned.values, cold.values)
 
 
 class TestPersistentCacheIntegration:

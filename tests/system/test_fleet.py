@@ -495,3 +495,44 @@ class TestFleetSentinelLocalization:
         )
         with pytest.raises(ConfigurationError):
             FleetSentinel({"a": reference}, {"b": 0.1})
+
+
+class TestFleetExecutorParity:
+    """The pooled per-camera values stage changes nothing but wall time."""
+
+    def test_results_identical_with_and_without_executor(
+        self, chaos_cameras, processor
+    ):
+        from repro.system.executor import (
+            ExecutorConfig,
+            ParallelExecutor,
+            shutdown_pool,
+        )
+
+        faults = FaultModel(outage_probability=0.2, frame_drop_probability=0.1)
+
+        def one_report(executor):
+            fleet = FleetQueryProcessor(
+                chaos_cameras,
+                processor,
+                faults=faults,
+                fault_seed=4,
+                executor=executor,
+            )
+            return fleet.execute(model_for, delta=0.05, seed=21)
+
+        serial = one_report(None)
+        try:
+            pooled = one_report(ParallelExecutor(ExecutorConfig(workers=2)))
+        finally:
+            shutdown_pool()
+        assert pooled.combined.value == serial.combined.value
+        assert pooled.combined.error_bound == serial.combined.error_bound
+        assert pooled.surviving == serial.surviving
+        assert pooled.lost == serial.lost
+        for name, report in serial.per_camera.items():
+            twin = pooled.per_camera[name]
+            assert (twin.estimate is None) == (report.estimate is None)
+            if report.estimate is not None:
+                assert twin.estimate.value == report.estimate.value
+                assert twin.estimate.error_bound == report.estimate.error_bound

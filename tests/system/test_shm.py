@@ -1,0 +1,267 @@
+"""Tests for the shared-memory data plane.
+
+The contract under test: a published corpus pickles down to a handle,
+workers attach read-only and reconstruct bit-identical arrays, and every
+segment is unlinked on normal completion, on worker crash, and on
+``KeyboardInterrupt`` — no ``/dev/shm`` entries and no resource_tracker
+warnings survive the process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.system import shm
+from repro.system.executor import shutdown_pool
+from repro.video import ua_detrac
+from repro.video.frame import ObjectClass
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEV_SHM = Path("/dev/shm")
+
+
+def _own_segments(pid: int | None = None) -> list[Path]:
+    """The /dev/shm entries a process's publications would leave behind."""
+    if not DEV_SHM.is_dir():
+        return []
+    prefix = f"{shm.SEGMENT_PREFIX}_{pid if pid is not None else os.getpid()}_"
+    return sorted(DEV_SHM.glob(f"{prefix}*"))
+
+
+def _run_script(body: str) -> subprocess.CompletedProcess:
+    """Run a python snippet against the checkout in a fresh process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-c", body],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.fixture
+def dataset():
+    return ua_detrac(frame_count=300, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def clean_publications():
+    shutdown_pool()
+    shm.release_all()
+    yield
+    shutdown_pool()
+    shm.release_all()
+    shm.set_enabled(None)
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_bit_identical(self, dataset):
+        handle = shm.publish_dataset(dataset)
+        assert handle is not None
+        rebuilt = shm.dataset_from_handle(handle)
+        assert rebuilt.fingerprint == dataset.fingerprint
+        assert rebuilt.frame_count == dataset.frame_count
+        assert rebuilt.native_resolution == dataset.native_resolution
+        np.testing.assert_array_equal(rebuilt.clutter, dataset.clutter)
+        for object_class in ObjectClass:
+            ours = dataset.objects_of(object_class)
+            theirs = rebuilt.objects_of(object_class)
+            np.testing.assert_array_equal(theirs.frame, ours.frame)
+            np.testing.assert_array_equal(theirs.size, ours.size)
+            np.testing.assert_array_equal(theirs.difficulty, ours.difficulty)
+            np.testing.assert_array_equal(
+                theirs.duplicate_latent, ours.duplicate_latent
+            )
+
+    def test_attached_arrays_are_read_only(self, dataset):
+        handle = shm.publish_dataset(dataset)
+        rebuilt = shm.dataset_from_handle(handle)
+        arrays = rebuilt.objects_of(ObjectClass.CAR)
+        with pytest.raises(ValueError):
+            arrays.frame[0] = 99
+
+    def test_publish_is_idempotent(self, dataset):
+        first = shm.publish_dataset(dataset)
+        second = shm.publish_dataset(dataset)
+        assert first == second
+        assert len(_own_segments()) <= 1
+
+    def test_published_dataset_pickles_to_a_handle(self, dataset):
+        unpublished = len(pickle.dumps(dataset))
+        shm.publish_dataset(dataset)
+        published = len(pickle.dumps(dataset))
+        assert published < unpublished / 10
+        clone = pickle.loads(pickle.dumps(dataset))
+        assert clone.fingerprint == dataset.fingerprint
+        np.testing.assert_array_equal(clone.clutter, dataset.clutter)
+
+    def test_handle_itself_pickles(self, dataset):
+        handle = shm.publish_dataset(dataset)
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone == handle
+
+    def test_release_unlinks_the_segment(self, dataset):
+        shm.publish_dataset(dataset)
+        assert shm.published_handle(dataset.fingerprint) is not None
+        assert shm.published_bytes() > 0
+        shm.release(dataset.fingerprint)
+        assert shm.published_handle(dataset.fingerprint) is None
+        assert _own_segments() == []
+
+    def test_release_all_clears_everything(self, dataset):
+        other = ua_detrac(frame_count=200, seed=8)
+        shm.publish_dataset(dataset)
+        shm.publish_dataset(other)
+        shm.release_all()
+        assert shm.published_bytes() == 0
+        assert _own_segments() == []
+
+
+class TestGating:
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm.enabled()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        shm.set_enabled(True)
+        assert shm.enabled()
+        shm.set_enabled(None)
+        assert not shm.enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm.enabled()
+
+
+_SCRIPT_PRELUDE = """
+import os, sys
+from dataclasses import dataclass
+from repro.system.executor import ExecutorConfig, ParallelExecutor
+from repro.video import ua_detrac
+
+DATASET = ua_detrac(frame_count=300, seed=7)
+PARENT = os.getpid()
+
+@dataclass(frozen=True)
+class Unit:
+    dataset: object
+    index: int
+
+UNITS = [Unit(DATASET, i) for i in range(12)]
+"""
+
+
+class TestLifecycle:
+    """Segments are unlinked however the run ends (satellite criterion)."""
+
+    def test_normal_completion_leaves_no_segments(self):
+        script = _SCRIPT_PRELUDE + """
+def unit_mean(unit):
+    return float(unit.dataset.clutter.mean()) + unit.index
+
+executor = ParallelExecutor(ExecutorConfig(workers=2))
+parallel = executor.map(unit_mean, UNITS)
+serial = [unit_mean(unit) for unit in UNITS]
+assert parallel == serial, (parallel, serial)
+
+from repro.system import shm
+assert shm.published_handle(DATASET.fingerprint) is not None
+print("OK", PARENT)
+"""
+        result = _run_script(script)
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        pid = int(result.stdout.split()[1])
+        assert _own_segments(pid) == []
+        assert "resource_tracker" not in result.stderr
+        assert "leaked" not in result.stderr
+
+    def test_worker_crash_leaves_no_segments(self):
+        script = _SCRIPT_PRELUDE + """
+def crashy(unit):
+    if os.getpid() != PARENT:
+        os._exit(3)  # hard-kill the worker: no cleanup, no exception
+    return unit.index
+
+executor = ParallelExecutor(ExecutorConfig(workers=2))
+results = executor.map(crashy, UNITS)  # rebuild once, then serial fallback
+assert results == [unit.index for unit in UNITS], results
+print("OK", PARENT)
+"""
+        result = _run_script(script)
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        pid = int(result.stdout.split()[1])
+        assert _own_segments(pid) == []
+        assert "leaked" not in result.stderr
+
+    def test_keyboard_interrupt_leaves_no_segments(self):
+        script = _SCRIPT_PRELUDE + """
+def interrupted(unit):
+    raise KeyboardInterrupt
+
+executor = ParallelExecutor(ExecutorConfig(workers=2))
+try:
+    executor.map(interrupted, UNITS)
+except KeyboardInterrupt:
+    print("OK", PARENT)
+    raise SystemExit(0)
+raise SystemExit(1)
+"""
+        result = _run_script(script)
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        pid = int(result.stdout.split()[1])
+        assert _own_segments(pid) == []
+        assert "resource_tracker" not in result.stderr
+        assert "leaked" not in result.stderr
+
+
+class TestDeterminismAcrossPlanes:
+    """shm on/off and pool lifetimes never change the bits."""
+
+    def test_shm_off_matches_shm_on(self, dataset):
+        from repro.core.candidates import CandidateGrid
+        from repro.core.profiler import DegradationProfiler
+        from repro.detection.zoo import default_suite, yolo_v4_like
+        from repro.query import Aggregate, AggregateQuery, QueryProcessor
+        from repro.system.executor import ExecutorConfig, ParallelExecutor
+        from repro.video.geometry import Resolution
+
+        grid = CandidateGrid(
+            fractions=(0.05, 0.1), resolutions=(Resolution(152),), removals=((),)
+        )
+
+        def one_run():
+            profiler = DegradationProfiler(
+                QueryProcessor(default_suite()), trials=2
+            )
+            query = AggregateQuery(dataset, yolo_v4_like(), Aggregate.AVG)
+            return profiler.generate_hypercube_seeded(
+                query, grid, root=13,
+                executor=ParallelExecutor(ExecutorConfig(workers=2)),
+            )
+
+        shm.set_enabled(True)
+        with_plane = one_run()
+        shutdown_pool()
+        shm.set_enabled(False)
+        without_plane = one_run()
+        assert np.array_equal(with_plane.bounds, without_plane.bounds)
+        assert np.array_equal(with_plane.values, without_plane.values)
+
+    def test_no_segments_survive_in_process_runs(self, dataset):
+        shm.publish_dataset(dataset)
+        shm.release_all()
+        assert _own_segments() == []
