@@ -377,6 +377,115 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the hot serving daemon until SIGINT/SIGTERM."""
+    from repro.system.serve import ServeConfig, run_daemon
+
+    datasets = tuple(
+        part.strip() for part in args.datasets.split(",") if part.strip()
+    )
+    limit = (
+        int(args.cache_limit_mb * 1_000_000)
+        if args.cache_limit_mb is not None
+        else None
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        datasets=datasets,
+        frames=args.frames,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_limit_bytes=limit,
+        tick_seconds=args.tick_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        delta=args.delta,
+    )
+    return run_daemon(config)
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    """Send one query to a running daemon and print the JSON response."""
+    import asyncio
+
+    from repro.system.serve import post_json
+
+    get_paths = ("healthz", "metrics", "stats")
+    path = f"/{args.endpoint}"
+    payload: dict | None = None
+    if args.endpoint not in get_paths:
+        payload = {
+            "dataset": args.dataset,
+            "aggregate": args.aggregate,
+            "seed": args.seed,
+            "tenant": args.tenant,
+        }
+        if args.fraction is not None:
+            payload["fraction"] = args.fraction
+        if args.resolution is not None:
+            payload["resolution"] = args.resolution
+        if args.remove:
+            payload["remove"] = args.remove
+        if args.method != "smokescreen":
+            payload["method"] = args.method
+        if args.trials != 1:
+            payload["trials"] = args.trials
+        if args.fraction_step is not None:
+            payload["fraction_step"] = args.fraction_step
+        if args.resolution_count is not None:
+            payload["resolution_count"] = args.resolution_count
+        if args.max_error is not None:
+            payload["max_error"] = args.max_error
+        if args.json:
+            payload.update(json.loads(args.json))
+    status, body = asyncio.run(
+        post_json(args.host, args.port, path, payload, timeout=args.timeout)
+    )
+    if isinstance(body, str):
+        print(body, end="" if body.endswith("\n") else "\n")
+    else:
+        json.dump(body, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0 if status < 400 else 1
+
+
+def cmd_pool(args: argparse.Namespace) -> int:
+    """Inspect the persistent worker pool (local, or a daemon's)."""
+    from repro.system.executor import pool_diagnostics, pool_generation
+
+    if args.host is not None:
+        import asyncio
+
+        from repro.system.serve import post_json
+
+        status, body = asyncio.run(
+            post_json(args.host, args.port, "/stats", timeout=args.timeout)
+        )
+        if status >= 400 or not isinstance(body, dict):
+            print(f"error: daemon /stats returned {status}", file=sys.stderr)
+            return 1
+        payload = {
+            "pool": body.get("pool"),
+            "generation": body.get("pool_generation"),
+            "shm_published_bytes": body.get("shm_published_bytes"),
+            "uptime_seconds": body.get("uptime_seconds"),
+        }
+    else:
+        payload = {
+            "pool": pool_diagnostics(),
+            "generation": pool_generation(),
+        }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+    if payload["pool"] is None:
+        where = "on the daemon" if args.host is not None else "in this process"
+        print(f"no persistent pool is warm {where}", file=sys.stderr)
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Print a corpus calibration summary."""
     dataset = load_dataset(args.dataset, args.frames)
@@ -500,6 +609,8 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         min_sentinel_recall=args.min_sentinel_recall,
         max_sentinel_fpr=args.max_sentinel_fpr,
         max_executor_fallbacks=args.max_executor_fallbacks,
+        min_serve_speedup=args.min_serve_speedup,
+        min_serve_coalescing=args.min_serve_coalescing,
     )
     result = observe.check_run(baseline, candidate, thresholds)
     print(
@@ -663,6 +774,131 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the hot serving daemon (profile-as-a-service over "
+             "HTTP+JSON with request micro-batching)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8177,
+        help="bind port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--datasets", default="ua-detrac",
+        help="comma list of corpus presets to build and keep hot",
+    )
+    serve.add_argument(
+        "--frames", type=int, default=None,
+        help="reduced corpus size shared by every preloaded dataset",
+    )
+    serve.add_argument(
+        "--workers", type=_parse_workers, default=1,
+        help="worker processes for profile generation, or 'auto'",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent detector-output cache directory",
+    )
+    serve.add_argument(
+        "--cache-limit-mb", type=float, default=None,
+        help="LRU byte budget for --cache-dir, in megabytes",
+    )
+    serve.add_argument(
+        "--tick-ms", type=float, default=5.0,
+        help="micro-batch window: how long the first queued request "
+             "waits for compatible companions (milliseconds)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max requests coalesced into one kernel call",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="global admission cap on queued requests",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=50.0,
+        help="per-tenant sustained budget, requests/second",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=int, default=100,
+        help="per-tenant token-bucket burst capacity",
+    )
+    serve.add_argument(
+        "--delta", type=float, default=0.05,
+        help="default bound failure probability",
+    )
+    _add_telemetry(serve)
+    serve.set_defaults(handler=cmd_serve)
+
+    call = subparsers.add_parser(
+        "call", help="query a running serve daemon over HTTP+JSON"
+    )
+    call.add_argument(
+        "endpoint",
+        choices=(
+            "estimate", "bound", "profile", "choose",
+            "stats", "healthz", "metrics", "shutdown",
+        ),
+        help="daemon endpoint",
+    )
+    call.add_argument("--host", default="127.0.0.1", help="daemon host")
+    call.add_argument("--port", type=int, default=8177, help="daemon port")
+    call.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="ua-detrac",
+        help="corpus preset",
+    )
+    call.add_argument(
+        "--aggregate", default="avg", help="avg | sum | count | max | min | var"
+    )
+    call.add_argument("--fraction", type=float, default=None)
+    call.add_argument("--resolution", type=int, default=None)
+    call.add_argument("--remove", default=None, help="comma list, e.g. person")
+    call.add_argument("--method", default="smokescreen")
+    call.add_argument("--seed", type=int, default=0)
+    call.add_argument("--trials", type=int, default=1)
+    call.add_argument(
+        "--fraction-step", type=float, default=None,
+        help="profile-path fraction grid step",
+    )
+    call.add_argument(
+        "--resolution-count", type=int, default=None,
+        help="profile-path resolution grid size",
+    )
+    call.add_argument(
+        "--max-error", type=float, default=None,
+        help="error budget (choose endpoint)",
+    )
+    call.add_argument(
+        "--tenant", default="cli", help="accounting identity (X-Tenant)"
+    )
+    call.add_argument(
+        "--json", default=None, metavar="OBJECT",
+        help="extra payload fields as a JSON object (merged last)",
+    )
+    call.add_argument(
+        "--timeout", type=float, default=120.0, help="call timeout, seconds"
+    )
+    _add_telemetry(call)
+    call.set_defaults(handler=cmd_call)
+
+    pool = subparsers.add_parser(
+        "pool",
+        help="inspect the persistent worker pool (calibrated costs, "
+             "generation) locally or on a running daemon",
+    )
+    pool.add_argument(
+        "--host", default=None,
+        help="daemon host; omit to inspect this process's pool",
+    )
+    pool.add_argument("--port", type=int, default=8177, help="daemon port")
+    pool.add_argument(
+        "--timeout", type=float, default=30.0, help="daemon call timeout"
+    )
+    _add_telemetry(pool)
+    pool.set_defaults(handler=cmd_pool)
+
     info = subparsers.add_parser("info", help="corpus calibration summary")
     _add_common(info)
     _add_telemetry(info)
@@ -763,6 +999,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-executor-fallbacks", type=float, default=None,
         help="absolute ceiling on executor serial fallbacks "
              "(default: the baseline's count)",
+    )
+    runs_check.add_argument(
+        "--min-serve-speedup", type=float, default=None,
+        help="absolute floor on the serve benchmark's warm-daemon "
+             "speedup over a cold CLI run (default: not checked — both "
+             "sides are machine-dependent wall times)",
+    )
+    runs_check.add_argument(
+        "--min-serve-coalescing", type=float, default=None,
+        help="absolute floor on the serve benchmark's requests-per-"
+             "kernel-call coalescing ratio (default: not checked)",
     )
     runs_check.set_defaults(handler=cmd_runs_check)
 

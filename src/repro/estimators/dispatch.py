@@ -9,6 +9,8 @@ bookkeeping so experiments can ask for any method by name.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.estimators.base import (
     BatchEstimate,
@@ -199,3 +201,50 @@ def estimate_batch(
         query.delta,
         query.aggregate,
     )
+
+
+def estimate_rows(
+    query: AggregateQuery,
+    matrix: np.ndarray,
+    universe_size: int,
+    population_size: int,
+    method: str = "smokescreen",
+) -> list[Estimate]:
+    """Price every row of a raw value matrix with one batched kernel call.
+
+    The serving-daemon entry point: N coalesced requests stack their
+    sampled values into one ``(N, n)`` matrix, the prefix moments are
+    built in a single pass, and :func:`estimate_batch` prices all rows at
+    once. Every moment and bound operation is row-independent, so row
+    ``i`` of the result is **bit-identical** to calling this function on
+    ``matrix[i : i + 1]`` alone — the property the daemon's
+    micro-batched-vs-serial determinism guarantee rests on.
+
+    Args:
+        query: The query (selects the aggregate and its parameters).
+        matrix: ``(rows, n)`` value matrix; each row is one request's
+            sampled values in draw order. All rows share the degradation
+            setting, hence the same ``n``.
+        universe_size: Eligible-universe size the rows sampled from.
+        population_size: Total corpus length, for SUM/COUNT scaling.
+        method: Estimator name, as for :func:`estimate_query`.
+
+    Returns:
+        One :class:`~repro.estimators.base.Estimate` per row, in order.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ConfigurationError(
+            f"estimate_rows needs a non-empty (rows, n) matrix, got shape "
+            f"{matrix.shape}"
+        )
+    moments = PrefixMoments(matrix)
+    batch = estimate_batch(
+        query,
+        moments,
+        matrix.shape[1],
+        universe_size,
+        population_size,
+        method,
+    )
+    return [batch.trial(t) for t in range(matrix.shape[0])]

@@ -41,6 +41,17 @@ _DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("sentinel_recall", ("facts", "sentinel", "recall")),
     ("sentinel_fpr", ("facts", "sentinel", "fpr")),
     ("sentinel_localization", ("facts", "sentinel", "localization")),
+    ("serve_p50_warm_seconds", ("facts", "serve", "p50_warm_seconds")),
+    ("serve_p99_warm_seconds", ("facts", "serve", "p99_warm_seconds")),
+    ("serve_cold_cli_seconds", ("facts", "serve", "cold_cli_seconds")),
+    ("serve_speedup", ("facts", "serve", "speedup_cold_over_warm")),
+    ("serve_coalescing_ratio", ("facts", "serve", "coalescing_ratio")),
+    ("serve_requests", ("facts", "serve", "requests")),
+    ("serve_rejected", ("facts", "serve", "rejected")),
+    (
+        "serve_batched_kernel_calls",
+        ("facts", "serve", "batched_kernel_calls"),
+    ),
 )
 
 
@@ -88,6 +99,18 @@ class GateThresholds:
             fallback means the pool path silently degraded. None derives
             it from the baseline's count, so a clean baseline pins it
             at 0.
+        min_serve_speedup: Absolute floor on the serving benchmark's
+            warm-daemon speedup over a cold CLI invocation
+            (``facts.serve.speedup_cold_over_warm``). None disables the
+            check entirely — both sides of the ratio are wall times, so
+            unlike the deterministic counters there is no safe
+            baseline-derived default; CI passes an explicit floor.
+        min_serve_coalescing: Absolute floor on the serving benchmark's
+            concurrent-load coalescing ratio — requests served per
+            kernel call (``facts.serve.coalescing_ratio``); 1.0 means
+            micro-batching never merged anything. None disables the
+            check — coalescing depends on request-arrival timing, so it
+            is enforced only where the harness controls concurrency.
     """
 
     max_wall_ratio: float | None = 10.0
@@ -97,6 +120,8 @@ class GateThresholds:
     min_sentinel_recall: float | None = None
     max_sentinel_fpr: float | None = None
     max_executor_fallbacks: float | None = None
+    min_serve_speedup: float | None = None
+    min_serve_coalescing: float | None = None
 
 
 #: Slack subtracted from the baseline cache hit ratio when no explicit
@@ -300,6 +325,37 @@ def check_run(
                     ),
                 )
             )
+
+    def floor_check(
+        metric: str, path: tuple[str, ...], floor: float | None
+    ) -> None:
+        if floor is None:
+            return
+        cand = _lookup(candidate, path)
+        if cand is None:
+            return
+        checked.append(metric)
+        if cand < floor:
+            violations.append(
+                GateViolation(
+                    metric=metric,
+                    baseline=_lookup(baseline, path),
+                    candidate=cand,
+                    limit=floor,
+                    message=f"{metric}: {cand:g} below floor {floor:g}",
+                )
+            )
+
+    floor_check(
+        "serve_speedup",
+        ("facts", "serve", "speedup_cold_over_warm"),
+        limits.min_serve_speedup,
+    )
+    floor_check(
+        "serve_coalescing_ratio",
+        ("facts", "serve", "coalescing_ratio"),
+        limits.min_serve_coalescing,
+    )
 
     return GateResult(
         violations=tuple(violations), checked=tuple(checked)

@@ -1,0 +1,1105 @@
+"""Profile-as-a-service: the long-lived ``repro serve`` daemon.
+
+Every CLI invocation re-pays Python import, dataset generation, detector
+cache warmup and (before the persistent pool) pool spawn — for a
+steady-state estimation kernel of ~0.01s, the fixed overhead *is* the
+latency of an interactive profile/bound query. This module keeps all of
+that hot in one process and serves many concurrent tenants over
+HTTP+JSON, using only the standard library (``asyncio`` streams; no
+framework, no new dependencies):
+
+- **Hot state** (:class:`ServeSession`): built
+  :class:`~repro.video.dataset.VideoDataset` corpora (published once
+  through the shared-memory plane of :mod:`repro.system.shm`), the
+  persistent detector disk cache, per-query frame-value memos, cached
+  degradation hypercubes, and the persistent
+  :class:`~repro.system.executor.WorkerPool`.
+- **Micro-batching** (:class:`MicroBatcher`): an admission-controlled
+  request queue coalesces *compatible* queued requests — same corpus,
+  detector, degradation plan, aggregate and estimator — into a single
+  :func:`~repro.estimators.dispatch.estimate_rows` kernel call per tick,
+  turning N concurrent single-trial requests into one ``(N, n)``
+  :class:`~repro.stats.prefix_moments.PrefixMoments` pass. Every request
+  keeps its own seed stream, so batched answers are **bit-identical** to
+  the same requests issued serially (each serial request is a 1-row call
+  through the very same kernel; all row-wise operations are independent
+  of the number of rows stacked).
+- **Admission control**: a global queue-depth cap plus per-tenant token
+  buckets; over-budget tenants get HTTP 429 and a
+  ``serve.rejected`` run-ledger event instead of degrading everyone's
+  latency.
+- **Live observability**: the Prometheus exporter of
+  :mod:`repro.system.observe` is mounted at ``GET /metrics`` over the
+  live telemetry registry, and per-tenant accounting lands on the
+  run-ledger record the daemon's run appends on shutdown.
+
+Endpoints (all request/response bodies are JSON):
+
+====================  =====================================================
+``GET  /healthz``     liveness + uptime
+``GET  /metrics``     Prometheus text exposition of the live registry
+``GET  /stats``       batcher/session/tenant counters + pool diagnostics
+``POST /estimate``    one degraded query -> estimate + bound (micro-batched)
+``POST /bound``       same kernel, bound-only response (micro-batched)
+``POST /profile``     degradation hypercube slices (fingerprint-cached)
+``POST /choose``      tradeoff choice over a (cached) profile
+``POST /shutdown``    graceful drain + exit
+====================  =====================================================
+
+Shutdown (``POST /shutdown``, SIGINT or SIGTERM) is graceful end to end:
+the listener closes, the queue drains through the batcher, tenant
+accounting is annotated onto the active run-ledger record, and the
+worker pool and every shared-memory segment are torn down — a lifecycle
+test asserts ``/dev/shm`` is empty afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.smokescreen import Smokescreen
+from repro.core.tradeoff import PublicPreferences, choose_tradeoff
+from repro.detection import diskcache
+from repro.errors import ReproError
+from repro.estimators.dispatch import estimate_rows
+from repro.experiments.workloads import (
+    DATASET_NAMES,
+    load_dataset,
+    model_for,
+    shared_suite,
+)
+from repro.interventions.plan import InterventionPlan
+from repro.query.aggregates import Aggregate
+from repro.query.processor import QueryProcessor
+from repro.query.query import AggregateQuery
+from repro.system import shm, telemetry
+from repro.system.executor import pool_diagnostics, pool_generation, shutdown_pool
+from repro.system.observe import ledger as run_ledger
+from repro.system.observe import prometheus_exposition
+from repro.video.frame import ObjectClass
+
+_LOG = telemetry.get_logger("system.serve")
+
+#: Default TCP port (unassigned by IANA; "repro" on a phone keypad-ish).
+DEFAULT_PORT = 8177
+
+#: Query kinds the micro-batcher coalesces.
+_BATCHED_KINDS = ("estimate", "bound")
+
+#: Query kinds served through the (cached) profile path.
+_PROFILE_KINDS = ("profile", "choose")
+
+
+class RequestError(ReproError):
+    """A malformed or unserveable request (HTTP 400)."""
+
+
+class AdmissionError(ReproError):
+    """A request rejected by admission control (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port; 0 asks the OS for an ephemeral one (the daemon
+            prints the bound port, which tests parse).
+        datasets: Corpus presets to build and publish at startup.
+        frames: Reduced corpus size shared by every preloaded dataset
+            (None = the paper's full sizes).
+        workers: Worker processes for profile generation (estimates are
+            a single kernel call and always run in-process).
+        cache_dir: Persistent detector-cache directory, or None.
+        cache_limit_bytes: LRU byte budget for ``cache_dir``.
+        tick_seconds: Micro-batch window: after the first queued request
+            the batcher waits this long for compatible companions before
+            firing the kernel.
+        max_batch: Hard cap on requests coalesced into one kernel call.
+        max_queue: Global admission cap on queued-but-unserved requests.
+        tenant_rate: Per-tenant sustained budget, requests/second.
+        tenant_burst: Per-tenant token-bucket capacity (burst size).
+        delta: Default bound failure probability for requests that do
+            not specify one.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    datasets: tuple[str, ...] = ("ua-detrac",)
+    frames: int | None = None
+    workers: int | str = 1
+    cache_dir: str | None = None
+    cache_limit_bytes: int | None = None
+    tick_seconds: float = 0.005
+    max_batch: int = 64
+    max_queue: int = 256
+    tenant_rate: float = 50.0
+    tenant_burst: int = 100
+    delta: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in self.datasets:
+            if name not in DATASET_NAMES:
+                raise RequestError(
+                    f"unknown dataset {name!r}; valid: {DATASET_NAMES}"
+                )
+        if self.tick_seconds < 0:
+            raise RequestError("tick_seconds must be non-negative")
+        if self.max_batch < 1 or self.max_queue < 1:
+            raise RequestError("max_batch and max_queue must be positive")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One tenant query, normalised from a JSON payload.
+
+    Attributes:
+        kind: ``estimate``, ``bound``, ``profile`` or ``choose``.
+        dataset: Corpus preset name.
+        aggregate: Aggregate name (``avg``/``sum``/``count``/...).
+        fraction: Sampling fraction ``f`` (None = full sampling).
+        resolution: Resolution side ``p`` (None = native).
+        remove: Removed-class names ``c`` (sorted tuple).
+        method: Estimator name.
+        seed: The request's private randomness seed.
+        delta: Bound failure probability.
+        tenant: Accounting identity (header ``X-Tenant`` or payload).
+        trials: Profile-path trials per setting.
+        fraction_step: Profile-path fraction grid step.
+        resolution_count: Profile-path resolution grid size.
+        correction: Whether the profile path builds a correction set.
+        axis: Choose-path profile axis.
+        max_error: Choose-path public error budget.
+        max_fraction: Choose-path fraction ceiling.
+    """
+
+    kind: str
+    dataset: str
+    aggregate: str = "avg"
+    fraction: float | None = None
+    resolution: int | None = None
+    remove: tuple[str, ...] = ()
+    method: str = "smokescreen"
+    seed: int = 0
+    delta: float = 0.05
+    tenant: str = "anonymous"
+    trials: int = 1
+    fraction_step: float = 0.25
+    resolution_count: int = 3
+    correction: bool = False
+    axis: str = "sampling"
+    max_error: float | None = None
+    max_fraction: float | None = None
+
+    @classmethod
+    def from_payload(
+        cls, kind: str, payload: Mapping, config: ServeConfig
+    ) -> "QueryRequest":
+        """Validate and normalise a JSON payload into a request.
+
+        Args:
+            kind: The endpoint's query kind.
+            payload: Decoded JSON body.
+            config: The daemon configuration (defaults).
+
+        Returns:
+            The request.
+
+        Raises:
+            RequestError: The payload is malformed.
+        """
+        if kind not in _BATCHED_KINDS + _PROFILE_KINDS:
+            raise RequestError(f"unknown query kind {kind!r}")
+        if not isinstance(payload, Mapping):
+            raise RequestError("request body must be a JSON object")
+        dataset = payload.get("dataset", config.datasets[0])
+        if dataset not in DATASET_NAMES:
+            raise RequestError(
+                f"unknown dataset {dataset!r}; valid: {DATASET_NAMES}"
+            )
+        aggregate = str(payload.get("aggregate", "avg")).lower()
+        try:
+            Aggregate[aggregate.upper()]
+        except KeyError:
+            valid = ", ".join(m.name.lower() for m in Aggregate)
+            raise RequestError(f"unknown aggregate {aggregate!r}; valid: {valid}")
+        remove_raw = payload.get("remove", ())
+        if isinstance(remove_raw, str):
+            remove_raw = [p for p in remove_raw.split(",") if p.strip()]
+        try:
+            remove = tuple(
+                sorted(ObjectClass.from_name(str(n).strip()).name.lower()
+                       for n in remove_raw)
+            )
+        except Exception:
+            raise RequestError(f"unknown removal classes {remove_raw!r}")
+        try:
+            fraction = payload.get("fraction")
+            fraction = None if fraction is None else float(fraction)
+            resolution = payload.get("resolution")
+            resolution = None if resolution is None else int(resolution)
+            seed = int(payload.get("seed", 0))
+            delta = float(payload.get("delta", config.delta))
+            trials = int(payload.get("trials", 1))
+            fraction_step = float(payload.get("fraction_step", 0.25))
+            resolution_count = int(payload.get("resolution_count", 3))
+            max_error = payload.get("max_error")
+            max_error = None if max_error is None else float(max_error)
+            max_fraction = payload.get("max_fraction")
+            max_fraction = None if max_fraction is None else float(max_fraction)
+        except (TypeError, ValueError) as error:
+            raise RequestError(f"malformed numeric field: {error}")
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise RequestError(f"fraction must lie in (0, 1], got {fraction}")
+        if not 0.0 < delta < 1.0:
+            raise RequestError(f"delta must lie in (0, 1), got {delta}")
+        axis = str(payload.get("axis", "sampling"))
+        if axis not in ("sampling", "resolution", "removal"):
+            raise RequestError(f"unknown profile axis {axis!r}")
+        if kind == "choose" and max_error is None:
+            raise RequestError("choose requests need a max_error budget")
+        return cls(
+            kind=kind,
+            dataset=str(dataset),
+            aggregate=aggregate,
+            fraction=fraction,
+            resolution=resolution,
+            remove=remove,
+            method=str(payload.get("method", "smokescreen")),
+            seed=seed,
+            delta=delta,
+            tenant=str(payload.get("tenant", "anonymous")),
+            trials=trials,
+            fraction_step=fraction_step,
+            resolution_count=resolution_count,
+            correction=bool(payload.get("correction", False)),
+            axis=axis,
+            max_error=max_error,
+            max_fraction=max_fraction,
+        )
+
+    def batch_key(self) -> tuple:
+        """The compatibility key micro-batching groups by.
+
+        Requests coalesce when they share corpus, detector (implied by the
+        corpus pairing), degradation plan, aggregate, estimator and delta
+        — everything except the seed and the tenant, so each coalesced
+        row keeps its own randomness.
+        """
+        return (
+            self.dataset,
+            self.aggregate,
+            self.fraction,
+            self.resolution,
+            self.remove,
+            self.method,
+            round(self.delta, 12),
+        )
+
+    def profile_key(self) -> str:
+        """Cache fingerprint of the profile this request implies."""
+        return run_ledger.config_fingerprint(
+            {
+                "dataset": self.dataset,
+                "aggregate": self.aggregate,
+                "trials": self.trials,
+                "seed": self.seed,
+                "fraction_step": self.fraction_step,
+                "resolution_count": self.resolution_count,
+                "correction": self.correction,
+                "delta": round(self.delta, 12),
+            }
+        )
+
+
+class TokenBucket:
+    """A per-tenant budget: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self._rate = max(float(rate), 0.0)
+        self._capacity = max(float(burst), 1.0)
+        self._tokens = self._capacity
+        self._last = time.monotonic()
+
+    def try_acquire(self, now: float | None = None) -> bool:
+        """Take one token if available, refilling lazily."""
+        now = time.monotonic() if now is None else now
+        elapsed = max(now - self._last, 0.0)
+        self._last = now
+        self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (diagnostics)."""
+        return self._tokens
+
+
+class ServeSession:
+    """The daemon's hot state and kernels (usable without HTTP in tests).
+
+    Holds built corpora (published through shared memory so any worker
+    pool attaches zero-copy), cached query objects whose frame-value
+    memos keep detector outputs warm, cached hypercubes for the profile
+    path, and the authoritative request/batch counters.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self._config = config or ServeConfig()
+        self._suite = shared_suite()
+        self._processor = QueryProcessor(self._suite)
+        self._queries: dict[tuple, AggregateQuery] = {}
+        self._cubes: dict[str, object] = {}
+        self._cube_meta: dict[str, dict] = {}
+        self._started = time.monotonic()
+        self._owns_cache = False
+        self.stats: dict[str, int] = {
+            "requests": 0,
+            "rejected": 0,
+            "errors": 0,
+            "kernel_calls": 0,
+            "batched_kernel_calls": 0,
+            "batched_requests": 0,
+            "profile_requests": 0,
+            "profile_cache_hits": 0,
+            "choose_requests": 0,
+        }
+        self.tenants: dict[str, dict[str, int]] = {}
+        if self._config.cache_dir and diskcache.active_cache() is None:
+            diskcache.activate(
+                self._config.cache_dir, self._config.cache_limit_bytes
+            )
+            self._owns_cache = True
+
+    @property
+    def config(self) -> ServeConfig:
+        """The daemon configuration."""
+        return self._config
+
+    def warmup(self) -> dict[str, float]:
+        """Build and publish every configured corpus; warm native outputs.
+
+        Returns:
+            Per-dataset warmup wall seconds (diagnostics; also logged).
+        """
+        timings: dict[str, float] = {}
+        for name in self._config.datasets:
+            started = time.perf_counter()
+            dataset = load_dataset(name, self._config.frames)
+            shm.publish_dataset(dataset)
+            # Touch native-resolution outputs for every aggregate's value
+            # transform: the detector run is cached on the model, the
+            # predicate transform in the processor's per-query memo.
+            for aggregate in ("avg", "count"):
+                self._processor.frame_values(self._query_for(name, aggregate))
+            timings[name] = round(time.perf_counter() - started, 4)
+        telemetry.log_event(
+            _LOG, logging.INFO, "serve.warmup",
+            datasets=",".join(self._config.datasets), **{
+                f"seconds_{k.replace('-', '_')}": v for k, v in timings.items()
+            },
+        )
+        return timings
+
+    def tenant_record(self, tenant: str) -> dict[str, int]:
+        """The accounting record of one tenant (created on first touch)."""
+        record = self.tenants.get(tenant)
+        if record is None:
+            record = {"requests": 0, "rejected": 0, "served": 0}
+            self.tenants[tenant] = record
+        return record
+
+    def _query_for(
+        self, dataset_name: str, aggregate: str, delta: float = 0.05
+    ) -> AggregateQuery:
+        key = (dataset_name, self._config.frames, aggregate, round(delta, 12))
+        query = self._queries.get(key)
+        if query is None:
+            query = AggregateQuery(
+                dataset=load_dataset(dataset_name, self._config.frames),
+                model=model_for(dataset_name),
+                aggregate=Aggregate[aggregate.upper()],
+                delta=delta,
+            )
+            self._queries[key] = query
+        return query
+
+    def _plan_for(self, request: QueryRequest) -> InterventionPlan:
+        return InterventionPlan.from_knobs(
+            f=request.fraction,
+            p=request.resolution,
+            c=tuple(
+                ObjectClass.from_name(name) for name in request.remove
+            ),
+            suite=self._suite,
+        )
+
+    # ------------------------------------------------------------------
+    # The micro-batched estimate/bound kernel.
+    # ------------------------------------------------------------------
+
+    def estimate_group(self, requests: Sequence[QueryRequest]) -> list[dict]:
+        """Serve one compatible group through a single batched kernel call.
+
+        Every request draws its own sample from its own seed stream; the
+        stacked ``(N, n)`` value matrix is priced by **one**
+        :func:`~repro.estimators.dispatch.estimate_rows` call. Row-wise
+        results are bit-identical to serving each request alone (a 1-row
+        call through the same kernel), because every operation the kernel
+        performs is independent across rows.
+
+        Args:
+            requests: Compatible requests (equal :meth:`QueryRequest.
+                batch_key`); at least one.
+
+        Returns:
+            One response dict per request, in request order.
+        """
+        if not requests:
+            return []
+        head = requests[0]
+        for other in requests[1:]:
+            if other.batch_key() != head.batch_key():
+                raise RequestError(
+                    "incompatible requests cannot share a kernel call"
+                )
+        started = time.perf_counter()
+        query = self._query_for(head.dataset, head.aggregate, head.delta)
+        plan = self._plan_for(head)
+        rows = []
+        universe_size = population_size = 0
+        for request in requests:
+            rng = np.random.default_rng(request.seed)
+            sample = plan.draw(query.dataset, rng, self._suite)
+            rows.append(self._processor.values_for_sample(query, sample))
+            universe_size = sample.universe_size
+            population_size = sample.population_size
+        matrix = np.stack(rows)
+        estimates = estimate_rows(
+            query, matrix, universe_size, population_size, head.method
+        )
+        self.stats["kernel_calls"] += 1
+        telemetry.count("serve.kernel_calls")
+        if len(requests) > 1:
+            self.stats["batched_kernel_calls"] += 1
+            self.stats["batched_requests"] += len(requests)
+            telemetry.count("serve.batched_kernel_calls")
+            telemetry.count("serve.batched_requests", len(requests))
+        telemetry.gauge("serve.batch_size", len(requests))
+        telemetry.observe(
+            "serve.kernel_seconds", time.perf_counter() - started
+        )
+        responses = []
+        for request, estimate in zip(requests, estimates):
+            self.tenant_record(request.tenant)["served"] += 1
+            body = {
+                "kind": request.kind,
+                "dataset": request.dataset,
+                "aggregate": request.aggregate,
+                "plan": plan.label(),
+                "method": estimate.method,
+                "error_bound": float(estimate.error_bound),
+                "n": int(estimate.n),
+                "universe_size": int(estimate.universe_size),
+                "delta": request.delta,
+                "seed": request.seed,
+                "batch_size": len(requests),
+            }
+            if request.kind == "estimate":
+                body["value"] = float(estimate.value)
+            responses.append(body)
+        return responses
+
+    # ------------------------------------------------------------------
+    # The cached profile/choose path.
+    # ------------------------------------------------------------------
+
+    def profile_request(self, request: QueryRequest) -> dict:
+        """Serve a profile query from the hypercube cache, pricing on miss.
+
+        Args:
+            request: A ``profile`` (or ``choose``) request.
+
+        Returns:
+            The profile summary (axis slices with knob values and bounds).
+        """
+        self.stats["profile_requests"] += 1
+        telemetry.count("serve.profile_requests")
+        key = request.profile_key()
+        cached = key in self._cubes
+        if cached:
+            self.stats["profile_cache_hits"] += 1
+            telemetry.count("serve.profile_cache_hits")
+        else:
+            started = time.perf_counter()
+            system = Smokescreen(
+                load_dataset(request.dataset, self._config.frames),
+                model_for(request.dataset),
+                suite=self._suite,
+                delta=request.delta,
+                trials=request.trials,
+                seed=request.seed,
+                workers=self._config.workers,
+            )
+            query = system.query(Aggregate[request.aggregate.upper()])
+            correction = (
+                system.build_correction_set(query) if request.correction else None
+            )
+            candidates = system.candidates(
+                fraction_step=request.fraction_step,
+                resolution_count=request.resolution_count,
+            )
+            cube = system.profile(query, candidates, correction=correction)
+            self._cubes[key] = cube
+            self._cube_meta[key] = {
+                "profile_seconds": round(time.perf_counter() - started, 4),
+                "model_invocations": system.ledger.total,
+            }
+            telemetry.observe(
+                "serve.profile_seconds", time.perf_counter() - started
+            )
+        cube = self._cubes[key]
+        sampling, resolution, removal = cube.initial_slices()
+        slices = {}
+        for profile in (sampling, resolution, removal):
+            slices[profile.axis] = {
+                "knobs": [str(k) for k in profile.knob_values()],
+                "error_bounds": [
+                    float(b) for b in profile.error_bounds()
+                ],
+            }
+        return {
+            "kind": "profile",
+            "dataset": request.dataset,
+            "aggregate": request.aggregate,
+            "fingerprint": key,
+            "cached": cached,
+            "cells": int(cube.bounds.size),
+            "slices": slices,
+            **self._cube_meta[key],
+        }
+
+    def choose_request(self, request: QueryRequest) -> dict:
+        """Serve a tradeoff choice over the (cached) profile.
+
+        Args:
+            request: A ``choose`` request carrying the error budget.
+
+        Returns:
+            The chosen setting and its bounded error.
+        """
+        self.stats["choose_requests"] += 1
+        telemetry.count("serve.choose_requests")
+        summary = self.profile_request(request)
+        cube = self._cubes[request.profile_key()]
+        if request.axis == "sampling":
+            profile = cube.slice_sampling()
+        elif request.axis == "resolution":
+            profile = cube.slice_resolution()
+        else:
+            profile = cube.slice_removal()
+        preferences = PublicPreferences(
+            max_error=request.max_error,
+            max_fraction=request.max_fraction,
+        )
+        choice = choose_tradeoff(profile, preferences)
+        return {
+            "kind": "choose",
+            "dataset": request.dataset,
+            "aggregate": request.aggregate,
+            "axis": request.axis,
+            "fingerprint": summary["fingerprint"],
+            "cached": summary["cached"],
+            "plan": choice.point.plan.label(),
+            "fraction": float(choice.point.plan.fraction),
+            "error_bound": float(choice.point.error_bound),
+        }
+
+    # ------------------------------------------------------------------
+    # Diagnostics and teardown.
+    # ------------------------------------------------------------------
+
+    def snapshot_stats(self) -> dict:
+        """Machine-readable session state for ``GET /stats``."""
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "datasets": list(self._config.datasets),
+            "frames": self._config.frames,
+            "counters": dict(self.stats),
+            "tenants": {k: dict(v) for k, v in sorted(self.tenants.items())},
+            "cached_profiles": len(self._cubes),
+            "pool": pool_diagnostics(),
+            "pool_generation": pool_generation(),
+            "shm_published_bytes": shm.published_bytes(),
+        }
+
+    def shutdown(self) -> None:
+        """Tear the hot state down: annotate the run, close pool and shm."""
+        run_ledger.annotate(
+            serve={
+                **{k: int(v) for k, v in self.stats.items()},
+                "tenant_count": len(self.tenants),
+            },
+            tenants={k: dict(v) for k, v in sorted(self.tenants.items())},
+        )
+        shutdown_pool()
+        shm.release_all()
+        if self._owns_cache and diskcache.active_cache() is not None:
+            diskcache.deactivate()
+        telemetry.log_event(
+            _LOG, logging.INFO, "serve.shutdown", **{
+                k: int(v) for k, v in self.stats.items()
+            },
+        )
+
+
+@dataclass
+class _Pending:
+    """One queued request and the future its response resolves."""
+
+    request: QueryRequest
+    future: asyncio.Future
+
+
+class MicroBatcher:
+    """The admission-controlled queue and per-tick coalescing loop.
+
+    One background task pulls the queue: after the first request arrives
+    it waits ``tick_seconds`` for companions, drains everything queued,
+    groups by :meth:`QueryRequest.batch_key`, and serves each group with
+    one kernel call on a dedicated executor thread (keeping the event
+    loop free for ``/metrics`` and admission while kernels run).
+    """
+
+    def __init__(self, session: ServeSession) -> None:
+        self._session = session
+        self._config = session.config
+        self._queue: asyncio.Queue[_Pending | None] = asyncio.Queue()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._depth = 0
+        self._task: asyncio.Task | None = None
+        self._accepting = False
+
+    def start(self) -> None:
+        """Start the batching loop on the running event loop."""
+        self._accepting = True
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def depth(self) -> int:
+        """Requests admitted but not yet answered."""
+        return self._depth
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request against the tenant budget and queue cap.
+
+        Args:
+            tenant: The accounting identity.
+
+        Raises:
+            AdmissionError: The tenant is over budget, or the global
+                queue is full. The rejection is counted per tenant and
+                recorded as a ``serve.rejected`` run-ledger event.
+        """
+        record = self._session.tenant_record(tenant)
+        record["requests"] += 1
+        self._session.stats["requests"] += 1
+        telemetry.count("serve.requests")
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self._config.tenant_rate, self._config.tenant_burst
+            )
+            self._buckets[tenant] = bucket
+        reason = None
+        if not self._accepting:
+            reason = "shutting_down"
+        elif self._depth >= self._config.max_queue:
+            reason = "queue_full"
+        elif not bucket.try_acquire():
+            reason = "tenant_over_budget"
+        if reason is not None:
+            record["rejected"] += 1
+            self._session.stats["rejected"] += 1
+            telemetry.count("serve.rejected")
+            run_ledger.record_event(
+                "serve.rejected", tenant=tenant, reason=reason
+            )
+            raise AdmissionError(
+                f"request rejected ({reason}); tenant budget is "
+                f"{self._config.tenant_rate:g}/s with burst "
+                f"{self._config.tenant_burst}"
+            )
+
+    async def submit(self, request: QueryRequest) -> dict:
+        """Queue an (already admitted) request and await its response."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._depth += 1
+        await self._queue.put(_Pending(request, future))
+        return await future
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self._queue.get()
+            if head is None:
+                break
+            batch = [head]
+            if self._config.tick_seconds > 0:
+                await asyncio.sleep(self._config.tick_seconds)
+            while (
+                len(batch) < self._config.max_batch
+                and not self._queue.empty()
+            ):
+                nxt = self._queue.get_nowait()
+                if nxt is None:
+                    await self._serve_batch(loop, batch)
+                    return
+                batch.append(nxt)
+            await self._serve_batch(loop, batch)
+
+    async def _serve_batch(
+        self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]
+    ) -> None:
+        groups: dict[tuple, list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.request.batch_key(), []).append(pending)
+        for group in groups.values():
+            requests = [p.request for p in group]
+            try:
+                responses = await loop.run_in_executor(
+                    None, self._session.estimate_group, requests
+                )
+            except Exception as error:  # surfaced per request as HTTP 400
+                self._session.stats["errors"] += len(group)
+                telemetry.count("serve.request_errors", len(group))
+                for pending in group:
+                    self._depth -= 1
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            RequestError(str(error))
+                        )
+                continue
+            for pending, response in zip(group, responses):
+                self._depth -= 1
+                if not pending.future.done():
+                    pending.future.set_result(response)
+
+    async def drain(self) -> None:
+        """Stop admitting, serve everything already queued, stop the loop."""
+        self._accepting = False
+        await self._queue.put(None)
+        if self._task is not None:
+            await self._task
+            self._task = None
+        # Anything that slipped in behind the sentinel is still served:
+        # shutdown drains, it does not drop.
+        leftovers: list[_Pending] = []
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not None:
+                leftovers.append(item)
+        if leftovers:
+            await self._serve_batch(asyncio.get_running_loop(), leftovers)
+
+
+class ServeDaemon:
+    """The asyncio HTTP front end over a session and its batcher."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self._config = config or ServeConfig()
+        self.session = ServeSession(self._config)
+        self.batcher = MicroBatcher(self.session)
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping: asyncio.Event | None = None
+        self.port: int | None = None
+
+    async def start(self) -> int:
+        """Warm the session, start the batcher and bind the listener.
+
+        Returns:
+            The bound TCP port.
+        """
+        self._stopping = asyncio.Event()
+        # /metrics must serve live repro_* families even when the caller
+        # did not pass --telemetry; enable() installs a fresh registry,
+        # so never call it when one is already live.
+        if not telemetry.enabled():
+            telemetry.enable()
+        warmup = self.session.warmup()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._config.host, self._config.port
+        )
+        self.port = int(self._server.sockets[0].getsockname()[1])
+        run_ledger.annotate(
+            serve_bind={"host": self._config.host, "port": self.port},
+            serve_warmup_seconds=warmup,
+        )
+        telemetry.log_event(
+            _LOG, logging.INFO, "serve.start",
+            host=self._config.host, port=self.port,
+        )
+        return self.port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: close, drain, tear down the hot state."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+        self.session.shutdown()
+        if self._stopping is not None:
+            self._stopping.set()
+
+    def request_stop(self) -> None:
+        """Shutdown trigger callable from signal handlers on the loop."""
+        if self._stopping is not None and not self._stopping.is_set():
+            asyncio.get_running_loop().create_task(self.stop())
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completed."""
+        assert self._stopping is not None
+        await self._stopping.wait()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (stdlib-only: asyncio streams + manual HTTP/1.1).
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._handle_one(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            status, content_type, body = 500, "application/json", json.dumps(
+                {"error": str(error)}
+            )
+        payload = body.encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            + payload
+        )
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, str, str]:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, "application/json", json.dumps({"error": "bad request"})
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        payload: dict = {}
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            raw = await asyncio.wait_for(reader.readexactly(length), timeout=30)
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return 400, "application/json", json.dumps(
+                    {"error": "request body is not valid JSON"}
+                )
+        if isinstance(payload, Mapping) and "tenant" not in payload:
+            tenant = headers.get("x-tenant")
+            if tenant:
+                payload = {**payload, "tenant": tenant}
+        return await self._route(method, path, payload)
+
+    async def _route(
+        self, method: str, path: str, payload: dict
+    ) -> tuple[int, str, str]:
+        started = time.perf_counter()
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, "application/json", json.dumps(
+                    {
+                        "status": "ok",
+                        "uptime_seconds": self.session.snapshot_stats()[
+                            "uptime_seconds"
+                        ],
+                    }
+                )
+            if method == "GET" and path == "/metrics":
+                snapshot = telemetry.registry().snapshot()
+                return (
+                    200,
+                    "text/plain; version=0.0.4",
+                    prometheus_exposition(snapshot),
+                )
+            if method == "GET" and path == "/stats":
+                return 200, "application/json", json.dumps(
+                    self.session.snapshot_stats()
+                )
+            if method == "POST" and path == "/shutdown":
+                asyncio.get_running_loop().create_task(self.stop())
+                return 200, "application/json", json.dumps(
+                    {"status": "shutting down"}
+                )
+            if method == "POST" and path.lstrip("/") in (
+                _BATCHED_KINDS + _PROFILE_KINDS
+            ):
+                kind = path.lstrip("/")
+                request = QueryRequest.from_payload(
+                    kind, payload, self._config
+                )
+                self.batcher.admit(request.tenant)
+                if kind in _BATCHED_KINDS:
+                    body = await self.batcher.submit(request)
+                elif kind == "profile":
+                    body = await asyncio.get_running_loop().run_in_executor(
+                        None, self.session.profile_request, request
+                    )
+                else:
+                    body = await asyncio.get_running_loop().run_in_executor(
+                        None, self.session.choose_request, request
+                    )
+                return 200, "application/json", json.dumps(body)
+            return 404, "application/json", json.dumps(
+                {"error": f"no route for {method} {path}"}
+            )
+        except AdmissionError as error:
+            return 429, "application/json", json.dumps({"error": str(error)})
+        except RequestError as error:
+            return 400, "application/json", json.dumps({"error": str(error)})
+        except ReproError as error:
+            self.session.stats["errors"] += 1
+            return 400, "application/json", json.dumps({"error": str(error)})
+        finally:
+            telemetry.observe(
+                "serve.request_seconds", time.perf_counter() - started
+            )
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+async def post_json(
+    host: str,
+    port: int,
+    path: str,
+    payload: Mapping | None = None,
+    method: str | None = None,
+    timeout: float = 60.0,
+) -> tuple[int, object]:
+    """A minimal asyncio HTTP client for the daemon (tests, benchmarks).
+
+    Args:
+        host: Daemon host.
+        port: Daemon port.
+        path: Request path (``"/estimate"``).
+        payload: JSON body (None sends no body).
+        method: HTTP method; defaults to POST with a body, GET without.
+        timeout: Whole-call timeout in seconds.
+
+    Returns:
+        ``(status, body)`` with the body JSON-decoded when possible.
+    """
+    method = method or ("POST" if payload is not None else "GET")
+    body = json.dumps(payload or {}).encode() if payload is not None else b""
+
+    async def _call() -> tuple[int, object]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            while (await reader.readline()).strip():
+                pass
+            raw = await reader.read()
+        finally:
+            writer.close()
+        text = raw.decode("utf-8")
+        try:
+            return status, json.loads(text)
+        except json.JSONDecodeError:
+            return status, text
+
+    return await asyncio.wait_for(_call(), timeout=timeout)
+
+
+def run_daemon(config: ServeConfig | None = None) -> int:
+    """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
+
+    Prints the bound address (tests parse it) and exits 0 on a graceful
+    stop. The caller (``repro serve``) owns the run-ledger lifecycle: the
+    session annotates the active run, and the CLI's ``finish_run`` flush
+    happens after this returns — so the record lands even on signals.
+
+    Args:
+        config: The daemon configuration.
+
+    Returns:
+        Process exit code.
+    """
+
+    async def _main() -> int:
+        daemon = ServeDaemon(config)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(daemon.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        port = await daemon.start()
+        print(
+            f"repro serve: listening on http://{daemon.session.config.host}:"
+            f"{port} (datasets: {', '.join(daemon.session.config.datasets)})",
+            flush=True,
+        )
+        await daemon.wait_stopped()
+        print("repro serve: drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(_main())

@@ -492,6 +492,82 @@ class TestSentinelGate:
         assert rows["sentinel_localization"]["ratio"] == pytest.approx(1.0)
 
 
+def serve_record(speedup=200.0, coalescing=8.0, **overrides) -> dict:
+    record = baseline_record(**overrides)
+    record["facts"] = {
+        "serve": {
+            "p50_warm_seconds": 0.004,
+            "p99_warm_seconds": 0.01,
+            "cold_cli_seconds": 1.0,
+            "speedup_cold_over_warm": speedup,
+            "coalescing_ratio": coalescing,
+            "requests": 84,
+            "rejected": 0,
+            "batched_kernel_calls": 5,
+        }
+    }
+    return record
+
+
+class TestServeGate:
+    """Serving-benchmark facts flow through the same perf gate."""
+
+    def test_serve_checks_disabled_by_default(self):
+        # Both floors are wall-time/timing dependent: nothing is checked
+        # unless an explicit threshold opts in.
+        result = check_run(serve_record(), serve_record(run_id="cand"))
+        assert result.passed
+        assert "serve_speedup" not in result.checked
+        assert "serve_coalescing_ratio" not in result.checked
+
+    def test_speedup_floor_enforced_when_explicit(self):
+        thresholds = GateThresholds(min_serve_speedup=5.0)
+        passing = check_run(
+            serve_record(), serve_record(run_id="cand"), thresholds
+        )
+        assert passing.passed
+        assert "serve_speedup" in passing.checked
+        failing = check_run(
+            serve_record(),
+            serve_record(speedup=3.0, run_id="cand"),
+            thresholds,
+        )
+        assert not failing.passed
+        assert [v.metric for v in failing.violations] == ["serve_speedup"]
+
+    def test_coalescing_floor_enforced_when_explicit(self):
+        thresholds = GateThresholds(min_serve_coalescing=2.0)
+        failing = check_run(
+            serve_record(),
+            serve_record(coalescing=1.0, run_id="cand"),
+            thresholds,
+        )
+        assert not failing.passed
+        assert [v.metric for v in failing.violations] == [
+            "serve_coalescing_ratio"
+        ]
+
+    def test_records_without_serve_facts_skip_the_checks(self):
+        thresholds = GateThresholds(
+            min_serve_speedup=5.0, min_serve_coalescing=2.0
+        )
+        result = check_run(
+            baseline_record(), candidate_record(), thresholds
+        )
+        assert result.passed
+        assert "serve_speedup" not in result.checked
+
+    def test_diff_surfaces_serve_rows(self):
+        rows = {row["metric"]: row for row in diff_runs(
+            serve_record(), serve_record(speedup=100.0, run_id="cand")
+        )}
+        assert rows["serve_speedup"]["delta"] == pytest.approx(-100.0)
+        assert rows["serve_coalescing_ratio"]["ratio"] == pytest.approx(1.0)
+        assert rows["serve_p50_warm_seconds"]["baseline"] == pytest.approx(
+            0.004
+        )
+
+
 def _traced_unit(index: int) -> int:
     """Module-level (picklable) work unit that records a nested span."""
     with telemetry.span("unit.outer", index=index):

@@ -265,3 +265,50 @@ class TestDeterminismAcrossPlanes:
         shm.publish_dataset(dataset)
         shm.release_all()
         assert _own_segments() == []
+
+
+class TestServeDaemonLifecycle:
+    """The serving daemon publishes at warmup and must unlink on SIGINT.
+
+    The SIGTERM path (with request traffic and ledger-flush assertions)
+    lives in ``tests/system/test_serve.py``; this is the same leak-check
+    contract on the interrupt signal an operator's Ctrl-C sends.
+    """
+
+    def test_sigint_leaves_dev_shm_empty(self):
+        import re
+        import signal
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--frames", "600",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        try:
+            bound = None
+            deadline = time.time() + 120
+            while time.time() < deadline and bound is None:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                bound = re.search(r"listening on http://", line)
+            assert bound is not None, "daemon never came up"
+            # Warmup published the corpus: the daemon owns live segments.
+            proc.send_signal(signal.SIGINT)
+            output, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, output
+        assert _own_segments(proc.pid) == []
+        assert "resource_tracker" not in output

@@ -316,6 +316,95 @@ class TestSnapshotConcurrency:
         assert marker.exists()
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8177
+        assert args.datasets == "ua-detrac"
+        assert args.tick_ms == 5.0
+        assert args.max_batch == 64
+        assert args.max_queue == 256
+        assert args.tenant_rate == 50.0
+        assert args.tenant_burst == 100
+        assert args.handler.__name__ == "cmd_serve"
+
+    def test_serve_accepts_tuning_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--datasets", "ua-detrac,night-street",
+            "--frames", "2000", "--workers", "auto", "--tick-ms", "2",
+            "--max-batch", "16", "--tenant-rate", "5", "--tenant-burst", "3",
+            "--cache-dir", "/tmp/cache", "--run-ledger", "runs.jsonl",
+        ])
+        assert args.port == 0
+        assert args.datasets == "ua-detrac,night-street"
+        assert args.workers == "auto"
+        assert args.tick_ms == 2.0
+        assert args.tenant_burst == 3
+
+    def test_call_defaults_and_endpoints(self):
+        args = build_parser().parse_args(["call", "estimate"])
+        assert args.endpoint == "estimate"
+        assert args.port == 8177
+        assert args.tenant == "cli"
+        assert args.handler.__name__ == "cmd_call"
+        for endpoint in ("bound", "profile", "choose", "stats",
+                         "healthz", "metrics", "shutdown"):
+            assert build_parser().parse_args(
+                ["call", endpoint]
+            ).endpoint == endpoint
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["call", "teapot"])
+
+    def test_pool_defaults(self):
+        args = build_parser().parse_args(["pool"])
+        assert args.host is None
+        assert args.port == 8177
+        assert args.handler.__name__ == "cmd_pool"
+
+    def test_runs_check_accepts_serve_thresholds(self):
+        args = build_parser().parse_args([
+            "runs", "check", "--baseline", "b.json",
+            "--min-serve-speedup", "5", "--min-serve-coalescing", "2",
+        ])
+        assert args.min_serve_speedup == 5.0
+        assert args.min_serve_coalescing == 2.0
+
+
+class TestPoolCommand:
+    def test_local_pool_inspection_without_a_pool(self, capsys):
+        from repro.system.executor import shutdown_pool
+
+        shutdown_pool()
+        assert main(["pool"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["pool"] is None
+        assert isinstance(payload["generation"], int)
+        assert "no persistent pool is warm" in captured.err
+
+    def test_local_pool_inspection_with_a_warm_pool(self, capsys):
+        from repro.system.executor import (
+            _PoolKey,
+            _ensure_pool,
+            shutdown_pool,
+        )
+
+        _ensure_pool(
+            _PoolKey(
+                workers=2, cache_dir=None, cache_limit=None,
+                telemetry_on=False,
+            )
+        )
+        try:
+            assert main(["pool"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["pool"]["workers"] == 2
+            assert payload["generation"] >= 1
+        finally:
+            shutdown_pool()
+
+
 class TestRunsCLI:
     def _record_profile_run(self, tmp_path, capsys):
         ledger = tmp_path / "runs.jsonl"
