@@ -377,6 +377,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a corpus as a live feed through the windowed sentinel."""
+    from repro.system.stream import StreamConfig, replay_stream
+
+    config = StreamConfig(
+        dataset=args.dataset,
+        frames=args.frames,
+        scenario=args.scenario,
+        severity=args.severity,
+        onset=args.onset,
+        window=args.window,
+        estimator=args.estimator,
+        decay=args.decay,
+        delta=args.delta,
+        min_count=args.min_count,
+        patience=args.patience,
+        fraction=args.fraction,
+        fps=args.fps,
+        seed=args.seed,
+    )
+    report = replay_stream(config)
+    report.print()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the hot serving daemon until SIGINT/SIGTERM."""
     from repro.system.serve import ServeConfig, run_daemon
@@ -611,6 +636,7 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         max_executor_fallbacks=args.max_executor_fallbacks,
         min_serve_speedup=args.min_serve_speedup,
         min_serve_coalescing=args.min_serve_coalescing,
+        min_stream_fps=args.min_stream_fps,
     )
     result = observe.check_run(baseline, candidate, thresholds)
     print(
@@ -773,6 +799,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry(chaos)
     chaos.set_defaults(handler=cmd_chaos)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay a corpus as a live feed through the bound sentinel "
+             "(optionally drifting into a zoo scenario mid-stream)",
+    )
+    stream.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="ua-detrac",
+        help="corpus preset to replay",
+    )
+    stream.add_argument(
+        "--frames", type=int, default=2000,
+        help="corpus frame count (the replay's universe)",
+    )
+    stream.add_argument(
+        "--scenario", default=None, choices=sorted(_scenario_names()),
+        help="zoo scenario that takes over the feed at --onset",
+    )
+    stream.add_argument(
+        "--severity", type=float, default=None,
+        help="scenario severity (default: the zoo's harshest)",
+    )
+    stream.add_argument(
+        "--onset", type=float, default=0.5,
+        help="fraction of the feed after which the scenario is live",
+    )
+    stream.add_argument(
+        "--window", type=int, default=480,
+        help="sliding-window capacity (also the per-check batch size)",
+    )
+    stream.add_argument(
+        "--estimator", default="windowed",
+        choices=("windowed", "decayed", "cumulative"),
+        help="stream estimator feeding the sentinel",
+    )
+    stream.add_argument(
+        "--decay", type=float, default=0.999,
+        help="weight multiplier for --estimator decayed",
+    )
+    stream.add_argument(
+        "--delta", type=float, default=0.05,
+        help="per-read bound failure probability",
+    )
+    stream.add_argument(
+        "--min-count", type=int, default=30,
+        help="sentinel warm-up floor (frames before any drift check)",
+    )
+    stream.add_argument(
+        "--patience", type=int, default=2,
+        help="consecutive breaches required to confirm a violation",
+    )
+    stream.add_argument(
+        "--fraction", type=float, default=0.5,
+        help="clean seeded-query fraction pricing the profiled bound",
+    )
+    stream.add_argument(
+        "--fps", type=float, default=0.0,
+        help="throttle the replay to this many frames/second "
+             "(0 = as fast as possible)",
+    )
+    stream.add_argument("--seed", type=int, default=7, help="replay seed")
+    _add_telemetry(stream)
+    stream.set_defaults(handler=cmd_stream)
 
     serve = subparsers.add_parser(
         "serve",
@@ -1010,6 +1099,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-serve-coalescing", type=float, default=None,
         help="absolute floor on the serve benchmark's requests-per-"
              "kernel-call coalescing ratio (default: not checked)",
+    )
+    runs_check.add_argument(
+        "--min-stream-fps", type=float, default=None,
+        help="absolute floor on the stream replay's steady-state ingest "
+             "throughput, frames/second (default: not checked — wall "
+             "times are machine-dependent)",
     )
     runs_check.set_defaults(handler=cmd_runs_check)
 

@@ -128,6 +128,7 @@ class BoundSentinel:
         patience: int = 2,
         correction: Estimate | None = None,
         label: str = "stream",
+        stream: StreamingMeanEstimator | None = None,
     ) -> None:
         """Arm the sentinel.
 
@@ -147,6 +148,14 @@ class BoundSentinel:
                 interventions only). When present, a confirmed violation
                 automatically triggers Algorithm 3 repair.
             label: Name of the monitored stream, e.g. the camera name.
+            stream: Optional pre-built stream estimator — any fresh object
+                with ``update``/``extend``/``count``/``estimate`` (e.g.
+                :class:`~repro.estimators.streaming.WindowedMeanEstimator`
+                or ``DecayedMeanEstimator`` for endless feeds, where drift
+                should dominate the answer within a window instead of
+                being diluted by the whole clean history). Defaults to the
+                cumulative :class:`StreamingMeanEstimator` built from
+                ``universe_size``/``delta``.
         """
         if profiled_bound < 0.0 or not math.isfinite(profiled_bound):
             raise EstimationError(
@@ -157,9 +166,17 @@ class BoundSentinel:
             raise EstimationError(f"min count must be positive, got {min_count}")
         if patience < 1:
             raise EstimationError(f"patience must be positive, got {patience}")
+        if stream is not None and stream.count:
+            raise EstimationError(
+                f"stream estimator must be fresh, has already observed "
+                f"{stream.count} values"
+            )
         self._reference = reference
         self._profiled_bound = profiled_bound
-        self._stream = StreamingMeanEstimator(universe_size, delta)
+        self._stream = (
+            stream if stream is not None
+            else StreamingMeanEstimator(universe_size, delta)
+        )
         self._min_count = min_count
         self._patience = patience
         self._correction = correction

@@ -1,4 +1,4 @@
-"""Prefix-cumulative moments of nested trial samples.
+"""Prefix-cumulative moments of nested trial samples — batch and streaming.
 
 The profiler's fraction sweeps evaluate every fraction of an ascending grid
 on *nested* prefix samples (:class:`repro.stats.sampling.ProgressiveSampler`):
@@ -13,54 +13,60 @@ variance / range of *every* prefix length as O(trials) slices. Combined
 with the batch radius functions of :mod:`repro.stats.inequalities`, a whole
 fraction grid point is priced by a handful of broadcasted numpy operations.
 
+Live feeds do not arrive as a fixed matrix, so three streaming engines
+share the batch class's query API:
+
+- :class:`RollingPrefixMoments` — the growing-prefix counterpart:
+  ``append``/``extend`` fold new frame values in O(1) amortized time
+  (capacity-doubling buffers) while every cumulant stays **bit-identical**
+  to rebuilding a :class:`PrefixMoments` over the same prefix, because each
+  incremental step performs exactly the scalar operation
+  ``np.cumsum``/``accumulate`` would have performed at that position.
+- :class:`SlidingWindowMoments` — fixed-capacity window over the newest
+  ``capacity`` values: deque-backed shifted cumulants with **exact** window
+  minima/maxima via monotonic deques, all O(1) amortized per append.
+- :class:`DecayedMoments` — exponentially decay-weighted cumulants with the
+  Kish effective sample size, for bounds that should forget the distant
+  past smoothly instead of truncating it.
+
 Numerical note: prefix means come from a sequential cumulative sum, while
 ``numpy``'s direct ``mean`` uses pairwise summation. Both are correct to
 floating-point accuracy; the profiler's differential tests pin the paths to
 each other within 1e-9, which is the repo-wide numerical-equivalence policy
-for the vectorized kernels.
+for the vectorized kernels. Variances are computed from cumulants *shifted
+by each row's first element*: the raw ``E[x²] − E[x]²`` form catastrophically
+cancels once values carry a large common offset (a ~1e8 offset leaves float64
+with no significant bits for a small spread), and shifting by a value from
+the data itself removes the offset without changing the variance.
 """
 
 from __future__ import annotations
+
+import math
+from collections import deque
 
 import numpy as np
 
 from repro.errors import ConfigurationError, EstimationError
 
 
-class PrefixMoments:
-    """Cumulative first/second moments and running extrema per trial row.
+class _MomentQueries:
+    """Query surface shared by the batch and rolling prefix engines.
 
-    One instance covers one ``(trials, max_size)`` matrix of prefix-sample
-    values; every query method takes a prefix length ``n`` and returns a
-    ``(trials,)`` array in O(trials).
+    Subclasses populate six aligned ``(trials, size)`` arrays — the raw
+    value matrix, the raw cumulative sum, the *shifted* cumulative sum and
+    sum of squares (values centered on each row's first element, held in
+    ``_shift``), and the running extrema — and every query below is an
+    O(trials) slice at column ``n - 1``.
     """
 
-    def __init__(self, matrix: np.ndarray) -> None:
-        """Precompute the cumulative statistics.
-
-        Args:
-            matrix: Per-trial prefix values, shape ``(trials, max_size)``;
-                row ``t`` holds trial ``t``'s maximal prefix gather, whose
-                leading ``n`` entries are exactly the trial's sample at
-                prefix length ``n``.
-        """
-        array = np.asarray(matrix, dtype=float)
-        if array.ndim != 2:
-            raise ConfigurationError(
-                f"prefix matrix must be 2-D (trials, max_size), "
-                f"got shape {array.shape}"
-            )
-        if array.shape[0] == 0 or array.shape[1] == 0:
-            raise ConfigurationError(
-                f"prefix matrix must be non-empty, got shape {array.shape}"
-            )
-        if not np.all(np.isfinite(array)):
-            raise EstimationError("prefix matrix contains non-finite values")
-        self._matrix = array
-        self._cumsum = np.cumsum(array, axis=1)
-        self._cumsq = np.cumsum(array * array, axis=1)
-        self._cummin = np.minimum.accumulate(array, axis=1)
-        self._cummax = np.maximum.accumulate(array, axis=1)
+    _matrix: np.ndarray
+    _cumsum: np.ndarray
+    _scumsum: np.ndarray
+    _scumsq: np.ndarray
+    _cummin: np.ndarray
+    _cummax: np.ndarray
+    _shift: np.ndarray
 
     @property
     def trials(self) -> int:
@@ -93,12 +99,22 @@ class PrefixMoments:
         return self._cumsum[:, n - 1] / n
 
     def second_moment(self, n: int) -> np.ndarray:
-        """Per-trial raw second moments ``mean(x^2)`` of the prefixes."""
+        """Per-trial raw second moments ``mean(x^2)`` of the prefixes.
+
+        Reconstructed from the shifted cumulants:
+        ``E[x²] = E[(x−c)²] + 2c·E[x] − c²`` with ``c`` the row shift.
+        """
         n = self._check_size(n)
-        return self._cumsq[:, n - 1] / n
+        shifted = self._scumsq[:, n - 1] / n
+        mean = self._cumsum[:, n - 1] / n
+        return shifted + self._shift * (2.0 * mean - self._shift)
 
     def variance(self, n: int, ddof: int = 0) -> np.ndarray:
         """Per-trial prefix variances, clipped at zero.
+
+        Computed from the shifted cumulants, so the clip only ever absorbs
+        rounding-level negatives — never the catastrophic cancellation the
+        raw ``E[x²] − E[x]²`` form suffers on large-offset data.
 
         Args:
             n: Prefix length.
@@ -110,8 +126,10 @@ class PrefixMoments:
             raise ConfigurationError(
                 f"ddof {ddof} must satisfy 0 <= ddof < n={n}"
             )
-        mean = self._cumsum[:, n - 1] / n
-        variance = np.maximum(self._cumsq[:, n - 1] / n - mean * mean, 0.0)
+        shifted_mean = self._scumsum[:, n - 1] / n
+        variance = np.maximum(
+            self._scumsq[:, n - 1] / n - shifted_mean * shifted_mean, 0.0
+        )
         if ddof:
             variance = variance * (n / (n - ddof))
         return variance
@@ -134,8 +152,8 @@ class PrefixMoments:
         """Population variances of every prefix length ``1..n``."""
         n = self._check_size(n)
         t = np.arange(1, n + 1, dtype=float)
-        prefix_mean = self._cumsum[:, :n] / t
-        return np.maximum(self._cumsq[:, :n] / t - prefix_mean**2, 0.0)
+        shifted_mean = self._scumsum[:, :n] / t
+        return np.maximum(self._scumsq[:, :n] / t - shifted_mean**2, 0.0)
 
     def minimum(self, n: int) -> np.ndarray:
         """Per-trial minima of the length-``n`` prefixes."""
@@ -151,3 +169,435 @@ class PrefixMoments:
         """Per-trial sample ranges ``max - min`` of the prefixes."""
         n = self._check_size(n)
         return self._cummax[:, n - 1] - self._cummin[:, n - 1]
+
+
+class PrefixMoments(_MomentQueries):
+    """Cumulative first/second moments and running extrema per trial row.
+
+    One instance covers one ``(trials, max_size)`` matrix of prefix-sample
+    values; every query method takes a prefix length ``n`` and returns a
+    ``(trials,)`` array in O(trials).
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        """Precompute the cumulative statistics.
+
+        Args:
+            matrix: Per-trial prefix values, shape ``(trials, max_size)``;
+                row ``t`` holds trial ``t``'s maximal prefix gather, whose
+                leading ``n`` entries are exactly the trial's sample at
+                prefix length ``n``.
+        """
+        array = np.asarray(matrix, dtype=float)
+        if array.ndim != 2:
+            raise ConfigurationError(
+                f"prefix matrix must be 2-D (trials, max_size), "
+                f"got shape {array.shape}"
+            )
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise ConfigurationError(
+                f"prefix matrix must be non-empty, got shape {array.shape}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise EstimationError("prefix matrix contains non-finite values")
+        self._matrix = array
+        self._shift = array[:, 0].copy()
+        shifted = array - self._shift[:, None]
+        self._cumsum = np.cumsum(array, axis=1)
+        self._scumsum = np.cumsum(shifted, axis=1)
+        self._scumsq = np.cumsum(shifted * shifted, axis=1)
+        self._cummin = np.minimum.accumulate(array, axis=1)
+        self._cummax = np.maximum.accumulate(array, axis=1)
+
+
+class RollingPrefixMoments(_MomentQueries):
+    """Growing-prefix moments for live feeds: O(1) amortized appends.
+
+    Maintains exactly the cumulants :class:`PrefixMoments` would compute
+    over the values appended so far, in capacity-doubling buffers. Each
+    append performs the same scalar operation ``np.cumsum`` /
+    ``np.minimum.accumulate`` would have performed at that column, so every
+    query result is **bit-identical** to rebuilding the batch class on the
+    same prefix — the profiler's vectorized answers and the live feed's
+    incremental answers can never disagree.
+    """
+
+    def __init__(self, trials: int = 1, capacity: int = 64) -> None:
+        """Start an empty rolling prefix.
+
+        Args:
+            trials: Number of parallel trial rows fed per append (1 for a
+                single live feed).
+            capacity: Initial buffer capacity (grows by doubling).
+        """
+        if trials < 1:
+            raise ConfigurationError(f"trials must be positive, got {trials}")
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self._rows = int(trials)
+        self._capacity = int(capacity)
+        self._size = 0
+        self._buffers = {
+            name: np.empty((self._rows, self._capacity), dtype=float)
+            for name in (
+                "matrix", "cumsum", "scumsum", "scumsq", "cummin", "cummax"
+            )
+        }
+        self._shift = np.zeros(self._rows, dtype=float)
+        self._refresh_views()
+
+    def _refresh_views(self) -> None:
+        k = self._size
+        self._matrix = self._buffers["matrix"][:, :k]
+        self._cumsum = self._buffers["cumsum"][:, :k]
+        self._scumsum = self._buffers["scumsum"][:, :k]
+        self._scumsq = self._buffers["scumsq"][:, :k]
+        self._cummin = self._buffers["cummin"][:, :k]
+        self._cummax = self._buffers["cummax"][:, :k]
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        for name, buffer in self._buffers.items():
+            grown = np.empty((self._rows, new_capacity), dtype=float)
+            grown[:, : self._size] = buffer[:, : self._size]
+            self._buffers[name] = grown
+        self._capacity = new_capacity
+
+    @property
+    def size(self) -> int:
+        """Values appended so far (alias of :attr:`max_size`)."""
+        return self._size
+
+    def _as_column(self, values) -> np.ndarray:
+        column = np.asarray(values, dtype=float)
+        if column.ndim == 0:
+            column = column.reshape(1)
+        if column.shape != (self._rows,):
+            raise ConfigurationError(
+                f"append expects {self._rows} value(s) per arrival, "
+                f"got shape {column.shape}"
+            )
+        if not np.all(np.isfinite(column)):
+            raise EstimationError("stream values must be finite")
+        return column
+
+    def append(self, values) -> None:
+        """Fold one arrival (one value per trial row), O(1) amortized.
+
+        Args:
+            values: Scalar (``trials == 1``) or ``(trials,)`` array of
+                finite values — one new column of the prefix matrix.
+        """
+        column = self._as_column(values)
+        if self._size == self._capacity:
+            self._grow()
+        k = self._size
+        buffers = self._buffers
+        buffers["matrix"][:, k] = column
+        if k == 0:
+            self._shift = column.copy()
+            buffers["cumsum"][:, 0] = column
+            buffers["scumsum"][:, 0] = 0.0
+            buffers["scumsq"][:, 0] = 0.0
+            buffers["cummin"][:, 0] = column
+            buffers["cummax"][:, 0] = column
+        else:
+            shifted = column - self._shift
+            np.add(buffers["cumsum"][:, k - 1], column,
+                   out=buffers["cumsum"][:, k])
+            np.add(buffers["scumsum"][:, k - 1], shifted,
+                   out=buffers["scumsum"][:, k])
+            np.add(buffers["scumsq"][:, k - 1], shifted * shifted,
+                   out=buffers["scumsq"][:, k])
+            np.minimum(buffers["cummin"][:, k - 1], column,
+                       out=buffers["cummin"][:, k])
+            np.maximum(buffers["cummax"][:, k - 1], column,
+                       out=buffers["cummax"][:, k])
+        self._size += 1
+        self._refresh_views()
+
+    def extend(self, block) -> None:
+        """Fold a batch of arrivals, in order, atomically validated.
+
+        Args:
+            block: ``(trials, k)`` array of ``k`` new columns, or a 1-D
+                length-``k`` sequence when ``trials == 1``.
+        """
+        array = np.asarray(block, dtype=float)
+        if array.ndim == 1 and self._rows == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2 or array.shape[0] != self._rows:
+            raise ConfigurationError(
+                f"extend expects a ({self._rows}, k) block, "
+                f"got shape {array.shape}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise EstimationError("stream values must be finite")
+        for j in range(array.shape[1]):
+            self.append(array[:, j])
+
+
+class SlidingWindowMoments:
+    """Moments of the newest ``capacity`` values of a single live feed.
+
+    Shifted first/second cumulants are maintained by add-on-arrival /
+    subtract-on-eviction over a deque, and are rebuilt from scratch every
+    ``capacity`` appends (O(1) amortized) so subtract-accumulation error
+    can never grow with stream length — window statistics track a from-
+    scratch recomputation within the repo's 1e-9 equivalence policy. Window
+    minima and maxima are **exact** at every step via monotonic deques.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        """Create an empty window.
+
+        Args:
+            capacity: Maximum number of retained values (≥ 1).
+        """
+        if capacity < 1:
+            raise ConfigurationError(
+                f"window capacity must be positive, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        self._values: deque[float] = deque()
+        self._shift = 0.0
+        self._sum_s = 0.0
+        self._sumsq_s = 0.0
+        self._min_dq: deque[tuple[int, float]] = deque()
+        self._max_dq: deque[tuple[int, float]] = deque()
+        self._appended = 0
+        self._since_rebuild = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Values currently in the window."""
+        return len(self._values)
+
+    @property
+    def total_appended(self) -> int:
+        """Values ever appended (retained or evicted)."""
+        return self._appended
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the window has reached capacity (and now slides)."""
+        return len(self._values) == self._capacity
+
+    def append(self, value: float) -> None:
+        """Fold one arriving value, evicting the oldest when full."""
+        x = float(value)
+        if not math.isfinite(x):
+            raise EstimationError(f"stream value must be finite, got {x}")
+        if len(self._values) == self._capacity:
+            evicted = self._values.popleft() - self._shift
+            self._sum_s -= evicted
+            self._sumsq_s -= evicted * evicted
+        elif not self._values:
+            self._shift = x
+        self._values.append(x)
+        shifted = x - self._shift
+        self._sum_s += shifted
+        self._sumsq_s += shifted * shifted
+        index = self._appended
+        self._appended += 1
+        while self._min_dq and self._min_dq[-1][1] >= x:
+            self._min_dq.pop()
+        self._min_dq.append((index, x))
+        while self._max_dq and self._max_dq[-1][1] <= x:
+            self._max_dq.pop()
+        self._max_dq.append((index, x))
+        cutoff = self._appended - len(self._values)
+        while self._min_dq[0][0] < cutoff:
+            self._min_dq.popleft()
+        while self._max_dq[0][0] < cutoff:
+            self._max_dq.popleft()
+        self._since_rebuild += 1
+        if self._since_rebuild >= self._capacity:
+            self._rebuild()
+
+    def extend(self, values) -> None:
+        """Fold a batch of values, in order, atomically validated."""
+        batch = [float(v) for v in values]
+        if not all(math.isfinite(v) for v in batch):
+            raise EstimationError("stream values must be finite")
+        for value in batch:
+            self.append(value)
+
+    def _rebuild(self) -> None:
+        self._shift = self._values[0]
+        sum_s = 0.0
+        sumsq_s = 0.0
+        for value in self._values:
+            shifted = value - self._shift
+            sum_s += shifted
+            sumsq_s += shifted * shifted
+        self._sum_s = sum_s
+        self._sumsq_s = sumsq_s
+        self._since_rebuild = 0
+
+    def _require_values(self) -> int:
+        n = len(self._values)
+        if n == 0:
+            raise EstimationError("window is empty — no values observed yet")
+        return n
+
+    def mean(self) -> float:
+        """Mean of the current window."""
+        n = self._require_values()
+        return self._shift + self._sum_s / n
+
+    def variance(self, ddof: int = 0) -> float:
+        """Variance of the current window, clipped at zero."""
+        n = self._require_values()
+        if ddof < 0 or n <= ddof:
+            raise ConfigurationError(
+                f"ddof {ddof} must satisfy 0 <= ddof < n={n}"
+            )
+        shifted_mean = self._sum_s / n
+        variance = max(self._sumsq_s / n - shifted_mean * shifted_mean, 0.0)
+        if ddof:
+            variance *= n / (n - ddof)
+        return variance
+
+    def std(self, ddof: int = 0) -> float:
+        """Standard deviation of the current window."""
+        return math.sqrt(self.variance(ddof))
+
+    def minimum(self) -> float:
+        """Exact minimum of the current window."""
+        self._require_values()
+        return self._min_dq[0][1]
+
+    def maximum(self) -> float:
+        """Exact maximum of the current window."""
+        self._require_values()
+        return self._max_dq[0][1]
+
+    def value_range(self) -> float:
+        """Exact range ``max - min`` of the current window."""
+        return self.maximum() - self.minimum()
+
+    def values(self) -> np.ndarray:
+        """The current window contents, oldest first (copy)."""
+        return np.fromiter(self._values, dtype=float, count=len(self._values))
+
+
+class DecayedMoments:
+    """Exponentially decay-weighted moments of a single live feed.
+
+    Value ``i`` arrivals ago carries weight ``decay**i``; cumulants are
+    one-multiply-one-add per append. The Kish effective sample size
+    ``(Σw)² / Σw²`` converts the weighted state into the "how many
+    independent frames is this worth" number the concentration bounds
+    need; it saturates at ``(1 + decay) / (1 - decay)``.
+    """
+
+    def __init__(self, decay: float) -> None:
+        """Create an empty decayed accumulator.
+
+        Args:
+            decay: Per-arrival weight multiplier in (0, 1) — older values
+                fade geometrically. (For no forgetting use
+                :class:`RollingPrefixMoments` instead.)
+        """
+        decay = float(decay)
+        if not math.isfinite(decay) or not 0.0 < decay < 1.0:
+            raise ConfigurationError(
+                f"decay must lie strictly in (0, 1), got {decay}"
+            )
+        self._decay = decay
+        self._count = 0
+        self._weight = 0.0
+        self._weight_sq = 0.0
+        self._sum_s = 0.0
+        self._sumsq_s = 0.0
+        self._shift = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    @property
+    def decay(self) -> float:
+        """The per-arrival weight multiplier."""
+        return self._decay
+
+    @property
+    def count(self) -> int:
+        """Values ever appended."""
+        return self._count
+
+    @property
+    def weight(self) -> float:
+        """Total decayed weight ``Σ decay**age == (1 - d**n) / (1 - d)``."""
+        return self._weight
+
+    def effective_size(self) -> float:
+        """Kish effective sample size ``(Σw)² / Σw²`` (≤ (1+d)/(1-d))."""
+        if self._count == 0:
+            raise EstimationError("no values observed yet")
+        return self._weight * self._weight / self._weight_sq
+
+    def append(self, value: float) -> None:
+        """Fold one arriving value; all prior weights decay by ``decay``."""
+        x = float(value)
+        if not math.isfinite(x):
+            raise EstimationError(f"stream value must be finite, got {x}")
+        if self._count == 0:
+            self._shift = x
+        d = self._decay
+        shifted = x - self._shift
+        self._weight = d * self._weight + 1.0
+        self._weight_sq = d * d * self._weight_sq + 1.0
+        self._sum_s = d * self._sum_s + shifted
+        self._sumsq_s = d * self._sumsq_s + shifted * shifted
+        self._minimum = min(self._minimum, x)
+        self._maximum = max(self._maximum, x)
+        self._count += 1
+
+    def extend(self, values) -> None:
+        """Fold a batch of values, in order, atomically validated."""
+        batch = [float(v) for v in values]
+        if not all(math.isfinite(v) for v in batch):
+            raise EstimationError("stream values must be finite")
+        for value in batch:
+            self.append(value)
+
+    def _require_values(self) -> None:
+        if self._count == 0:
+            raise EstimationError("no values observed yet")
+
+    def mean(self) -> float:
+        """Decay-weighted mean."""
+        self._require_values()
+        return self._shift + self._sum_s / self._weight
+
+    def variance(self) -> float:
+        """Decay-weighted population variance, clipped at zero."""
+        self._require_values()
+        shifted_mean = self._sum_s / self._weight
+        return max(self._sumsq_s / self._weight - shifted_mean**2, 0.0)
+
+    def std(self) -> float:
+        """Decay-weighted standard deviation."""
+        return math.sqrt(self.variance())
+
+    def minimum(self) -> float:
+        """Running minimum over *all* values seen (conservative: extrema
+        do not decay, so the implied range never understates the data)."""
+        self._require_values()
+        return self._minimum
+
+    def maximum(self) -> float:
+        """Running maximum over all values seen (see :meth:`minimum`)."""
+        self._require_values()
+        return self._maximum
+
+    def value_range(self) -> float:
+        """Conservative range ``max - min`` over all values seen."""
+        return self.maximum() - self.minimum()

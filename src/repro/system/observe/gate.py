@@ -52,6 +52,11 @@ _DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
         "serve_batched_kernel_calls",
         ("facts", "serve", "batched_kernel_calls"),
     ),
+    ("stream_frames_per_sec", ("facts", "stream", "frames_per_sec")),
+    ("stream_windows", ("facts", "stream", "windows")),
+    ("stream_violations", ("facts", "stream", "violations")),
+    ("stream_repairs", ("facts", "stream", "repairs")),
+    ("stream_first_breach_count", ("facts", "stream", "first_breach_count")),
 )
 
 
@@ -111,6 +116,12 @@ class GateThresholds:
             micro-batching never merged anything. None disables the
             check — coalescing depends on request-arrival timing, so it
             is enforced only where the harness controls concurrency.
+        min_stream_fps: Absolute floor on the stream replay's
+            steady-state ingest throughput
+            (``facts.stream.frames_per_sec``). None disables the check —
+            frames/second is a machine-dependent wall-time metric, so
+            like the serve floors it is enforced only with an explicit
+            CI-chosen value.
     """
 
     max_wall_ratio: float | None = 10.0
@@ -122,6 +133,7 @@ class GateThresholds:
     max_executor_fallbacks: float | None = None
     min_serve_speedup: float | None = None
     min_serve_coalescing: float | None = None
+    min_stream_fps: float | None = None
 
 
 #: Slack subtracted from the baseline cache hit ratio when no explicit
@@ -355,6 +367,11 @@ def check_run(
         "serve_coalescing_ratio",
         ("facts", "serve", "coalescing_ratio"),
         limits.min_serve_coalescing,
+    )
+    floor_check(
+        "stream_frames_per_sec",
+        ("facts", "stream", "frames_per_sec"),
+        limits.min_stream_fps,
     )
 
     return GateResult(

@@ -58,6 +58,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import signal
 import time
 from dataclasses import dataclass
@@ -69,7 +70,11 @@ from repro.core.smokescreen import Smokescreen
 from repro.core.tradeoff import PublicPreferences, choose_tradeoff
 from repro.detection import diskcache
 from repro.errors import ReproError
+from repro.estimators.base import Estimate
 from repro.estimators.dispatch import estimate_rows
+from repro.estimators.sentinel import BoundSentinel
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.streaming import WindowedMeanEstimator
 from repro.experiments.workloads import (
     DATASET_NAMES,
     load_dataset,
@@ -156,6 +161,20 @@ class ServeConfig:
             raise RequestError("tick_seconds must be non-negative")
         if self.max_batch < 1 or self.max_queue < 1:
             raise RequestError("max_batch and max_queue must be positive")
+        rate = float(self.tenant_rate)
+        if not math.isfinite(rate) or rate < 0.0:
+            raise RequestError(
+                f"tenant_rate must be a finite requests/second budget "
+                f">= 0 (0 means a burst-only budget), got "
+                f"{self.tenant_rate!r}"
+            )
+        burst = float(self.tenant_burst)
+        if not math.isfinite(burst) or burst < 1.0:
+            raise RequestError(
+                f"tenant_burst must be a finite burst capacity >= 1 "
+                f"(a bucket smaller than one token can never admit a "
+                f"request), got {self.tenant_burst!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -325,8 +344,19 @@ class TokenBucket:
     """A per-tenant budget: ``rate`` tokens/second, ``burst`` capacity."""
 
     def __init__(self, rate: float, burst: float) -> None:
-        self._rate = max(float(rate), 0.0)
-        self._capacity = max(float(burst), 1.0)
+        rate = float(rate)
+        burst = float(burst)
+        if not math.isfinite(rate) or rate < 0.0:
+            raise RequestError(
+                f"token-bucket rate must be finite and >= 0 "
+                f"(0 means a burst-only budget), got {rate}"
+            )
+        if not math.isfinite(burst) or burst < 1.0:
+            raise RequestError(
+                f"token-bucket burst must be finite and >= 1, got {burst}"
+            )
+        self._rate = rate
+        self._capacity = burst
         self._tokens = self._capacity
         self._last = time.monotonic()
 
@@ -375,8 +405,13 @@ class ServeSession:
             "profile_requests": 0,
             "profile_cache_hits": 0,
             "choose_requests": 0,
+            "stream_requests": 0,
+            "stream_opens": 0,
+            "stream_violations": 0,
         }
         self.tenants: dict[str, dict[str, int]] = {}
+        self._streams: dict[str, dict] = {}
+        self._stream_counter = 0
         if self._config.cache_dir and diskcache.active_cache() is None:
             diskcache.activate(
                 self._config.cache_dir, self._config.cache_limit_bytes
@@ -628,6 +663,191 @@ class ServeSession:
         }
 
     # ------------------------------------------------------------------
+    # Hot streams: tenants push frames into a live sentinel.
+    # ------------------------------------------------------------------
+
+    _MAX_STREAM_VALUES = 10_000
+
+    def stream_open(self, payload: Mapping) -> dict:
+        """Arm a hot sentinel for a tenant's live feed (``POST /stream``).
+
+        The profiling-time state comes from the warm session: the exact
+        clean answer over the preloaded corpus is the reference, a clean
+        seeded query's bound is the profiled promise, and a seeded clean
+        sample is the Algorithm 3 correction set. The stream estimator is
+        windowed, so the tenant can keep pushing frames forever and a
+        drift dominates the answer within one window.
+
+        Args:
+            payload: JSON body — ``dataset``, ``aggregate``, ``delta``,
+                ``window``, ``min_count``, ``patience``, ``seed``,
+                ``profiled_bound`` (all optional), plus ``tenant``.
+
+        Returns:
+            The stream's first readout (includes the assigned ``id``).
+        """
+        dataset = str(payload.get("dataset") or self._config.datasets[0])
+        if dataset not in self._config.datasets:
+            raise RequestError(
+                f"dataset {dataset!r} is not preloaded; "
+                f"serving: {self._config.datasets}"
+            )
+        aggregate = str(payload.get("aggregate") or "avg")
+        delta = float(payload.get("delta") or self._config.delta)
+        tenant = str(payload.get("tenant") or "anonymous")
+        seed = int(payload.get("seed") or 7)
+        values = np.asarray(
+            self._processor.frame_values(
+                self._query_for(dataset, aggregate, delta)
+            ),
+            dtype=float,
+        )
+        total = int(values.size)
+        window = int(payload.get("window") or 480)
+        if not 1 <= window <= total:
+            raise RequestError(
+                f"window {window} must lie in [1, corpus size {total}]"
+            )
+        min_count = int(payload.get("min_count") or 30)
+        patience = int(payload.get("patience") or 2)
+        rng = np.random.default_rng(seed)
+        reference = Estimate(
+            value=float(values.mean()),
+            error_bound=0.0,
+            method="exact",
+            n=total,
+            universe_size=total,
+        )
+        correction = SmokescreenMeanEstimator().estimate(
+            rng.choice(values, size=min(400, total), replace=False),
+            total,
+            delta,
+        )
+        profiled = payload.get("profiled_bound")
+        if profiled is None:
+            sample = rng.choice(
+                values, size=max(2, total // 2), replace=False
+            )
+            profiled = (
+                SmokescreenMeanEstimator()
+                .estimate(sample, total, delta)
+                .error_bound
+            )
+        profiled = float(profiled)
+        self._stream_counter += 1
+        stream_id = f"s{self._stream_counter:04d}"
+        estimator = WindowedMeanEstimator(total, window, delta)
+        sentinel = BoundSentinel(
+            reference,
+            profiled,
+            total,
+            delta=delta,
+            min_count=min_count,
+            patience=patience,
+            correction=correction,
+            label=f"{tenant}:{dataset}:{stream_id}",
+            stream=estimator,
+        )
+        self._streams[stream_id] = {
+            "sentinel": sentinel,
+            "estimator": estimator,
+            "tenant": tenant,
+            "dataset": dataset,
+            "aggregate": aggregate,
+            "window": window,
+            "profiled_bound": profiled,
+            "created": time.monotonic(),
+            "ingests": 0,
+        }
+        self.stats["stream_opens"] += 1
+        telemetry.count("serve.stream_opens")
+        self.tenant_record(tenant)["served"] += 1
+        return self.stream_readout(stream_id)
+
+    def stream_ingest(self, payload: Mapping) -> dict:
+        """Push a batch of frame values into a hot stream.
+
+        Args:
+            payload: JSON body with the stream ``id`` and a non-empty
+                ``values`` array of finite numbers (capped at
+                ``_MAX_STREAM_VALUES`` per request).
+
+        Returns:
+            The stream readout after the batch (drift check included).
+        """
+        stream_id = str(payload.get("id") or "")
+        state = self._stream_state(stream_id)
+        raw = payload.get("values")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise RequestError(
+                "values must be a non-empty array of numbers"
+            )
+        if len(raw) > self._MAX_STREAM_VALUES:
+            raise RequestError(
+                f"at most {self._MAX_STREAM_VALUES} values per ingest, "
+                f"got {len(raw)}"
+            )
+        try:
+            batch = [float(value) for value in raw]
+        except (TypeError, ValueError):
+            raise RequestError("values must be an array of numbers")
+        if not all(math.isfinite(value) for value in batch):
+            raise RequestError("values must be finite")
+        sentinel: BoundSentinel = state["sentinel"]
+        tripped_before = sentinel.tripped
+        check = sentinel.extend(batch)
+        state["ingests"] += 1
+        telemetry.count("serve.stream_frames", len(batch))
+        if check is not None and check.breached:
+            self.stats["stream_violations"] += 1
+        self.tenant_record(state["tenant"])["served"] += 1
+        body = self.stream_readout(stream_id)
+        body["ingested"] = len(batch)
+        body["newly_tripped"] = sentinel.tripped and not tripped_before
+        if check is not None:
+            body["check"] = {
+                "drift": check.drift,
+                "allowance": check.allowance,
+                "breached": check.breached,
+            }
+        return body
+
+    def _stream_state(self, stream_id: str) -> dict:
+        state = self._streams.get(stream_id)
+        if state is None:
+            raise RequestError(
+                f"unknown stream {stream_id!r}; open one with "
+                f"POST /stream (no id) first"
+            )
+        return state
+
+    def stream_readout(self, stream_id: str) -> dict:
+        """The readout body for ``GET /stream/<id>``."""
+        state = self._stream_state(stream_id)
+        sentinel: BoundSentinel = state["sentinel"]
+        estimator: WindowedMeanEstimator = state["estimator"]
+        body = {
+            "id": stream_id,
+            "dataset": state["dataset"],
+            "aggregate": state["aggregate"],
+            "tenant": state["tenant"],
+            "window": state["window"],
+            "profiled_bound": state["profiled_bound"],
+            "ingests": state["ingests"],
+            "count": estimator.count,
+            "window_count": estimator.window_count,
+            "verdict": sentinel.verdict().as_payload(),
+        }
+        if estimator.count:
+            estimate = estimator.estimate()
+            body["value"] = float(estimate.value)
+            body["error_bound"] = float(estimate.error_bound)
+        repair = sentinel.repair
+        if repair is not None:
+            body["repaired_bound"] = float(repair.error_bound)
+        return body
+
+    # ------------------------------------------------------------------
     # Diagnostics and teardown.
     # ------------------------------------------------------------------
 
@@ -640,6 +860,7 @@ class ServeSession:
             "counters": dict(self.stats),
             "tenants": {k: dict(v) for k, v in sorted(self.tenants.items())},
             "cached_profiles": len(self._cubes),
+            "streams": len(self._streams),
             "pool": pool_diagnostics(),
             "pool_generation": pool_generation(),
             "shm_published_bytes": shm.published_bytes(),
@@ -969,6 +1190,21 @@ class ServeDaemon:
                 return 200, "application/json", json.dumps(
                     {"status": "shutting down"}
                 )
+            if method == "GET" and path.startswith("/stream/"):
+                stream_id = path[len("/stream/"):]
+                return 200, "application/json", json.dumps(
+                    self.session.stream_readout(stream_id)
+                )
+            if method == "POST" and path == "/stream":
+                tenant = str(payload.get("tenant") or "anonymous")
+                self.batcher.admit(tenant)
+                self.session.stats["stream_requests"] += 1
+                telemetry.count("serve.stream_requests")
+                if payload.get("id"):
+                    body = self.session.stream_ingest(payload)
+                else:
+                    body = self.session.stream_open(payload)
+                return 200, "application/json", json.dumps(body)
             if method == "POST" and path.lstrip("/") in (
                 _BATCHED_KINDS + _PROFILE_KINDS
             ):

@@ -1,0 +1,420 @@
+"""Live-feed replay: streaming profiles, drift detection, auto-repair.
+
+The paper computes profiles offline over a fixed corpus; a deployment
+ingests frames continuously, and the profiled bound silently loses
+validity when stream quality drifts out of the profiled regime (the AQuA
+failure mode). :func:`replay_stream` closes the loop end to end on
+simulated video:
+
+1. Replay a dataset as a timed feed in without-replacement random order
+   (the sampling model the Hoeffding–Serfling bound assumes). Optionally,
+   a scenario from the PR-6 zoo (:data:`SCENARIOS`) takes over at a
+   chosen onset fraction — the feed starts in the profiled regime and
+   drifts out of it mid-stream.
+2. Run the feed window by window through a
+   :class:`~repro.estimators.sentinel.BoundSentinel` armed with the
+   profiling-time state (exact clean reference, a clean seeded query's
+   bound as the profiled promise, and a correction-set estimate for
+   Algorithm 3 repair) over a windowed / decayed / cumulative stream
+   estimator from :mod:`repro.estimators.streaming`.
+3. Emit per-window ledger events (``stream.window``) and aggregate
+   ``facts.stream.*`` — windows, frames/sec, violations, repairs — so the
+   run ledger's perf gate (``repro runs check --min-stream-fps``) covers
+   steady-state throughput too.
+
+Windowed estimators are the default: on an endless feed the cumulative
+estimator dilutes any drift with the entire clean history (and exhausts
+its universe), while a window forgets — drift dominates the answer within
+one window length and the sentinel trips while the repair is still
+relevant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.estimators.base import Estimate
+from repro.estimators.sentinel import BoundSentinel, SentinelVerdict
+from repro.estimators.smokescreen import SmokescreenMeanEstimator
+from repro.estimators.streaming import (
+    DecayedMeanEstimator,
+    StreamingMeanEstimator,
+    WindowedMeanEstimator,
+)
+from repro.experiments.chaos_sweep import SCENARIOS
+from repro.experiments.workloads import load_dataset, model_for
+from repro.system import telemetry
+from repro.system.observe import ledger as run_ledger
+
+ESTIMATOR_KINDS = ("windowed", "decayed", "cumulative")
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """One replay of a dataset as a live feed.
+
+    Attributes:
+        dataset: Workload corpus name (``ua-detrac`` / ``night-street``).
+        frames: Corpus frame count (None = dataset default).
+        scenario: Optional zoo scenario that takes over mid-feed.
+        severity: Scenario severity (defaults to the spec's harshest).
+        onset: Fraction of the feed after which the scenario is live.
+        window: Sliding-window capacity (and per-check batch size).
+        estimator: ``windowed`` | ``decayed`` | ``cumulative``.
+        decay: Weight multiplier for the decayed estimator.
+        delta: Per-read bound failure probability.
+        min_count: Sentinel warm-up floor (frames before any check).
+        patience: Consecutive breaches required to confirm a violation.
+        fraction: Clean seeded-query fraction that prices the profiled
+            bound joining the sentinel's allowance.
+        fps: Target ingest rate; 0 replays as fast as possible.
+        seed: Replay order / correction-set seed.
+    """
+
+    dataset: str = "ua-detrac"
+    frames: int | None = 2000
+    scenario: str | None = None
+    severity: float | None = None
+    onset: float = 0.5
+    window: int = 480
+    estimator: str = "windowed"
+    decay: float = 0.999
+    delta: float = 0.05
+    min_count: int = 30
+    patience: int = 2
+    fraction: float = 0.5
+    fps: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.estimator not in ESTIMATOR_KINDS:
+            raise ConfigurationError(
+                f"estimator must be one of {ESTIMATOR_KINDS}, "
+                f"got {self.estimator!r}"
+            )
+        if self.scenario is not None and self.scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}; "
+                f"valid: {tuple(SCENARIOS)}"
+            )
+        if not 0.0 <= self.onset < 1.0:
+            raise ConfigurationError(
+                f"onset must lie in [0, 1), got {self.onset}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"window must be positive, got {self.window}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must lie in (0, 1], got {self.fraction}"
+            )
+        if self.fps < 0.0:
+            raise ConfigurationError(
+                f"fps must be non-negative, got {self.fps}"
+            )
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One ingest window of the replay.
+
+    Attributes:
+        index: Window ordinal, 0-based.
+        start: First feed position of the window (inclusive).
+        end: Last feed position of the window (exclusive).
+        value: Stream estimator's answer after the window.
+        bound: Stream estimator's error bound after the window.
+        drift: Sentinel drift at the window's check (None in warm-up).
+        allowance: Sentinel allowance at the check (None in warm-up).
+        breached: Whether the check's drift exceeded the allowance.
+        tripped: Whether the sentinel had confirmed a violation by the
+            end of this window.
+    """
+
+    index: int
+    start: int
+    end: int
+    value: float
+    bound: float
+    drift: float | None
+    allowance: float | None
+    breached: bool
+    tripped: bool
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """The replay's outcome: per-window trace plus the verdict.
+
+    Attributes:
+        config: The replay configuration.
+        frames: Frames ingested.
+        onset_index: Feed position where the scenario took over
+            (``frames`` when no scenario ran).
+        windows: Per-window records, in ingest order.
+        verdict: The sentinel's final summary (repair included).
+        profiled_bound: The clean seeded query's promised bound.
+        reference_value: The exact clean answer the drift is measured
+            against.
+        wall_seconds: Total replay wall time (pacing included).
+        ingest_seconds: Time inside sentinel/estimator code only.
+        frames_per_sec: Steady-state ingest throughput
+            (``frames / ingest_seconds``).
+    """
+
+    config: StreamConfig
+    frames: int
+    onset_index: int
+    windows: tuple[WindowRecord, ...] = field(repr=False)
+    verdict: SentinelVerdict
+    profiled_bound: float
+    reference_value: float
+    wall_seconds: float
+    ingest_seconds: float
+    frames_per_sec: float
+
+    @property
+    def violations(self) -> int:
+        """Windows whose drift check breached the allowance."""
+        return sum(1 for window in self.windows if window.breached)
+
+    @property
+    def repairs(self) -> int:
+        """Algorithm 3 repairs issued (0 or 1)."""
+        return 1 if self.verdict.repair is not None else 0
+
+    def as_payload(self) -> dict:
+        """A JSON-friendly summary for ledger facts and reports."""
+        return {
+            "dataset": self.config.dataset,
+            "scenario": self.config.scenario,
+            "severity": self.config.severity,
+            "estimator": self.config.estimator,
+            "window": self.config.window,
+            "frames": self.frames,
+            "onset_index": self.onset_index,
+            "windows": len(self.windows),
+            "violations": self.violations,
+            "repairs": self.repairs,
+            "tripped": self.verdict.tripped,
+            "first_breach_count": self.verdict.first_breach_count,
+            "profiled_bound": self.profiled_bound,
+            "repaired_bound": (
+                self.verdict.repair.error_bound
+                if self.verdict.repair is not None else None
+            ),
+            "wall_seconds": self.wall_seconds,
+            "ingest_seconds": self.ingest_seconds,
+            "frames_per_sec": self.frames_per_sec,
+        }
+
+    def print(self, limit: int = 12) -> None:
+        """Human-readable replay table on stdout."""
+        config = self.config
+        feed = config.dataset if config.scenario is None else (
+            f"{config.dataset} + {config.scenario}"
+            f"@{config.severity} from frame {self.onset_index}"
+        )
+        print(f"stream replay: {feed}")
+        print(
+            f"  estimator={config.estimator} window={config.window} "
+            f"delta={config.delta} profiled_bound={self.profiled_bound:.4f}"
+        )
+        header = (
+            f"  {'win':>3} {'frames':>11} {'value':>8} {'bound':>7} "
+            f"{'drift':>7} {'allow':>7}  status"
+        )
+        print(header)
+        elided = len(self.windows) > limit
+        shown = self.windows if not elided else (
+            self.windows[: limit - 1] + (self.windows[-1],)
+        )
+        for window in shown:
+            if elided and window is self.windows[-1]:
+                print(f"  ... {len(self.windows) - limit} windows elided ...")
+            drift = "-" if window.drift is None else f"{window.drift:.3f}"
+            allow = (
+                "-" if window.allowance is None
+                else f"{window.allowance:.3f}"
+            )
+            status = (
+                "TRIPPED" if window.tripped
+                else "breach" if window.breached else "ok"
+            )
+            print(
+                f"  {window.index:>3} {window.start:>5}-{window.end:<5} "
+                f"{window.value:>8.3f} {window.bound:>7.3f} "
+                f"{drift:>7} {allow:>7}  {status}"
+            )
+        verdict = self.verdict
+        repair = (
+            f"repaired bound {verdict.repair.error_bound:.4f}"
+            if verdict.repair is not None else "no repair"
+        )
+        print(
+            f"  verdict: tripped={verdict.tripped} "
+            f"breaches={verdict.breaches}/{verdict.checks} — {repair}"
+        )
+        print(
+            f"  throughput: {self.frames} frames in "
+            f"{self.ingest_seconds:.3f}s ingest "
+            f"({self.frames_per_sec:,.0f} frames/sec; "
+            f"wall {self.wall_seconds:.3f}s)"
+        )
+
+
+def _build_stream_estimator(config: StreamConfig, universe: int):
+    if config.estimator == "windowed":
+        window = min(config.window, universe)
+        return WindowedMeanEstimator(universe, window, config.delta)
+    if config.estimator == "decayed":
+        return DecayedMeanEstimator(universe, config.decay, config.delta)
+    return StreamingMeanEstimator(universe, config.delta)
+
+
+def _build_feed(
+    config: StreamConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """The replayed value feed, the clean population, and the onset."""
+    dataset = load_dataset(config.dataset, config.frames)
+    model = model_for(config.dataset)
+    clean = model.run(dataset).counts.astype(float)
+    total = clean.size
+    order = rng.permutation(total)
+    feed = clean[order]
+    if config.scenario is None:
+        return feed, clean, total
+    spec = SCENARIOS[config.scenario]
+    severity = (
+        config.severity if config.severity is not None
+        else spec.severities[-1]
+    )
+    hostile = spec.build(severity).attach(model).run(dataset).counts
+    hostile = hostile.astype(float)
+    onset_index = int(round(config.onset * total))
+    feed[onset_index:] = hostile[order[onset_index:]]
+    return feed, clean, onset_index
+
+
+def replay_stream(config: StreamConfig) -> StreamReport:
+    """Replay the configured feed through sentinel + stream estimator.
+
+    Args:
+        config: The replay configuration.
+
+    Returns:
+        The per-window trace, final verdict, and throughput numbers.
+    """
+    rng = np.random.default_rng(config.seed)
+    feed, clean, onset_index = _build_feed(config, rng)
+    total = feed.size
+    universe = total
+
+    reference = Estimate(
+        value=float(clean.mean()),
+        error_bound=0.0,
+        method="exact",
+        n=total,
+        universe_size=total,
+    )
+    correction_set = rng.choice(
+        clean, size=min(400, total), replace=False
+    )
+    correction = SmokescreenMeanEstimator().estimate(
+        correction_set, total, config.delta
+    )
+    profiled_sample = rng.choice(
+        clean,
+        size=max(2, int(round(config.fraction * total))),
+        replace=False,
+    )
+    profiled_bound = float(
+        SmokescreenMeanEstimator()
+        .estimate(profiled_sample, total, config.delta)
+        .error_bound
+    )
+
+    severity = None
+    if config.scenario is not None:
+        severity = (
+            config.severity if config.severity is not None
+            else SCENARIOS[config.scenario].severities[-1]
+        )
+        config = dataclasses.replace(config, severity=severity)
+
+    stream = _build_stream_estimator(config, universe)
+    sentinel = BoundSentinel(
+        reference,
+        profiled_bound,
+        universe,
+        delta=config.delta,
+        min_count=config.min_count,
+        patience=config.patience,
+        correction=correction,
+        label=f"{config.dataset}:{config.scenario or 'clean'}",
+        stream=stream,
+    )
+
+    records: list[WindowRecord] = []
+    wall_start = time.perf_counter()
+    ingest_seconds = 0.0
+    for start in range(0, total, config.window):
+        chunk = feed[start : start + config.window]
+        tick = time.perf_counter()
+        check = sentinel.extend(chunk)
+        estimate = stream.estimate()
+        ingest_seconds += time.perf_counter() - tick
+        record = WindowRecord(
+            index=len(records),
+            start=start,
+            end=start + chunk.size,
+            value=float(estimate.value),
+            bound=float(estimate.error_bound),
+            drift=check.drift if check is not None else None,
+            allowance=check.allowance if check is not None else None,
+            breached=check.breached if check is not None else False,
+            tripped=sentinel.tripped,
+        )
+        records.append(record)
+        telemetry.count("stream.windows")
+        telemetry.count("stream.frames", chunk.size)
+        run_ledger.record_event(
+            "stream.window",
+            window=record.index,
+            frames=int(chunk.size),
+            value=record.value,
+            bound=record.bound,
+            drift=record.drift,
+            allowance=record.allowance,
+            breached=record.breached,
+            tripped=record.tripped,
+        )
+        if config.fps > 0.0:
+            pace = chunk.size / config.fps
+            elapsed = time.perf_counter() - tick
+            if pace > elapsed:
+                time.sleep(pace - elapsed)
+    wall_seconds = time.perf_counter() - wall_start
+
+    report = StreamReport(
+        config=config,
+        frames=total,
+        onset_index=onset_index,
+        windows=tuple(records),
+        verdict=sentinel.verdict(),
+        profiled_bound=profiled_bound,
+        reference_value=reference.value,
+        wall_seconds=wall_seconds,
+        ingest_seconds=ingest_seconds,
+        frames_per_sec=(
+            total / ingest_seconds if ingest_seconds > 0.0 else 0.0
+        ),
+    )
+    run_ledger.annotate(stream=report.as_payload())
+    return report

@@ -136,6 +136,92 @@ class TestValidation:
         assert streaming.estimate_when_below(0.2) is None
 
 
+class TestExtendAtomicity:
+    """Regression: a failed ``extend`` must leave the estimator untouched.
+
+    The old implementation folded values one at a time and validated each
+    on arrival, so a batch like ``[4.0, nan, 5.0]`` raised *after* 4.0 had
+    already been absorbed — count, sum, and extrema were silently
+    corrupted behind the exception, and the next ``estimate()`` was wrong.
+    """
+
+    def _snapshot(self, streaming):
+        return (
+            streaming.count,
+            streaming._sum,
+            streaming._minimum,
+            streaming._maximum,
+        )
+
+    def test_non_finite_mid_batch_leaves_state_untouched(self):
+        streaming = StreamingMeanEstimator(100)
+        streaming.extend([1.0, 2.0, 3.0])
+        before = self._snapshot(streaming)
+        with pytest.raises(EstimationError):
+            streaming.extend([4.0, float("nan"), 5.0])
+        assert self._snapshot(streaming) == before
+        control = StreamingMeanEstimator(100)
+        control.extend([1.0, 2.0, 3.0])
+        assert streaming.estimate() == control.estimate()
+
+    def test_universe_overflow_mid_batch_leaves_state_untouched(self):
+        streaming = StreamingMeanEstimator(4)
+        streaming.extend([1.0, 2.0, 3.0])
+        before = self._snapshot(streaming)
+        with pytest.raises(EstimationError):
+            streaming.extend([4.0, 5.0])  # would overflow at the 2nd value
+        assert self._snapshot(streaming) == before
+        streaming.extend([4.0])  # the universe still has room for one
+        assert streaming.count == 4
+
+    def test_rejects_non_flat_batch(self):
+        streaming = StreamingMeanEstimator(100)
+        with pytest.raises(EstimationError):
+            streaming.extend([[1.0, 2.0], [3.0, 4.0]])
+        assert streaming.count == 0
+
+    def test_empty_batch_is_noop(self):
+        streaming = StreamingMeanEstimator(100)
+        streaming.extend([])
+        assert streaming.count == 0
+
+
+class TestWhenBelowUnreachableFloor:
+    """Regression: ``min_count > universe_size`` can never be satisfied.
+
+    The old implementation happily returned None forever: the universe
+    exhausts at ``universe_size`` observations (``update`` then raises),
+    so a caller polling ``estimate_when_below`` in the documented loop
+    spun until the overflow error — far from the misconfigured floor that
+    actually caused it. Now the impossibility is rejected up front.
+    """
+
+    def test_rejects_min_count_beyond_universe(self):
+        streaming = StreamingMeanEstimator(50)
+        streaming.update(1.0)
+        with pytest.raises(EstimationError, match="exceeds the universe"):
+            streaming.estimate_when_below(0.5, min_count=51)
+
+    def test_boundary_min_count_equal_to_universe_works(self):
+        universe = 40
+        rng = np.random.default_rng(9)
+        values = rng.poisson(5.0, size=universe).astype(float)
+        streaming = StreamingMeanEstimator(universe)
+        result = None
+        for value in values:
+            streaming.update(float(value))
+            result = streaming.estimate_when_below(
+                0.5, min_count=universe
+            )
+            if result is not None:
+                break
+        # At full exhaustion the sample IS the population: zero bound.
+        assert result is not None
+        assert streaming.count == universe
+        assert result.error_bound == 0.0
+        assert result.value == pytest.approx(values.mean())
+
+
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
@@ -223,7 +309,7 @@ class TestStreamingProperties:
     def test_estimate_when_below_honours_floor_and_target(self, values, target):
         """Property: a stop only ever happens past the warm-up floor with
         the bound actually at or under the target."""
-        streaming = StreamingMeanEstimator(len(values) + 5)
+        streaming = StreamingMeanEstimator(len(values) + 15)
         stopped = None
         for value in values:
             streaming.update(float(value))

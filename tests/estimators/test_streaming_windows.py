@@ -1,0 +1,227 @@
+"""Tests for the windowed / decayed streaming estimators and their
+sentinel wiring.
+
+Both variants must pin to a from-scratch evaluation at the repo's 1e-9
+policy: the windowed estimate equals the batch Theorem 3.1 construction on
+the retained window, and the decayed estimate equals the hand-computed
+weighted mean with the Kish effective size plugged into the radius.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.base import Estimate
+from repro.estimators.sentinel import BoundSentinel
+from repro.estimators.smokescreen import bound_aware_estimate
+from repro.estimators.streaming import (
+    DecayedMeanEstimator,
+    StreamingMeanEstimator,
+    WindowedMeanEstimator,
+)
+from repro.stats.inequalities import hoeffding_serfling_radius
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(23)
+    return rng.poisson(5.0, size=2000).astype(float)
+
+
+class TestWindowedMeanEstimator:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(EstimationError):
+            WindowedMeanEstimator(0, 10)
+        with pytest.raises(EstimationError):
+            WindowedMeanEstimator(100, 0)
+        with pytest.raises(EstimationError):
+            WindowedMeanEstimator(100, 101)
+        with pytest.raises(EstimationError):
+            WindowedMeanEstimator(100, 10, delta=0.0)
+
+    def test_estimate_requires_data(self):
+        with pytest.raises(EstimationError):
+            WindowedMeanEstimator(100, 10).estimate()
+
+    def test_pins_to_scratch_construction(self, population):
+        universe, window = 500, 64
+        estimator = WindowedMeanEstimator(universe, window)
+        for i, value in enumerate(population[:300]):
+            estimator.update(float(value))
+            retained = population[max(0, i + 1 - window) : i + 1]
+            estimate = estimator.estimate()
+            expected_radius = hoeffding_serfling_radius(
+                retained.size, universe, 0.05,
+                float(retained.max() - retained.min()),
+            )
+            expected = bound_aware_estimate(
+                float(retained.mean()), expected_radius,
+                retained.size, universe, "smokescreen-windowed",
+            )
+            np.testing.assert_allclose(
+                estimate.value, expected.value, rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                estimate.error_bound, expected.error_bound,
+                rtol=RTOL, atol=ATOL,
+            )
+            assert estimate.n == retained.size
+            assert estimate.method == "smokescreen-windowed"
+
+    def test_never_exhausts_and_forgets_drift(self, population):
+        """Unlike the cumulative estimator, the window (a) accepts more
+        values than its universe, and (b) converges to the post-drift
+        regime within one window length."""
+        estimator = WindowedMeanEstimator(500, 50)
+        estimator.extend(population[:1500])  # 3x the universe: fine
+        assert estimator.count == 1500
+        assert estimator.window_count == 50
+        estimator.extend(np.zeros(50))  # hostile regime takes over
+        assert estimator.estimate().value == 0.0
+
+    def test_matches_cumulative_before_first_eviction(self, population):
+        universe = 500
+        windowed = WindowedMeanEstimator(universe, 100)
+        cumulative = StreamingMeanEstimator(universe)
+        values = population[:80]
+        windowed.extend(values)
+        cumulative.extend(values)
+        np.testing.assert_allclose(
+            windowed.estimate().value,
+            cumulative.estimate().value,
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            windowed.estimate().error_bound,
+            cumulative.estimate().error_bound,
+            rtol=RTOL, atol=ATOL,
+        )
+
+
+class TestDecayedMeanEstimator:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(EstimationError):
+            DecayedMeanEstimator(0, 0.9)
+        with pytest.raises(EstimationError):
+            DecayedMeanEstimator(100, 0.0)
+        with pytest.raises(EstimationError):
+            DecayedMeanEstimator(100, 1.0)
+        with pytest.raises(EstimationError):
+            DecayedMeanEstimator(100, math.nan)
+
+    def test_rejects_saturation_beyond_universe(self):
+        # (1 + 0.999) / (1 - 0.999) = 1999 effective frames > universe 100
+        with pytest.raises(EstimationError, match="saturates"):
+            DecayedMeanEstimator(100, 0.999)
+        DecayedMeanEstimator(2000, 0.999)  # fits: no raise
+
+    def test_estimate_requires_data(self):
+        with pytest.raises(EstimationError):
+            DecayedMeanEstimator(1000, 0.9).estimate()
+
+    def test_pins_to_scratch_construction(self, population):
+        universe, decay = 1000, 0.95
+        estimator = DecayedMeanEstimator(universe, decay)
+        values = population[:200]
+        estimator.extend(values)
+        weights = decay ** np.arange(len(values) - 1, -1, -1, dtype=float)
+        expected_mean = np.average(values, weights=weights)
+        effective = weights.sum() ** 2 / (weights**2).sum()
+        expected_radius = hoeffding_serfling_radius(
+            effective, universe, 0.05, float(values.max() - values.min())
+        )
+        expected = bound_aware_estimate(
+            float(expected_mean), expected_radius,
+            max(1, int(effective)), universe, "smokescreen-decayed",
+        )
+        estimate = estimator.estimate()
+        np.testing.assert_allclose(
+            estimate.value, expected.value, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            estimate.error_bound, expected.error_bound, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            estimator.effective_size(), effective, rtol=RTOL, atol=ATOL
+        )
+        assert estimate.n == int(effective)
+        assert estimate.method == "smokescreen-decayed"
+
+    def test_forgets_drift_geometrically(self, population):
+        estimator = DecayedMeanEstimator(2000, 0.9)
+        estimator.extend(population[:500])
+        clean_value = estimator.estimate().value
+        estimator.extend(np.zeros(100))  # ~10 effective frames of zeros
+        assert estimator.estimate().value < 0.01 * clean_value
+
+
+def _reference(population) -> Estimate:
+    return Estimate(
+        value=float(population.mean()),
+        error_bound=0.0,
+        method="exact",
+        n=population.size,
+        universe_size=population.size,
+    )
+
+
+class TestSentinelWithPluggableStream:
+    def test_rejects_stale_stream(self, population):
+        stale = WindowedMeanEstimator(population.size, 100)
+        stale.update(1.0)
+        with pytest.raises(EstimationError, match="fresh"):
+            BoundSentinel(
+                reference=_reference(population),
+                profiled_bound=0.1,
+                universe_size=population.size,
+                stream=stale,
+            )
+
+    def test_windowed_stream_trips_where_cumulative_dilutes(self, population):
+        """The failure mode the windowed variant exists for: a long clean
+        prefix followed by drift. The cumulative mean barely moves; the
+        windowed mean converges to the hostile regime and trips."""
+        # 1800 clean frames, then 100 hostile zeros: a ~5% dilution of the
+        # all-time mean, but a total takeover of a 100-frame window.
+        hostile = np.zeros(100)
+        kwargs = dict(
+            reference=_reference(population),
+            profiled_bound=0.05,
+            universe_size=population.size,
+            min_count=30,
+            patience=2,
+        )
+        windowed = BoundSentinel(
+            stream=WindowedMeanEstimator(population.size, 100), **kwargs
+        )
+        cumulative = BoundSentinel(**kwargs)
+        for sentinel in (windowed, cumulative):
+            for chunk in np.split(population[:1800], 9):
+                sentinel.extend(chunk)
+            for chunk in np.split(hostile, 2):
+                sentinel.extend(chunk)
+        assert windowed.verdict().tripped
+        assert not cumulative.verdict().tripped
+
+    def test_windowed_stream_stays_quiet_on_clean_feed(self, population):
+        sentinel = BoundSentinel(
+            reference=_reference(population),
+            profiled_bound=0.1,
+            universe_size=population.size,
+            stream=WindowedMeanEstimator(population.size, 480),
+            min_count=30,
+            patience=2,
+        )
+        rng = np.random.default_rng(31)
+        for chunk in np.split(rng.permutation(population), 5):
+            sentinel.extend(chunk)
+        verdict = sentinel.verdict()
+        assert not verdict.tripped
+        assert verdict.breaches == 0

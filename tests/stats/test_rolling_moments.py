@@ -1,0 +1,349 @@
+"""Streaming moment engines vs their batch / from-scratch references.
+
+Three contracts, one per engine:
+
+- :class:`RollingPrefixMoments` must be **bit-identical** to rebuilding a
+  :class:`PrefixMoments` over the same prefix — not merely close: the live
+  feed and the profiler's vectorized sweep must never disagree.
+- :class:`SlidingWindowMoments` must track a from-scratch recomputation of
+  the retained window within the repo's 1e-9 policy, with **exact** extrema.
+- :class:`DecayedMoments` must satisfy the closed-form weight identities
+  and match a directly evaluated weighted mean/variance.
+
+Plus the large-offset regression: shifted cumulants must survive a ~1e8
+common offset that catastrophically cancels the raw ``E[x²] − E[x]²`` form.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.stats.prefix_moments import (
+    DecayedMoments,
+    PrefixMoments,
+    RollingPrefixMoments,
+    SlidingWindowMoments,
+)
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_values, min_size=1, max_size=120)
+
+
+def batch_on_prefix(rolling: RollingPrefixMoments) -> PrefixMoments:
+    """The batch engine rebuilt on exactly the appended prefix."""
+    return PrefixMoments(rolling._matrix.copy())
+
+
+def assert_bit_identical(
+    rolling: RollingPrefixMoments, batch: PrefixMoments, n: int
+) -> None:
+    np.testing.assert_array_equal(rolling.mean(n), batch.mean(n))
+    np.testing.assert_array_equal(rolling.variance(n), batch.variance(n))
+    np.testing.assert_array_equal(
+        rolling.second_moment(n), batch.second_moment(n)
+    )
+    np.testing.assert_array_equal(rolling.minimum(n), batch.minimum(n))
+    np.testing.assert_array_equal(rolling.maximum(n), batch.maximum(n))
+    np.testing.assert_array_equal(rolling.value_range(n), batch.value_range(n))
+    np.testing.assert_array_equal(
+        rolling.prefix_mean_matrix(n), batch.prefix_mean_matrix(n)
+    )
+    np.testing.assert_array_equal(
+        rolling.prefix_variance_matrix(n), batch.prefix_variance_matrix(n)
+    )
+
+
+class TestRollingPrefixMoments:
+    def test_rejects_bad_shape_params(self):
+        with pytest.raises(ConfigurationError):
+            RollingPrefixMoments(trials=0)
+        with pytest.raises(ConfigurationError):
+            RollingPrefixMoments(capacity=0)
+
+    def test_empty_engine_rejects_queries(self):
+        rolling = RollingPrefixMoments()
+        with pytest.raises(ConfigurationError):
+            rolling.mean(1)
+
+    def test_append_rejects_non_finite(self):
+        rolling = RollingPrefixMoments()
+        rolling.append(1.0)
+        with pytest.raises(EstimationError):
+            rolling.append(math.nan)
+        assert rolling.size == 1
+
+    def test_append_rejects_wrong_arity(self):
+        rolling = RollingPrefixMoments(trials=3)
+        with pytest.raises(ConfigurationError):
+            rolling.append([1.0, 2.0])
+
+    def test_bit_identical_to_batch_across_growth(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.gamma(2.0, 3.0, size=(9, 80))
+        rolling = RollingPrefixMoments(trials=9, capacity=4)
+        for j in range(matrix.shape[1]):
+            rolling.append(matrix[:, j])
+            if j + 1 in (1, 2, 5, 33, 80):
+                batch = PrefixMoments(matrix[:, : j + 1])
+                for n in range(1, j + 2):
+                    if n in (1, j // 2 + 1, j + 1):
+                        assert_bit_identical(rolling, batch, n)
+        assert rolling.size == 80
+        assert rolling.max_size == 80
+
+    def test_extend_equals_repeated_append(self):
+        rng = np.random.default_rng(11)
+        block = rng.normal(5.0, 2.0, size=(3, 40))
+        via_extend = RollingPrefixMoments(trials=3, capacity=8)
+        via_extend.extend(block)
+        via_append = RollingPrefixMoments(trials=3, capacity=8)
+        for j in range(block.shape[1]):
+            via_append.append(block[:, j])
+        np.testing.assert_array_equal(
+            via_extend.prefix_mean_matrix(40), via_append.prefix_mean_matrix(40)
+        )
+        np.testing.assert_array_equal(
+            via_extend.prefix_variance_matrix(40),
+            via_append.prefix_variance_matrix(40),
+        )
+
+    def test_extend_is_atomic_on_non_finite(self):
+        rolling = RollingPrefixMoments()
+        rolling.extend([1.0, 2.0, 3.0])
+        before = rolling._matrix.copy()
+        with pytest.raises(EstimationError):
+            rolling.extend([4.0, math.inf, 5.0])
+        assert rolling.size == 3
+        np.testing.assert_array_equal(rolling._matrix, before)
+
+    def test_one_dimensional_extend_for_single_feed(self):
+        rolling = RollingPrefixMoments()
+        rolling.extend([2.0, 4.0, 6.0])
+        batch = PrefixMoments(np.array([[2.0, 4.0, 6.0]]))
+        assert_bit_identical(rolling, batch, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=value_lists)
+    def test_property_rolling_equals_batch(self, values):
+        rolling = RollingPrefixMoments(capacity=2)
+        for value in values:
+            rolling.append(value)
+        batch = PrefixMoments(np.array([values]))
+        n = len(values)
+        assert_bit_identical(rolling, batch, n)
+        assert_bit_identical(rolling, batch, (n + 1) // 2)
+
+
+class TestSlidingWindowMoments:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowMoments(0)
+
+    def test_empty_window_rejects_queries(self):
+        window = SlidingWindowMoments(4)
+        with pytest.raises(EstimationError):
+            window.mean()
+
+    def test_append_rejects_non_finite(self):
+        window = SlidingWindowMoments(4)
+        with pytest.raises(EstimationError):
+            window.append(math.inf)
+
+    def test_extend_is_atomic_on_non_finite(self):
+        window = SlidingWindowMoments(4)
+        window.extend([1.0, 2.0])
+        with pytest.raises(EstimationError):
+            window.extend([3.0, math.nan])
+        assert window.count == 2
+        np.testing.assert_array_equal(window.values(), [1.0, 2.0])
+
+    def test_matches_scratch_recompute_with_offset(self):
+        rng = np.random.default_rng(3)
+        values = rng.gamma(2.0, 3.0, size=500) + 1e6
+        window = SlidingWindowMoments(32)
+        for i, value in enumerate(values):
+            window.append(value)
+            retained = values[max(0, i + 1 - 32) : i + 1]
+            assert window.count == retained.size
+            assert window.total_appended == i + 1
+            np.testing.assert_allclose(
+                window.mean(), retained.mean(), rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                window.variance(), retained.var(), rtol=1e-6, atol=1e-6
+            )
+            assert window.minimum() == retained.min()
+            assert window.maximum() == retained.max()
+            assert window.value_range() == retained.max() - retained.min()
+        assert window.is_full
+
+    def test_ddof_variance(self):
+        window = SlidingWindowMoments(8)
+        window.extend([1.0, 2.0, 4.0, 8.0])
+        expected = np.array([1.0, 2.0, 4.0, 8.0]).var(ddof=1)
+        np.testing.assert_allclose(
+            window.variance(ddof=1), expected, rtol=RTOL, atol=ATOL
+        )
+        with pytest.raises(ConfigurationError):
+            window.variance(ddof=4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=value_lists,
+        capacity=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_window_equals_scratch(self, values, capacity):
+        window = SlidingWindowMoments(capacity)
+        array = np.array(values)
+        for i, value in enumerate(values):
+            window.append(value)
+            retained = array[max(0, i + 1 - capacity) : i + 1]
+            np.testing.assert_allclose(
+                window.mean(), retained.mean(), rtol=1e-9, atol=1e-6
+            )
+            assert window.minimum() == retained.min()
+            assert window.maximum() == retained.max()
+
+
+class TestDecayedMoments:
+    @pytest.mark.parametrize("decay", [0.0, 1.0, -0.5, math.nan, math.inf])
+    def test_rejects_bad_decay(self, decay):
+        with pytest.raises(ConfigurationError):
+            DecayedMoments(decay)
+
+    def test_empty_rejects_queries(self):
+        decayed = DecayedMoments(0.9)
+        with pytest.raises(EstimationError):
+            decayed.mean()
+        with pytest.raises(EstimationError):
+            decayed.effective_size()
+
+    def test_append_rejects_non_finite(self):
+        decayed = DecayedMoments(0.9)
+        with pytest.raises(EstimationError):
+            decayed.append(math.nan)
+
+    def test_extend_is_atomic_on_non_finite(self):
+        decayed = DecayedMoments(0.9)
+        decayed.extend([1.0, 2.0])
+        weight = decayed.weight
+        with pytest.raises(EstimationError):
+            decayed.extend([3.0, math.inf])
+        assert decayed.count == 2
+        assert decayed.weight == weight
+
+    def test_weight_identity_and_saturation(self):
+        decay = 0.97
+        decayed = DecayedMoments(decay)
+        for n in range(1, 400):
+            decayed.append(float(n % 7))
+            expected = (1.0 - decay**n) / (1.0 - decay)
+            np.testing.assert_allclose(
+                decayed.weight, expected, rtol=RTOL, atol=ATOL
+            )
+        ceiling = (1.0 + decay) / (1.0 - decay)
+        assert decayed.effective_size() <= ceiling + 1e-9
+
+    def test_matches_direct_weighted_moments(self):
+        rng = np.random.default_rng(5)
+        values = rng.gamma(2.0, 3.0, size=200)
+        decay = 0.9
+        decayed = DecayedMoments(decay)
+        decayed.extend(values)
+        weights = decay ** np.arange(len(values) - 1, -1, -1, dtype=float)
+        expected_mean = np.average(values, weights=weights)
+        expected_var = np.average(
+            (values - expected_mean) ** 2, weights=weights
+        )
+        np.testing.assert_allclose(
+            decayed.mean(), expected_mean, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            decayed.variance(), expected_var, rtol=1e-7, atol=1e-9
+        )
+        assert decayed.minimum() == values.min()
+        assert decayed.maximum() == values.max()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=value_lists,
+        decay=st.floats(min_value=0.05, max_value=0.995),
+    )
+    def test_property_weight_and_mean(self, values, decay):
+        decayed = DecayedMoments(decay)
+        decayed.extend(values)
+        n = len(values)
+        expected_weight = (1.0 - decay**n) / (1.0 - decay)
+        np.testing.assert_allclose(
+            decayed.weight, expected_weight, rtol=1e-9, atol=1e-9
+        )
+        weights = decay ** np.arange(n - 1, -1, -1, dtype=float)
+        expected_mean = np.average(np.array(values), weights=weights)
+        np.testing.assert_allclose(
+            decayed.mean(), expected_mean, rtol=1e-9, atol=1e-6
+        )
+        assert 0.0 < decayed.effective_size() <= n + 1e-9
+
+
+class TestLargeOffsetRegression:
+    """Shifted cumulants must survive a large common offset.
+
+    The raw ``E[x²] − E[x]²`` form loses every significant bit of a
+    unit-scale spread once values sit near 1e8 (float64 keeps ~16 digits;
+    the squares eat all of them). The shifted form keeps the spread.
+    """
+
+    def test_batch_variance_at_1e8_offset(self):
+        rng = np.random.default_rng(13)
+        matrix = rng.normal(0.0, 1.0, size=(4, 200)) + 1e8
+        moments = PrefixMoments(matrix)
+        for n in (2, 50, 200):
+            np.testing.assert_allclose(
+                moments.variance(n),
+                matrix[:, :n].var(axis=1),
+                rtol=1e-6,
+            )
+        # Unit-scale spread must survive: the cancelling form collapses
+        # these to 0.0 (or negative-clipped garbage) at this offset.
+        assert np.all(moments.variance(200) > 0.5)
+        np.testing.assert_allclose(
+            moments.prefix_variance_matrix(200)[:, 1:],
+            np.stack(
+                [matrix[:, :n].var(axis=1) for n in range(2, 201)], axis=1
+            ),
+            rtol=1e-5,
+        )
+
+    def test_rolling_variance_at_1e8_offset(self):
+        rng = np.random.default_rng(17)
+        values = rng.normal(0.0, 1.0, size=300) + 1e8
+        rolling = RollingPrefixMoments()
+        rolling.extend(values)
+        np.testing.assert_allclose(
+            rolling.variance(300), values.var(), rtol=1e-6
+        )
+        batch = PrefixMoments(values.reshape(1, -1))
+        np.testing.assert_array_equal(
+            rolling.variance(300), batch.variance(300)
+        )
+
+    def test_second_moment_reconstruction_at_offset(self):
+        rng = np.random.default_rng(19)
+        matrix = rng.normal(0.0, 1.0, size=(3, 64)) + 1e8
+        moments = PrefixMoments(matrix)
+        np.testing.assert_allclose(
+            moments.second_moment(64),
+            (matrix**2).mean(axis=1),
+            rtol=1e-9,
+        )

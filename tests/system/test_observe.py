@@ -568,6 +568,68 @@ class TestServeGate:
         )
 
 
+def stream_record(fps=1_000_000.0, **overrides) -> dict:
+    record = baseline_record(**overrides)
+    record["facts"] = {
+        "stream": {
+            "frames_per_sec": fps,
+            "windows": 5,
+            "violations": 2,
+            "repairs": 1,
+            "first_breach_count": 1920,
+            "tripped": True,
+        }
+    }
+    return record
+
+
+class TestStreamGate:
+    """Streaming-replay facts flow through the same perf gate."""
+
+    def test_stream_checks_disabled_by_default(self):
+        result = check_run(
+            stream_record(), stream_record(run_id="cand"), GateThresholds()
+        )
+        assert result.passed
+        assert "stream_frames_per_sec" not in result.checked
+
+    def test_fps_floor_enforced_when_explicit(self):
+        thresholds = GateThresholds(min_stream_fps=5000.0)
+        passing = check_run(
+            stream_record(), stream_record(run_id="cand"), thresholds
+        )
+        assert passing.passed
+        assert "stream_frames_per_sec" in passing.checked
+        failing = check_run(
+            stream_record(),
+            stream_record(fps=400.0, run_id="cand"),
+            thresholds,
+        )
+        assert not failing.passed
+        assert [v.metric for v in failing.violations] == [
+            "stream_frames_per_sec"
+        ]
+
+    def test_records_without_stream_facts_skip_the_checks(self):
+        result = check_run(
+            baseline_record(),
+            candidate_record(),
+            GateThresholds(min_stream_fps=5000.0),
+        )
+        assert result.passed
+        assert "stream_frames_per_sec" not in result.checked
+
+    def test_diff_surfaces_stream_rows(self):
+        rows = {row["metric"]: row for row in diff_runs(
+            stream_record(), stream_record(fps=2_000_000.0, run_id="cand")
+        )}
+        assert rows["stream_frames_per_sec"]["delta"] == pytest.approx(
+            1_000_000.0
+        )
+        assert rows["stream_violations"]["ratio"] == pytest.approx(1.0)
+        assert rows["stream_repairs"]["baseline"] == 1
+
+
 def _traced_unit(index: int) -> int:
     """Module-level (picklable) work unit that records a nested span."""
     with telemetry.span("unit.outer", index=index):

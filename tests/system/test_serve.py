@@ -549,3 +549,163 @@ class TestSubprocessLifecycle:
         assert record["status"] == "ok"
         assert record["facts"]["serve"]["requests"] == 1
         assert record["facts"]["serve"]["kernel_calls"] == 1
+
+
+class TestBudgetValidation:
+    """Regression: malformed tenant budgets must be rejected, not coerced.
+
+    ``TokenBucket`` used to silently clamp ``burst`` up to 1.0 (hiding a
+    misconfigured fractional burst behind a working-looking bucket) and
+    accepted a NaN ``rate`` (every refill computed ``nan`` tokens, so the
+    bucket admitted the burst and then starved every tenant forever).
+    """
+
+    def test_token_bucket_rejects_fractional_burst(self):
+        with pytest.raises(RequestError):
+            TokenBucket(rate=10.0, burst=0.5)
+
+    def test_token_bucket_rejects_nan_rate(self):
+        with pytest.raises(RequestError):
+            TokenBucket(rate=float("nan"), burst=10)
+
+    @pytest.mark.parametrize(
+        "rate, burst",
+        [(float("inf"), 10), (-1.0, 10), (10.0, float("nan")), (10.0, 0)],
+    )
+    def test_token_bucket_rejects_other_degenerates(self, rate, burst):
+        with pytest.raises(RequestError):
+            TokenBucket(rate=rate, burst=burst)
+
+    def test_token_bucket_accepts_burst_only_budget(self):
+        TokenBucket(rate=0.0, burst=1)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"tenant_burst": 0.5},
+            {"tenant_rate": float("nan")},
+            {"tenant_rate": -1.0},
+            {"tenant_burst": float("inf")},
+        ],
+    )
+    def test_serve_config_rejects_bad_budgets(self, overrides):
+        with pytest.raises(RequestError):
+            ServeConfig(datasets=("ua-detrac",), **overrides)
+
+
+class TestHotStreams:
+    """Session-level /stream semantics without the HTTP layer."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        config = ServeConfig(datasets=("ua-detrac",), frames=FRAMES)
+        session = ServeSession(config)
+        session.warmup()
+        yield session
+        session.shutdown()
+
+    def test_open_returns_fresh_readout(self, session):
+        body = session.stream_open({"tenant": "cam-7"})
+        assert body["id"].startswith("s")
+        assert body["tenant"] == "cam-7"
+        assert body["count"] == 0
+        assert body["ingests"] == 0
+        assert body["profiled_bound"] > 0.0
+        assert body["verdict"]["tripped"] is False
+
+    def test_open_rejects_unloaded_dataset(self, session):
+        with pytest.raises(RequestError):
+            session.stream_open({"dataset": "night-street"})
+
+    def test_open_rejects_oversized_window(self, session):
+        with pytest.raises(RequestError):
+            session.stream_open({"window": FRAMES + 1})
+
+    def test_ingest_unknown_stream_rejected(self, session):
+        with pytest.raises(RequestError, match="unknown stream"):
+            session.stream_ingest({"id": "s9999", "values": [1.0]})
+
+    @pytest.mark.parametrize(
+        "values",
+        [None, [], "not-a-list", [1.0, float("nan")], [1.0, "x"]],
+    )
+    def test_ingest_rejects_malformed_values(self, session, values):
+        stream_id = session.stream_open({})["id"]
+        with pytest.raises(RequestError):
+            session.stream_ingest({"id": stream_id, "values": values})
+
+    def test_ingest_rejects_oversized_batch(self, session):
+        stream_id = session.stream_open({})["id"]
+        with pytest.raises(RequestError, match="at most"):
+            session.stream_ingest(
+                {"id": stream_id, "values": [1.0] * 10_001}
+            )
+
+    def test_hostile_feed_trips_and_repairs(self, session):
+        opened = session.stream_open(
+            {
+                "tenant": "cam-drift",
+                "window": 100,
+                "profiled_bound": 0.05,
+                "min_count": 30,
+                "patience": 2,
+            }
+        )
+        stream_id = opened["id"]
+        violations_before = session.stats["stream_violations"]
+        # An all-zero feed is total drift (the clean reference mean is
+        # positive): first breach at the first post-warm-up check, the
+        # second confirms it past patience.
+        first = session.stream_ingest(
+            {"id": stream_id, "values": [0.0] * 50}
+        )
+        assert first["check"]["breached"]
+        assert not first["verdict"]["tripped"]
+        second = session.stream_ingest(
+            {"id": stream_id, "values": [0.0] * 50}
+        )
+        assert second["newly_tripped"]
+        assert second["verdict"]["tripped"]
+        assert second["repaired_bound"] > 0.0
+        assert session.stats["stream_violations"] >= violations_before + 2
+        readout = session.stream_readout(stream_id)
+        assert readout["verdict"]["tripped"]
+        assert readout["count"] == 100
+        assert readout["ingests"] == 2
+
+
+class TestStreamHTTP:
+    """The /stream endpoints over the wire."""
+
+    def test_open_ingest_readout_round_trip(self):
+        async def scenario(daemon, port):
+            status, opened = await post_json(
+                "127.0.0.1", port, "/stream",
+                {"tenant": "cam-http", "window": 100,
+                 "profiled_bound": 0.05},
+            )
+            assert status == 200, opened
+            stream_id = opened["id"]
+            status, ingested = await post_json(
+                "127.0.0.1", port, "/stream",
+                {"id": stream_id, "values": [0.0] * 50,
+                 "tenant": "cam-http"},
+            )
+            assert status == 200, ingested
+            assert ingested["ingested"] == 50
+            status, readout = await post_json(
+                "127.0.0.1", port, f"/stream/{stream_id}"
+            )
+            assert status == 200, readout
+            assert readout["count"] == 50
+            status, missing = await post_json(
+                "127.0.0.1", port, "/stream/s9999"
+            )
+            assert status == 400, missing
+            status, stats = await post_json("127.0.0.1", port, "/stats")
+            assert stats["streams"] == 1
+            assert stats["counters"]["stream_requests"] == 2
+            assert stats["counters"]["stream_opens"] == 1
+            return True
+
+        assert run_with_daemon(scenario)

@@ -370,6 +370,55 @@ class TestServeParser:
         assert args.min_serve_speedup == 5.0
         assert args.min_serve_coalescing == 2.0
 
+    def test_runs_check_accepts_stream_fps_floor(self):
+        args = build_parser().parse_args([
+            "runs", "check", "--baseline", "b.json",
+            "--min-stream-fps", "5000",
+        ])
+        assert args.min_stream_fps == 5000.0
+
+
+class TestStreamCommand:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.dataset == "ua-detrac"
+        assert args.frames == 2000
+        assert args.scenario is None
+        assert args.onset == 0.5
+        assert args.window == 480
+        assert args.estimator == "windowed"
+        assert args.decay == 0.999
+        assert args.fps == 0.0
+        assert args.handler.__name__ == "cmd_stream"
+
+    def test_stream_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--scenario", "teapot"])
+
+    def test_stream_replay_records_facts_and_prints_table(
+        self, tmp_path, capsys
+    ):
+        ledger = tmp_path / "stream.jsonl"
+        code = main([
+            "stream", "--scenario", "weather", "--severity", "0.95",
+            "--frames", "2000", "--run-ledger", str(ledger),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRIPPED" in out
+        assert "repaired bound" in out
+        record = json.loads(ledger.read_text().splitlines()[-1])
+        facts = record["facts"]["stream"]
+        assert facts["tripped"] is True
+        assert facts["repairs"] == 1
+        assert facts["frames_per_sec"] > 0
+
+    def test_clean_stream_replay_stays_quiet(self, capsys):
+        code = main(["stream", "--frames", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRIPPED" not in out
+
 
 class TestPoolCommand:
     def test_local_pool_inspection_without_a_pool(self, capsys):
