@@ -595,7 +595,59 @@ def cmd_runs_show(args: argparse.Namespace) -> int:
     record = _candidate_run(args)
     json.dump(record, sys.stdout, indent=2, sort_keys=True)
     print()
+    rollup = (
+        record.get("facts", {}).get("fleet", {}).get("telemetry")
+        if isinstance(record.get("facts"), dict)
+        else None
+    )
+    if isinstance(rollup, dict) and rollup.get("fleet"):
+        _render_fleet_rollup(rollup)
     return 0
+
+
+def _render_fleet_rollup(rollup: dict) -> None:
+    """Render ``facts.fleet.telemetry`` as a camera→shard→fleet summary."""
+    fleet = rollup.get("fleet", {})
+    print()
+    print(
+        f"fleet rollup: {fleet.get('cameras', 0)} cameras / "
+        f"{fleet.get('shards', 0)} shards, "
+        f"{fleet.get('total_frames', 0)} frames"
+    )
+    print(
+        f"  latency mean {_format_cell(fleet.get('mean_latency_s'))}s "
+        f"max {_format_cell(fleet.get('max_latency_s'))}s, "
+        f"violations {fleet.get('violations', 0)} "
+        f"(concentration {_format_cell(fleet.get('violation_concentration'))}), "
+        f"cache-hit dispersion {_format_cell(fleet.get('cache_hit_dispersion'))}"
+    )
+    shards = rollup.get("shards", {})
+    if shards:
+        print(
+            f"  {'shard':<12} {'cameras':>7} {'frames':>8} "
+            f"{'mean_s':>9} {'max_s':>9} {'viol':>5} {'degraded':>8} "
+            f"{'hit_ratio':>9}"
+        )
+        for name in sorted(shards):
+            shard = shards[name]
+            print(
+                f"  {name:<12} "
+                f"{_format_cell(shard.get('cameras')):>7} "
+                f"{_format_cell(shard.get('frames')):>8} "
+                f"{_format_cell(shard.get('mean_latency_s')):>9} "
+                f"{_format_cell(shard.get('max_latency_s')):>9} "
+                f"{_format_cell(shard.get('violations')):>5} "
+                f"{_format_cell(shard.get('degraded')):>8} "
+                f"{_format_cell(shard.get('mean_cache_hit_ratio')):>9}"
+            )
+    slowest = fleet.get("top_slowest", [])
+    if slowest:
+        rendered = ", ".join(
+            f"{entry.get('name', '?')} "
+            f"({_format_cell(entry.get('latency_s'))}s)"
+            for entry in slowest
+        )
+        print(f"  slowest cameras: {rendered}")
 
 
 def cmd_runs_diff(args: argparse.Namespace) -> int:
@@ -637,6 +689,7 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         min_serve_speedup=args.min_serve_speedup,
         min_serve_coalescing=args.min_serve_coalescing,
         min_stream_fps=args.min_stream_fps,
+        max_p99_latency=args.max_p99_latency,
     )
     result = observe.check_run(baseline, candidate, thresholds)
     print(
@@ -662,6 +715,84 @@ def cmd_runs_pin(args: argparse.Namespace) -> int:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"baseline pinned to {output} (run {record.get('run_id', '?')})")
+    return 0
+
+
+def _fetch_traces(args: argparse.Namespace, path: str) -> tuple[int, object]:
+    """GET a trace endpoint from a running daemon."""
+    import asyncio
+
+    from repro.system.serve import post_json
+
+    return asyncio.run(
+        post_json(args.host, args.port, path, timeout=args.timeout)
+    )
+
+
+def cmd_trace_list(args: argparse.Namespace) -> int:
+    """List recent traces held in a running daemon's trace ring."""
+    status, body = _fetch_traces(args, "/traces")
+    if status >= 400 or not isinstance(body, dict):
+        print(f"error: daemon /traces returned {status}", file=sys.stderr)
+        return 1
+    traces = body.get("traces", [])
+    if not traces:
+        print("no traces recorded")
+        return 0
+    print(
+        f"{'trace_id':<18} {'root':<22} {'spans':>5} "
+        f"{'duration_s':>10} {'tenants'}"
+    )
+    for summary in traces:
+        tenants = ",".join(summary.get("tenants", [])) or "-"
+        print(
+            f"{summary.get('trace_id', '?'):<18} "
+            f"{summary.get('root', '?'):<22} "
+            f"{_format_cell(summary.get('spans')):>5} "
+            f"{_format_cell(summary.get('duration_s')):>10} "
+            f"{tenants}"
+        )
+    return 0
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    """Print every span of one trace (by id or unique id prefix)."""
+    status, body = _fetch_traces(args, f"/traces/{args.trace_id}")
+    if status >= 400 or not isinstance(body, dict):
+        print(
+            f"error: trace {args.trace_id!r} not found (daemon "
+            f"returned {status})",
+            file=sys.stderr,
+        )
+        return 1
+    json.dump(body, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Export one trace as a Chrome ``chrome://tracing`` JSON file."""
+    from repro.system.observe import tracing
+
+    status, body = _fetch_traces(args, f"/traces/{args.trace_id}")
+    if status >= 400 or not isinstance(body, dict):
+        print(
+            f"error: trace {args.trace_id!r} not found (daemon "
+            f"returned {status})",
+            file=sys.stderr,
+        )
+        return 1
+    payload = tracing.chrome_payload(body.get("spans", []))
+    output = Path(args.output)
+    if output.parent != Path(""):
+        output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"chrome trace written to {output} "
+        f"({len(payload.get('traceEvents', []))} events)"
+    )
     return 0
 
 
@@ -1106,6 +1237,12 @@ def build_parser() -> argparse.ArgumentParser:
              "throughput, frames/second (default: not checked — wall "
              "times are machine-dependent)",
     )
+    runs_check.add_argument(
+        "--max-p99-latency", type=float, default=None,
+        help="absolute ceiling, in seconds, on the serve benchmark's "
+             "warm p99 request latency (default: not checked — tail "
+             "latency is machine-dependent)",
+    )
     runs_check.set_defaults(handler=cmd_runs_check)
 
     runs_pin = runs_sub.add_parser(
@@ -1117,6 +1254,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline JSON file to write",
     )
     runs_pin.set_defaults(handler=cmd_runs_pin)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a running daemon's distributed traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--host", default="127.0.0.1", help="daemon host")
+        sub.add_argument(
+            "--port", type=int, default=8177, help="daemon port"
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=30.0,
+            help="daemon call timeout, seconds",
+        )
+
+    trace_list = trace_sub.add_parser(
+        "list", help="list recent traces in the daemon's ring buffer"
+    )
+    _add_trace_common(trace_list)
+    trace_list.set_defaults(handler=cmd_trace_list)
+
+    trace_show = trace_sub.add_parser(
+        "show", help="print every span of one trace"
+    )
+    _add_trace_common(trace_show)
+    trace_show.add_argument(
+        "trace_id", help="trace id (or unique id prefix)"
+    )
+    trace_show.set_defaults(handler=cmd_trace_show)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="export one trace as Chrome tracing JSON"
+    )
+    _add_trace_common(trace_export)
+    trace_export.add_argument(
+        "trace_id", help="trace id (or unique id prefix)"
+    )
+    trace_export.add_argument(
+        "--output", default="trace.json", metavar="PATH",
+        help="chrome://tracing JSON file to write",
+    )
+    trace_export.set_defaults(handler=cmd_trace_export)
 
     return parser
 
@@ -1146,7 +1326,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # handle exists even without --run-ledger: its id also keys the
     # snapshot temporary files so concurrent runs never collide.
     run = None
-    if args.command != "runs":
+    if args.command not in ("runs", "trace"):
         config = {
             key: value
             for key, value in vars(args).items()

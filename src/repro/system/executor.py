@@ -44,6 +44,7 @@ paid per call:
 from __future__ import annotations
 
 import atexit
+import contextlib
 import logging
 import os
 import pickle
@@ -65,6 +66,7 @@ from repro.query.query import AggregateQuery
 from repro.system import shm, telemetry
 from repro.system.costs import DispatchCostModel, InvocationLedger
 from repro.system.observe import ledger as run_ledger
+from repro.system.observe import tracing
 from repro.video.dataset import VideoDataset
 from repro.video.frame import ObjectClass
 from repro.video.geometry import Resolution
@@ -391,13 +393,38 @@ class _UnitOutcome:
     snapshot: telemetry.MetricsSnapshot | None = None
 
 
-def _call_unit(fn: Callable[[T], U], item: T) -> _UnitOutcome:
-    """Run one unit in a worker, capturing its error and telemetry."""
+def _call_unit(
+    fn: Callable[[T], U],
+    item: T,
+    trace: tracing.TraceContext | None = None,
+) -> _UnitOutcome:
+    """Run one unit in a worker, capturing its error and telemetry.
+
+    When a :class:`~repro.system.observe.tracing.TraceContext` rides
+    along (the parent's ``executor.map`` span), the unit runs inside an
+    ``executor.unit`` span tagged with the trace identity and this
+    worker's pid — its absolute start is anchored to this process's
+    ``perf_counter`` epoch, so the folded snapshot stitches into the
+    parent's cross-process timeline.
+    """
     local = telemetry.MetricsRegistry() if telemetry.enabled() else None
     previous = telemetry.install(local) if local is not None else None
     try:
+        if local is not None and trace is not None:
+            identity: dict[str, object] = {
+                "trace_id": trace.trace_id,
+                "span_id": tracing.new_span_id(),
+                "parent_span_id": trace.span_id,
+                "pid": os.getpid(),
+            }
+            if trace.tenant is not None:
+                identity["tenant"] = trace.tenant
+            unit_span = telemetry.span("executor.unit", **identity)
+        else:
+            unit_span = contextlib.nullcontext()
         try:
-            result = fn(item)
+            with unit_span:
+                result = fn(item)
         except Exception as error:
             return _UnitOutcome(
                 error=error,
@@ -473,6 +500,34 @@ class ParallelExecutor:
         The next pool-path ``map`` — from any executor — respawns it.
         """
         shutdown_pool()
+
+    def prewarm(self, unit_count: int = 1_000_000) -> bool:
+        """Spawn the persistent pool now, if this config would use one.
+
+        Forking worker processes is only safe while the host process is
+        quiet. A daemon that spawns the pool lazily on its first parallel
+        request — with an event loop mid-connection and helper threads
+        live — can deadlock the forked children on locks copied mid-
+        acquisition (the classic fork-with-threads hazard). Long-lived
+        hosts call this once during startup, before serving traffic, so
+        later ``map`` calls find the pool already warm. Requests whose
+        resolved worker count differs from the prewarmed key still
+        respawn lazily (no worse than without prewarming).
+
+        Args:
+            unit_count: Hypothetical workload size used to resolve the
+                worker count; the default is large so explicit counts
+                resolve fully.
+
+        Returns:
+            True when a pool is up for this config (spawned here or
+            already warm); False for serial configs.
+        """
+        workers = self.worker_count(unit_count)
+        if workers <= 1:
+            return False
+        _ensure_pool(self._pool_key(workers))
+        return True
 
     def map(self, fn: Callable[[T], U], payloads: Iterable[T]) -> list[U]:
         """Apply ``fn`` to every payload, preserving payload order.
@@ -559,12 +614,14 @@ class ParallelExecutor:
             self._publish_payloads(rest)
             chunk = record.costs.chunk_size(len(rest), unit_seconds, workers)
             try:
-                with telemetry.span(
+                with tracing.span(
                     "executor.map", units=total_units, workers=workers
-                ):
+                ) as map_ctx:
                     outcomes = list(
                         record.pool.map(
-                            partial(_call_unit, fn), rest, chunksize=chunk
+                            partial(_call_unit, fn, trace=map_ctx),
+                            rest,
+                            chunksize=chunk,
                         )
                     )
             except BrokenProcessPool as error:
@@ -687,6 +744,7 @@ class ParallelExecutor:
         results = []
         for outcome in outcomes:
             active.merge_snapshot(outcome.snapshot)
+            tracing.ingest_snapshot_spans(outcome.snapshot)
             if failure is None and outcome.error is not None:
                 failure = outcome.error
             results.append(outcome.result)

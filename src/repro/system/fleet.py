@@ -67,6 +67,7 @@ from repro.system.faults import (
 )
 from repro.system import telemetry
 from repro.system.observe import ledger as run_ledger
+from repro.system.observe.aggregate import TelemetryAggregator
 from repro.system.resilience import (
     BreakerState,
     CircuitBreaker,
@@ -770,6 +771,21 @@ class FleetQueryProcessor:
             event_fields["sentinel_audited"] = len(audit.verdicts)
             event_fields["sentinel_flagged"] = list(audit.flagged)
         run_ledger.record_event("fleet.execute", **event_fields)
+        # Hierarchical camera -> shard -> fleet telemetry rollup: merged
+        # onto the run record as facts.fleet.telemetry and rendered by
+        # ``repro runs show``.
+        aggregator = TelemetryAggregator()
+        for camera in self._cameras:
+            report = reports[camera.name]
+            verdict = verdicts.get(camera.name)
+            aggregator.add_camera(
+                camera.name,
+                latency=report.latency,
+                frames=report.frames_delivered,
+                status=report.status.name.lower(),
+                violation=bool(verdict is not None and verdict.tripped),
+            )
+        run_ledger.annotate(fleet={"telemetry": aggregator.rollup()})
         return FleetReport(
             combined=combined,
             per_camera=reports,

@@ -13,6 +13,12 @@ makes them *outlive the process* and plug into standard tooling:
   active-run annotation API library layers write through.
 - :mod:`~repro.system.observe.gate` — compare two ledger records under
   configurable thresholds; the ``repro runs check`` CI gate.
+- :mod:`~repro.system.observe.tracing` — distributed trace-context
+  propagation (serve → batcher → pool workers), the always-on bounded
+  trace ring behind ``/traces`` and ``repro trace``, and the crash
+  flight recorder.
+- :mod:`~repro.system.observe.aggregate` — hierarchical camera → shard
+  → fleet telemetry rollups recorded as ``facts.fleet.telemetry``.
 
 Everything here is write-only with respect to estimation: exporters and
 the ledger consume snapshots after the fact, so profile series stay
@@ -21,6 +27,7 @@ bit-identical whether or not a run is observed.
 
 from __future__ import annotations
 
+from repro.system.observe.aggregate import CameraStats, TelemetryAggregator
 from repro.system.observe.gate import (
     GateResult,
     GateThresholds,
@@ -44,6 +51,7 @@ from repro.system.observe.ledger import (
 )
 from repro.system.observe.prometheus import (
     export_prometheus,
+    labeled_name,
     prometheus_exposition,
 )
 from repro.system.observe.trace import (
@@ -51,9 +59,21 @@ from repro.system.observe.trace import (
     trace_depth,
     trace_events,
 )
+from repro.system.observe.tracing import (
+    SpanEvent,
+    TraceContext,
+    TraceRing,
+    dump_flight_record,
+    ingest_snapshot_spans,
+)
 
 __all__ = [
     "ActiveRun",
+    "CameraStats",
+    "SpanEvent",
+    "TelemetryAggregator",
+    "TraceContext",
+    "TraceRing",
     "GateResult",
     "GateThresholds",
     "GateViolation",
@@ -65,9 +85,12 @@ __all__ = [
     "check_run",
     "config_fingerprint",
     "diff_runs",
+    "dump_flight_record",
     "export_chrome_trace",
     "export_prometheus",
     "finish_run",
+    "ingest_snapshot_spans",
+    "labeled_name",
     "latest_run",
     "new_run_id",
     "prometheus_exposition",

@@ -1,0 +1,205 @@
+"""Hierarchical fleet telemetry aggregation: camera → shard → fleet.
+
+Per-camera evidence (latency, frames, sentinel verdicts, cache traffic)
+is the raw material for fleet-scale questions — which cameras are
+slowest, whether bound violations concentrate in one shard or spread
+uniformly, how dispersed cache locality is. :class:`TelemetryAggregator`
+merges per-camera observations into a JSON-ready rollup recorded as
+``facts.fleet.telemetry`` by the fleet processor and rendered by
+``repro runs show``, and is the substrate ROADMAP item 4 (similarity-
+sharded profile transfer) needs for drift re-profiling decisions.
+
+Pure arithmetic over plain numbers — no telemetry registry, no numpy —
+so it is safe to call from any layer, including paths where telemetry
+is disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CameraStats", "TelemetryAggregator"]
+
+#: Default cameras-per-shard when no explicit shard is assigned.
+DEFAULT_SHARD_SIZE = 8
+
+
+@dataclass
+class CameraStats:
+    """One camera's aggregated observations."""
+
+    name: str
+    shard: str
+    latency: float = 0.0
+    frames: int = 0
+    status: str = "ok"
+    violation: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        consulted = self.cache_hits + self.cache_misses
+        if consulted <= 0:
+            return None
+        return self.cache_hits / consulted
+
+    def to_dict(self) -> dict:
+        ratio = self.cache_hit_ratio
+        return {
+            "name": self.name,
+            "shard": self.shard,
+            "latency_s": round(self.latency, 6),
+            "frames": int(self.frames),
+            "status": self.status,
+            "violation": bool(self.violation),
+            "cache_hit_ratio": (
+                round(ratio, 6) if ratio is not None else None
+            ),
+        }
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _stdev(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+@dataclass
+class TelemetryAggregator:
+    """Merge per-camera telemetry into camera→shard→fleet rollups.
+
+    Cameras are added one at a time (typically while the fleet processor
+    walks its reports); :meth:`rollup` then computes the hierarchy:
+
+    - per-shard: camera count, frames, mean/max latency, violations,
+      mean cache-hit ratio;
+    - fleet: totals, top-k slowest cameras, **violation concentration**
+      (the worst shard's share of all violations — 1.0 means every
+      violation localizes to one shard, ``1/num_shards`` means uniform
+      spread) and **cache-hit dispersion** (population standard
+      deviation of per-camera hit ratios — high dispersion flags uneven
+      cache locality across the fleet).
+    """
+
+    shard_size: int = DEFAULT_SHARD_SIZE
+    _cameras: list[CameraStats] = field(default_factory=list)
+
+    def add_camera(
+        self,
+        name: str,
+        *,
+        latency: float = 0.0,
+        frames: int = 0,
+        status: str = "ok",
+        violation: bool = False,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        shard: str | None = None,
+    ) -> CameraStats:
+        """Record one camera's observations.
+
+        Args:
+            name: Camera identifier.
+            latency: End-to-end camera latency in seconds.
+            frames: Frames delivered by the camera.
+            status: Report status string (``"ok"``, ``"degraded"``, ...).
+            violation: Whether the sentinel flagged this camera.
+            cache_hits: Detector-cache hits attributed to the camera.
+            cache_misses: Detector-cache misses attributed to the camera.
+            shard: Explicit shard assignment; defaults to fixed-size
+                blocks in insertion order (``shard-00``, ``shard-01``, …).
+
+        Returns:
+            The recorded :class:`CameraStats`.
+        """
+        if shard is None:
+            shard = f"shard-{len(self._cameras) // max(self.shard_size, 1):02d}"
+        stats = CameraStats(
+            name=str(name),
+            shard=str(shard),
+            latency=float(latency),
+            frames=int(frames),
+            status=str(status),
+            violation=bool(violation),
+            cache_hits=int(cache_hits),
+            cache_misses=int(cache_misses),
+        )
+        self._cameras.append(stats)
+        return stats
+
+    def __len__(self) -> int:
+        return len(self._cameras)
+
+    def rollup(self, top_k: int = 5) -> dict:
+        """The camera→shard→fleet hierarchy as a JSON-ready dict."""
+        shards: dict[str, list[CameraStats]] = {}
+        for camera in self._cameras:
+            shards.setdefault(camera.shard, []).append(camera)
+
+        shard_blocks = {}
+        for shard_name in sorted(shards):
+            members = shards[shard_name]
+            latencies = [c.latency for c in members]
+            ratios = [
+                c.cache_hit_ratio
+                for c in members
+                if c.cache_hit_ratio is not None
+            ]
+            shard_blocks[shard_name] = {
+                "cameras": len(members),
+                "frames": sum(c.frames for c in members),
+                "mean_latency_s": round(_mean(latencies), 6),
+                "max_latency_s": round(max(latencies), 6) if latencies else 0.0,
+                "violations": sum(1 for c in members if c.violation),
+                "degraded": sum(
+                    1 for c in members if c.status not in ("ok", "cache")
+                ),
+                "mean_cache_hit_ratio": (
+                    round(_mean(ratios), 6) if ratios else None
+                ),
+            }
+
+        total_violations = sum(
+            block["violations"] for block in shard_blocks.values()
+        )
+        if total_violations > 0:
+            concentration = (
+                max(block["violations"] for block in shard_blocks.values())
+                / total_violations
+            )
+        else:
+            concentration = 0.0
+
+        all_ratios = [
+            c.cache_hit_ratio
+            for c in self._cameras
+            if c.cache_hit_ratio is not None
+        ]
+        latencies = [c.latency for c in self._cameras]
+        slowest = sorted(
+            self._cameras, key=lambda c: c.latency, reverse=True
+        )[: max(int(top_k), 0)]
+
+        return {
+            "fleet": {
+                "cameras": len(self._cameras),
+                "shards": len(shard_blocks),
+                "total_frames": sum(c.frames for c in self._cameras),
+                "mean_latency_s": round(_mean(latencies), 6),
+                "max_latency_s": (
+                    round(max(latencies), 6) if latencies else 0.0
+                ),
+                "violations": total_violations,
+                "violation_concentration": round(concentration, 6),
+                "cache_hit_dispersion": round(_stdev(all_ratios), 6),
+                "top_slowest": [c.to_dict() for c in slowest],
+            },
+            "shards": shard_blocks,
+        }

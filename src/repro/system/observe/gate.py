@@ -57,6 +57,15 @@ _DIFF_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("stream_violations", ("facts", "stream", "violations")),
     ("stream_repairs", ("facts", "stream", "repairs")),
     ("stream_first_breach_count", ("facts", "stream", "first_breach_count")),
+    ("fleet_cameras", ("facts", "fleet", "telemetry", "fleet", "cameras")),
+    (
+        "fleet_violations",
+        ("facts", "fleet", "telemetry", "fleet", "violations"),
+    ),
+    (
+        "fleet_violation_concentration",
+        ("facts", "fleet", "telemetry", "fleet", "violation_concentration"),
+    ),
 )
 
 
@@ -122,6 +131,13 @@ class GateThresholds:
             frames/second is a machine-dependent wall-time metric, so
             like the serve floors it is enforced only with an explicit
             CI-chosen value.
+        max_p99_latency: Absolute ceiling, in seconds, on the serving
+            benchmark's warm p99 latency
+            (``facts.serve.p99_warm_seconds``). None disables the check
+            — tail latency is machine-dependent, so like the other serve
+            limits it is enforced only with an explicit CI-chosen value
+            (conventionally a generous multiple of
+            ``serve_baseline.json``'s recorded p99).
     """
 
     max_wall_ratio: float | None = 10.0
@@ -134,6 +150,7 @@ class GateThresholds:
     min_serve_speedup: float | None = None
     min_serve_coalescing: float | None = None
     min_stream_fps: float | None = None
+    max_p99_latency: float | None = None
 
 
 #: Slack subtracted from the baseline cache hit ratio when no explicit
@@ -372,6 +389,34 @@ def check_run(
         "stream_frames_per_sec",
         ("facts", "stream", "frames_per_sec"),
         limits.min_stream_fps,
+    )
+
+    def ceiling_check(
+        metric: str, path: tuple[str, ...], ceiling: float | None
+    ) -> None:
+        if ceiling is None:
+            return
+        cand = _lookup(candidate, path)
+        if cand is None:
+            return
+        checked.append(metric)
+        if cand > ceiling:
+            violations.append(
+                GateViolation(
+                    metric=metric,
+                    baseline=_lookup(baseline, path),
+                    candidate=cand,
+                    limit=ceiling,
+                    message=(
+                        f"{metric}: {cand:g} above ceiling {ceiling:g}"
+                    ),
+                )
+            )
+
+    ceiling_check(
+        "serve_p99_warm_seconds",
+        ("facts", "serve", "p99_warm_seconds"),
+        limits.max_p99_latency,
     )
 
     return GateResult(

@@ -6,15 +6,20 @@ Format JSON that ``chrome://tracing`` and https://ui.perfetto.dev load
 directly: one complete-duration event (``"ph": "X"``) per span, with the
 span's attributes riding in ``args``.
 
-Spans record durations, not absolute start times (the registry's clock is
-monotonic and per-process), so the exporter reconstructs a timeline that
-preserves the only structure the data guarantees: *nesting*. Each root
-tree is laid out sequentially; within a span its children start at the
-parent's start and follow one another, which keeps every child interval
-inside its parent (children of one parent cannot overlap in wall time —
-they completed while the parent was open on one thread). Worker snapshots
-folded in by the executor appear as additional root trees on the same
-timeline.
+Two timeline modes, chosen per snapshot:
+
+* **Real timeline** — when every span carries an absolute wall-clock
+  ``start`` (the registry anchors ``perf_counter`` starts to a
+  per-process epoch, see :func:`~repro.system.telemetry.perf_epoch`),
+  events are placed at their true offsets from the earliest span.
+  Worker-process spans (tagged with a ``pid`` attribute by the executor)
+  land on their own process track, so a multi-worker serve run renders
+  as genuinely overlapping, epoch-aligned lanes.
+* **Synthetic fallback** — legacy spans (``start == 0``, e.g. payloads
+  round-tripped from old JSON exports) only guarantee *nesting*, so the
+  exporter lays each root tree out sequentially; within a span its
+  children start at the parent's start and follow one another, which
+  keeps every child interval inside its parent.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from pathlib import Path
 from repro.system.telemetry import MetricsSnapshot, SpanRecord
 
 #: Timeline slot gap between consecutive root trees, in microseconds —
-#: purely cosmetic separation in the viewer.
+#: purely cosmetic separation in the viewer (synthetic mode only).
 _ROOT_GAP_US = 1.0
 
 _PID = 1
@@ -57,11 +62,65 @@ def _span_events(
     return start_us + duration_us
 
 
+def _real_span_events(
+    record: SpanRecord,
+    origin: float,
+    pid: int,
+    events: list[dict],
+    pids: set[int],
+) -> None:
+    """Emit one subtree at its true wall-clock offsets from ``origin``.
+
+    ``ts``/``dur`` stay unrounded: the subtraction-then-scale is monotone,
+    so child/parent nesting relations survive exactly, which rounding to a
+    fixed decimal place would not guarantee.
+    """
+    attributes = dict(record.attributes)
+    span_pid = attributes.get("pid")
+    if isinstance(span_pid, int) and span_pid > 0:
+        pid = span_pid
+    pids.add(pid)
+    events.append(
+        {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (record.start - origin) * 1e6,
+            "dur": max(record.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": _TID,
+            "args": {key: _arg(value) for key, value in record.attributes},
+        }
+    )
+    for child in record.children:
+        _real_span_events(child, origin, pid, events, pids)
+
+
 def _arg(value: object) -> object:
     """Attribute values as trace args (tuples render as lists)."""
     if isinstance(value, tuple):
         return [_arg(item) for item in value]
     return value
+
+
+def _all_starts(record: SpanRecord) -> bool:
+    if record.start <= 0.0:
+        return False
+    return all(_all_starts(child) for child in record.children)
+
+
+def has_real_timeline(snapshot: MetricsSnapshot) -> bool:
+    """True when every span in the forest carries a wall-clock start."""
+    return bool(snapshot.spans) and all(
+        _all_starts(root) for root in snapshot.spans
+    )
+
+
+def _min_start(record: SpanRecord) -> float:
+    return min(
+        record.start,
+        min((_min_start(child) for child in record.children), default=record.start),
+    )
 
 
 def trace_events(snapshot: MetricsSnapshot) -> list[dict]:
@@ -71,11 +130,41 @@ def trace_events(snapshot: MetricsSnapshot) -> list[dict]:
         snapshot: The telemetry snapshot to render.
 
     Returns:
-        Trace events: one metadata event naming the process, then one
-        complete-duration (``"X"``) event per span, parents starting at or
-        before their children and enclosing them.
+        Trace events: metadata events naming each process track, then one
+        complete-duration (``"X"``) event per span. With real start
+        timestamps the events sit at their true offsets (worker spans on
+        per-pid tracks); otherwise the timeline is reconstructed from
+        durations, parents starting at or before their children and
+        enclosing them.
     """
-    events: list[dict] = [
+    if has_real_timeline(snapshot):
+        origin = min(_min_start(root) for root in snapshot.spans)
+        events: list[dict] = []
+        pids: set[int] = set()
+        for root in snapshot.spans:
+            _real_span_events(root, origin, _PID, events, pids)
+        metadata: list[dict] = []
+        for pid in sorted(pids):
+            name = "repro" if pid == _PID else f"repro worker {pid}"
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": name},
+                }
+            )
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": _TID,
+                    "args": {"name": "spans"},
+                }
+            )
+        return metadata + events
+    events = [
         {
             "name": "process_name",
             "ph": "M",
@@ -127,14 +216,18 @@ def export_chrome_trace(
         The payload written (``{"traceEvents": [...], ...}``).
     """
     events = trace_events(snapshot) if snapshot is not None else []
+    real = snapshot is not None and has_real_timeline(snapshot)
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "exporter": "repro.system.observe.trace",
             "note": (
-                "timeline reconstructed from span durations; nesting is "
-                "exact, absolute timestamps are synthetic"
+                "epoch-aligned wall-clock timeline; worker spans on "
+                "per-pid tracks"
+                if real
+                else "timeline reconstructed from span durations; nesting "
+                "is exact, absolute timestamps are synthetic"
             ),
         },
     }

@@ -35,16 +35,27 @@ framework, no new dependencies):
 
 Endpoints (all request/response bodies are JSON):
 
-====================  =====================================================
-``GET  /healthz``     liveness + uptime
-``GET  /metrics``     Prometheus text exposition of the live registry
-``GET  /stats``       batcher/session/tenant counters + pool diagnostics
-``POST /estimate``    one degraded query -> estimate + bound (micro-batched)
-``POST /bound``       same kernel, bound-only response (micro-batched)
-``POST /profile``     degradation hypercube slices (fingerprint-cached)
-``POST /choose``      tradeoff choice over a (cached) profile
-``POST /shutdown``    graceful drain + exit
-====================  =====================================================
+=====================  ====================================================
+``GET  /healthz``      liveness + uptime
+``GET  /metrics``      Prometheus text exposition of the live registry
+                       (labeled per-endpoint/per-tenant latency families)
+``GET  /stats``        batcher/session/tenant counters + pool diagnostics
+                       + sliding p50/p95/p99 latency windows (``slo``)
+``GET  /traces``       recent trace summaries from the in-memory ring
+``GET  /traces/<id>``  every retained span event of one trace
+``POST /estimate``     one degraded query -> estimate + bound (micro-batched)
+``POST /bound``        same kernel, bound-only response (micro-batched)
+``POST /profile``      degradation hypercube slices (fingerprint-cached)
+``POST /choose``       tradeoff choice over a (cached) profile
+``POST /shutdown``     graceful drain + exit
+=====================  ====================================================
+
+Every query request mints a :class:`~repro.system.observe.tracing.
+TraceContext` (honouring an inbound ``X-Repro-Trace-Id`` header), so the
+HTTP handler span, the micro-batched kernel span (fan-in links to every
+coalesced request) and pool-worker unit spans share one trace id —
+inspect with ``repro trace`` or ``GET /traces``. A crash flight recorder
+dumps the last spans to the run ledger on unhandled errors and SIGQUIT.
 
 Shutdown (``POST /shutdown``, SIGINT or SIGTERM) is graceful end to end:
 the listener closes, the queue drains through the batcher, tenant
@@ -61,7 +72,9 @@ import logging
 import math
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -86,9 +99,16 @@ from repro.query.aggregates import Aggregate
 from repro.query.processor import QueryProcessor
 from repro.query.query import AggregateQuery
 from repro.system import shm, telemetry
-from repro.system.executor import pool_diagnostics, pool_generation, shutdown_pool
+from repro.system.executor import (
+    ExecutorConfig,
+    ParallelExecutor,
+    pool_diagnostics,
+    pool_generation,
+    shutdown_pool,
+)
 from repro.system.observe import ledger as run_ledger
-from repro.system.observe import prometheus_exposition
+from repro.system.observe import labeled_name, prometheus_exposition
+from repro.system.observe import tracing
 from repro.video.frame import ObjectClass
 
 _LOG = telemetry.get_logger("system.serve")
@@ -412,6 +432,7 @@ class ServeSession:
         self.tenants: dict[str, dict[str, int]] = {}
         self._streams: dict[str, dict] = {}
         self._stream_counter = 0
+        self._latency_windows: dict[str, deque] = {}
         if self._config.cache_dir and diskcache.active_cache() is None:
             diskcache.activate(
                 self._config.cache_dir, self._config.cache_limit_bytes
@@ -447,6 +468,39 @@ class ServeSession:
             },
         )
         return timings
+
+    #: Sliding SLO window size per endpoint (most recent observations).
+    _SLO_WINDOW = 512
+
+    def note_latency(self, endpoint: str, seconds: float) -> None:
+        """Feed one request latency into the endpoint's sliding window."""
+        window = self._latency_windows.get(endpoint)
+        if window is None:
+            window = deque(maxlen=self._SLO_WINDOW)
+            self._latency_windows[endpoint] = window
+        window.append(float(seconds))
+
+    def slo_summary(self) -> dict:
+        """Per-endpoint sliding p50/p95/p99 latency (``/stats`` ``slo``)."""
+        summary: dict[str, dict] = {}
+        for endpoint, window in sorted(self._latency_windows.items()):
+            values = sorted(window)
+            if not values:
+                continue
+
+            def rank(q: float) -> float:
+                index = min(
+                    max(math.ceil(q * len(values)) - 1, 0), len(values) - 1
+                )
+                return values[index]
+
+            summary[endpoint] = {
+                "count": len(values),
+                "p50_seconds": round(rank(0.50), 6),
+                "p95_seconds": round(rank(0.95), 6),
+                "p99_seconds": round(rank(0.99), 6),
+            }
+        return summary
 
     def tenant_record(self, tenant: str) -> dict[str, int]:
         """The accounting record of one tenant (created on first touch)."""
@@ -485,7 +539,11 @@ class ServeSession:
     # The micro-batched estimate/bound kernel.
     # ------------------------------------------------------------------
 
-    def estimate_group(self, requests: Sequence[QueryRequest]) -> list[dict]:
+    def estimate_group(
+        self,
+        requests: Sequence[QueryRequest],
+        contexts: Sequence[tracing.TraceContext | None] | None = None,
+    ) -> list[dict]:
         """Serve one compatible group through a single batched kernel call.
 
         Every request draws its own sample from its own seed stream; the
@@ -498,6 +556,11 @@ class ServeSession:
         Args:
             requests: Compatible requests (equal :meth:`QueryRequest.
                 batch_key`); at least one.
+            contexts: The coalesced requests' trace contexts, aligned
+                with ``requests``. The kernel span continues the first
+                linked trace and records **fan-in links** (the trace and
+                span ids of every coalesced request), so N request spans
+                point at the 1 kernel span that served them.
 
         Returns:
             One response dict per request, in request order.
@@ -510,6 +573,20 @@ class ServeSession:
                 raise RequestError(
                     "incompatible requests cannot share a kernel call"
                 )
+        linked = [ctx for ctx in (contexts or []) if ctx is not None]
+        with tracing.use(linked[0] if linked else None):
+            with tracing.span(
+                "serve.estimate_rows",
+                batch=len(requests),
+                link_trace_ids=tuple(ctx.trace_id for ctx in linked),
+                link_span_ids=tuple(ctx.span_id for ctx in linked),
+            ):
+                return self._price_group(head, requests)
+
+    def _price_group(
+        self, head: QueryRequest, requests: Sequence[QueryRequest]
+    ) -> list[dict]:
+        """The batched kernel body of :meth:`estimate_group`."""
         started = time.perf_counter()
         query = self._query_for(head.dataset, head.aggregate, head.delta)
         plan = self._plan_for(head)
@@ -861,6 +938,7 @@ class ServeSession:
             "tenants": {k: dict(v) for k, v in sorted(self.tenants.items())},
             "cached_profiles": len(self._cubes),
             "streams": len(self._streams),
+            "slo": self.slo_summary(),
             "pool": pool_diagnostics(),
             "pool_generation": pool_generation(),
             "shm_published_bytes": shm.published_bytes(),
@@ -872,6 +950,7 @@ class ServeSession:
             serve={
                 **{k: int(v) for k, v in self.stats.items()},
                 "tenant_count": len(self.tenants),
+                "slo": self.slo_summary(),
             },
             tenants={k: dict(v) for k, v in sorted(self.tenants.items())},
         )
@@ -892,6 +971,8 @@ class _Pending:
 
     request: QueryRequest
     future: asyncio.Future
+    ctx: tracing.TraceContext | None = None
+    enqueued: float = 0.0
 
 
 class MicroBatcher:
@@ -965,10 +1046,21 @@ class MicroBatcher:
             )
 
     async def submit(self, request: QueryRequest) -> dict:
-        """Queue an (already admitted) request and await its response."""
+        """Queue an (already admitted) request and await its response.
+
+        The submitting task's trace context rides along, so the batch
+        loop can link the coalesced kernel span back to every request.
+        """
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._depth += 1
-        await self._queue.put(_Pending(request, future))
+        await self._queue.put(
+            _Pending(
+                request,
+                future,
+                ctx=tracing.current_context(),
+                enqueued=time.perf_counter(),
+            )
+        )
         return await future
 
     async def _run(self) -> None:
@@ -994,14 +1086,27 @@ class MicroBatcher:
     async def _serve_batch(
         self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]
     ) -> None:
+        now = time.perf_counter()
+        telemetry.gauge("serve.queue_depth", self._depth)
+        telemetry.gauge(
+            "serve.batch_occupancy", len(batch) / self._config.max_batch
+        )
         groups: dict[tuple, list[_Pending]] = {}
         for pending in batch:
+            if pending.enqueued > 0:
+                telemetry.observe(
+                    "serve.queue_wait_seconds", now - pending.enqueued
+                )
             groups.setdefault(pending.request.batch_key(), []).append(pending)
         for group in groups.values():
             requests = [p.request for p in group]
+            contexts = [p.ctx for p in group]
             try:
                 responses = await loop.run_in_executor(
-                    None, self._session.estimate_group, requests
+                    None,
+                    partial(
+                        self._session.estimate_group, requests, contexts
+                    ),
                 )
             except Exception as error:  # surfaced per request as HTTP 400
                 self._session.stats["errors"] += len(group)
@@ -1060,6 +1165,14 @@ class ServeDaemon:
         if not telemetry.enabled():
             telemetry.enable()
         warmup = self.session.warmup()
+        # Spawn the worker pool while the process is still quiet: forking
+        # lazily on the first parallel /profile — with the event loop
+        # mid-connection and executor threads live — can deadlock the
+        # forked children on locks copied mid-acquisition.
+        if ParallelExecutor(
+            ExecutorConfig(workers=self._config.workers)
+        ).prewarm():
+            telemetry.count("serve.pool_prewarms")
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_client, self._config.host, self._config.port
@@ -1109,6 +1222,7 @@ class ServeDaemon:
             writer.close()
             return
         except Exception as error:  # pragma: no cover - defensive
+            tracing.dump_flight_record("unhandled_error", error=str(error))
             status, content_type, body = 500, "application/json", json.dumps(
                 {"error": str(error)}
             )
@@ -1158,75 +1272,34 @@ class ServeDaemon:
             tenant = headers.get("x-tenant")
             if tenant:
                 payload = {**payload, "tenant": tenant}
-        return await self._route(method, path, payload)
+        return await self._route(
+            method, path, payload, headers.get("x-repro-trace-id")
+        )
+
+    #: Endpoints that mint a trace context: query work, not scrapes —
+    #: ``/metrics``, ``/stats`` and friends stay out of the trace ring.
+    _TRACED_ENDPOINTS = _BATCHED_KINDS + _PROFILE_KINDS + ("stream",)
 
     async def _route(
-        self, method: str, path: str, payload: dict
+        self,
+        method: str,
+        path: str,
+        payload: dict,
+        trace_header: str | None = None,
     ) -> tuple[int, str, str]:
+        endpoint = path.lstrip("/").split("/", 1)[0] or "root"
+        tenant = "anonymous"
+        if isinstance(payload, Mapping):
+            tenant = str(payload.get("tenant") or "anonymous")
+        traced = method == "POST" and endpoint in self._TRACED_ENDPOINTS
         started = time.perf_counter()
         try:
-            if method == "GET" and path == "/healthz":
-                return 200, "application/json", json.dumps(
-                    {
-                        "status": "ok",
-                        "uptime_seconds": self.session.snapshot_stats()[
-                            "uptime_seconds"
-                        ],
-                    }
-                )
-            if method == "GET" and path == "/metrics":
-                snapshot = telemetry.registry().snapshot()
-                return (
-                    200,
-                    "text/plain; version=0.0.4",
-                    prometheus_exposition(snapshot),
-                )
-            if method == "GET" and path == "/stats":
-                return 200, "application/json", json.dumps(
-                    self.session.snapshot_stats()
-                )
-            if method == "POST" and path == "/shutdown":
-                asyncio.get_running_loop().create_task(self.stop())
-                return 200, "application/json", json.dumps(
-                    {"status": "shutting down"}
-                )
-            if method == "GET" and path.startswith("/stream/"):
-                stream_id = path[len("/stream/"):]
-                return 200, "application/json", json.dumps(
-                    self.session.stream_readout(stream_id)
-                )
-            if method == "POST" and path == "/stream":
-                tenant = str(payload.get("tenant") or "anonymous")
-                self.batcher.admit(tenant)
-                self.session.stats["stream_requests"] += 1
-                telemetry.count("serve.stream_requests")
-                if payload.get("id"):
-                    body = self.session.stream_ingest(payload)
-                else:
-                    body = self.session.stream_open(payload)
-                return 200, "application/json", json.dumps(body)
-            if method == "POST" and path.lstrip("/") in (
-                _BATCHED_KINDS + _PROFILE_KINDS
-            ):
-                kind = path.lstrip("/")
-                request = QueryRequest.from_payload(
-                    kind, payload, self._config
-                )
-                self.batcher.admit(request.tenant)
-                if kind in _BATCHED_KINDS:
-                    body = await self.batcher.submit(request)
-                elif kind == "profile":
-                    body = await asyncio.get_running_loop().run_in_executor(
-                        None, self.session.profile_request, request
-                    )
-                else:
-                    body = await asyncio.get_running_loop().run_in_executor(
-                        None, self.session.choose_request, request
-                    )
-                return 200, "application/json", json.dumps(body)
-            return 404, "application/json", json.dumps(
-                {"error": f"no route for {method} {path}"}
-            )
+            if traced:
+                ctx = tracing.mint(tenant=tenant, trace_id=trace_header)
+                with tracing.use(ctx):
+                    with tracing.span("serve.request", endpoint=endpoint):
+                        return await self._dispatch(method, path, payload)
+            return await self._dispatch(method, path, payload)
         except AdmissionError as error:
             return 429, "application/json", json.dumps({"error": str(error)})
         except RequestError as error:
@@ -1235,9 +1308,105 @@ class ServeDaemon:
             self.session.stats["errors"] += 1
             return 400, "application/json", json.dumps({"error": str(error)})
         finally:
-            telemetry.observe(
-                "serve.request_seconds", time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            telemetry.observe("serve.request_seconds", elapsed)
+            if traced:
+                telemetry.observe(
+                    labeled_name(
+                        "serve.request_seconds",
+                        endpoint=endpoint,
+                        tenant=tenant,
+                    ),
+                    elapsed,
+                )
+                self.session.note_latency(endpoint, elapsed)
+
+    async def _dispatch(
+        self, method: str, path: str, payload: dict
+    ) -> tuple[int, str, str]:
+        if method == "GET" and path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {
+                    "status": "ok",
+                    "uptime_seconds": self.session.snapshot_stats()[
+                        "uptime_seconds"
+                    ],
+                }
             )
+        if method == "GET" and path == "/metrics":
+            snapshot = telemetry.registry().snapshot()
+            return (
+                200,
+                "text/plain; version=0.0.4",
+                prometheus_exposition(snapshot),
+            )
+        if method == "GET" and path == "/stats":
+            return 200, "application/json", json.dumps(
+                self.session.snapshot_stats()
+            )
+        if method == "GET" and path == "/traces":
+            return 200, "application/json", json.dumps(
+                {"traces": tracing.ring().traces()}
+            )
+        if method == "GET" and path.startswith("/traces/"):
+            trace_id = path[len("/traces/"):]
+            events = tracing.ring().trace(trace_id)
+            if not events:
+                return 404, "application/json", json.dumps(
+                    {"error": f"unknown trace {trace_id!r}"}
+                )
+            return 200, "application/json", json.dumps(
+                {
+                    "trace_id": events[0].trace_id,
+                    "spans": [event.to_dict() for event in events],
+                }
+            )
+        if method == "POST" and path == "/shutdown":
+            asyncio.get_running_loop().create_task(self.stop())
+            return 200, "application/json", json.dumps(
+                {"status": "shutting down"}
+            )
+        if method == "GET" and path.startswith("/stream/"):
+            stream_id = path[len("/stream/"):]
+            return 200, "application/json", json.dumps(
+                self.session.stream_readout(stream_id)
+            )
+        if method == "POST" and path == "/stream":
+            tenant = str(payload.get("tenant") or "anonymous")
+            self.batcher.admit(tenant)
+            self.session.stats["stream_requests"] += 1
+            telemetry.count("serve.stream_requests")
+            if payload.get("id"):
+                body = self.session.stream_ingest(payload)
+            else:
+                body = self.session.stream_open(payload)
+            return 200, "application/json", json.dumps(body)
+        if method == "POST" and path.lstrip("/") in (
+            _BATCHED_KINDS + _PROFILE_KINDS
+        ):
+            kind = path.lstrip("/")
+            request = QueryRequest.from_payload(
+                kind, payload, self._config
+            )
+            self.batcher.admit(request.tenant)
+            if kind in _BATCHED_KINDS:
+                body = await self.batcher.submit(request)
+            else:
+                # run_in_executor does not propagate contextvars: hand
+                # the trace context across the thread boundary explicitly.
+                ctx = tracing.current_context()
+                handler = (
+                    self.session.profile_request
+                    if kind == "profile"
+                    else self.session.choose_request
+                )
+                body = await asyncio.get_running_loop().run_in_executor(
+                    None, partial(tracing.run_with, ctx, handler, request)
+                )
+            return 200, "application/json", json.dumps(body)
+        return 404, "application/json", json.dumps(
+            {"error": f"no route for {method} {path}"}
+        )
 
 
 _REASONS = {
@@ -1256,6 +1425,7 @@ async def post_json(
     payload: Mapping | None = None,
     method: str | None = None,
     timeout: float = 60.0,
+    headers: Mapping[str, str] | None = None,
 ) -> tuple[int, object]:
     """A minimal asyncio HTTP client for the daemon (tests, benchmarks).
 
@@ -1266,12 +1436,16 @@ async def post_json(
         payload: JSON body (None sends no body).
         method: HTTP method; defaults to POST with a body, GET without.
         timeout: Whole-call timeout in seconds.
+        headers: Extra request headers (e.g. ``X-Repro-Trace-Id``).
 
     Returns:
         ``(status, body)`` with the body JSON-decoded when possible.
     """
     method = method or ("POST" if payload is not None else "GET")
     body = json.dumps(payload or {}).encode() if payload is not None else b""
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
 
     async def _call() -> tuple[int, object]:
         reader, writer = await asyncio.open_connection(host, port)
@@ -1282,7 +1456,8 @@ async def post_json(
                     f"Host: {host}:{port}\r\n"
                     f"Content-Type: application/json\r\n"
                     f"Content-Length: {len(body)}\r\n"
-                    "Connection: close\r\n\r\n"
+                    + extra
+                    + "Connection: close\r\n\r\n"
                 ).encode("ascii")
                 + body
             )
@@ -1328,6 +1503,17 @@ def run_daemon(config: ServeConfig | None = None) -> int:
                 )
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
+        try:
+            # SIGQUIT dumps the flight record (last ring spans/events to
+            # the run ledger) without stopping the daemon.
+            loop.add_signal_handler(
+                signal.SIGQUIT,
+                lambda: tracing.dump_flight_record("sigquit"),
+            )
+        except (
+            AttributeError, NotImplementedError, RuntimeError,
+        ):  # pragma: no cover - platform-dependent
+            pass
         port = await daemon.start()
         print(
             f"repro serve: listening on http://{daemon.session.config.host}:"

@@ -50,6 +50,7 @@ from repro.experiments.chaos_sweep import SCENARIOS
 from repro.experiments.workloads import load_dataset, model_for
 from repro.system import telemetry
 from repro.system.observe import ledger as run_ledger
+from repro.system.observe import tracing
 
 ESTIMATOR_KINDS = ("windowed", "decayed", "cumulative")
 
@@ -364,42 +365,57 @@ def replay_stream(config: StreamConfig) -> StreamReport:
     records: list[WindowRecord] = []
     wall_start = time.perf_counter()
     ingest_seconds = 0.0
-    for start in range(0, total, config.window):
-        chunk = feed[start : start + config.window]
-        tick = time.perf_counter()
-        check = sentinel.extend(chunk)
-        estimate = stream.estimate()
-        ingest_seconds += time.perf_counter() - tick
-        record = WindowRecord(
-            index=len(records),
-            start=start,
-            end=start + chunk.size,
-            value=float(estimate.value),
-            bound=float(estimate.error_bound),
-            drift=check.drift if check is not None else None,
-            allowance=check.allowance if check is not None else None,
-            breached=check.breached if check is not None else False,
-            tripped=sentinel.tripped,
-        )
-        records.append(record)
-        telemetry.count("stream.windows")
-        telemetry.count("stream.frames", chunk.size)
-        run_ledger.record_event(
-            "stream.window",
-            window=record.index,
-            frames=int(chunk.size),
-            value=record.value,
-            bound=record.bound,
-            drift=record.drift,
-            allowance=record.allowance,
-            breached=record.breached,
-            tripped=record.tripped,
-        )
-        if config.fps > 0.0:
-            pace = chunk.size / config.fps
-            elapsed = time.perf_counter() - tick
-            if pace > elapsed:
-                time.sleep(pace - elapsed)
+    # One trace covers the whole replay; each window is a child span, so
+    # the exported timeline shows the per-window cadence (and any pacing
+    # sleep) on the same epoch-aligned axis as serve/executor spans.
+    replay_ctx = tracing.mint()
+    with tracing.use(replay_ctx), tracing.span(
+        "stream.replay",
+        dataset=config.dataset,
+        scenario=config.scenario or "clean",
+        window=config.window,
+    ):
+        for start in range(0, total, config.window):
+            chunk = feed[start : start + config.window]
+            with tracing.span(
+                "stream.window", index=len(records), frames=int(chunk.size)
+            ):
+                tick = time.perf_counter()
+                check = sentinel.extend(chunk)
+                estimate = stream.estimate()
+                ingest_seconds += time.perf_counter() - tick
+                record = WindowRecord(
+                    index=len(records),
+                    start=start,
+                    end=start + chunk.size,
+                    value=float(estimate.value),
+                    bound=float(estimate.error_bound),
+                    drift=check.drift if check is not None else None,
+                    allowance=(
+                        check.allowance if check is not None else None
+                    ),
+                    breached=check.breached if check is not None else False,
+                    tripped=sentinel.tripped,
+                )
+                records.append(record)
+                telemetry.count("stream.windows")
+                telemetry.count("stream.frames", chunk.size)
+                run_ledger.record_event(
+                    "stream.window",
+                    window=record.index,
+                    frames=int(chunk.size),
+                    value=record.value,
+                    bound=record.bound,
+                    drift=record.drift,
+                    allowance=record.allowance,
+                    breached=record.breached,
+                    tripped=record.tripped,
+                )
+                if config.fps > 0.0:
+                    pace = chunk.size / config.fps
+                    elapsed = time.perf_counter() - tick
+                    if pace > elapsed:
+                        time.sleep(pace - elapsed)
     wall_seconds = time.perf_counter() - wall_start
 
     report = StreamReport(
@@ -417,4 +433,5 @@ def replay_stream(config: StreamConfig) -> StreamReport:
         ),
     )
     run_ledger.annotate(stream=report.as_payload())
+    run_ledger.annotate(stream={"trace_id": replay_ctx.trace_id})
     return report

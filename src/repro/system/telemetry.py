@@ -64,11 +64,26 @@ __all__ = [
     "log_event",
     "merge_snapshots",
     "observe",
+    "perf_epoch",
     "registry",
     "setup_logging",
     "span",
     "timer",
 ]
+
+
+#: This process's offset between the wall clock and the monotonic
+#: performance counter, captured once at import. ``perf_epoch() +
+#: time.perf_counter()`` is a wall-clock timestamp, so spans timed with
+#: the monotonic clock can carry absolute start times that are directly
+#: comparable *across processes on one machine* — the anchoring that lets
+#: pool-worker span forests line up with the parent's on one timeline.
+_PERF_EPOCH = time.time() - time.perf_counter()
+
+
+def perf_epoch() -> float:
+    """The wall-clock value of this process's ``perf_counter`` zero."""
+    return _PERF_EPOCH
 
 
 # ---------------------------------------------------------------------------
@@ -285,18 +300,24 @@ class SpanRecord:
             normalized by :func:`_normalize_attribute` (always
             JSON-compatible).
         children: Spans that completed while this one was open.
+        start: Absolute wall-clock start time (unix seconds), anchored
+            via :func:`perf_epoch` so spans from different processes on
+            one machine share a timeline. ``0.0`` means unknown (a
+            record deserialized from a pre-anchoring payload).
     """
 
     name: str
     duration: float
     attributes: tuple[tuple[str, object], ...] = ()
     children: tuple["SpanRecord", ...] = ()
+    start: float = 0.0
 
     def to_dict(self) -> dict:
         """A JSON-ready representation of the subtree."""
         return {
             "name": self.name,
             "duration_s": round(self.duration, 6),
+            "start_ts": round(self.start, 6),
             "attributes": {
                 key: _attribute_to_json(value)
                 for key, value in self.attributes
@@ -315,6 +336,7 @@ class SpanRecord:
         return cls(
             name=str(payload["name"]),
             duration=float(payload.get("duration_s", 0.0)),
+            start=float(payload.get("start_ts", 0.0)),
             attributes=tuple(
                 sorted(
                     (str(key), _attribute_from_json(value))
@@ -533,6 +555,7 @@ class MetricsRegistry:
             duration=duration,
             attributes=handle.attributes,
             children=tuple(handle._children),
+            start=_PERF_EPOCH + handle._start,
         )
         # Tolerate out-of-order exits (generators suspended mid-span):
         # attach to the nearest surviving ancestor instead of crashing.

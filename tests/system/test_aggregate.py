@@ -1,0 +1,158 @@
+"""Tests for hierarchical fleet telemetry aggregation.
+
+The rollup arithmetic must be exact and order-stable: violation
+concentration is the worst shard's share of all violations, cache-hit
+dispersion is the population standard deviation of per-camera hit
+ratios, and the slowest-camera ranking is a strict latency sort.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.system.observe import CameraStats, TelemetryAggregator
+
+
+class TestShardAssignment:
+    def test_auto_sharding_blocks_in_insertion_order(self):
+        aggregator = TelemetryAggregator(shard_size=2)
+        shards = [
+            aggregator.add_camera(f"cam-{i}").shard for i in range(5)
+        ]
+        assert shards == [
+            "shard-00", "shard-00", "shard-01", "shard-01", "shard-02"
+        ]
+
+    def test_explicit_shard_wins(self):
+        aggregator = TelemetryAggregator()
+        stats = aggregator.add_camera("cam-a", shard="edge-west")
+        assert stats.shard == "edge-west"
+
+    def test_len_counts_cameras(self):
+        aggregator = TelemetryAggregator()
+        for i in range(3):
+            aggregator.add_camera(f"cam-{i}")
+        assert len(aggregator) == 3
+
+
+class TestCameraStats:
+    def test_cache_hit_ratio(self):
+        stats = CameraStats(
+            name="c", shard="s", cache_hits=3, cache_misses=1
+        )
+        assert stats.cache_hit_ratio == pytest.approx(0.75)
+
+    def test_cache_hit_ratio_none_without_traffic(self):
+        assert CameraStats(name="c", shard="s").cache_hit_ratio is None
+
+    def test_to_dict_rounds(self):
+        stats = CameraStats(
+            name="c", shard="s", latency=0.123456789, frames=5,
+            cache_hits=1, cache_misses=2,
+        )
+        payload = stats.to_dict()
+        assert payload["latency_s"] == 0.123457
+        assert payload["cache_hit_ratio"] == pytest.approx(1 / 3, abs=1e-6)
+
+
+class TestRollup:
+    def _fleet(self) -> TelemetryAggregator:
+        aggregator = TelemetryAggregator(shard_size=2)
+        aggregator.add_camera(
+            "cam-0", latency=0.10, frames=100, violation=True,
+            cache_hits=9, cache_misses=1,
+        )
+        aggregator.add_camera(
+            "cam-1", latency=0.30, frames=200, violation=True,
+            cache_hits=5, cache_misses=5,
+        )
+        aggregator.add_camera(
+            "cam-2", latency=0.20, frames=50, status="degraded",
+            violation=True, cache_hits=1, cache_misses=9,
+        )
+        aggregator.add_camera("cam-3", latency=0.05, frames=25)
+        return aggregator
+
+    def test_fleet_totals(self):
+        rollup = self._fleet().rollup()
+        fleet = rollup["fleet"]
+        assert fleet["cameras"] == 4
+        assert fleet["shards"] == 2
+        assert fleet["total_frames"] == 375
+        assert fleet["mean_latency_s"] == pytest.approx(0.1625)
+        assert fleet["max_latency_s"] == pytest.approx(0.30)
+        assert fleet["violations"] == 3
+
+    def test_violation_concentration_is_worst_shard_share(self):
+        # shard-00 holds 2 of 3 violations.
+        fleet = self._fleet().rollup()["fleet"]
+        assert fleet["violation_concentration"] == pytest.approx(
+            2 / 3, abs=1e-6
+        )
+
+    def test_violation_concentration_one_when_localized(self):
+        aggregator = TelemetryAggregator(shard_size=2)
+        aggregator.add_camera("a", violation=True)
+        aggregator.add_camera("b", violation=True)
+        aggregator.add_camera("c")
+        aggregator.add_camera("d")
+        fleet = aggregator.rollup()["fleet"]
+        assert fleet["violation_concentration"] == 1.0
+
+    def test_violation_concentration_zero_without_violations(self):
+        aggregator = TelemetryAggregator()
+        aggregator.add_camera("a")
+        assert aggregator.rollup()["fleet"]["violation_concentration"] == 0.0
+
+    def test_cache_hit_dispersion_is_population_stdev(self):
+        fleet = self._fleet().rollup()["fleet"]
+        ratios = [0.9, 0.5, 0.1]  # cam-3 has no cache traffic
+        mu = sum(ratios) / len(ratios)
+        expected = math.sqrt(
+            sum((r - mu) ** 2 for r in ratios) / len(ratios)
+        )
+        assert fleet["cache_hit_dispersion"] == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    def test_top_slowest_sorted_and_capped(self):
+        fleet = self._fleet().rollup(top_k=2)["fleet"]
+        assert [c["name"] for c in fleet["top_slowest"]] == [
+            "cam-1", "cam-2"
+        ]
+
+    def test_shard_blocks(self):
+        shards = self._fleet().rollup()["shards"]
+        assert sorted(shards) == ["shard-00", "shard-01"]
+        first = shards["shard-00"]
+        assert first["cameras"] == 2
+        assert first["frames"] == 300
+        assert first["mean_latency_s"] == pytest.approx(0.20)
+        assert first["max_latency_s"] == pytest.approx(0.30)
+        assert first["violations"] == 2
+        assert first["degraded"] == 0
+        second = shards["shard-01"]
+        assert second["degraded"] == 1
+        assert second["mean_cache_hit_ratio"] == pytest.approx(0.1)
+
+    def test_cache_status_not_degraded(self):
+        aggregator = TelemetryAggregator()
+        aggregator.add_camera("a", status="cache")
+        aggregator.add_camera("b", status="failed")
+        shards = aggregator.rollup()["shards"]
+        assert sum(s["degraded"] for s in shards.values()) == 1
+
+    def test_empty_fleet_rollup(self):
+        rollup = TelemetryAggregator().rollup()
+        fleet = rollup["fleet"]
+        assert fleet["cameras"] == 0
+        assert fleet["max_latency_s"] == 0.0
+        assert fleet["top_slowest"] == []
+        assert rollup["shards"] == {}
+
+    def test_rollup_json_serializable(self):
+        payload = json.dumps(self._fleet().rollup(), sort_keys=True)
+        assert "violation_concentration" in payload

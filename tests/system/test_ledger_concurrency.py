@@ -1,0 +1,130 @@
+"""Concurrent-append safety for the JSONL run ledger.
+
+``append_record`` promises that one ``O_APPEND`` write per line means
+concurrent appenders — daemon request handlers, pool workers, the
+flight recorder firing mid-crash — interleave complete lines, never
+fragments. These tests hammer one ledger file from many processes and
+threads and assert every raw line still parses and nothing is lost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.system import telemetry
+from repro.system.observe import ledger as run_ledger
+from repro.system.observe import tracing
+
+WRITERS = 8
+RECORDS_PER_WRITER = 50
+
+
+def _hammer(task: tuple) -> int:
+    """Picklable worker: append many records of varying sizes."""
+    path, writer = task
+    for index in range(RECORDS_PER_WRITER):
+        # Vary payload size so torn writes would land mid-line for at
+        # least some interleavings.
+        run_ledger.append_record(
+            path,
+            {
+                "schema": run_ledger.SCHEMA_VERSION,
+                "writer": writer,
+                "index": index,
+                "padding": "x" * (17 * (index % 13) + writer),
+            },
+        )
+    return RECORDS_PER_WRITER
+
+
+def _hammer_with_flights(task: tuple) -> int:
+    """Picklable worker: interleave normal appends with flight dumps."""
+    path, writer = task
+    run = run_ledger.begin_run(f"soak-{writer}", {}, path)
+    try:
+        for index in range(10):
+            with tracing.span("soak.unit", writer=writer, index=index):
+                pass
+            tracing.dump_flight_record(f"probe-{writer}-{index}")
+    finally:
+        run_ledger.finish_run(status="ok", exit_code=0)
+    assert run.run_id
+    return 1
+
+
+class TestConcurrentAppends:
+    def test_multiprocess_appends_never_tear(self, tmp_path: Path):
+        ledger = tmp_path / "runs.jsonl"
+        tasks = [(str(ledger), writer) for writer in range(WRITERS)]
+        with ProcessPoolExecutor(max_workers=WRITERS) as pool:
+            written = sum(pool.map(_hammer, tasks))
+        assert written == WRITERS * RECORDS_PER_WRITER
+        lines = ledger.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == WRITERS * RECORDS_PER_WRITER
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # raises on any torn line
+            seen.add((record["writer"], record["index"]))
+        assert len(seen) == WRITERS * RECORDS_PER_WRITER
+
+    def test_multithread_appends_never_tear(self, tmp_path: Path):
+        ledger = tmp_path / "runs.jsonl"
+        threads = [
+            threading.Thread(target=_hammer, args=((str(ledger), w),))
+            for w in range(WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = ledger.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == WRITERS * RECORDS_PER_WRITER
+        for line in lines:
+            json.loads(line)
+
+    def test_flight_records_interleave_cleanly(self, tmp_path: Path):
+        ledger = tmp_path / "runs.jsonl"
+        tasks = [(str(ledger), writer) for writer in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            finished = sum(pool.map(_hammer_with_flights, tasks))
+        assert finished == 4
+        raw_lines = ledger.read_text(encoding="utf-8").splitlines()
+        for line in raw_lines:
+            json.loads(line)
+        records = run_ledger.read_runs(ledger)
+        flights = [
+            r for r in records if r["command"] == "flight-recorder"
+        ]
+        finishes = [
+            r for r in records if r["command"].startswith("soak-")
+        ]
+        assert len(flights) == 4 * 10
+        assert len(finishes) == 4
+        for flight in flights:
+            assert flight["status"] == "flight"
+            assert flight["facts"]["flight_record"]["spans"]
+
+    def test_read_runs_skips_foreign_lines_not_whole_file(
+        self, tmp_path: Path
+    ):
+        ledger = tmp_path / "runs.jsonl"
+        run_ledger.append_record(
+            ledger, {"schema": run_ledger.SCHEMA_VERSION, "writer": 0}
+        )
+        with open(ledger, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write(json.dumps({"schema": -1}) + "\n")
+        run_ledger.append_record(
+            ledger, {"schema": run_ledger.SCHEMA_VERSION, "writer": 1}
+        )
+        records = run_ledger.read_runs(ledger)
+        assert [r["writer"] for r in records] == [0, 1]
+
+
+def teardown_module(module) -> None:
+    tracing.ring().clear()
+    if telemetry.enabled():
+        telemetry.disable()

@@ -650,11 +650,25 @@ class TestCrossProcessMerge:
         finally:
             telemetry.disable()
         assert results == [0, 10, 20, 30]
-        outers = [s for s in snapshot.spans if s.name == "unit.outer"]
+        # Pool-dispatched units fold in under a trace-tagged
+        # ``executor.unit`` root; the in-process probe unit stays at the
+        # top level. Either way the unit's own nesting is intact.
+        outers = [
+            s
+            for s in telemetry.iter_spans(snapshot)
+            if s.name == "unit.outer"
+        ]
         assert len(outers) == 4
         for outer in outers:
             assert [c.name for c in outer.children] == ["unit.inner"]
             assert not outer.children[0].children
+        dispatched = [
+            s for s in snapshot.spans if s.name == "executor.unit"
+        ]
+        assert dispatched
+        for unit in dispatched:
+            assert dict(unit.attributes)["trace_id"]
+            assert [c.name for c in unit.children] == ["unit.outer"]
         assert snapshot.counters["unit.calls"] == 4
         assert sorted(
             dict(outer.attributes)["index"] for outer in outers
@@ -706,3 +720,149 @@ class TestCrossProcessMerge:
         assert names.count("unit.outer") == 2
         assert names.count("unit.inner") == 2
         assert "cli.profile" in names
+
+
+class TestPrometheusLabels:
+    """Label-carrying metric names render as one family with label sets."""
+
+    def test_labeled_name_round_trips(self):
+        from repro.system.observe import labeled_name
+        from repro.system.observe.prometheus import split_labels
+
+        dotted = labeled_name(
+            "serve.request_seconds", endpoint="estimate", tenant="acme"
+        )
+        assert dotted == (
+            "serve.request_seconds{endpoint=estimate,tenant=acme}"
+        )
+        base, labels = split_labels(dotted)
+        assert base == "serve.request_seconds"
+        assert labels == {"endpoint": "estimate", "tenant": "acme"}
+
+    def test_malformed_suffix_treated_as_unlabeled(self):
+        from repro.system.observe.prometheus import split_labels
+
+        base, labels = split_labels("serve.request_seconds{oops}")
+        assert base == "serve.request_seconds{oops}"
+        assert labels == {}
+
+    def test_labeled_histogram_family_renders_once(self):
+        from repro.system.observe import labeled_name
+
+        registry = MetricsRegistry()
+        registry.observe("serve.request_seconds", 0.004)
+        registry.observe(
+            labeled_name("serve.request_seconds", endpoint="estimate"),
+            0.008,
+        )
+        registry.observe(
+            labeled_name("serve.request_seconds", endpoint="profile"),
+            0.016,
+        )
+        text = prometheus_exposition(registry.snapshot())
+        type_lines = [
+            line for line in text.splitlines()
+            if line.startswith("# TYPE repro_serve_request_seconds ")
+        ]
+        assert len(type_lines) == 1
+        assert 'repro_serve_request_seconds_count{endpoint="estimate"} 1' in text
+        assert 'repro_serve_request_seconds_count{endpoint="profile"} 1' in text
+        assert "repro_serve_request_seconds_count 1" in text
+        assert 'bucket{endpoint="estimate",le="+Inf"} 1' in text
+
+    def test_labeled_counter_and_gauge_render(self):
+        from repro.system.observe import labeled_name
+
+        registry = MetricsRegistry()
+        registry.count(labeled_name("serve.requests", tenant="t1"), 3)
+        registry.gauge(labeled_name("serve.queue_depth", lane="fast"), 7)
+        text = prometheus_exposition(registry.snapshot())
+        assert 'repro_serve_requests_total{tenant="t1"} 3' in text
+        assert 'repro_serve_queue_depth{lane="fast"} 7' in text
+
+    def test_label_values_escaped_per_exposition_spec(self):
+        from repro.system.observe import labeled_name
+
+        registry = MetricsRegistry()
+        hostile = 'a"b\\c\nd'
+        registry.count(labeled_name("serve.requests", tenant=hostile), 1)
+        text = prometheus_exposition(registry.snapshot())
+        assert (
+            'repro_serve_requests_total{tenant="a\\"b\\\\c\\nd"} 1' in text
+        )
+        assert "\nd\"} 1" not in text  # no raw newline inside the line
+
+    def test_unlabeled_output_unchanged_by_label_support(self):
+        text = prometheus_exposition(nested_snapshot())
+        assert "{" not in text.replace('le="', "le-").replace(
+            '{le-', "le-"
+        ) or True
+        # The unlabeled families render without any label braces except
+        # histogram bucket ``le``.
+        for line in text.splitlines():
+            if line.startswith("#") or "_bucket{" in line:
+                continue
+            assert "{" not in line
+
+
+def latency_record(p99=0.01, **overrides) -> dict:
+    record = serve_record(**overrides)
+    record["facts"]["serve"]["p99_warm_seconds"] = p99
+    return record
+
+
+class TestLatencyGate:
+    """The explicit-only p99 ceiling on the serve benchmark."""
+
+    def test_p99_not_checked_by_default(self):
+        result = check_run(
+            latency_record(), latency_record(p99=9.0, run_id="cand")
+        )
+        assert result.passed
+        assert "serve_p99_warm_seconds" not in result.checked
+
+    def test_p99_ceiling_enforced_when_explicit(self):
+        thresholds = GateThresholds(max_p99_latency=0.5)
+        passing = check_run(
+            latency_record(), latency_record(run_id="cand"), thresholds
+        )
+        assert passing.passed
+        assert "serve_p99_warm_seconds" in passing.checked
+        failing = check_run(
+            latency_record(),
+            latency_record(p99=0.75, run_id="cand"),
+            thresholds,
+        )
+        assert not failing.passed
+        assert [v.metric for v in failing.violations] == [
+            "serve_p99_warm_seconds"
+        ]
+        assert "above ceiling" in failing.violations[0].message
+
+    def test_p99_skipped_without_serve_facts(self):
+        thresholds = GateThresholds(max_p99_latency=0.5)
+        result = check_run(
+            baseline_record(), candidate_record(), thresholds
+        )
+        assert result.passed
+        assert "serve_p99_warm_seconds" not in result.checked
+
+    def test_diff_surfaces_fleet_rows(self):
+        baseline = baseline_record()
+        candidate = baseline_record(run_id="cand")
+        for record, cameras in ((baseline, 4), (candidate, 6)):
+            record["facts"] = {
+                "fleet": {
+                    "telemetry": {
+                        "fleet": {
+                            "cameras": cameras,
+                            "violations": 1,
+                            "violation_concentration": 0.5,
+                        }
+                    }
+                }
+            }
+        rows = {row["metric"]: row for row in diff_runs(baseline, candidate)}
+        assert rows["fleet_cameras"]["baseline"] == 4
+        assert rows["fleet_cameras"]["candidate"] == 6
+        assert rows["fleet_violation_concentration"]["candidate"] == 0.5

@@ -406,6 +406,31 @@ class TestDaemonHTTP:
             daemon.batcher.admit("anyone")
         assert daemon.session.stats["rejected"] == 1
 
+    def test_multiworker_daemon_prewarms_the_pool(self):
+        """A multi-worker daemon forks its pool during startup, while
+        the process is quiet — forking lazily under live traffic can
+        deadlock the children (fork-with-threads). The pool must be warm
+        before the listener accepts, and a parallel /profile must reuse
+        it rather than respawn."""
+        from repro.system.executor import pool_diagnostics, pool_generation
+
+        async def scenario(daemon, port):
+            assert pool_diagnostics() is not None
+            generation = pool_generation()
+            status, body = await post_json(
+                "127.0.0.1",
+                port,
+                "/profile",
+                {"dataset": "ua-detrac", "trials": 2,
+                 "fraction_step": 0.5, "resolution_count": 2},
+                timeout=600,
+            )
+            assert status == 200, body
+            assert pool_generation() == generation
+            return True
+
+        assert run_with_daemon(scenario, workers=2)
+
     def test_metrics_and_introspection_endpoints(self):
         async def scenario(daemon, port):
             status, _ = await post_json(
